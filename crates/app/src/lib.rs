@@ -1,0 +1,42 @@
+//! # marnet-app — MAR application, device and computation models
+//!
+//! §II-III of the paper characterise MAR applications: their input
+//! (camera/sensor) streams, their computation cost, the devices they run on
+//! (Table I), and the three execution models the paper formalises as
+//! inequalities — local execution `P_local`, local with a remote object
+//! database `P_local+externalDB`, and offloaded `P_offloading` (Eqs. 1-3).
+//!
+//! The computer-vision pipelines the paper builds on (CloudRidAR's feature
+//! extraction, Glimpse's tracking) are replaced by a *computation-cost
+//! model* — cycle counts, feature counts and payload sizes — which is what
+//! the paper's own analysis uses; the offload-decision logic exercised is
+//! identical (see DESIGN.md, substitutions).
+//!
+//! * [`device`] — the Table I device catalog;
+//! * [`video`] — bitrate arithmetic of §III-B (retina estimate, raw/
+//!   compressed 4K, the ~10 Mb/s floor) and a GoP frame-size generator;
+//! * [`compute`] — the `P_*` execution-time models;
+//! * [`strategy`] — offloading strategies (local, full-frame offload,
+//!   CloudRidAR-style feature offload, Glimpse-style tracking);
+//! * [`db`] — object database with LRU cache and prefetching (the `x`
+//!   split of Eq. 2);
+//! * [`qoe`] — quality-of-experience accounting (75 ms budget, 30 ms
+//!   jitter, motion-to-photon);
+//! * [`pipeline`] — simulator actors tying a MAR client and an offload
+//!   server to the AR transport protocol end to end.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod compute;
+pub mod db;
+pub mod device;
+pub mod pipeline;
+pub mod qoe;
+pub mod strategy;
+pub mod video;
+
+pub use compute::{ComputeModel, ExecutionEstimate};
+pub use device::{DeviceClass, DeviceSpec};
+pub use strategy::OffloadStrategy;
+pub use video::VideoConfig;

@@ -1,0 +1,227 @@
+//! Offloading strategies (§III-B).
+//!
+//! The paper names two concrete offloading platforms as design points:
+//! *CloudRidAR* extracts features locally and uplinks only the features;
+//! *Glimpse* tracks objects locally and uplinks only selected frames. This
+//! module models those alongside the trivial strategies (everything local,
+//! full-frame offload) so the E9 sweep can map which wins where.
+
+use crate::compute::{ComputeModel, ExecutionEstimate, FrameWork, NetParams};
+use crate::device::DeviceSpec;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// How a frame's work and bytes are split between device and server.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum OffloadStrategy {
+    /// Everything on the device; nothing uplinked.
+    LocalOnly,
+    /// The compressed camera frame is uplinked; all vision work remote.
+    FullOffload {
+        /// Compressed frame size in bytes.
+        frame_bytes: u32,
+    },
+    /// CloudRidAR: extraction local, features uplinked, matching remote.
+    FeatureOffload {
+        /// Number of features extracted per frame.
+        features: u32,
+        /// Bytes per feature descriptor (e.g. 64 for SURF, 128 for SIFT).
+        descriptor_bytes: u32,
+    },
+    /// Glimpse: tracking local every frame, a full frame uplinked every
+    /// `offload_every` frames to re-detect.
+    TrackingOffload {
+        /// Compressed frame size in bytes for the offloaded frames.
+        frame_bytes: u32,
+        /// Period (in frames) between offloaded frames.
+        offload_every: u32,
+    },
+}
+
+impl OffloadStrategy {
+    /// The canonical CloudRidAR configuration: ~500 binary descriptors of
+    /// 32 B (ORB-class), chosen so the feature payload undercuts a
+    /// compressed frame — the point of offloading features.
+    pub fn cloudridar() -> Self {
+        OffloadStrategy::FeatureOffload { features: 500, descriptor_bytes: 32 }
+    }
+
+    /// The canonical Glimpse configuration (25 KB frames, 1 in 10 frames).
+    pub fn glimpse() -> Self {
+        OffloadStrategy::TrackingOffload { frame_bytes: 25_000, offload_every: 10 }
+    }
+
+    /// Mean uplink payload per frame in bytes.
+    pub fn uplink_bytes_per_frame(&self) -> u64 {
+        match *self {
+            OffloadStrategy::LocalOnly => 0,
+            OffloadStrategy::FullOffload { frame_bytes } => u64::from(frame_bytes),
+            OffloadStrategy::FeatureOffload { features, descriptor_bytes } => {
+                u64::from(features) * u64::from(descriptor_bytes)
+            }
+            OffloadStrategy::TrackingOffload { frame_bytes, offload_every } => {
+                u64::from(frame_bytes) / u64::from(offload_every.max(1))
+            }
+        }
+    }
+
+    /// Mean downlink payload per frame (pose/labels), a small constant for
+    /// every offloading strategy — the §IV-D "reversed asymmetry" point.
+    pub fn downlink_bytes_per_frame(&self) -> u64 {
+        match self {
+            OffloadStrategy::LocalOnly => 0,
+            _ => 1_000,
+        }
+    }
+
+    /// Fraction of the per-frame computation kept on the device (`x`).
+    pub fn local_share(&self, work: &FrameWork) -> f64 {
+        let total = work.total_gflop();
+        if total <= 0.0 {
+            return 1.0;
+        }
+        match *self {
+            OffloadStrategy::LocalOnly => 1.0,
+            // Rendering is always local; everything else ships out.
+            OffloadStrategy::FullOffload { .. } => work.rendering_gflop / total,
+            OffloadStrategy::FeatureOffload { .. } => {
+                (work.extraction_gflop + work.rendering_gflop) / total
+            }
+            OffloadStrategy::TrackingOffload { offload_every, .. } => {
+                // Tracking + rendering every frame; extraction+matching only
+                // on the server, amortised — locally we keep the light part.
+                let _ = offload_every;
+                (work.tracking_gflop + work.rendering_gflop) / total
+            }
+        }
+    }
+
+    /// Evaluates this strategy end to end via [`ComputeModel::p_offloading`]
+    /// (or `p_local` for [`OffloadStrategy::LocalOnly`]).
+    pub fn evaluate(
+        &self,
+        model: &ComputeModel,
+        device: &DeviceSpec,
+        cloud: &DeviceSpec,
+        net: &NetParams,
+    ) -> ExecutionEstimate {
+        match self {
+            OffloadStrategy::LocalOnly => model.p_local(device),
+            _ => model.p_offloading(
+                device,
+                cloud,
+                net,
+                self.local_share(&model.work),
+                self.uplink_bytes_per_frame(),
+                self.downlink_bytes_per_frame(),
+                true,
+                0.0,
+            ),
+        }
+    }
+
+    /// All four canonical strategies, for sweeps.
+    pub fn canonical() -> Vec<OffloadStrategy> {
+        vec![
+            OffloadStrategy::LocalOnly,
+            OffloadStrategy::FullOffload { frame_bytes: 25_000 },
+            OffloadStrategy::cloudridar(),
+            OffloadStrategy::glimpse(),
+        ]
+    }
+}
+
+impl fmt::Display for OffloadStrategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OffloadStrategy::LocalOnly => write!(f, "local-only"),
+            OffloadStrategy::FullOffload { .. } => write!(f, "full-offload"),
+            OffloadStrategy::FeatureOffload { .. } => write!(f, "feature-offload (CloudRidAR)"),
+            OffloadStrategy::TrackingOffload { .. } => write!(f, "tracking-offload (Glimpse)"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceClass;
+    use marnet_sim::link::Bandwidth;
+    use marnet_sim::time::SimDuration;
+
+    fn net(up: f64, down: f64, rtt_ms: u64) -> NetParams {
+        NetParams {
+            uplink: Bandwidth::from_mbps(up),
+            downlink: Bandwidth::from_mbps(down),
+            rtt: SimDuration::from_millis(rtt_ms),
+        }
+    }
+
+    #[test]
+    fn uplink_bytes_ordering() {
+        // Full frames > features > tracked subset.
+        let full = OffloadStrategy::FullOffload { frame_bytes: 25_000 };
+        let feat = OffloadStrategy::cloudridar();
+        let glimpse = OffloadStrategy::glimpse();
+        assert!(full.uplink_bytes_per_frame() > glimpse.uplink_bytes_per_frame());
+        assert!(feat.uplink_bytes_per_frame() < full.uplink_bytes_per_frame());
+        assert_eq!(OffloadStrategy::LocalOnly.uplink_bytes_per_frame(), 0);
+        assert_eq!(feat.uplink_bytes_per_frame(), 500 * 32);
+        assert_eq!(glimpse.uplink_bytes_per_frame(), 2_500);
+    }
+
+    #[test]
+    fn local_share_reflects_the_cut_point() {
+        let work = FrameWork::vision_pipeline();
+        let local = OffloadStrategy::LocalOnly.local_share(&work);
+        let full = OffloadStrategy::FullOffload { frame_bytes: 25_000 }.local_share(&work);
+        let feat = OffloadStrategy::cloudridar().local_share(&work);
+        assert_eq!(local, 1.0);
+        assert!(full < feat && feat < local);
+        assert!(full > 0.0, "rendering always stays local");
+    }
+
+    #[test]
+    fn offload_strategies_make_phone_feasible_on_good_edge() {
+        let model = ComputeModel::new(30.0, FrameWork::vision_pipeline())
+            .with_deadline(SimDuration::from_millis(75));
+        let phone = DeviceClass::Smartphone.spec();
+        let cloud = DeviceClass::Cloud.spec();
+        let edge = net(20.0, 20.0, 16);
+        assert!(!OffloadStrategy::LocalOnly.evaluate(&model, &phone, &cloud, &edge).feasible());
+        for s in [
+            OffloadStrategy::FullOffload { frame_bytes: 25_000 },
+            OffloadStrategy::cloudridar(),
+            OffloadStrategy::glimpse(),
+        ] {
+            let est = s.evaluate(&model, &phone, &cloud, &edge);
+            assert!(est.feasible(), "{s} should fit on a 16 ms edge: {:?}", est.per_frame);
+        }
+    }
+
+    #[test]
+    fn full_offload_dies_first_on_a_thin_uplink() {
+        // On a 1 Mb/s uplink, 25 KB/frame (6 Mb/s) is hopeless while the
+        // CloudRidAR/Glimpse reductions survive — the reason those systems
+        // reduce uplink volume.
+        let model = ComputeModel::new(30.0, FrameWork::vision_pipeline())
+            .with_deadline(SimDuration::from_millis(75));
+        let phone = DeviceClass::Smartphone.spec();
+        let cloud = DeviceClass::Cloud.spec();
+        let thin = net(1.0, 8.0, 16);
+        let full = OffloadStrategy::FullOffload { frame_bytes: 25_000 }
+            .evaluate(&model, &phone, &cloud, &thin);
+        assert!(!full.feasible());
+        let glimpse = OffloadStrategy::glimpse().evaluate(&model, &phone, &cloud, &thin);
+        assert!(glimpse.feasible(), "Glimpse survives: {:?}", glimpse.per_frame);
+    }
+
+    #[test]
+    fn canonical_list_and_display() {
+        let c = OffloadStrategy::canonical();
+        assert_eq!(c.len(), 4);
+        assert_eq!(c[0].to_string(), "local-only");
+        assert!(c[2].to_string().contains("CloudRidAR"));
+        assert!(c[3].to_string().contains("Glimpse"));
+    }
+}

@@ -1,0 +1,101 @@
+//! Criterion micro-benchmarks for the protocol building blocks: XOR FEC
+//! coding, the degradation scheduler's tick, the congestion controller,
+//! and the multipath selector.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use marnet_core::class::StreamKind;
+use marnet_core::congestion::{CongestionConfig, DelayCongestionController};
+use marnet_core::degradation::DegradationScheduler;
+use marnet_core::fec::{recover_single, XorEncoder};
+use marnet_core::message::ArMessage;
+use marnet_core::multipath::{MultipathPolicy, MultipathScheduler, PathRole, PathSnapshot};
+use marnet_sim::time::{SimDuration, SimTime};
+
+fn bench_fec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fec");
+    let block = vec![0xa5u8; 1200];
+    g.throughput(Throughput::Bytes(1200 * 8));
+    g.bench_function("encode_k8_1200B", |b| {
+        b.iter(|| {
+            let mut enc = XorEncoder::new(8);
+            let mut parity = None;
+            for _ in 0..8 {
+                parity = enc.push(black_box(&block));
+            }
+            black_box(parity)
+        })
+    });
+    let blocks: Vec<Vec<u8>> = (0..8u8).map(|i| vec![i; 1200]).collect();
+    let mut enc = XorEncoder::new(8);
+    let mut parity = Vec::new();
+    for b in &blocks {
+        if let Some(p) = enc.push(b) {
+            parity = p;
+        }
+    }
+    g.throughput(Throughput::Bytes(1200));
+    g.bench_function("recover_single_k8_1200B", |b| {
+        let survivors: Vec<&[u8]> = blocks[1..].iter().map(|v| v.as_slice()).collect();
+        b.iter(|| black_box(recover_single(black_box(&survivors), &parity, 1200)))
+    });
+    g.finish();
+}
+
+fn bench_scheduler(c: &mut Criterion) {
+    c.bench_function("degradation_tick_100_messages", |b| {
+        b.iter(|| {
+            let mut s = DegradationScheduler::new(SimDuration::from_millis(150), 6.0);
+            for i in 0..100 {
+                let kind = match i % 4 {
+                    0 => StreamKind::Metadata,
+                    1 => StreamKind::Sensor,
+                    2 => StreamKind::VideoReference,
+                    _ => StreamKind::VideoInter,
+                };
+                s.submit(ArMessage::new(i, kind, 1200, SimTime::ZERO));
+            }
+            black_box(s.tick(SimTime::from_millis(5), 20_000.0))
+        })
+    });
+}
+
+fn bench_congestion(c: &mut Criterion) {
+    c.bench_function("congestion_feedback", |b| {
+        let mut ctrl = DelayCongestionController::new(CongestionConfig::default());
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 15;
+            ctrl.on_feedback(
+                SimDuration::from_millis(20 + (t % 7)),
+                0,
+                Some(200_000.0),
+                SimTime::from_millis(t),
+            )
+        })
+    });
+}
+
+fn bench_multipath(c: &mut Criterion) {
+    c.bench_function("multipath_select_aggregate", |b| {
+        let mut mp = MultipathScheduler::new(MultipathPolicy::Aggregate, true);
+        let snaps = vec![
+            PathSnapshot {
+                role: PathRole::Wifi,
+                up: true,
+                srtt: Some(SimDuration::from_millis(12)),
+                rate: 500_000.0,
+            },
+            PathSnapshot {
+                role: PathRole::Cellular,
+                up: true,
+                srtt: Some(SimDuration::from_millis(40)),
+                rate: 200_000.0,
+            },
+        ];
+        let (class, prio) = StreamKind::VideoInter.default_class();
+        b.iter(|| black_box(mp.select(&snaps, class, prio, 1200)))
+    });
+}
+
+criterion_group!(benches, bench_fec, bench_scheduler, bench_congestion, bench_multipath);
+criterion_main!(benches);

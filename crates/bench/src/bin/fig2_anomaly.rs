@@ -1,0 +1,171 @@
+//! E3 — regenerates **Fig. 2**: the 802.11 performance anomaly. User A
+//! stays in the 54 Mb/s zone; User B walks out through the 18 and 6 Mb/s
+//! zones; A's throughput collapses to B's pace. Cross-checked two ways:
+//! the Heusse et al. closed-form airtime model and the packet-level
+//! shared-medium simulation.
+
+use marnet_bench::{fmt, print_table, write_json};
+use marnet_radio::dcf::{submit, Dot11Params, WifiCell, WifiSetRate, WifiStation};
+use marnet_sim::engine::{Actor, ActorId, Event, SimCtx, Simulator};
+use marnet_sim::link::{Bandwidth, LinkParams};
+use marnet_sim::packet::{Packet, Payload};
+use marnet_sim::queue::QueueConfig;
+use marnet_sim::stats::RateMeter;
+use marnet_sim::time::{SimDuration, SimTime};
+use serde::Serialize;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+const FRAME: u32 = 1500;
+
+#[derive(Serialize)]
+struct Row {
+    b_zone_mbps: f64,
+    analytic_per_station_mbps: f64,
+    simulated_a_mbps: f64,
+    simulated_b_mbps: f64,
+    a_solo_mbps: f64,
+}
+
+/// Saturating traffic source for one station.
+struct Saturator {
+    cell: ActorId,
+    station: usize,
+    flow: u64,
+}
+
+impl Actor for Saturator {
+    fn on_event(&mut self, ctx: &mut SimCtx, ev: Event) {
+        if matches!(ev, Event::Start | Event::Timer { .. }) {
+            for _ in 0..4 {
+                let id = ctx.next_packet_id();
+                let pkt = Packet::new(id, self.flow, FRAME, ctx.now());
+                ctx.send_message(self.cell, submit(self.station, pkt));
+            }
+            ctx.schedule_timer(SimDuration::from_millis(1), 0);
+        }
+    }
+}
+
+/// Changes B's PHY rate on schedule (walking between zones).
+struct Walker {
+    cell: ActorId,
+    schedule: Vec<(SimTime, f64)>,
+    next: usize,
+}
+
+impl Actor for Walker {
+    fn on_event(&mut self, ctx: &mut SimCtx, ev: Event) {
+        if matches!(ev, Event::Start | Event::Timer { .. }) {
+            while self.next < self.schedule.len() && self.schedule[self.next].0 <= ctx.now() {
+                let (_, rate) = self.schedule[self.next];
+                ctx.send_message(
+                    self.cell,
+                    Payload::new(WifiSetRate { station: 1, phy_rate_mbps: rate }),
+                );
+                self.next += 1;
+            }
+            if self.next < self.schedule.len() {
+                let t = self.schedule[self.next].0;
+                ctx.schedule_timer(t.saturating_since(ctx.now()), 0);
+            }
+        }
+    }
+}
+
+struct MeterSink {
+    meters: Rc<RefCell<Vec<RateMeter>>>,
+}
+
+impl Actor for MeterSink {
+    fn on_event(&mut self, ctx: &mut SimCtx, ev: Event) {
+        if let Event::Packet { packet, .. } = ev {
+            let mut m = self.meters.borrow_mut();
+            let f = packet.flow as usize;
+            m[f].record(ctx.now(), u64::from(packet.size));
+        }
+    }
+}
+
+fn main() {
+    let params = Dot11Params::dot11g();
+    let zones = [54.0, 18.0, 6.0];
+    let phase = 10u64; // seconds per zone
+
+    // Packet-level run: B walks 54 → 18 → 6.
+    let meters = Rc::new(RefCell::new(vec![
+        RateMeter::new(SimDuration::from_millis(500)),
+        RateMeter::new(SimDuration::from_millis(500)),
+    ]));
+    let mut sim = Simulator::new(13);
+    let cell = sim.reserve_actor();
+    let sink = sim.add_actor(MeterSink { meters: Rc::clone(&meters) });
+    let wired = LinkParams::new(Bandwidth::from_gbps(1.0), SimDuration::from_micros(100))
+        .with_queue(QueueConfig::DropTail { cap_packets: 10_000 });
+    let out0 = sim.add_link(cell, sink, wired.clone());
+    let out1 = sim.add_link(cell, sink, wired);
+    sim.install_actor(
+        cell,
+        WifiCell::new(
+            params,
+            vec![
+                WifiStation { phy_rate_mbps: 54.0, out: out0 },
+                WifiStation { phy_rate_mbps: 54.0, out: out1 },
+            ],
+        ),
+    );
+    sim.add_actor(Saturator { cell, station: 0, flow: 0 });
+    sim.add_actor(Saturator { cell, station: 1, flow: 1 });
+    sim.add_actor(Walker {
+        cell,
+        schedule: vec![
+            (SimTime::from_secs(phase), 18.0),
+            (SimTime::from_secs(2 * phase), 6.0),
+        ],
+        next: 0,
+    });
+    sim.run_until(SimTime::from_secs(3 * phase));
+
+    let m = meters.borrow();
+    let mut rows = Vec::new();
+    for (i, &zone) in zones.iter().enumerate() {
+        let from = (i as u64 * phase) as f64 + 2.0;
+        let to = ((i as u64 + 1) * phase) as f64 - 1.0;
+        rows.push(Row {
+            b_zone_mbps: zone,
+            analytic_per_station_mbps: params.shared_throughput_mbps(&[54.0, zone], FRAME),
+            simulated_a_mbps: m[0].mean_mbps(from, to),
+            simulated_b_mbps: m[1].mean_mbps(from, to),
+            a_solo_mbps: params.solo_throughput_mbps(54.0, FRAME) / 2.0,
+        });
+    }
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                fmt(r.b_zone_mbps, 0),
+                fmt(r.analytic_per_station_mbps, 2),
+                fmt(r.simulated_a_mbps, 2),
+                fmt(r.simulated_b_mbps, 2),
+            ]
+        })
+        .collect();
+    print_table(
+        "Fig. 2 — WiFi performance anomaly: A@54 Mb/s while B walks outward",
+        &["B zone Mb/s", "Analytic per-station Mb/s", "Sim A Mb/s", "Sim B Mb/s"],
+        &table,
+    );
+
+    println!("\nA's throughput timeline (500 ms buckets):");
+    for (t, mbps) in m[0].series_mbps().iter().step_by(4) {
+        let bar = "#".repeat((mbps * 2.0) as usize);
+        println!("  t={t:>5.1}s {mbps:>6.2} Mb/s {bar}");
+    }
+    println!(
+        "\nShape check: although A never moves, its throughput steps down with\n\
+         B's zone — per-packet fairness equalises *throughput* at the slow\n\
+         station's pace (Heusse et al.)."
+    );
+    write_json("fig2_anomaly", &rows);
+}

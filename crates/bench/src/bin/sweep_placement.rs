@@ -1,0 +1,111 @@
+//! E10 — sweeps the §VI-F edge-datacenter placement problem: number of
+//! datacenters required vs the latency budget δ, with greedy vs exact vs
+//! lower bound on small instances and greedy scaling on large ones.
+
+use marnet_bench::{fmt, print_table, write_json};
+use marnet_edge::placement::synthetic_metro;
+use marnet_sim::rng::derive_rng;
+use marnet_sim::time::SimDuration;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct SmallRow {
+    budget_ms: u64,
+    greedy: usize,
+    exact: usize,
+    lower_bound: usize,
+    infeasible_users: usize,
+}
+
+#[derive(Serialize)]
+struct LargeRow {
+    budget_ms: u64,
+    users: usize,
+    sites: usize,
+    greedy: usize,
+    infeasible_users: usize,
+}
+
+fn main() {
+    // Small instances: solver-quality comparison.
+    let mut small = Vec::new();
+    for &budget in &[12u64, 15, 20, 30, 50] {
+        let mut rng = derive_rng(101, "placement.small");
+        let p = synthetic_metro(150, 20, 25.0, SimDuration::from_millis(budget), &mut rng);
+        let greedy = p.solve_greedy();
+        let exact = p.solve_exact();
+        assert!(p.validate(&greedy) && p.validate(&exact));
+        small.push(SmallRow {
+            budget_ms: budget,
+            greedy: greedy.cost(),
+            exact: exact.cost(),
+            lower_bound: p.lower_bound(),
+            infeasible_users: exact.uncovered.len(),
+        });
+    }
+    let rows: Vec<Vec<String>> = small
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{} ms", r.budget_ms),
+                r.greedy.to_string(),
+                r.exact.to_string(),
+                r.lower_bound.to_string(),
+                r.infeasible_users.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "E10a — datacenters needed vs deadline (150 users, 20 sites, 25 km metro)",
+        &["Budget δ", "Greedy", "Exact", "Lower bound", "Infeasible users"],
+        &rows,
+    );
+
+    // Large instance: greedy scaling (the practical regime).
+    let mut large = Vec::new();
+    for &budget in &[12u64, 15, 20, 30, 50, 75] {
+        let mut rng = derive_rng(102, "placement.large");
+        let p = synthetic_metro(1000, 60, 30.0, SimDuration::from_millis(budget), &mut rng);
+        let sol = p.solve_greedy();
+        assert!(p.validate(&sol));
+        large.push(LargeRow {
+            budget_ms: budget,
+            users: 1000,
+            sites: 60,
+            greedy: sol.cost(),
+            infeasible_users: sol.uncovered.len(),
+        });
+    }
+    let rows: Vec<Vec<String>> = large
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{} ms", r.budget_ms),
+                r.greedy.to_string(),
+                r.infeasible_users.to_string(),
+                fmt(1000.0 / r.greedy.max(1) as f64, 0),
+            ]
+        })
+        .collect();
+    print_table(
+        "E10b — greedy placement at metro scale (1000 users, 60 candidate sites)",
+        &["Budget δ", "Datacenters", "Infeasible users", "Users per DC"],
+        &rows,
+    );
+
+    println!(
+        "\nShape check: tight AR deadlines force dense edge deployments (the\n\
+         §VI-F argument), and the infeasible-user count falls monotonically\n\
+         as δ loosens. The datacenter count itself is not monotone: a looser\n\
+         budget both widens coverage radii (fewer sites needed for WiFi\n\
+         users) *and* admits high-access-RTT LTE users into the constraint\n\
+         set, who then demand their own nearby sites — the same tension as\n\
+         Table II's LTE row."
+    );
+    #[derive(Serialize)]
+    struct Out {
+        small: Vec<SmallRow>,
+        large: Vec<LargeRow>,
+    }
+    write_json("sweep_placement", &Out { small, large });
+}

@@ -1,0 +1,77 @@
+//! E13 — sweeps the §VI-H uplink queueing policies: the oversized FIFO
+//! ("usually oversized (around 1000 packets), dramatically increasing the
+//! overall latency") vs CoDel, FQ-CoDel and latency (strict-priority)
+//! queueing, for a paced MAR stream sharing the uplink with a greedy
+//! TCP upload.
+
+use marnet_bench::scenarios::run_queueing;
+use marnet_bench::{fmt, print_table, write_json};
+use marnet_sim::queue::QueueConfig;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    queue: String,
+    mar_latency_median_ms: f64,
+    mar_latency_p95_ms: f64,
+    mar_delivery_pct: f64,
+    bulk_goodput_mbps: f64,
+}
+
+fn main() {
+    let secs = 40u64;
+    let configs: Vec<(&str, QueueConfig, u8)> = vec![
+        ("DropTail 1000 (status quo)", QueueConfig::bloated_uplink(), 0),
+        ("DropTail 50 (small FIFO)", QueueConfig::DropTail { cap_packets: 50 }, 0),
+        ("CoDel", QueueConfig::codel_default(), 0),
+        ("FQ-CoDel", QueueConfig::fq_codel_default(), 0),
+        (
+            "Strict priority (MAR in band 0)",
+            QueueConfig::StrictPriority { bands: 4, cap_packets_per_band: 250 },
+            0,
+        ),
+    ];
+
+    let mut rows = Vec::new();
+    for (label, queue, prio) in configs {
+        let out = run_queueing(2.0, queue, prio, secs, 7);
+        let mar = out.mar.borrow();
+        let mut h = mar.latency_ms.clone();
+        // Offered: 1.5 Mb/s in 1200 B packets.
+        let offered = 1.5e6 / (1200.0 * 8.0) * secs as f64;
+        rows.push(Row {
+            queue: label.to_string(),
+            mar_latency_median_ms: h.median().unwrap_or(f64::NAN),
+            mar_latency_p95_ms: h.p95().unwrap_or(f64::NAN),
+            mar_delivery_pct: mar.packets as f64 / offered * 100.0,
+            bulk_goodput_mbps: out.bulk.borrow().goodput_bytes as f64 * 8.0 / secs as f64 / 1e6,
+        });
+    }
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.queue.clone(),
+                fmt(r.mar_latency_median_ms, 1),
+                fmt(r.mar_latency_p95_ms, 1),
+                format!("{}%", fmt(r.mar_delivery_pct, 1)),
+                fmt(r.bulk_goodput_mbps, 2),
+            ]
+        })
+        .collect();
+    print_table(
+        "E13 — uplink queueing for a 1.5 Mb/s MAR stream + greedy upload on a 2 Mb/s uplink",
+        &["Queue", "MAR median ms", "MAR p95 ms", "MAR delivered", "Bulk Mb/s"],
+        &table,
+    );
+    println!(
+        "\nShape check: the 1000-packet FIFO inflicts seconds of one-way\n\
+         latency (bufferbloat); CoDel/FQ-CoDel cut it to tens of ms while\n\
+         the upload keeps most of its goodput; strict priority gives MAR\n\
+         near-propagation latency — §VI-H's 'latency queuing + FQ-CoDel'\n\
+         recommendation, with the paper's caveat that plain fair queueing\n\
+         can starve long flows visible in the bulk column."
+    );
+    write_json("sweep_queueing", &rows);
+}

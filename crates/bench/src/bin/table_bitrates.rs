@@ -1,0 +1,80 @@
+//! E15 — regenerates the §III-B bandwidth-estimate ladder: retina-scaled
+//! raw information rate, raw/compressed 4K video, and the ~10 Mb/s minimal
+//! AR-usable feed.
+
+use marnet_app::video::{eye_scaled_rate, VideoConfig, MIN_AR_VIDEO};
+use marnet_bench::{fmt, print_table, write_json};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    step: String,
+    paper_value: String,
+    computed: String,
+    note: String,
+}
+
+fn main() {
+    let mut rows = Vec::new();
+
+    let low = eye_scaled_rate(60.0).as_bps() as f64 / 1e9;
+    let high = eye_scaled_rate(70.0).as_bps() as f64 / 1e9;
+    rows.push(Row {
+        step: "Eye → camera FOV raw estimate".into(),
+        paper_value: "9-12 Gb/s".into(),
+        computed: format!("{}-{} Gb/s", fmt(low, 1), fmt(high, 1)),
+        note: "foveal 6-10 Mb/s scaled by (FOV/2°)²".into(),
+    });
+
+    let uhd = VideoConfig::uhd_4k_60();
+    let raw = uhd.raw_bitrate().as_bps() as f64 / 1e9;
+    rows.push(Row {
+        step: "Uncompressed 4K 60FPS 12bpp".into(),
+        paper_value: "711 Mb/s (printed)".into(),
+        computed: format!("{} Gb/s", fmt(raw, 2)),
+        note: "3840×2160×12×60 bits = 5.97 Gb/s; the paper's 711 appears \
+               to be megaBYTES/s (746 MB/s) — see EXPERIMENTS.md E15"
+            .into(),
+    });
+
+    let compressed = uhd.with_compression(240.0);
+    rows.push(Row {
+        step: "Lossy-compressed 4K".into(),
+        paper_value: "20-30 Mb/s".into(),
+        computed: format!("{} Mb/s at 240:1", fmt(compressed.bitrate().as_mbps(), 1)),
+        note: "H.264/H.265-class ratios".into(),
+    });
+
+    let minimal = VideoConfig::ar_minimal();
+    rows.push(Row {
+        step: "Minimal AR-usable feed".into(),
+        paper_value: "~10 Mb/s".into(),
+        computed: format!(
+            "{} Mb/s (720p30 at 33:1); floor constant {} Mb/s",
+            fmt(minimal.bitrate().as_mbps(), 2),
+            fmt(MIN_AR_VIDEO.as_bps() as f64 / 1e6, 0)
+        ),
+        note: "enough detail for advanced AR operations".into(),
+    });
+
+    let (ref_b, inter_b) = minimal.gop_frame_sizes();
+    rows.push(Row {
+        step: "Minimal feed GoP".into(),
+        paper_value: "-".into(),
+        computed: format!("{ref_b} B ref / {inter_b} B inter, GoP {}", minimal.gop),
+        note: "the Fig. 4 sub-stream sizes".into(),
+    });
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![r.step.clone(), r.paper_value.clone(), r.computed.clone(), r.note.clone()]
+        })
+        .collect();
+    print_table(
+        "§III-B — bandwidth estimates for MAR video",
+        &["Step", "Paper", "Computed", "Note"],
+        &table,
+    );
+    write_json("table_bitrates", &rows);
+}

@@ -1,0 +1,102 @@
+//! Extension (§VI-G) — the privacy bill: what redaction + encryption cost
+//! each device class per frame, against the 75 ms budget, and the residual
+//! leakage each policy leaves. The paper requires full redaction before any
+//! D2D offload; this table shows which devices can afford to comply.
+
+use marnet_app::device::DeviceClass;
+use marnet_bench::{fmt, print_table, write_json};
+use marnet_privacy::anonymize::{sample_street_scene, FrameRegions};
+use marnet_privacy::crypto::{best_cipher, handshake_time};
+use marnet_privacy::policy::{apply, PrivacyPolicy};
+use marnet_sim::rng::derive_rng;
+use marnet_sim::time::SimDuration;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    device: String,
+    policy: String,
+    added_latency_ms: f64,
+    leakage: f64,
+    d2d_compliant: bool,
+    fits_33ms_frame: bool,
+}
+
+fn main() {
+    // A representative busy street scene (mean of 500 sampled frames).
+    let mut rng = derive_rng(3, "table_privacy");
+    let mut acc = FrameRegions::default();
+    const N: u32 = 500;
+    for _ in 0..N {
+        let s = sample_street_scene(&mut rng);
+        acc.faces += s.faces;
+        acc.plates += s.plates;
+        acc.street_plates += s.street_plates;
+    }
+    let scene = FrameRegions {
+        faces: acc.faces / N,
+        plates: acc.plates / N,
+        street_plates: acc.street_plates / N,
+    };
+    let frame_bytes = 40_000u64;
+
+    let policies = [
+        ("none", PrivacyPolicy::none()),
+        ("first-party (encrypt only)", PrivacyPolicy::first_party()),
+        ("paranoid (full redact + encrypt)", PrivacyPolicy::paranoid()),
+    ];
+    let devices =
+        [DeviceClass::SmartGlasses, DeviceClass::Smartphone, DeviceClass::Laptop];
+
+    let mut rows = Vec::new();
+    for device in devices {
+        for (label, policy) in &policies {
+            let v = apply(policy, device, frame_bytes, &scene);
+            rows.push(Row {
+                device: device.spec().class.to_string(),
+                policy: label.to_string(),
+                added_latency_ms: v.added_latency.as_millis_f64(),
+                leakage: v.leakage,
+                d2d_compliant: policy.d2d_compliant(),
+                fits_33ms_frame: v.added_latency < SimDuration::from_millis(33),
+            });
+        }
+    }
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.device.clone(),
+                r.policy.clone(),
+                fmt(r.added_latency_ms, 2),
+                fmt(r.leakage, 1),
+                if r.d2d_compliant { "yes" } else { "no" }.into(),
+                if r.fits_33ms_frame { "yes" } else { "no" }.into(),
+            ]
+        })
+        .collect();
+    print_table(
+        "§VI-G extension — privacy cost per 40 KB frame (avg street scene)",
+        &["Device", "Policy", "Added ms/frame", "Leakage", "D2D-safe", "≤33 ms/frame"],
+        &table,
+    );
+
+    println!("\nHandshake cost after a WiFi handover (36 ms RTT):");
+    for device in devices {
+        println!(
+            "  {:<14} {} ({:?})",
+            device.spec().class.to_string(),
+            handshake_time(device, SimDuration::from_millis(36)),
+            best_cipher(device)
+        );
+    }
+    println!(
+        "\nReading: encryption is cheap everywhere (hardware AES), but the\n\
+         *detection* pass behind redaction costs vision-level compute — on\n\
+         smart glasses the D2D-compliance prerequisite alone blows the frame\n\
+         budget, the §VI-G chicken-and-egg: you must offload to afford the\n\
+         privacy pass that makes offloading safe."
+    );
+    write_json("table_privacy", &rows);
+}

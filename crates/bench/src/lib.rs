@@ -1,0 +1,93 @@
+//! # marnet-bench — the experiment harness
+//!
+//! One binary per table/figure of the paper (see DESIGN.md §4 for the
+//! index). Every binary prints the regenerated rows/series to stdout and
+//! writes a machine-readable JSON artifact to `results/<name>.json`.
+//!
+//! Run them all with `cargo run -p marnet-bench --bin <name>`; the
+//! Criterion micro-benchmarks live under `benches/`.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod scenarios;
+
+use serde::Serialize;
+use std::fs;
+use std::path::PathBuf;
+
+/// Prints a Markdown-ish table to stdout.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n## {title}\n");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: &[String]| {
+        let padded: Vec<String> = cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{c:<width$}", width = widths.get(i).copied().unwrap_or(4)))
+            .collect();
+        println!("| {} |", padded.join(" | "));
+    };
+    line(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    println!(
+        "|{}|",
+        widths.iter().map(|w| "-".repeat(w + 2)).collect::<Vec<_>>().join("|")
+    );
+    for row in rows {
+        line(row);
+    }
+}
+
+/// Writes a JSON artifact under `results/`, creating the directory.
+///
+/// # Panics
+///
+/// Panics if the artifact cannot be serialized or written — experiment
+/// binaries should fail loudly rather than drop results.
+pub fn write_json<T: Serialize>(name: &str, value: &T) {
+    let dir = PathBuf::from("results");
+    fs::create_dir_all(&dir).expect("create results dir");
+    let path = dir.join(format!("{name}.json"));
+    let body = serde_json::to_string_pretty(value).expect("serialize results");
+    fs::write(&path, body).expect("write results");
+    println!("\n[artifact] {}", path.display());
+}
+
+/// Formats a float with the given precision; NaN prints as `-` and
+/// negative zero is normalised.
+pub fn fmt(v: f64, prec: usize) -> String {
+    if v.is_nan() {
+        return "-".to_string();
+    }
+    let v = if v == 0.0 { 0.0 } else { v };
+    format!("{v:.prec$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_precision() {
+        assert_eq!(fmt(1.23456, 2), "1.23");
+        assert_eq!(fmt(10.0, 0), "10");
+        assert_eq!(fmt(f64::NAN, 2), "-");
+        assert_eq!(fmt(-0.0, 1), "0.0");
+    }
+
+    #[test]
+    fn table_printing_does_not_panic() {
+        print_table(
+            "t",
+            &["a", "bb"],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
+        );
+    }
+}

@@ -1,0 +1,251 @@
+//! Traffic classes and priorities (§VI-A).
+//!
+//! The paper defines three baseline traffic classes and four priority
+//! levels, with the key semantic split between data that may be *delayed but
+//! never discarded* and data that may be *discarded but never delayed*
+//! (stale video frames are worthless; critical metadata is not).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The §VI-A baseline traffic classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TrafficClass {
+    /// Latency above all: new data is preferred to loss recovery.
+    /// Most uplink sensor data and video interframes live here.
+    FullBestEffort,
+    /// Sensitive data with latency requirements: recover losses when (and
+    /// only when) recovery can still meet the deadline; protect with FEC.
+    /// Video reference frames live here.
+    BestEffortWithRecovery,
+    /// Reliable in-order delivery preferred to latency: connection
+    /// metadata. Always retransmitted.
+    Critical,
+}
+
+impl TrafficClass {
+    /// Whether losses of this class are ever recovered.
+    pub fn wants_recovery(self) -> bool {
+        !matches!(self, TrafficClass::FullBestEffort)
+    }
+
+    /// Whether recovery is unconditional (ignores deadlines).
+    pub fn recovery_is_unconditional(self) -> bool {
+        matches!(self, TrafficClass::Critical)
+    }
+}
+
+impl fmt::Display for TrafficClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TrafficClass::FullBestEffort => "best-effort",
+            TrafficClass::BestEffortWithRecovery => "best-effort+recovery",
+            TrafficClass::Critical => "critical",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The §VI-A priority levels. Each intermediate level carries a sublevel
+/// (`0` = most important within the level) "to precisely describe the order
+/// in which service should be reduced".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Priority {
+    /// Never discarded, never delayed while any other traffic exists.
+    Highest,
+    /// May be delayed but never discarded (e.g. critical-class data that is
+    /// not time sensitive).
+    DelayNotDrop(u8),
+    /// May be discarded but not delayed: in-time delivery beats integrity
+    /// (e.g. fresh video frames replacing stale ones).
+    DropNotDelay(u8),
+    /// Completely discardable under congestion.
+    Lowest(u8),
+}
+
+impl Priority {
+    /// Whether the scheduler may discard this data under congestion.
+    pub fn can_drop(self) -> bool {
+        matches!(self, Priority::DropNotDelay(_) | Priority::Lowest(_))
+    }
+
+    /// Whether the scheduler may hold this data back under congestion.
+    pub fn can_delay(self) -> bool {
+        matches!(self, Priority::DelayNotDrop(_) | Priority::Lowest(_))
+    }
+
+    /// Total order used by the degradation scheduler: lower rank is served
+    /// first and shed last. Sublevels refine within each level.
+    pub fn rank(self) -> u8 {
+        match self {
+            Priority::Highest => 0,
+            Priority::DelayNotDrop(l) => 0x10 + l.min(0xf),
+            Priority::DropNotDelay(l) => 0x20 + l.min(0xf),
+            Priority::Lowest(l) => 0x30 + l.min(0xf),
+        }
+    }
+
+    /// The packet-header priority band (0-3) used for on-path queueing
+    /// (strict-priority queues look at this).
+    pub fn band(self) -> u8 {
+        match self {
+            Priority::Highest => 0,
+            Priority::DelayNotDrop(_) => 1,
+            Priority::DropNotDelay(_) => 2,
+            Priority::Lowest(_) => 3,
+        }
+    }
+}
+
+impl fmt::Display for Priority {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Priority::Highest => write!(f, "highest"),
+            Priority::DelayNotDrop(l) => write!(f, "delay-not-drop.{l}"),
+            Priority::DropNotDelay(l) => write!(f, "drop-not-delay.{l}"),
+            Priority::Lowest(l) => write!(f, "lowest.{l}"),
+        }
+    }
+}
+
+/// The example sub-streams of a MAR flow used throughout §VI-B and Fig. 4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StreamKind {
+    /// Connection metadata: constantly generated, must not be lost/delayed.
+    Metadata,
+    /// Sensor samples (position, orientation, ...): small, adjustable.
+    Sensor,
+    /// Video reference (key) frames: needed to decode the stream.
+    VideoReference,
+    /// Video interframes: the main adjustable variable.
+    VideoInter,
+    /// Server → client computation results.
+    Result,
+    /// Anything else (bulk transfers, prefetches).
+    Bulk,
+}
+
+impl StreamKind {
+    /// The class/priority assignment Fig. 4 uses for each sub-stream.
+    pub fn default_class(self) -> (TrafficClass, Priority) {
+        match self {
+            StreamKind::Metadata => (TrafficClass::Critical, Priority::Highest),
+            StreamKind::Sensor => (TrafficClass::FullBestEffort, Priority::DelayNotDrop(0)),
+            StreamKind::VideoReference => {
+                (TrafficClass::BestEffortWithRecovery, Priority::Highest)
+            }
+            StreamKind::VideoInter => (TrafficClass::FullBestEffort, Priority::Lowest(0)),
+            StreamKind::Result => (TrafficClass::BestEffortWithRecovery, Priority::DropNotDelay(0)),
+            StreamKind::Bulk => (TrafficClass::FullBestEffort, Priority::Lowest(1)),
+        }
+    }
+}
+
+impl fmt::Display for StreamKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            StreamKind::Metadata => "metadata",
+            StreamKind::Sensor => "sensor",
+            StreamKind::VideoReference => "video-ref",
+            StreamKind::VideoInter => "video-inter",
+            StreamKind::Result => "result",
+            StreamKind::Bulk => "bulk",
+        };
+        f.write_str(s)
+    }
+}
+
+/// All stream kinds, for iteration in experiment code.
+pub const ALL_STREAM_KINDS: [StreamKind; 6] = [
+    StreamKind::Metadata,
+    StreamKind::Sensor,
+    StreamKind::VideoReference,
+    StreamKind::VideoInter,
+    StreamKind::Result,
+    StreamKind::Bulk,
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_recovery_semantics() {
+        assert!(!TrafficClass::FullBestEffort.wants_recovery());
+        assert!(TrafficClass::BestEffortWithRecovery.wants_recovery());
+        assert!(TrafficClass::Critical.wants_recovery());
+        assert!(TrafficClass::Critical.recovery_is_unconditional());
+        assert!(!TrafficClass::BestEffortWithRecovery.recovery_is_unconditional());
+    }
+
+    #[test]
+    fn priority_semantics_match_the_paper() {
+        // (1) Highest: neither discarded nor delayed.
+        assert!(!Priority::Highest.can_drop());
+        assert!(!Priority::Highest.can_delay());
+        // (2) Medium 1: delayed but never discarded.
+        assert!(!Priority::DelayNotDrop(0).can_drop());
+        assert!(Priority::DelayNotDrop(0).can_delay());
+        // (3) Medium 2: discarded but not delayed.
+        assert!(Priority::DropNotDelay(0).can_drop());
+        assert!(!Priority::DropNotDelay(0).can_delay());
+        // (4) Lowest: completely discardable.
+        assert!(Priority::Lowest(0).can_drop());
+        assert!(Priority::Lowest(0).can_delay());
+    }
+
+    #[test]
+    fn rank_orders_levels_then_sublevels() {
+        let order = [
+            Priority::Highest,
+            Priority::DelayNotDrop(0),
+            Priority::DelayNotDrop(1),
+            Priority::DropNotDelay(0),
+            Priority::DropNotDelay(3),
+            Priority::Lowest(0),
+            Priority::Lowest(5),
+        ];
+        let ranks: Vec<u8> = order.iter().map(|p| p.rank()).collect();
+        let mut sorted = ranks.clone();
+        sorted.sort_unstable();
+        assert_eq!(ranks, sorted, "ranks must already be in ascending order");
+        // Sublevels saturate rather than bleed into the next level.
+        assert!(Priority::DelayNotDrop(200).rank() < Priority::DropNotDelay(0).rank());
+    }
+
+    #[test]
+    fn bands_collapse_sublevels() {
+        assert_eq!(Priority::Highest.band(), 0);
+        assert_eq!(Priority::DelayNotDrop(7).band(), 1);
+        assert_eq!(Priority::DropNotDelay(2).band(), 2);
+        assert_eq!(Priority::Lowest(9).band(), 3);
+    }
+
+    #[test]
+    fn fig4_stream_assignments() {
+        // The exact Fig. 4 example mapping.
+        assert_eq!(
+            StreamKind::Metadata.default_class(),
+            (TrafficClass::Critical, Priority::Highest)
+        );
+        assert_eq!(
+            StreamKind::Sensor.default_class(),
+            (TrafficClass::FullBestEffort, Priority::DelayNotDrop(0))
+        );
+        assert_eq!(
+            StreamKind::VideoReference.default_class(),
+            (TrafficClass::BestEffortWithRecovery, Priority::Highest)
+        );
+        assert_eq!(
+            StreamKind::VideoInter.default_class(),
+            (TrafficClass::FullBestEffort, Priority::Lowest(0))
+        );
+    }
+
+    #[test]
+    fn displays() {
+        assert_eq!(TrafficClass::Critical.to_string(), "critical");
+        assert_eq!(Priority::DropNotDelay(1).to_string(), "drop-not-delay.1");
+        assert_eq!(StreamKind::VideoReference.to_string(), "video-ref");
+    }
+}

@@ -1,0 +1,74 @@
+//! Protocol configuration.
+
+use crate::congestion::CongestionConfig;
+use crate::multipath::MultipathPolicy;
+use crate::recovery::RecoveryPolicy;
+use marnet_sim::time::SimDuration;
+
+/// Configuration of an [`crate::endpoint::ArSender`].
+#[derive(Debug, Clone)]
+pub struct ArConfig {
+    /// Maximum fragment payload per packet.
+    pub mtu: u32,
+    /// Pacing-tick interval (budget is released per tick).
+    pub tick: SimDuration,
+    /// Receiver feedback interval.
+    pub feedback_interval: SimDuration,
+    /// Age beyond which droppable data is shed even without a deadline.
+    pub stale_after: SimDuration,
+    /// Backlog horizon (in ticks of budget) before congestion shedding.
+    pub backlog_ticks: f64,
+    /// Congestion-controller tuning (per path).
+    pub congestion: CongestionConfig,
+    /// Retransmission gate.
+    pub recovery: RecoveryPolicy,
+    /// XOR FEC group size for the recovery class; `None` disables FEC.
+    pub fec_group: Option<usize>,
+    /// Path-usage policy.
+    pub policy: MultipathPolicy,
+    /// Duplicate recovery-class packets on a second path.
+    pub duplicate_recovery: bool,
+}
+
+impl Default for ArConfig {
+    fn default() -> Self {
+        ArConfig {
+            mtu: 1200,
+            tick: SimDuration::from_millis(5),
+            feedback_interval: SimDuration::from_millis(15),
+            stale_after: SimDuration::from_millis(150),
+            backlog_ticks: 6.0,
+            congestion: CongestionConfig::default(),
+            recovery: RecoveryPolicy::default(),
+            fec_group: Some(8),
+            policy: MultipathPolicy::WifiPreferred,
+            duplicate_recovery: false,
+        }
+    }
+}
+
+impl ArConfig {
+    /// Bytes of budget released per pacing tick at `rate` bytes/s.
+    pub fn budget_per_tick(&self, rate_bytes_per_sec: f64) -> f64 {
+        rate_bytes_per_sec * self.tick.as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = ArConfig::default();
+        assert!(c.mtu > 0 && c.mtu <= 1460);
+        assert!(c.tick < c.stale_after);
+        assert!(c.fec_group.is_some());
+    }
+
+    #[test]
+    fn budget_math() {
+        let c = ArConfig { tick: SimDuration::from_millis(10), ..Default::default() };
+        assert_eq!(c.budget_per_tick(100_000.0), 1000.0);
+    }
+}

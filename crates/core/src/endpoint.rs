@@ -1,0 +1,1316 @@
+//! The AR protocol endpoints: [`ArSender`] and [`ArReceiver`].
+//!
+//! The sender is rate-paced (no congestion window): every tick it asks each
+//! path's delay-based congestion controller for the allowed rate, releases
+//! that much budget to the [`DegradationScheduler`], fragments the messages
+//! that fit, and spreads the fragments over paths through the
+//! [`MultipathScheduler`]. Losses reported by receiver feedback go through
+//! the deadline-gated [`RecoveryPolicy`](crate::recovery::RecoveryPolicy);
+//! recovery-class packets are
+//! FEC-protected; QoS signals flow back to the application.
+
+use crate::class::{StreamKind, TrafficClass};
+use crate::config::ArConfig;
+use crate::congestion::{CongestionVerdict, DelayCongestionController};
+use crate::degradation::{DegradationScheduler, QosSignal};
+use crate::fec::{FecGroupTracker, FecOutcome};
+use crate::message::ArMessage;
+use crate::multipath::{MultipathScheduler, PathRole, PathSnapshot};
+use crate::recovery::{FragmentRecord, RetransmitBuffer};
+use crate::wire::{ArFeedback, ArPacket, FecInfo, FragmentId, feedback_size, AR_HEADER_BYTES};
+use marnet_sim::engine::{Actor, ActorId, Event, SimCtx};
+use marnet_sim::link::LinkId;
+use marnet_sim::packet::{Packet, Payload};
+use marnet_sim::stats::{Histogram, RateMeter, TimeSeries};
+use marnet_sim::time::{SimDuration, SimTime};
+use marnet_transport::nic::{unwrap_packet, TxPath};
+use std::cell::RefCell;
+use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::rc::Rc;
+
+const TAG_TICK: u64 = 1;
+const TAG_FEEDBACK: u64 = 2;
+const TAG_PACE: u64 = 3;
+
+/// Message wrapper applications use to hand data to an [`ArSender`]
+/// (`ctx.send_message(sender, Payload::new(Submit(msg)))`).
+#[derive(Debug, Clone)]
+pub struct Submit(pub ArMessage);
+
+/// Notification an [`ArReceiver`] sends to its delivery target when a
+/// message completes reassembly.
+#[derive(Debug, Clone, Copy)]
+pub struct Delivered {
+    /// Application message id.
+    pub msg_id: u64,
+    /// Sub-stream of the message.
+    pub kind: StreamKind,
+    /// When the sending application created it.
+    pub created: SimTime,
+    /// Message payload size in bytes.
+    pub size: u32,
+    /// Whether it completed within its deadline (`true` when no deadline).
+    pub within_deadline: bool,
+    /// The end-to-end reference instant, if the sender attached one.
+    pub origin: Option<SimTime>,
+}
+
+/// One transmission path of a sender.
+#[derive(Debug, Clone)]
+pub struct SenderPathConfig {
+    /// Network kind (drives policy and LTE-byte accounting).
+    pub role: PathRole,
+    /// Where packets go.
+    pub tx: TxPath,
+    /// The underlying access link, if the sender can observe its up/down
+    /// state (used for handover detection).
+    pub link: Option<LinkId>,
+}
+
+struct PacedMessage {
+    msg: ArMessage,
+    next_frag: u32,
+    remaining: u32,
+    /// Paths chosen for this message; selection is sticky per message so
+    /// that in multi-server deployments (§VI-E) all fragments of one
+    /// message reach the same server.
+    picks: Option<Vec<usize>>,
+}
+
+struct SenderPath {
+    cfg: SenderPathConfig,
+    ctrl: DelayCongestionController,
+    next_seq: u64,
+    fec_group: u64,
+    fec_accum: Vec<(FragmentId, u32)>,
+}
+
+/// Sender-side statistics shared with experiment code.
+#[derive(Debug, Default)]
+pub struct ArSenderStats {
+    /// Allowed aggregate rate over time (bytes/s).
+    pub rate_series: TimeSeries,
+    /// Smoothed RTT samples over time (ms), across all paths.
+    pub srtt_series: TimeSeries,
+    /// Base (minimum) RTT over time (ms), across all paths.
+    pub base_rtt_series: TimeSeries,
+    /// Bytes handed to the network, per sub-stream.
+    pub sent_bytes_by_kind: HashMap<StreamKind, u64>,
+    /// Send-rate meters per sub-stream (100 ms buckets) — the Fig. 4 series.
+    pub send_meters: HashMap<StreamKind, RateMeter>,
+    /// Messages shed by the degradation scheduler, per sub-stream.
+    pub dropped_by_kind: HashMap<StreamKind, u64>,
+    /// Bytes shed by the degradation scheduler.
+    pub dropped_bytes: u64,
+    /// Retransmissions performed.
+    pub retransmits: u64,
+    /// NACKs whose retransmission the deadline gate suppressed.
+    pub suppressed_retransmits: u64,
+    /// FEC parity packets emitted.
+    pub parity_sent: u64,
+    /// Delay-congestion events observed.
+    pub delay_congestion_events: u64,
+    /// Loss-congestion events observed.
+    pub loss_congestion_events: u64,
+    /// Bytes sent over cellular paths (the §VI-D LTE-budget metric).
+    pub cellular_bytes: u64,
+    /// QoS degrade signals emitted to the application.
+    pub degrade_signals: u64,
+}
+
+impl ArSenderStats {
+    fn meter(&mut self, kind: StreamKind) -> &mut RateMeter {
+        self.send_meters
+            .entry(kind)
+            .or_insert_with(|| RateMeter::new(SimDuration::from_millis(100)))
+    }
+}
+
+/// The sending endpoint of the AR protocol.
+pub struct ArSender {
+    conn: u64,
+    cfg: ArConfig,
+    paths: Vec<SenderPath>,
+    sched: DegradationScheduler,
+    mp: MultipathScheduler,
+    rtx: RetransmitBuffer,
+    pacer: VecDeque<PacedMessage>,
+    pacing: bool,
+    /// Wire bytes sent beyond scheduler-budgeted payload (headers, FEC
+    /// parity, duplicates, retransmissions); charged against the next
+    /// ticks' budget so the controller rate bounds *total* wire load.
+    wire_debt: f64,
+    qos_target: Option<ActorId>,
+    stats: Rc<RefCell<ArSenderStats>>,
+    dropped_since_signal: u64,
+    severity_since_signal: u8,
+    ticks_since_signal: u32,
+}
+
+impl std::fmt::Debug for ArSender {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ArSender")
+            .field("conn", &self.conn)
+            .field("paths", &self.paths.len())
+            .field("queued", &self.sched.queued_bytes())
+            .finish()
+    }
+}
+
+impl ArSender {
+    /// Creates a sender for connection `conn` over the given paths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `paths` is empty.
+    pub fn new(conn: u64, cfg: ArConfig, paths: Vec<SenderPathConfig>) -> Self {
+        assert!(!paths.is_empty(), "need at least one path");
+        let sched = DegradationScheduler::new(cfg.stale_after, cfg.backlog_ticks);
+        let mp = MultipathScheduler::new(cfg.policy, cfg.duplicate_recovery);
+        let paths = paths
+            .into_iter()
+            .map(|p| SenderPath {
+                cfg: p,
+                ctrl: DelayCongestionController::new(cfg.congestion),
+                next_seq: 0,
+                fec_group: 0,
+                fec_accum: Vec::new(),
+            })
+            .collect();
+        ArSender {
+            conn,
+            cfg,
+            paths,
+            sched,
+            mp,
+            rtx: RetransmitBuffer::new(),
+            pacer: VecDeque::new(),
+            pacing: false,
+            wire_debt: 0.0,
+            qos_target: None,
+            stats: Rc::new(RefCell::new(ArSenderStats::default())),
+            dropped_since_signal: 0,
+            severity_since_signal: 0,
+            ticks_since_signal: 0,
+        }
+    }
+
+    /// Registers the application actor that should receive [`QosSignal`]s,
+    /// builder style.
+    #[must_use]
+    pub fn with_qos_target(mut self, target: ActorId) -> Self {
+        self.qos_target = Some(target);
+        self
+    }
+
+    /// Shared handle to the sender's statistics.
+    pub fn stats(&self) -> Rc<RefCell<ArSenderStats>> {
+        Rc::clone(&self.stats)
+    }
+
+    /// The congestion controller of path `idx` (for inspection).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn path_controller(&self, idx: usize) -> &DelayCongestionController {
+        &self.paths[idx].ctrl
+    }
+
+    fn path_up(&self, ctx: &SimCtx, idx: usize) -> bool {
+        match self.paths[idx].cfg.link {
+            Some(l) => ctx.link_is_up(l),
+            None => true,
+        }
+    }
+
+    fn snapshots(&self, ctx: &SimCtx) -> Vec<PathSnapshot> {
+        self.paths
+            .iter()
+            .enumerate()
+            .map(|(i, p)| PathSnapshot {
+                role: p.cfg.role,
+                up: self.path_up(ctx, i),
+                srtt: p.ctrl.srtt(),
+                rate: p.ctrl.rate_bytes_per_sec(),
+            })
+            .collect()
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn send_fragment(
+        &mut self,
+        ctx: &mut SimCtx,
+        path_idx: usize,
+        msg: &ArMessage,
+        frag_index: u32,
+        frag_count: u32,
+        frag_size: u32,
+        is_retransmit: bool,
+        budget_exempt: bool,
+        attempts: u32,
+    ) {
+        let seq = self.paths[path_idx].next_seq;
+        self.paths[path_idx].next_seq += 1;
+        // Headers always ride outside the payload budget; exempt sends
+        // (retransmissions, multipath duplicates) charge their full size.
+        self.wire_debt += if budget_exempt {
+            f64::from(frag_size + AR_HEADER_BYTES)
+        } else {
+            f64::from(AR_HEADER_BYTES)
+        };
+
+        // FEC participation: recovery-class first transmissions only.
+        let fec = if !is_retransmit
+            && msg.class == TrafficClass::BestEffortWithRecovery
+            && self.cfg.fec_group.is_some()
+        {
+            let group = self.paths[path_idx].fec_group;
+            let fid = FragmentId { seq, msg_id: msg.id, frag_index };
+            self.paths[path_idx].fec_accum.push((fid, frag_size));
+            Some(FecInfo { group, covered: vec![fid], is_parity: false })
+        } else {
+            None
+        };
+
+        let ar = ArPacket {
+            conn: self.conn,
+            path: path_idx,
+            seq,
+            msg_id: msg.id,
+            frag_index,
+            frag_count,
+            msg_size: msg.size,
+            kind: msg.kind,
+            class: msg.class,
+            created: msg.created,
+            origin: msg.origin,
+            deadline: msg.deadline,
+            ts: ctx.now(),
+            fec,
+            is_retransmit,
+        };
+        let size = frag_size + AR_HEADER_BYTES;
+        let id = ctx.next_packet_id();
+        let pkt = Packet::new(id, self.conn, size, ctx.now())
+            .with_prio(msg.priority.band())
+            .with_payload(ar);
+        self.paths[path_idx].cfg.tx.send(ctx, pkt);
+
+        {
+            let mut st = self.stats.borrow_mut();
+            *st.sent_bytes_by_kind.entry(msg.kind).or_insert(0) += u64::from(size);
+            let now = ctx.now();
+            st.meter(msg.kind).record(now, u64::from(size));
+            if self.paths[path_idx].cfg.role == PathRole::Cellular {
+                st.cellular_bytes += u64::from(size);
+            }
+            if is_retransmit {
+                st.retransmits += 1;
+            }
+        }
+
+        if msg.class.wants_recovery() {
+            self.rtx.insert(
+                path_idx,
+                seq,
+                FragmentRecord {
+                    msg_id: msg.id,
+                    frag_index,
+                    frag_count,
+                    size: frag_size,
+                    kind: msg.kind,
+                    class: msg.class,
+                    created: msg.created,
+                    prio_band: msg.priority.band(),
+                    deadline: msg.deadline,
+                    attempts,
+                },
+            );
+        }
+
+        // Emit parity when the group is full.
+        if let Some(k) = self.cfg.fec_group {
+            if self.paths[path_idx].fec_accum.len() >= k {
+                self.emit_parity(ctx, path_idx);
+            }
+        }
+    }
+
+    fn emit_parity(&mut self, ctx: &mut SimCtx, path_idx: usize) {
+        let p = &mut self.paths[path_idx];
+        if p.fec_accum.is_empty() {
+            return;
+        }
+        let covered: Vec<FragmentId> = p.fec_accum.iter().map(|(f, _)| *f).collect();
+        let max_size = p.fec_accum.iter().map(|(_, s)| *s).max().expect("non-empty");
+        let group = p.fec_group;
+        p.fec_group += 1;
+        p.fec_accum.clear();
+        let seq = p.next_seq;
+        p.next_seq += 1;
+
+        let ar = ArPacket {
+            conn: self.conn,
+            path: path_idx,
+            seq,
+            msg_id: 0,
+            frag_index: 0,
+            frag_count: 0,
+            msg_size: 0,
+            kind: StreamKind::VideoReference,
+            class: TrafficClass::BestEffortWithRecovery,
+            created: ctx.now(),
+            origin: None,
+            deadline: None,
+            ts: ctx.now(),
+            fec: Some(FecInfo { group, covered, is_parity: true }),
+            is_retransmit: false,
+        };
+        let id = ctx.next_packet_id();
+        let pkt = Packet::new(id, self.conn, max_size + AR_HEADER_BYTES, ctx.now())
+            .with_prio(1)
+            .with_payload(ar);
+        self.paths[path_idx].cfg.tx.send(ctx, pkt);
+        self.wire_debt += f64::from(max_size + AR_HEADER_BYTES);
+        self.stats.borrow_mut().parity_sent += 1;
+    }
+
+    /// Sends the next fragment from the pacer queue and arms the pacing
+    /// timer so fragments leave spaced at the allowed rate — releasing a
+    /// whole message at once would create a serialization burst whose
+    /// self-queueing delay the controller would mistake for congestion.
+    fn pace_next(&mut self, ctx: &mut SimCtx) {
+        loop {
+            let Some(front) = self.pacer.front() else {
+                self.pacing = false;
+                return;
+            };
+            // Shed droppable messages that went stale inside the pacer.
+            if front.msg.is_late(ctx.now()) && front.msg.priority.can_drop() {
+                let p = self.pacer.pop_front().expect("front exists");
+                let mut st = self.stats.borrow_mut();
+                *st.dropped_by_kind.entry(p.msg.kind).or_insert(0) += 1;
+                st.dropped_bytes += u64::from(p.msg.size);
+                drop(st);
+                self.dropped_since_signal += u64::from(p.msg.size);
+                continue;
+            }
+            let snaps = self.snapshots(ctx);
+            let frag_count = front.msg.fragment_count(self.cfg.mtu);
+            let frag_size = front.remaining.min(self.cfg.mtu).max(1);
+            let picks = match &front.picks {
+                // Re-validate a sticky choice against path availability.
+                Some(p) if p.iter().all(|&i| snaps[i].up) => p.clone(),
+                _ => self.mp.select(&snaps, front.msg.class, front.msg.priority, frag_size),
+            };
+            if picks.is_empty() {
+                // No policy-compatible path up: requeue with the scheduler
+                // and try again when paths return. Fragments already sent
+                // are deduplicated by the receiver's assembly state.
+                let p = self.pacer.pop_front().expect("front exists");
+                self.sched.submit(p.msg);
+                continue;
+            }
+            let front = self.pacer.front_mut().expect("front exists");
+            front.picks = Some(picks.clone());
+            let frag_index = front.next_frag;
+            front.next_frag += 1;
+            front.remaining = front.remaining.saturating_sub(frag_size);
+            let done = front.next_frag >= frag_count;
+            let msg = front.msg.clone();
+            if done {
+                self.pacer.pop_front();
+            }
+            for (n, path_idx) in picks.into_iter().enumerate() {
+                self.send_fragment(
+                    ctx, path_idx, &msg, frag_index, frag_count, frag_size, false, n > 0, 1,
+                );
+            }
+            // Space the next fragment at the aggregate allowed rate, on
+            // wire bytes so header overhead does not inflate the pace.
+            let total_rate: f64 =
+                snaps.iter().filter(|s| s.up).map(|s| s.rate).sum::<f64>().max(1.0);
+            let spacing =
+                SimDuration::from_secs_f64(f64::from(frag_size + AR_HEADER_BYTES) / total_rate);
+            self.pacing = true;
+            ctx.schedule_timer(spacing, TAG_PACE);
+            return;
+        }
+    }
+
+    fn enqueue_for_pacing(&mut self, ctx: &mut SimCtx, msg: ArMessage) {
+        let remaining = msg.size.max(1);
+        self.pacer.push_back(PacedMessage { msg, next_frag: 0, remaining, picks: None });
+        if !self.pacing {
+            self.pace_next(ctx);
+        }
+    }
+
+    fn tick(&mut self, ctx: &mut SimCtx) {
+        let snaps = self.snapshots(ctx);
+        let total_rate: f64 = snaps.iter().filter(|s| s.up).map(|s| s.rate).sum();
+        let gross = self.cfg.budget_per_tick(total_rate);
+        let budget = (gross - self.wire_debt).max(0.0);
+        self.wire_debt = (self.wire_debt - gross).max(0.0);
+        let out = self.sched.tick(ctx.now(), budget);
+
+        // Account drops and drive QoS signalling.
+        if !out.dropped.is_empty() {
+            let severity = DegradationScheduler::shed_severity(&out.dropped);
+            let mut st = self.stats.borrow_mut();
+            for d in &out.dropped {
+                *st.dropped_by_kind.entry(d.message.kind).or_insert(0) += 1;
+                st.dropped_bytes += u64::from(d.message.size);
+                self.dropped_since_signal += u64::from(d.message.size);
+            }
+            drop(st);
+            self.severity_since_signal = self.severity_since_signal.max(severity);
+        }
+
+        for msg in out.sent {
+            self.enqueue_for_pacing(ctx, msg);
+        }
+
+        self.rtx.expire(ctx.now());
+        self.stats.borrow_mut().rate_series.push(ctx.now(), total_rate);
+
+        // QoS feedback to the application.
+        self.ticks_since_signal += 1;
+        if let Some(target) = self.qos_target {
+            if self.dropped_since_signal > 0 {
+                let sig = QosSignal::Degrade {
+                    rate: total_rate,
+                    severity: self.severity_since_signal.max(1),
+                    dropped_bytes: self.dropped_since_signal,
+                };
+                ctx.send_message(target, Payload::new(sig));
+                self.stats.borrow_mut().degrade_signals += 1;
+                self.dropped_since_signal = 0;
+                self.severity_since_signal = 0;
+                self.ticks_since_signal = 0;
+            } else if self.ticks_since_signal >= 20 {
+                ctx.send_message(target, Payload::new(QosSignal::Headroom { rate: total_rate }));
+                self.ticks_since_signal = 0;
+            }
+        }
+
+        ctx.schedule_timer(self.cfg.tick, TAG_TICK);
+    }
+
+    fn on_feedback(&mut self, ctx: &mut SimCtx, fb: &ArFeedback) {
+        let path_idx = fb.path;
+        if path_idx >= self.paths.len() {
+            return;
+        }
+        if let Some(ts) = fb.ts_echo {
+            let rtt = ctx.now().saturating_since(ts).saturating_sub(fb.echo_delay);
+            let verdict =
+                self.paths[path_idx].ctrl.on_feedback(rtt, fb.new_losses, fb.recv_rate, ctx.now());
+            {
+                let ctrl = &self.paths[path_idx].ctrl;
+                let mut st = self.stats.borrow_mut();
+                if let Some(srtt) = ctrl.srtt() {
+                    st.srtt_series.push(ctx.now(), srtt.as_millis_f64());
+                }
+                if let Some(base) = ctrl.base_rtt() {
+                    st.base_rtt_series.push(ctx.now(), base.as_millis_f64());
+                }
+            }
+            let mut st = self.stats.borrow_mut();
+            match verdict {
+                CongestionVerdict::DelayCongestion => st.delay_congestion_events += 1,
+                CongestionVerdict::LossCongestion => st.loss_congestion_events += 1,
+                CongestionVerdict::Clear => {}
+            }
+        }
+        if let Some(cum) = fb.cum_seq {
+            self.rtx.ack_cumulative(path_idx, cum);
+        }
+        // Recovery decisions for NACKed fragments.
+        let srtt = self.paths[path_idx].ctrl.srtt();
+        for &seq in &fb.nacks {
+            let Some(rec) = self.rtx.take(path_idx, seq) else {
+                continue;
+            };
+            if self.cfg.recovery.should_retransmit(&rec, srtt, ctx.now()) {
+                // Re-send on the currently best path for latency.
+                let snaps = self.snapshots(ctx);
+                let best = snaps
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, s)| s.up)
+                    .min_by_key(|(_, s)| s.srtt.unwrap_or(SimDuration::MAX))
+                    .map(|(i, _)| i)
+                    .unwrap_or(path_idx);
+                let msg = ArMessage {
+                    id: rec.msg_id,
+                    kind: rec.kind,
+                    class: rec.class,
+                    priority: crate::class::Priority::Highest,
+                    size: rec.size,
+                    created: rec.created,
+                    deadline: rec.deadline,
+                    origin: None,
+                };
+                // Retransmit exactly this fragment.
+                self.send_fragment(
+                    ctx,
+                    best,
+                    &msg,
+                    rec.frag_index,
+                    rec.frag_count,
+                    rec.size,
+                    true,
+                    true,
+                    rec.attempts + 1,
+                );
+            } else {
+                self.stats.borrow_mut().suppressed_retransmits += 1;
+            }
+        }
+    }
+}
+
+impl Actor for ArSender {
+    fn on_event(&mut self, ctx: &mut SimCtx, ev: Event) {
+        match ev {
+            Event::Start => {
+                ctx.schedule_timer(self.cfg.tick, TAG_TICK);
+            }
+            Event::Timer { tag: TAG_TICK } => self.tick(ctx),
+            Event::Timer { tag: TAG_PACE } => {
+                self.pacing = false;
+                self.pace_next(ctx);
+            }
+            Event::Message { mut msg, from } => {
+                if let Some(Submit(m)) = msg.take::<Submit>() {
+                    self.sched.submit(m);
+                } else if let Some(pkt) =
+                    unwrap_packet(Event::Message { msg, from })
+                {
+                    if let Some(fb) = pkt.payload.downcast_ref::<ArFeedback>() {
+                        if fb.conn == self.conn {
+                            let fb = fb.clone();
+                            self.on_feedback(ctx, &fb);
+                        }
+                    }
+                }
+            }
+            other => {
+                if let Some(pkt) = unwrap_packet(other) {
+                    if let Some(fb) = pkt.payload.downcast_ref::<ArFeedback>() {
+                        if fb.conn == self.conn {
+                            let fb = fb.clone();
+                            self.on_feedback(ctx, &fb);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Receiver
+// ---------------------------------------------------------------------------
+
+/// Per-kind delivery statistics.
+#[derive(Debug, Default, Clone)]
+pub struct KindStats {
+    /// Complete messages delivered.
+    pub delivered: u64,
+    /// End-to-end latency samples (message creation → completion), ms.
+    pub latency_ms: Histogram,
+    /// Messages that completed within their deadline.
+    pub deadline_hits: u64,
+    /// Messages that completed after their deadline.
+    pub deadline_misses: u64,
+}
+
+/// Receiver-side statistics shared with experiment code.
+#[derive(Debug)]
+pub struct ArReceiverStats {
+    /// Per-sub-stream delivery stats.
+    pub by_kind: HashMap<StreamKind, KindStats>,
+    /// Total bytes received (all packets).
+    pub received_bytes: u64,
+    /// Delivery-rate meter (100 ms buckets).
+    pub meter: RateMeter,
+    /// Duplicate packets discarded (multipath duplication, spurious rtx).
+    pub duplicates: u64,
+    /// Fragments recovered by FEC parity.
+    pub fec_recovered: u64,
+    /// Sequence holes abandoned after repeated NACKs.
+    pub abandoned_holes: u64,
+    /// Feedback packets sent.
+    pub feedback_sent: u64,
+}
+
+impl Default for ArReceiverStats {
+    fn default() -> Self {
+        ArReceiverStats {
+            by_kind: HashMap::new(),
+            received_bytes: 0,
+            meter: RateMeter::new(SimDuration::from_millis(100)),
+            duplicates: 0,
+            fec_recovered: 0,
+            abandoned_holes: 0,
+            feedback_sent: 0,
+        }
+    }
+}
+
+impl ArReceiverStats {
+    /// Overall deadline hit ratio across all kinds with deadlines.
+    pub fn deadline_hit_ratio(&self) -> f64 {
+        let hits: u64 = self.by_kind.values().map(|k| k.deadline_hits).sum();
+        let misses: u64 = self.by_kind.values().map(|k| k.deadline_misses).sum();
+        if hits + misses == 0 {
+            1.0
+        } else {
+            hits as f64 / (hits + misses) as f64
+        }
+    }
+}
+
+struct PathRx {
+    /// Next expected sequence number.
+    cum_next: u64,
+    /// Received (or abandoned) sequences above the cumulative point.
+    above: BTreeSet<u64>,
+    /// NACK rounds each missing seq has survived.
+    nack_rounds: HashMap<u64, u32>,
+    /// Missing seqs already counted in `new_losses`.
+    reported: BTreeSet<u64>,
+    last_ts: Option<SimTime>,
+    /// Local arrival time of the packet behind `last_ts`.
+    last_rx_at: Option<SimTime>,
+    /// Bytes received since the previous feedback was emitted.
+    bytes_since_feedback: u64,
+    /// When the previous feedback was emitted.
+    last_feedback_at: Option<SimTime>,
+    /// Recent (time, bytes) feedback intervals for rate smoothing: a single
+    /// 15 ms interval sees 0-2 packets, far too noisy to anchor the
+    /// congestion controller on.
+    rate_history: VecDeque<(SimTime, u64)>,
+    active: bool,
+    fec: FecGroupTracker,
+    /// Parity coverage lists seen, for mapping recovered seqs to fragments.
+    parity_frags: VecDeque<(u64, Vec<FragmentId>)>,
+}
+
+impl PathRx {
+    fn new() -> Self {
+        PathRx {
+            cum_next: 0,
+            above: BTreeSet::new(),
+            nack_rounds: HashMap::new(),
+            reported: BTreeSet::new(),
+            last_ts: None,
+            last_rx_at: None,
+            bytes_since_feedback: 0,
+            last_feedback_at: None,
+            rate_history: VecDeque::new(),
+            active: false,
+            fec: FecGroupTracker::new(),
+            parity_frags: VecDeque::new(),
+        }
+    }
+
+    /// Marks a sequence received; returns `false` for duplicates.
+    fn mark(&mut self, seq: u64) -> bool {
+        if seq < self.cum_next || self.above.contains(&seq) {
+            return false;
+        }
+        self.above.insert(seq);
+        while self.above.remove(&self.cum_next) {
+            self.cum_next += 1;
+        }
+        self.nack_rounds.remove(&seq);
+        self.reported.remove(&seq);
+        true
+    }
+
+    fn max_seq(&self) -> Option<u64> {
+        self.above.iter().next_back().copied().or(if self.cum_next > 0 {
+            Some(self.cum_next - 1)
+        } else {
+            None
+        })
+    }
+
+    fn missing(&self) -> Vec<u64> {
+        let Some(max) = self.max_seq() else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        for seq in self.cum_next..max {
+            if !self.above.contains(&seq) {
+                out.push(seq);
+                if out.len() >= 64 {
+                    break;
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Assembly state for one in-flight message.
+struct MsgAsm {
+    frag_count: u32,
+    received: Vec<bool>,
+    got: u32,
+    created: SimTime,
+    deadline: Option<SimTime>,
+    kind: StreamKind,
+}
+
+/// The receiving endpoint of the AR protocol.
+pub struct ArReceiver {
+    conn: u64,
+    feedback_interval: SimDuration,
+    /// Reverse path per forward path, for feedback.
+    reverse: Vec<TxPath>,
+    rx: Vec<PathRx>,
+    asm: HashMap<u64, MsgAsm>,
+    completed: BTreeSet<u64>,
+    completed_order: VecDeque<u64>,
+    /// Missing-seq NACK rounds before a hole is abandoned.
+    abandon_after: u32,
+    /// Application actor notified of completed messages, if any.
+    delivery_target: Option<ActorId>,
+    stats: Rc<RefCell<ArReceiverStats>>,
+}
+
+impl std::fmt::Debug for ArReceiver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ArReceiver")
+            .field("conn", &self.conn)
+            .field("paths", &self.rx.len())
+            .field("assembling", &self.asm.len())
+            .finish()
+    }
+}
+
+impl ArReceiver {
+    /// Creates a receiver with one reverse (feedback) path per forward path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reverse` is empty.
+    pub fn new(conn: u64, feedback_interval: SimDuration, reverse: Vec<TxPath>) -> Self {
+        assert!(!reverse.is_empty(), "need at least one path");
+        let rx = (0..reverse.len()).map(|_| PathRx::new()).collect();
+        ArReceiver {
+            conn,
+            feedback_interval,
+            reverse,
+            rx,
+            asm: HashMap::new(),
+            completed: BTreeSet::new(),
+            completed_order: VecDeque::new(),
+            abandon_after: 8,
+            delivery_target: None,
+            stats: Rc::new(RefCell::new(ArReceiverStats::default())),
+        }
+    }
+
+    /// Registers an application actor to receive [`Delivered`]
+    /// notifications, builder style.
+    #[must_use]
+    pub fn with_delivery_target(mut self, target: ActorId) -> Self {
+        self.delivery_target = Some(target);
+        self
+    }
+
+    /// Shared handle to the receiver's statistics.
+    pub fn stats(&self) -> Rc<RefCell<ArReceiverStats>> {
+        Rc::clone(&self.stats)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn deliver_fragment(
+        &mut self,
+        now: SimTime,
+        msg_id: u64,
+        frag_index: u32,
+        frag_count: u32,
+        msg_size: u32,
+        kind: StreamKind,
+        created: SimTime,
+        origin: Option<SimTime>,
+        deadline: Option<SimTime>,
+    ) -> Option<Delivered> {
+        if self.completed.contains(&msg_id) {
+            self.stats.borrow_mut().duplicates += 1;
+            return None;
+        }
+        let entry = self.asm.entry(msg_id).or_insert_with(|| MsgAsm {
+            frag_count,
+            received: vec![false; frag_count as usize],
+            got: 0,
+            created,
+            deadline,
+            kind,
+        });
+        let idx = frag_index as usize;
+        if idx >= entry.received.len() {
+            return None;
+        }
+        if entry.received[idx] {
+            self.stats.borrow_mut().duplicates += 1;
+            return None;
+        }
+        entry.received[idx] = true;
+        entry.got += 1;
+        if entry.got == entry.frag_count {
+            let latency = now.saturating_since(entry.created);
+            let deadline = entry.deadline;
+            let kind = entry.kind;
+            self.asm.remove(&msg_id);
+            self.completed.insert(msg_id);
+            self.completed_order.push_back(msg_id);
+            if self.completed_order.len() > 8192 {
+                if let Some(old) = self.completed_order.pop_front() {
+                    self.completed.remove(&old);
+                }
+            }
+            let within = deadline.is_none_or(|d| now <= d);
+            let mut st = self.stats.borrow_mut();
+            let ks = st.by_kind.entry(kind).or_default();
+            ks.delivered += 1;
+            ks.latency_ms.record(latency.as_millis_f64());
+            if deadline.is_some() {
+                if within {
+                    ks.deadline_hits += 1;
+                } else {
+                    ks.deadline_misses += 1;
+                }
+            }
+            return Some(Delivered {
+                msg_id,
+                kind,
+                created,
+                size: msg_size,
+                within_deadline: within,
+                origin,
+            });
+        }
+        None
+    }
+
+    fn on_packet(&mut self, ctx: &mut SimCtx, pkt: &Packet) {
+        let Some(ar) = pkt.payload.downcast_ref::<ArPacket>() else {
+            return;
+        };
+        if ar.conn != self.conn || ar.path >= self.rx.len() {
+            return;
+        }
+        let ar = ar.clone();
+        let now = ctx.now();
+        {
+            let mut st = self.stats.borrow_mut();
+            st.received_bytes += u64::from(pkt.size);
+            st.meter.record(now, u64::from(pkt.size));
+        }
+        let path = &mut self.rx[ar.path];
+        path.active = true;
+        path.last_ts = Some(ar.ts);
+        path.last_rx_at = Some(now);
+        path.bytes_since_feedback += u64::from(pkt.size);
+        if !path.mark(ar.seq) {
+            self.stats.borrow_mut().duplicates += 1;
+            return;
+        }
+
+        let mut recovered: Option<(u64, FragmentId)> = None;
+        if let Some(fec) = &ar.fec {
+            if fec.is_parity {
+                let covered_seqs: Vec<u64> = fec.covered.iter().map(|f| f.seq).collect();
+                path.parity_frags.push_back((fec.group, fec.covered.clone()));
+                if path.parity_frags.len() > 64 {
+                    path.parity_frags.pop_front();
+                }
+                if let FecOutcome::Recovered(seq) = path.fec.on_parity(fec.group, &covered_seqs) {
+                    if let Some(fid) = fec.covered.iter().find(|f| f.seq == seq) {
+                        recovered = Some((fec.group, *fid));
+                    }
+                }
+            } else if let FecOutcome::Recovered(seq) = path.fec.on_data(fec.group, ar.seq) {
+                // Map the recovered seq through a stored parity coverage.
+                let fid = path
+                    .parity_frags
+                    .iter()
+                    .find(|(g, _)| *g == fec.group)
+                    .and_then(|(_, frags)| frags.iter().find(|f| f.seq == seq).copied());
+                if let Some(fid) = fid {
+                    recovered = Some((fec.group, fid));
+                }
+            }
+        }
+
+        if let Some((_, fid)) = recovered {
+            self.rx[ar.path].mark(fid.seq);
+            self.stats.borrow_mut().fec_recovered += 1;
+            // Recovered fragments share the parity's stream parameters; we
+            // use the carrier packet's kind/class metadata as the closest
+            // available description (same stream by construction).
+            let done = self.deliver_fragment(
+                now,
+                fid.msg_id,
+                fid.frag_index,
+                // Fragment counts travel with every data packet of the
+                // message; if this is the first fragment we see, assume the
+                // recovered fragment's message matches the carrier's count.
+                ar.frag_count.max(1),
+                ar.msg_size,
+                ar.kind,
+                ar.created,
+                ar.origin,
+                ar.deadline,
+            );
+            self.notify(ctx, done);
+        }
+
+        if ar.fec.as_ref().is_none_or(|f| !f.is_parity) {
+            let done = self.deliver_fragment(
+                now,
+                ar.msg_id,
+                ar.frag_index,
+                ar.frag_count,
+                ar.msg_size,
+                ar.kind,
+                ar.created,
+                ar.origin,
+                ar.deadline,
+            );
+            self.notify(ctx, done);
+        }
+    }
+
+    fn notify(&self, ctx: &mut SimCtx, delivered: Option<Delivered>) {
+        if let (Some(target), Some(d)) = (self.delivery_target, delivered) {
+            ctx.send_message(target, Payload::new(d));
+        }
+    }
+
+    fn send_feedback(&mut self, ctx: &mut SimCtx) {
+        for (i, path) in self.rx.iter_mut().enumerate() {
+            if !path.active {
+                continue;
+            }
+            let missing = path.missing();
+            let mut new_losses = 0;
+            for &seq in &missing {
+                if path.reported.insert(seq) {
+                    new_losses += 1;
+                }
+                let rounds = path.nack_rounds.entry(seq).or_insert(0);
+                *rounds += 1;
+            }
+            // Abandon holes that survived too many NACK rounds.
+            let abandon: Vec<u64> = path
+                .nack_rounds
+                .iter()
+                .filter(|(_, &r)| r > self.abandon_after)
+                .map(|(&s, _)| s)
+                .collect();
+            for seq in abandon {
+                path.mark(seq);
+                self.stats.borrow_mut().abandoned_holes += 1;
+            }
+
+            let echo_delay = path
+                .last_rx_at
+                .map_or(SimDuration::ZERO, |t| ctx.now().saturating_since(t));
+            // Delivery rate over a ~200 ms sliding window of feedback
+            // intervals (single intervals are packet-granularity noise).
+            let now = ctx.now();
+            if path.last_feedback_at.is_some() {
+                path.rate_history.push_back((now, path.bytes_since_feedback));
+            }
+            while path
+                .rate_history
+                .front()
+                .is_some_and(|&(t, _)| now.saturating_since(t) > SimDuration::from_millis(200))
+            {
+                path.rate_history.pop_front();
+            }
+            let recv_rate = match (path.rate_history.front(), path.last_feedback_at) {
+                (Some(&(oldest, _)), Some(prev)) if path.rate_history.len() >= 3 => {
+                    let span = now.saturating_since(oldest.min(prev)).as_secs_f64();
+                    let bytes: u64 = path.rate_history.iter().map(|&(_, b)| b).sum();
+                    if span > 0.02 && bytes > 0 {
+                        Some(bytes as f64 / span)
+                    } else {
+                        None
+                    }
+                }
+                _ => None,
+            };
+            path.bytes_since_feedback = 0;
+            path.last_feedback_at = Some(now);
+            let fb = ArFeedback {
+                conn: self.conn,
+                path: i,
+                cum_seq: if path.cum_next > 0 { Some(path.cum_next - 1) } else { None },
+                nacks: missing,
+                new_losses,
+                ts_echo: path.last_ts,
+                echo_delay,
+                recv_rate,
+            };
+            let size = feedback_size(fb.nacks.len());
+            let id = ctx.next_packet_id();
+            let pkt =
+                Packet::new(id, self.conn, size, ctx.now()).with_prio(0).with_payload(fb);
+            self.reverse[i].send(ctx, pkt);
+            self.stats.borrow_mut().feedback_sent += 1;
+        }
+        ctx.schedule_timer(self.feedback_interval, TAG_FEEDBACK);
+    }
+}
+
+impl Actor for ArReceiver {
+    fn on_event(&mut self, ctx: &mut SimCtx, ev: Event) {
+        match ev {
+            Event::Start => {
+                ctx.schedule_timer(self.feedback_interval, TAG_FEEDBACK);
+            }
+            Event::Timer { tag: TAG_FEEDBACK } => self.send_feedback(ctx),
+            other => {
+                if let Some(pkt) = unwrap_packet(other) {
+                    self.on_packet(ctx, &pkt);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::class::Priority;
+    use marnet_sim::engine::Simulator;
+    use marnet_sim::link::{Bandwidth, LinkParams, LossModel};
+    use marnet_sim::queue::QueueConfig;
+
+    /// Application driving a 30 FPS MAR uplink into an ArSender.
+    struct MarApp {
+        sender: ActorId,
+        next_id: u64,
+        frame: u64,
+        /// Shrinks when Degrade signals arrive.
+        inter_size: u32,
+        degrades_seen: Rc<RefCell<u32>>,
+    }
+
+    impl MarApp {
+        fn new(sender: ActorId) -> Self {
+            MarApp {
+                sender,
+                next_id: 0,
+                frame: 0,
+                inter_size: 8_000,
+                degrades_seen: Rc::new(RefCell::new(0)),
+            }
+        }
+    }
+
+    impl Actor for MarApp {
+        fn on_event(&mut self, ctx: &mut SimCtx, ev: Event) {
+            match ev {
+                Event::Start | Event::Timer { .. } => {
+                    let now = ctx.now();
+                    let deadline = now + SimDuration::from_millis(75);
+                    // Reference frame every 10 frames, interframes otherwise.
+                    let kind = if self.frame.is_multiple_of(10) {
+                        StreamKind::VideoReference
+                    } else {
+                        StreamKind::VideoInter
+                    };
+                    let size = if kind == StreamKind::VideoReference {
+                        20_000
+                    } else {
+                        self.inter_size
+                    };
+                    self.frame += 1;
+                    let mut submit = |id: u64, kind, size| {
+                        let m = ArMessage::new(id, kind, size, now).with_deadline(deadline);
+                        ctx.send_message(self.sender, Payload::new(Submit(m)));
+                    };
+                    let id = self.next_id;
+                    self.next_id += 3;
+                    submit(id, kind, size);
+                    submit(id + 1, StreamKind::Sensor, 200);
+                    submit(id + 2, StreamKind::Metadata, 100);
+                    ctx.schedule_timer(SimDuration::from_millis(33), 0);
+                }
+                Event::Message { mut msg, .. } => {
+                    if let Some(QosSignal::Degrade { .. }) = msg.take::<QosSignal>() {
+                        *self.degrades_seen.borrow_mut() += 1;
+                        self.inter_size = (self.inter_size / 2).max(500);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    type BuiltPipeline =
+        (Rc<RefCell<ArSenderStats>>, Rc<RefCell<ArReceiverStats>>, Rc<RefCell<u32>>, Simulator);
+
+    fn build(loss: f64, rate_mbps: f64, cfg: ArConfig) -> BuiltPipeline {
+        let mut sim = Simulator::new(77);
+        let snd = sim.reserve_actor();
+        let rcv = sim.reserve_actor();
+        let app = sim.reserve_actor();
+        let up = sim.add_link(
+            snd,
+            rcv,
+            LinkParams::new(Bandwidth::from_mbps(rate_mbps), SimDuration::from_millis(10))
+                .with_loss(LossModel::Bernoulli { p: loss })
+                .with_queue(QueueConfig::DropTail { cap_packets: 200 }),
+        );
+        let down = sim.add_link(
+            rcv,
+            snd,
+            LinkParams::new(Bandwidth::from_mbps(rate_mbps), SimDuration::from_millis(10)),
+        );
+        let sender = ArSender::new(
+            1,
+            cfg.clone(),
+            vec![SenderPathConfig { role: PathRole::Wifi, tx: TxPath::Link(up), link: Some(up) }],
+        )
+        .with_qos_target(app);
+        let sstats = sender.stats();
+        sim.install_actor(snd, sender);
+        let receiver = ArReceiver::new(1, cfg.feedback_interval, vec![TxPath::Link(down)]);
+        let rstats = receiver.stats();
+        sim.install_actor(rcv, receiver);
+        let app_actor = MarApp::new(snd);
+        let degrades = Rc::clone(&app_actor.degrades_seen);
+        sim.install_actor(app, app_actor);
+        (sstats, rstats, degrades, sim)
+    }
+
+    #[test]
+    fn clean_link_delivers_everything_on_time() {
+        let (sstats, rstats, _, mut sim) = build(0.0, 20.0, ArConfig::default());
+        sim.run_until(SimTime::from_secs(10));
+        let r = rstats.borrow();
+        let hit = r.deadline_hit_ratio();
+        assert!(hit > 0.99, "deadline hit ratio {hit}");
+        let meta = &r.by_kind[&StreamKind::Metadata];
+        assert!(meta.delivered > 250, "metadata delivered {}", meta.delivered);
+        assert_eq!(sstats.borrow().loss_congestion_events, 0);
+        assert!(r.duplicates == 0);
+    }
+
+    #[test]
+    fn lossy_link_recovers_reference_frames_via_fec_or_rtx() {
+        let (sstats, rstats, _, mut sim) = build(0.03, 20.0, ArConfig::default());
+        sim.run_until(SimTime::from_secs(20));
+        let r = rstats.borrow();
+        let s = sstats.borrow();
+        let refs = &r.by_kind[&StreamKind::VideoReference];
+        // ~60 reference frames offered over 20 s; the vast majority must
+        // complete despite 3% loss.
+        assert!(refs.delivered > 45, "reference frames delivered {}", refs.delivered);
+        assert!(
+            r.fec_recovered > 0 || s.retransmits > 0,
+            "recovery machinery must have engaged: fec={} rtx={}",
+            r.fec_recovered,
+            s.retransmits
+        );
+        // Metadata (critical) keeps flowing.
+        assert!(r.by_kind[&StreamKind::Metadata].delivered > 500);
+    }
+
+    #[test]
+    fn tight_link_degrades_instead_of_collapsing() {
+        // Offered video ≈ 2.3 Mb/s into a 1.2 Mb/s link: the scheduler must
+        // shed interframes, signal the app, and protect metadata.
+        let (sstats, rstats, degrades, mut sim) = build(0.0, 1.2, ArConfig::default());
+        sim.run_until(SimTime::from_secs(20));
+        let s = sstats.borrow();
+        let r = rstats.borrow();
+        assert!(s.dropped_bytes > 0, "shedding must happen");
+        assert!(*degrades.borrow() > 0, "app must be told to degrade");
+        // Interframes are shed, not metadata.
+        assert!(s.dropped_by_kind.get(&StreamKind::Metadata).copied().unwrap_or(0) == 0);
+        assert!(s.dropped_by_kind.get(&StreamKind::VideoInter).copied().unwrap_or(0) > 0);
+        // Critical metadata still delivered at full cadence (~30/s).
+        let meta = &r.by_kind[&StreamKind::Metadata];
+        assert!(meta.delivered > 500, "metadata delivered {}", meta.delivered);
+    }
+
+    #[test]
+    fn sender_reacts_to_congestion_with_rate_cut() {
+        let (sstats, _, _, mut sim) = build(0.0, 1.2, ArConfig::default());
+        sim.run_until(SimTime::from_secs(20));
+        let s = sstats.borrow();
+        assert!(
+            s.delay_congestion_events > 0,
+            "queue buildup on a 1.2 Mb/s link must trip the delay signal"
+        );
+    }
+
+    #[test]
+    fn priority_override_controls_shedding_order() {
+        // Submit bulk at Lowest(1) and video at Lowest(0) under pressure:
+        // the bulk must be shed at least as much as the video.
+        let mut sim = Simulator::new(3);
+        let snd = sim.reserve_actor();
+        let rcv = sim.reserve_actor();
+        let up = sim.add_link(
+            snd,
+            rcv,
+            LinkParams::new(Bandwidth::from_mbps(1.0), SimDuration::from_millis(5)),
+        );
+        let down = sim.add_link(
+            rcv,
+            snd,
+            LinkParams::new(Bandwidth::from_mbps(1.0), SimDuration::from_millis(5)),
+        );
+        let cfg = ArConfig::default();
+        let sender = ArSender::new(
+            1,
+            cfg.clone(),
+            vec![SenderPathConfig { role: PathRole::Wifi, tx: TxPath::Link(up), link: None }],
+        );
+        let sstats = sender.stats();
+        sim.install_actor(snd, sender);
+        let receiver = ArReceiver::new(1, cfg.feedback_interval, vec![TxPath::Link(down)]);
+        sim.install_actor(rcv, receiver);
+
+        struct TwoStreams {
+            sender: ActorId,
+            next_id: u64,
+        }
+        impl Actor for TwoStreams {
+            fn on_event(&mut self, ctx: &mut SimCtx, ev: Event) {
+                if matches!(ev, Event::Start | Event::Timer { .. }) {
+                    let now = ctx.now();
+                    let v = ArMessage::new(self.next_id, StreamKind::VideoInter, 4000, now)
+                        .with_priority(Priority::Lowest(0));
+                    let b = ArMessage::new(self.next_id + 1, StreamKind::Bulk, 4000, now)
+                        .with_priority(Priority::Lowest(1));
+                    self.next_id += 2;
+                    ctx.send_message(self.sender, Payload::new(Submit(v)));
+                    ctx.send_message(self.sender, Payload::new(Submit(b)));
+                    ctx.schedule_timer(SimDuration::from_millis(20), 0);
+                }
+            }
+        }
+        sim.add_actor(TwoStreams { sender: snd, next_id: 0 });
+        sim.run_until(SimTime::from_secs(10));
+        let s = sstats.borrow();
+        let bulk_drops = s.dropped_by_kind.get(&StreamKind::Bulk).copied().unwrap_or(0);
+        let video_drops = s.dropped_by_kind.get(&StreamKind::VideoInter).copied().unwrap_or(0);
+        assert!(bulk_drops > 0, "pressure must shed bulk");
+        assert!(bulk_drops >= video_drops, "bulk {bulk_drops} vs video {video_drops}");
+    }
+}

@@ -1,0 +1,50 @@
+//! # marnet-core — the AR-oriented transport protocol (the paper's proposal)
+//!
+//! §VI of *"Future Networking Challenges: The Case of Mobile Augmented
+//! Reality"* (ICDCS 2017) lays out design guidelines for a transport
+//! protocol built for MAR offloading. This crate is a complete
+//! implementation of that protocol over the `marnet-sim` simulator, with all
+//! six envisioned properties:
+//!
+//! 1. **Classful traffic** ([`class`]) — full best effort, best effort with
+//!    loss recovery, and critical data, with four priority levels
+//!    (droppable/delayable semantics) and sublevels;
+//! 2. **Fair but greedy congestion control** ([`congestion`]) — rate-based
+//!    control using delay as the primary congestion signal ("a sudden rise
+//!    of delay or jitter should be treated as a congestion indication, with
+//!    immediate reaction"), with a loss-based fallback for fairness;
+//! 3. **Low latency and fault tolerance** ([`recovery`], [`fec`]) —
+//!    deadline-gated retransmission (a loss is only worth recovering if the
+//!    retransmission can still arrive within the 75 ms budget) and XOR
+//!    forward error correction for the recovery class;
+//! 4. **Multipath** ([`multipath`]) — WiFi+LTE path management with the
+//!    three §VI-D usage policies, lowest-RTT scheduling for latency-bound
+//!    classes and duplication for the recovery class;
+//! 5. **Distributed** — the per-path `remote` attribute lets different
+//!    paths terminate at different servers (exercised by `marnet-edge`);
+//! 6. **Graceful degradation** ([`degradation`]) — instead of a congestion
+//!    window, the sender sheds traffic by priority and signals QoS to the
+//!    application so it can lower video quality rather than stall (Fig. 4).
+//!
+//! The protocol endpoints ([`endpoint::ArSender`], [`endpoint::ArReceiver`])
+//! are simulator actors; applications submit [`message::ArMessage`]s and
+//! receive [`degradation::QosSignal`]s back.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod class;
+pub mod config;
+pub mod congestion;
+pub mod degradation;
+pub mod endpoint;
+pub mod fec;
+pub mod message;
+pub mod multipath;
+pub mod recovery;
+pub mod wire;
+
+pub use class::{Priority, StreamKind, TrafficClass};
+pub use config::ArConfig;
+pub use endpoint::{ArReceiver, ArSender, Delivered, Submit};
+pub use message::ArMessage;

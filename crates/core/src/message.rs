@@ -1,0 +1,124 @@
+//! Application-level messages submitted to the AR protocol.
+
+use crate::class::{Priority, StreamKind, TrafficClass};
+use marnet_sim::time::SimTime;
+
+/// One application message (a frame, a sensor batch, a metadata record).
+///
+/// Messages larger than the MTU are fragmented by the sender; the receiver
+/// reassembles and reports one delivery per message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArMessage {
+    /// Application-assigned unique id.
+    pub id: u64,
+    /// Which sub-stream this belongs to.
+    pub kind: StreamKind,
+    /// Traffic class (recovery semantics).
+    pub class: TrafficClass,
+    /// Priority (degradation semantics).
+    pub priority: Priority,
+    /// Payload size in bytes.
+    pub size: u32,
+    /// When the application created it.
+    pub created: SimTime,
+    /// Latest useful delivery instant, if any. Late droppable messages are
+    /// shed; late recovery is suppressed (§VI-C).
+    pub deadline: Option<SimTime>,
+    /// Application-level reference instant carried end to end (e.g. the
+    /// camera timestamp a server result responds to); does not affect
+    /// scheduling, only measurement.
+    pub origin: Option<SimTime>,
+}
+
+impl ArMessage {
+    /// Creates a message with the default class/priority for its kind.
+    pub fn new(id: u64, kind: StreamKind, size: u32, created: SimTime) -> Self {
+        let (class, priority) = kind.default_class();
+        ArMessage { id, kind, class, priority, size, created, deadline: None, origin: None }
+    }
+
+    /// Sets a delivery deadline, builder style.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: SimTime) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets the end-to-end reference instant, builder style.
+    #[must_use]
+    pub fn with_origin(mut self, origin: SimTime) -> Self {
+        self.origin = Some(origin);
+        self
+    }
+
+    /// Overrides the class, builder style.
+    #[must_use]
+    pub fn with_class(mut self, class: TrafficClass) -> Self {
+        self.class = class;
+        self
+    }
+
+    /// Overrides the priority, builder style.
+    #[must_use]
+    pub fn with_priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Whether the message is already past its deadline at `now`.
+    pub fn is_late(&self, now: SimTime) -> bool {
+        self.deadline.is_some_and(|d| now > d)
+    }
+
+    /// Number of MTU-sized fragments needed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mtu` is zero.
+    pub fn fragment_count(&self, mtu: u32) -> u32 {
+        assert!(mtu > 0, "mtu must be positive");
+        self.size.div_ceil(mtu).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_follow_stream_kind() {
+        let m = ArMessage::new(1, StreamKind::Metadata, 100, SimTime::ZERO);
+        assert_eq!(m.class, TrafficClass::Critical);
+        assert_eq!(m.priority, Priority::Highest);
+        assert_eq!(m.deadline, None);
+    }
+
+    #[test]
+    fn deadline_check() {
+        let m = ArMessage::new(1, StreamKind::VideoInter, 100, SimTime::ZERO)
+            .with_deadline(SimTime::from_millis(75));
+        assert!(!m.is_late(SimTime::from_millis(75)));
+        assert!(m.is_late(SimTime::from_millis(76)));
+        let n = ArMessage::new(2, StreamKind::Sensor, 10, SimTime::ZERO);
+        assert!(!n.is_late(SimTime::from_secs(100)));
+    }
+
+    #[test]
+    fn fragmentation_rounds_up() {
+        let m = ArMessage::new(1, StreamKind::VideoReference, 3000, SimTime::ZERO);
+        assert_eq!(m.fragment_count(1200), 3);
+        assert_eq!(m.fragment_count(3000), 1);
+        assert_eq!(m.fragment_count(4000), 1);
+        let tiny = ArMessage::new(2, StreamKind::Sensor, 0, SimTime::ZERO);
+        assert_eq!(tiny.fragment_count(1200), 1);
+    }
+
+    #[test]
+    fn builders_override() {
+        let m = ArMessage::new(1, StreamKind::VideoInter, 100, SimTime::ZERO)
+            .with_class(TrafficClass::Critical)
+            .with_priority(Priority::DelayNotDrop(2));
+        assert_eq!(m.class, TrafficClass::Critical);
+        assert_eq!(m.priority, Priority::DelayNotDrop(2));
+    }
+}

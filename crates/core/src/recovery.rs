@@ -1,0 +1,278 @@
+//! Deadline-gated loss recovery (§VI-C).
+//!
+//! "As recovery is costly in a latency-constrained context, the protocol
+//! should ideally avoid recovery from losses. […] If the application
+//! generates 30 frames per second, with maximum tolerable latency no higher
+//! than 75 ms, we can afford to recover a single lost frame only if the
+//! round trip time is at most 37.5 ms."
+//!
+//! [`RecoveryPolicy::should_retransmit`] encodes that rule: a lost fragment
+//! is retransmitted only if its class wants recovery *and* either the class
+//! is [`TrafficClass::Critical`] (unconditional) or the retransmission can
+//! still arrive before the deadline. [`RetransmitBuffer`] keeps the
+//! sender-side state needed to act on NACKs.
+
+use crate::class::{StreamKind, TrafficClass};
+use marnet_sim::time::{SimDuration, SimTime};
+use std::collections::BTreeMap;
+
+/// Sender-side description of an in-flight fragment, kept until it is
+/// acknowledged, recovered or expired.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FragmentRecord {
+    /// Message the fragment belongs to.
+    pub msg_id: u64,
+    /// Fragment index within the message.
+    pub frag_index: u32,
+    /// Total fragments of the message.
+    pub frag_count: u32,
+    /// Fragment wire size in bytes.
+    pub size: u32,
+    /// Sub-stream of the carried message.
+    pub kind: StreamKind,
+    /// Traffic class (recovery semantics).
+    pub class: TrafficClass,
+    /// When the application created the message.
+    pub created: SimTime,
+    /// Priority band for re-sends.
+    pub prio_band: u8,
+    /// Delivery deadline, if any.
+    pub deadline: Option<SimTime>,
+    /// How many times this fragment has been (re)transmitted.
+    pub attempts: u32,
+}
+
+/// The §VI-C retransmission gate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecoveryPolicy {
+    /// Hard cap on transmission attempts per fragment.
+    pub max_attempts: u32,
+    /// Safety margin subtracted from the deadline check (processing slack).
+    pub margin: SimDuration,
+    /// If `false`, even deadline-feasible retransmissions are suppressed
+    /// (the "never retransmit" ablation).
+    pub enabled: bool,
+    /// If `false`, the deadline gate is skipped and anything recoverable is
+    /// retransmitted (the "always retransmit" ablation).
+    pub deadline_gated: bool,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy {
+            max_attempts: 4,
+            margin: SimDuration::from_millis(2),
+            enabled: true,
+            deadline_gated: true,
+        }
+    }
+}
+
+impl RecoveryPolicy {
+    /// Decides whether a NACKed fragment should be retransmitted at `now`,
+    /// given the current smoothed RTT estimate.
+    ///
+    /// A retransmission needs one more RTT to be delivered (the NACK
+    /// consumed the first half-RTT; the re-send needs a one-way trip, but
+    /// we budget a full RTT as the paper does for its 37.5 ms rule).
+    pub fn should_retransmit(
+        &self,
+        frag: &FragmentRecord,
+        srtt: Option<SimDuration>,
+        now: SimTime,
+    ) -> bool {
+        if !self.enabled || !frag.class.wants_recovery() || frag.attempts >= self.max_attempts {
+            return false;
+        }
+        if frag.class.recovery_is_unconditional() || !self.deadline_gated {
+            return true;
+        }
+        match (frag.deadline, srtt) {
+            (Some(deadline), Some(srtt)) => {
+                now.saturating_add(srtt + self.margin) <= deadline
+            }
+            // No deadline: recovery is harmless. No RTT estimate yet: be
+            // optimistic once, the attempt cap bounds the damage.
+            _ => true,
+        }
+    }
+}
+
+/// Sender-side store of unacknowledged fragments, keyed by `(path, seq)`.
+#[derive(Debug, Default)]
+pub struct RetransmitBuffer {
+    /// Per path: seq → record.
+    by_path: BTreeMap<usize, BTreeMap<u64, FragmentRecord>>,
+}
+
+impl RetransmitBuffer {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        RetransmitBuffer::default()
+    }
+
+    /// Records a transmission of `frag` as `(path, seq)`.
+    pub fn insert(&mut self, path: usize, seq: u64, frag: FragmentRecord) {
+        self.by_path.entry(path).or_default().insert(seq, frag);
+    }
+
+    /// Removes and returns the record for a NACKed `(path, seq)`, if held.
+    pub fn take(&mut self, path: usize, seq: u64) -> Option<FragmentRecord> {
+        self.by_path.get_mut(&path)?.remove(&seq)
+    }
+
+    /// Acknowledges everything on `path` up to and including `cum_seq`.
+    /// Returns how many records were released.
+    pub fn ack_cumulative(&mut self, path: usize, cum_seq: u64) -> usize {
+        let Some(m) = self.by_path.get_mut(&path) else {
+            return 0;
+        };
+        let keep = m.split_off(&(cum_seq + 1));
+        let released = m.len();
+        *m = keep;
+        released
+    }
+
+    /// Drops records whose deadline passed (no point retransmitting).
+    /// Returns how many were expired.
+    pub fn expire(&mut self, now: SimTime) -> usize {
+        let mut expired = 0;
+        for m in self.by_path.values_mut() {
+            let before = m.len();
+            m.retain(|_, f| {
+                f.class.recovery_is_unconditional()
+                    || f.deadline.is_none_or(|d| now <= d)
+            });
+            expired += before - m.len();
+        }
+        expired
+    }
+
+    /// Records currently held.
+    pub fn len(&self) -> usize {
+        self.by_path.values().map(|m| m.len()).sum()
+    }
+
+    /// `true` if no records are held.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frag(class: TrafficClass, deadline_ms: Option<u64>) -> FragmentRecord {
+        FragmentRecord {
+            msg_id: 1,
+            frag_index: 0,
+            frag_count: 1,
+            size: 1000,
+            kind: StreamKind::VideoReference,
+            class,
+            created: SimTime::ZERO,
+            prio_band: 0,
+            deadline: deadline_ms.map(SimTime::from_millis),
+            attempts: 1,
+        }
+    }
+
+    #[test]
+    fn paper_rule_37_5ms() {
+        // 75 ms budget, loss detected at t=0 (frame creation), so recovery
+        // is feasible iff RTT ≤ 37.5 ms... our gate checks now + srtt ≤
+        // deadline: at now = 37.5 ms (one RTT after sending), srtt = 37.5
+        // ms fits exactly (ignoring margin), 40 ms does not.
+        let policy = RecoveryPolicy { margin: SimDuration::ZERO, ..Default::default() };
+        let f = frag(TrafficClass::BestEffortWithRecovery, Some(75));
+        let rtt_ok = SimDuration::from_micros(37_500);
+        assert!(policy.should_retransmit(&f, Some(rtt_ok), SimTime::from_micros(37_500)));
+        assert!(!policy.should_retransmit(
+            &f,
+            Some(SimDuration::from_millis(40)),
+            SimTime::from_millis(40)
+        ));
+    }
+
+    #[test]
+    fn best_effort_never_retransmits() {
+        let policy = RecoveryPolicy::default();
+        let f = frag(TrafficClass::FullBestEffort, Some(1_000_000));
+        assert!(!policy.should_retransmit(&f, Some(SimDuration::from_millis(1)), SimTime::ZERO));
+    }
+
+    #[test]
+    fn critical_retransmits_even_when_late() {
+        let policy = RecoveryPolicy::default();
+        let f = frag(TrafficClass::Critical, Some(10));
+        assert!(policy.should_retransmit(
+            &f,
+            Some(SimDuration::from_millis(500)),
+            SimTime::from_secs(5)
+        ));
+    }
+
+    #[test]
+    fn attempt_cap_stops_retransmission() {
+        let policy = RecoveryPolicy::default();
+        let mut f = frag(TrafficClass::Critical, None);
+        f.attempts = 4;
+        assert!(!policy.should_retransmit(&f, None, SimTime::ZERO));
+    }
+
+    #[test]
+    fn disabled_policy_never_retransmits() {
+        let policy = RecoveryPolicy { enabled: false, ..Default::default() };
+        let f = frag(TrafficClass::Critical, None);
+        assert!(!policy.should_retransmit(&f, None, SimTime::ZERO));
+    }
+
+    #[test]
+    fn ungated_policy_ignores_deadlines() {
+        let policy = RecoveryPolicy { deadline_gated: false, ..Default::default() };
+        let f = frag(TrafficClass::BestEffortWithRecovery, Some(10));
+        assert!(policy.should_retransmit(
+            &f,
+            Some(SimDuration::from_millis(500)),
+            SimTime::from_secs(5)
+        ));
+    }
+
+    #[test]
+    fn no_deadline_is_recoverable() {
+        let policy = RecoveryPolicy::default();
+        let f = frag(TrafficClass::BestEffortWithRecovery, None);
+        assert!(policy.should_retransmit(&f, Some(SimDuration::from_secs(10)), SimTime::ZERO));
+    }
+
+    #[test]
+    fn buffer_take_and_cumulative_ack() {
+        let mut b = RetransmitBuffer::new();
+        for seq in 0..10 {
+            b.insert(0, seq, frag(TrafficClass::Critical, None));
+        }
+        b.insert(1, 0, frag(TrafficClass::Critical, None));
+        assert_eq!(b.len(), 11);
+        assert!(b.take(0, 5).is_some());
+        assert!(b.take(0, 5).is_none());
+        let released = b.ack_cumulative(0, 7);
+        // Seqs 0..=7 minus the taken 5 → 7 released.
+        assert_eq!(released, 7);
+        assert_eq!(b.len(), 3); // path0: 8, 9; path1: 0.
+        assert_eq!(b.ack_cumulative(2, 100), 0);
+    }
+
+    #[test]
+    fn buffer_expires_late_recoverables_but_keeps_critical() {
+        let mut b = RetransmitBuffer::new();
+        b.insert(0, 1, frag(TrafficClass::BestEffortWithRecovery, Some(50)));
+        b.insert(0, 2, frag(TrafficClass::Critical, Some(50)));
+        b.insert(0, 3, frag(TrafficClass::BestEffortWithRecovery, None));
+        let expired = b.expire(SimTime::from_millis(100));
+        assert_eq!(expired, 1);
+        assert_eq!(b.len(), 2);
+        assert!(b.take(0, 2).is_some());
+        assert!(b.take(0, 3).is_some());
+    }
+}

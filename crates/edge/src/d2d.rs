@@ -1,0 +1,280 @@
+//! Device-to-device offloading (§VI-E, Figs. 5b-5d).
+//!
+//! "Other nearby smartphones could assist by sharing their available
+//! processing power" — useful for smart glasses where "even simple feature
+//! extraction can considerably slow down the process". The radio trade-off
+//! follows the paper's §IV-A-5 comparison (citing Condoluci et al.):
+//! LTE-Direct detects neighbours better and is more energy efficient with
+//! many users; WiFi-Direct is more efficient for small data volumes, is
+//! free, and is available on today's devices.
+
+use marnet_app::device::DeviceSpec;
+use marnet_radio::profiles::{LinkDirection, RadioTechnology};
+use marnet_sim::link::LinkParams;
+use marnet_sim::time::SimDuration;
+use rand_chacha::ChaCha12Rng;
+use serde::{Deserialize, Serialize};
+
+/// A nearby device offering compute.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Helper {
+    /// Label ("my-phone", "livingroom-pc", ...).
+    pub name: String,
+    /// The helper's hardware.
+    pub spec: DeviceSpec,
+    /// Distance from the requesting device, meters.
+    pub distance_m: f64,
+    /// D2D technology used to reach it.
+    pub radio: RadioTechnology,
+}
+
+impl Helper {
+    /// Whether the helper is within the radio's range at all.
+    pub fn in_range(&self) -> bool {
+        self.radio
+            .profile()
+            .range_m
+            .is_none_or(|r| self.distance_m <= r)
+    }
+
+    /// Link parameters for the D2D hop, derated linearly with distance
+    /// (§IV-A-5: "the bandwidth depends strongly on the mobility of the
+    /// users"; we model the distance part).
+    pub fn link_params(&self, rng: &mut ChaCha12Rng) -> LinkParams {
+        let profile = self.radio.profile();
+        let mut params = profile.sample_link_params(LinkDirection::Uplink, rng);
+        if let Some(range) = profile.range_m {
+            let frac = (1.0 - self.distance_m / range).clamp(0.05, 1.0);
+            params.rate = marnet_sim::link::Bandwidth::from_bps(
+                (params.rate.as_bps() as f64 * frac) as u64,
+            );
+        }
+        params
+    }
+}
+
+/// Energy model per byte and per discovery round (relative units,
+/// calibrated to the §IV-A-5 qualitative comparison).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyModel {
+    /// Energy per transmitted megabyte on LTE-Direct.
+    pub lte_direct_per_mb: f64,
+    /// Energy per transmitted megabyte on WiFi-Direct.
+    pub wifi_direct_per_mb: f64,
+    /// Discovery energy per neighbour scan on LTE-Direct (cheap: the
+    /// network coordinates discovery).
+    pub lte_direct_discovery: f64,
+    /// Discovery energy per neighbour scan on WiFi-Direct (expensive:
+    /// active probing).
+    pub wifi_direct_discovery: f64,
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        EnergyModel {
+            lte_direct_per_mb: 1.2,
+            wifi_direct_per_mb: 0.5,
+            lte_direct_discovery: 2.0,
+            wifi_direct_discovery: 1.0,
+        }
+    }
+}
+
+impl EnergyModel {
+    /// Energy of a D2D session: one discovery (amortised over `peers`
+    /// scanned neighbours for LTE-Direct, per-peer probing for
+    /// WiFi-Direct) plus the payload.
+    pub fn session_energy(&self, radio: RadioTechnology, megabytes: f64, peers: usize) -> f64 {
+        match radio {
+            RadioTechnology::LteDirect => {
+                self.lte_direct_discovery + self.lte_direct_per_mb * megabytes
+            }
+            RadioTechnology::WifiDirect => {
+                self.wifi_direct_discovery * peers as f64 + self.wifi_direct_per_mb * megabytes
+            }
+            _ => f64::INFINITY,
+        }
+    }
+
+    /// Which D2D radio is more energy efficient for this session — the
+    /// §IV-A-5 crossover: LTE-Direct wins with many users, WiFi-Direct
+    /// wins for small data (and small neighbourhoods).
+    pub fn cheaper_radio(&self, megabytes: f64, peers: usize) -> RadioTechnology {
+        let lte = self.session_energy(RadioTechnology::LteDirect, megabytes, peers);
+        let wifi = self.session_energy(RadioTechnology::WifiDirect, megabytes, peers);
+        if lte <= wifi {
+            RadioTechnology::LteDirect
+        } else {
+            RadioTechnology::WifiDirect
+        }
+    }
+}
+
+/// Where a unit of work should run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Executor {
+    /// On the requesting device itself.
+    Local,
+    /// On a nearby helper (by name).
+    Helper(String),
+    /// On the cloud/edge server.
+    Cloud,
+}
+
+/// Picks the executor minimising estimated completion time for a job of
+/// `gflop` compute and `payload_bytes` transfer.
+///
+/// The device is used if it meets the deadline; otherwise the fastest of
+/// helpers and cloud wins.
+#[allow(clippy::too_many_arguments)]
+pub fn choose_executor(
+    device: &DeviceSpec,
+    helpers: &[Helper],
+    cloud_rtt: SimDuration,
+    cloud_gflops: f64,
+    cloud_uplink_bps: u64,
+    gflop: f64,
+    payload_bytes: u64,
+    deadline: SimDuration,
+) -> (Executor, SimDuration) {
+    let local = SimDuration::from_secs_f64(gflop / device.compute_gflops.max(1e-9));
+    if local < deadline {
+        return (Executor::Local, local);
+    }
+    let mut best = (
+        Executor::Cloud,
+        cloud_rtt
+            + SimDuration::from_secs_f64(payload_bytes as f64 * 8.0 / cloud_uplink_bps.max(1) as f64)
+            + SimDuration::from_secs_f64(gflop / cloud_gflops.max(1e-9)),
+    );
+    for h in helpers {
+        if !h.in_range() {
+            continue;
+        }
+        let profile = h.radio.profile();
+        let rate_bps = profile.measured_up_mbps.mid() * 1e6;
+        let rtt = SimDuration::from_millis_f64(profile.latency_ms.mid());
+        let t = rtt
+            + SimDuration::from_secs_f64(payload_bytes as f64 * 8.0 / rate_bps)
+            + SimDuration::from_secs_f64(gflop / h.spec.compute_gflops.max(1e-9));
+        if t < best.1 {
+            best = (Executor::Helper(h.name.clone()), t);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use marnet_app::device::DeviceClass;
+    use marnet_sim::rng::derive_rng;
+
+    fn helper(name: &str, class: DeviceClass, dist: f64, radio: RadioTechnology) -> Helper {
+        Helper { name: name.into(), spec: class.spec(), distance_m: dist, radio }
+    }
+
+    #[test]
+    fn range_checks() {
+        assert!(helper("a", DeviceClass::Smartphone, 150.0, RadioTechnology::WifiDirect).in_range());
+        assert!(!helper("a", DeviceClass::Smartphone, 250.0, RadioTechnology::WifiDirect).in_range());
+        assert!(helper("a", DeviceClass::Smartphone, 900.0, RadioTechnology::LteDirect).in_range());
+    }
+
+    #[test]
+    fn link_rate_derates_with_distance() {
+        let mut rng = derive_rng(7, "d2d");
+        let near = helper("n", DeviceClass::Smartphone, 10.0, RadioTechnology::WifiDirect)
+            .link_params(&mut rng);
+        let mut rng = derive_rng(7, "d2d");
+        let far = helper("f", DeviceClass::Smartphone, 190.0, RadioTechnology::WifiDirect)
+            .link_params(&mut rng);
+        assert!(near.rate.as_bps() > far.rate.as_bps() * 5);
+    }
+
+    #[test]
+    fn energy_crossover_matches_the_paper() {
+        let e = EnergyModel::default();
+        // Small data, few neighbours: WiFi-Direct is cheaper.
+        assert_eq!(e.cheaper_radio(1.0, 1), RadioTechnology::WifiDirect);
+        // Many neighbours to probe: LTE-Direct's coordinated discovery wins.
+        assert_eq!(e.cheaper_radio(1.0, 20), RadioTechnology::LteDirect);
+        // Huge transfer with one peer: WiFi-Direct's lower per-byte cost wins.
+        assert_eq!(e.cheaper_radio(500.0, 1), RadioTechnology::WifiDirect);
+    }
+
+    #[test]
+    fn glasses_offload_feature_extraction_to_phone() {
+        // Fig. 5b-d: the glasses can't extract features in time; a nearby
+        // phone over WiFi-Direct can.
+        let glasses = DeviceClass::SmartGlasses.spec();
+        let helpers =
+            vec![helper("phone", DeviceClass::Smartphone, 1.0, RadioTechnology::WifiDirect)];
+        let (exec, t) = choose_executor(
+            &glasses,
+            &helpers,
+            SimDuration::from_millis(36),
+            20_000.0,
+            8_000_000,
+            0.4,      // extraction GFLOP
+            16_000,   // descriptor payload
+            SimDuration::from_millis(75),
+        );
+        assert_eq!(exec, Executor::Helper("phone".into()));
+        assert!(t < SimDuration::from_millis(75), "helper time {t}");
+    }
+
+    #[test]
+    fn cloud_wins_for_heavy_compute() {
+        // Matching against a big DB needs server GFLOPS; the phone helper
+        // would take too long.
+        let glasses = DeviceClass::SmartGlasses.spec();
+        let helpers =
+            vec![helper("phone", DeviceClass::Smartphone, 1.0, RadioTechnology::WifiDirect)];
+        let (exec, _) = choose_executor(
+            &glasses,
+            &helpers,
+            SimDuration::from_millis(36),
+            20_000.0,
+            8_000_000,
+            5.0, // heavy matching workload
+            16_000,
+            SimDuration::from_millis(75),
+        );
+        assert_eq!(exec, Executor::Cloud);
+    }
+
+    #[test]
+    fn trivial_work_stays_local() {
+        let phone = DeviceClass::Smartphone.spec();
+        let (exec, _) = choose_executor(
+            &phone,
+            &[],
+            SimDuration::from_millis(36),
+            20_000.0,
+            8_000_000,
+            0.1,
+            1_000,
+            SimDuration::from_millis(75),
+        );
+        assert_eq!(exec, Executor::Local);
+    }
+
+    #[test]
+    fn out_of_range_helpers_are_skipped() {
+        let glasses = DeviceClass::SmartGlasses.spec();
+        let helpers =
+            vec![helper("far", DeviceClass::Desktop, 500.0, RadioTechnology::WifiDirect)];
+        let (exec, _) = choose_executor(
+            &glasses,
+            &helpers,
+            SimDuration::from_millis(36),
+            20_000.0,
+            8_000_000,
+            0.4,
+            16_000,
+            SimDuration::from_millis(10),
+        );
+        assert_eq!(exec, Executor::Cloud);
+    }
+}

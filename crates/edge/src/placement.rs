@@ -1,0 +1,508 @@
+//! Edge-datacenter placement (§VI-F).
+//!
+//! The paper's abstract formulation: `min |C|` subject to
+//! `P_offloading(R_m, R_c, f, p, d, o, b_mc, l_mc, x, y) < δ_a` for every
+//! mobile user and application. Here a user is *covered* by a candidate
+//! site when the end-to-end offload estimate — access latency plus
+//! distance-proportional backhaul plus processing — fits the user's
+//! deadline; the problem is then minimum set cover, solved greedily (the
+//! classic `ln n` approximation), exactly for small instances, and bounded
+//! from below for quality reporting.
+
+use marnet_sim::time::SimDuration;
+use rand::Rng;
+use rand_chacha::ChaCha12Rng;
+use serde::{Deserialize, Serialize};
+
+/// A point in the metro plane, kilometers.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Point {
+    /// East-west coordinate, km.
+    pub x: f64,
+    /// North-south coordinate, km.
+    pub y: f64,
+}
+
+impl Point {
+    /// Euclidean distance in km.
+    pub fn distance(self, other: Point) -> f64 {
+        ((self.x - other.x).powi(2) + (self.y - other.y).powi(2)).sqrt()
+    }
+}
+
+/// A mobile user with an offload deadline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct User {
+    /// Location.
+    pub loc: Point,
+    /// Fixed access latency (RTT to the metro network) of the user's
+    /// current radio, e.g. ~8 ms on good WiFi, ~60 ms on LTE.
+    pub access_rtt: SimDuration,
+    /// The application's per-frame latency budget `δ_a`, minus compute.
+    pub budget: SimDuration,
+}
+
+/// A candidate edge-datacenter site.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Site {
+    /// Location.
+    pub loc: Point,
+    /// Processing latency added per offload request at this site.
+    pub processing: SimDuration,
+}
+
+/// The latency model linking users to sites.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencyModel {
+    /// Backhaul RTT per km of user-site distance (fiber + routing detours;
+    /// metro networks are far from geodesic light speed).
+    pub rtt_per_km: SimDuration,
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        // ~0.3 ms RTT per km: metro aggregation with a few router hops.
+        LatencyModel { rtt_per_km: SimDuration::from_micros(300) }
+    }
+}
+
+/// A placement instance.
+#[derive(Debug, Clone)]
+pub struct PlacementProblem {
+    /// The users to cover.
+    pub users: Vec<User>,
+    /// Candidate sites.
+    pub sites: Vec<Site>,
+    /// The latency model.
+    pub model: LatencyModel,
+}
+
+/// A placement outcome.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlacementSolution {
+    /// Indices of the opened sites.
+    pub open_sites: Vec<usize>,
+    /// Users left uncoverable by *any* site (infeasible users).
+    pub uncovered: Vec<usize>,
+}
+
+impl PlacementSolution {
+    /// Number of datacenters opened.
+    pub fn cost(&self) -> usize {
+        self.open_sites.len()
+    }
+}
+
+impl PlacementProblem {
+    /// End-to-end offload latency estimate between a user and a site.
+    pub fn latency(&self, user: &User, site: &Site) -> SimDuration {
+        let dist = user.loc.distance(site.loc);
+        user.access_rtt + self.model.rtt_per_km.mul_f64(dist) + site.processing
+    }
+
+    /// Whether `site` covers `user` (the §VI-F constraint).
+    pub fn covers(&self, user: &User, site: &Site) -> bool {
+        self.latency(user, site) < user.budget
+    }
+
+    /// Coverage bitmap: for each site, which users it can serve.
+    fn coverage(&self) -> Vec<Vec<bool>> {
+        self.sites
+            .iter()
+            .map(|s| self.users.iter().map(|u| self.covers(u, s)).collect())
+            .collect()
+    }
+
+    /// Users no site can serve (their deadline is infeasible anywhere).
+    pub fn infeasible_users(&self) -> Vec<usize> {
+        let cov = self.coverage();
+        (0..self.users.len())
+            .filter(|&u| !cov.iter().any(|c| c[u]))
+            .collect()
+    }
+
+    /// Greedy set cover: repeatedly open the site covering the most
+    /// still-uncovered users. `ln n`-approximate, fast, the practical
+    /// choice for real deployments.
+    pub fn solve_greedy(&self) -> PlacementSolution {
+        let cov = self.coverage();
+        let infeasible = self.infeasible_users();
+        let mut covered = vec![false; self.users.len()];
+        for &u in &infeasible {
+            covered[u] = true; // exclude from the objective
+        }
+        let mut open = Vec::new();
+        while covered.iter().any(|&c| !c) {
+            let (best, gain) = cov
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| !open.contains(i))
+                .map(|(i, c)| {
+                    let gain = c.iter().zip(&covered).filter(|(s, d)| **s && !**d).count();
+                    (i, gain)
+                })
+                .max_by_key(|&(_, gain)| gain)
+                .unwrap_or((usize::MAX, 0));
+            if gain == 0 {
+                break;
+            }
+            open.push(best);
+            for (u, &c) in cov[best].iter().enumerate() {
+                if c {
+                    covered[u] = true;
+                }
+            }
+        }
+        open.sort_unstable();
+        PlacementSolution { open_sites: open, uncovered: infeasible }
+    }
+
+    /// Exact branch-and-bound set cover. Exponential; intended for
+    /// instances with at most ~25 sites (the E10 quality check).
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are more than 30 candidate sites.
+    pub fn solve_exact(&self) -> PlacementSolution {
+        assert!(self.sites.len() <= 30, "exact solver limited to 30 sites");
+        let cov = self.coverage();
+        let infeasible = self.infeasible_users();
+        let feasible_users: Vec<usize> = (0..self.users.len())
+            .filter(|u| !infeasible.contains(u))
+            .collect();
+
+        // Represent coverage as bitmasks over feasible users (≤ usize
+        // chunks; users may exceed 64, so use Vec<u64> masks).
+        let words = feasible_users.len().div_ceil(64);
+        let mask_of = |site: usize| -> Vec<u64> {
+            let mut m = vec![0u64; words];
+            for (bit, &u) in feasible_users.iter().enumerate() {
+                if cov[site][u] {
+                    m[bit / 64] |= 1 << (bit % 64);
+                }
+            }
+            m
+        };
+        let site_masks: Vec<Vec<u64>> = (0..self.sites.len()).map(mask_of).collect();
+        let full: Vec<u64> = {
+            let mut m = vec![0u64; words];
+            for bit in 0..feasible_users.len() {
+                m[bit / 64] |= 1 << (bit % 64);
+            }
+            m
+        };
+
+        let greedy = self.solve_greedy();
+        let mut best = greedy.open_sites.clone();
+        let mut best_cost = best.len();
+
+        // Order sites by descending coverage for better pruning.
+        let mut order: Vec<usize> = (0..self.sites.len()).collect();
+        order.sort_by_key(|&i| {
+            std::cmp::Reverse(site_masks[i].iter().map(|w| w.count_ones()).sum::<u32>())
+        });
+
+        fn is_full(m: &[u64], full: &[u64]) -> bool {
+            m.iter().zip(full).all(|(a, b)| a == b)
+        }
+
+        #[allow(clippy::too_many_arguments)]
+        fn recurse(
+            order: &[usize],
+            pos: usize,
+            chosen: &mut Vec<usize>,
+            covered: Vec<u64>,
+            site_masks: &[Vec<u64>],
+            full: &[u64],
+            best: &mut Vec<usize>,
+            best_cost: &mut usize,
+        ) {
+            if is_full(&covered, full) {
+                if chosen.len() < *best_cost {
+                    *best_cost = chosen.len();
+                    *best = chosen.clone();
+                }
+                return;
+            }
+            if chosen.len() + 1 >= *best_cost || pos >= order.len() {
+                return;
+            }
+            // Bound: remaining uncovered / best remaining site coverage.
+            let uncovered: u32 =
+                covered.iter().zip(full).map(|(c, f)| (f & !c).count_ones()).sum();
+            let best_gain = order[pos..]
+                .iter()
+                .map(|&s| {
+                    site_masks[s]
+                        .iter()
+                        .zip(&covered)
+                        .zip(full)
+                        .map(|((m, c), f)| (m & f & !c).count_ones())
+                        .sum::<u32>()
+                })
+                .max()
+                .unwrap_or(0);
+            if best_gain == 0 {
+                return;
+            }
+            let need = uncovered.div_ceil(best_gain) as usize;
+            if chosen.len() + need >= *best_cost {
+                return;
+            }
+
+            let site = order[pos];
+            // Branch 1: take the site.
+            let mut with: Vec<u64> =
+                covered.iter().zip(&site_masks[site]).map(|(c, m)| c | m).collect();
+            for (w, f) in with.iter_mut().zip(full) {
+                *w &= f;
+            }
+            chosen.push(site);
+            recurse(order, pos + 1, chosen, with, site_masks, full, best, best_cost);
+            chosen.pop();
+            // Branch 2: skip it.
+            recurse(order, pos + 1, chosen, covered, site_masks, full, best, best_cost);
+        }
+
+        recurse(
+            &order,
+            0,
+            &mut Vec::new(),
+            vec![0u64; words],
+            &site_masks,
+            &full,
+            &mut best,
+            &mut best_cost,
+        );
+        best.sort_unstable();
+        PlacementSolution { open_sites: best, uncovered: infeasible }
+    }
+
+    /// A simple lower bound on the optimum: `ceil(feasible users / largest
+    /// single-site coverage)`.
+    pub fn lower_bound(&self) -> usize {
+        let cov = self.coverage();
+        let infeasible = self.infeasible_users().len();
+        let feasible = self.users.len() - infeasible;
+        if feasible == 0 {
+            return 0;
+        }
+        let best_site = cov.iter().map(|c| c.iter().filter(|&&b| b).count()).max().unwrap_or(0);
+        if best_site == 0 {
+            return 0;
+        }
+        feasible.div_ceil(best_site)
+    }
+
+    /// Verifies that a solution covers every feasible user.
+    pub fn validate(&self, sol: &PlacementSolution) -> bool {
+        let cov = self.coverage();
+        (0..self.users.len()).all(|u| {
+            sol.uncovered.contains(&u)
+                || sol.open_sites.iter().any(|&s| cov[s][u])
+        })
+    }
+}
+
+/// Generates a synthetic metro instance: `n_users` clustered around
+/// `hotspots` (plus a uniform background), `n_sites` on a jittered grid
+/// over a `size_km` square.
+pub fn synthetic_metro(
+    n_users: usize,
+    n_sites: usize,
+    size_km: f64,
+    budget: SimDuration,
+    rng: &mut ChaCha12Rng,
+) -> PlacementProblem {
+    assert!(n_sites > 0, "need at least one candidate site");
+    let hotspots = 5.max(n_users / 200);
+    let centers: Vec<Point> = (0..hotspots)
+        .map(|_| Point { x: rng.gen_range(0.0..size_km), y: rng.gen_range(0.0..size_km) })
+        .collect();
+    let users = (0..n_users)
+        .map(|i| {
+            let loc = if i % 4 == 0 {
+                // Uniform background user.
+                Point { x: rng.gen_range(0.0..size_km), y: rng.gen_range(0.0..size_km) }
+            } else {
+                let c = centers[rng.gen_range(0..centers.len())];
+                Point {
+                    x: (c.x + rng.gen_range(-2.0..2.0)).clamp(0.0, size_km),
+                    y: (c.y + rng.gen_range(-2.0..2.0)).clamp(0.0, size_km),
+                }
+            };
+            // Mix of radios: mostly WiFi-class access, some LTE.
+            let access_ms = if rng.gen_bool(0.7) {
+                rng.gen_range(6.0..20.0)
+            } else {
+                rng.gen_range(30.0..70.0)
+            };
+            User {
+                loc,
+                access_rtt: SimDuration::from_millis_f64(access_ms),
+                budget,
+            }
+        })
+        .collect();
+    let grid = (n_sites as f64).sqrt().ceil() as usize;
+    let step = size_km / grid as f64;
+    let mut sites = Vec::with_capacity(n_sites);
+    'outer: for gy in 0..grid {
+        for gx in 0..grid {
+            if sites.len() >= n_sites {
+                break 'outer;
+            }
+            sites.push(Site {
+                loc: Point {
+                    x: (gx as f64 + 0.5) * step + rng.gen_range(-0.2..0.2) * step,
+                    y: (gy as f64 + 0.5) * step + rng.gen_range(-0.2..0.2) * step,
+                },
+                processing: SimDuration::from_millis(2),
+            });
+        }
+    }
+    PlacementProblem { users, sites, model: LatencyModel::default() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use marnet_sim::rng::derive_rng;
+
+    fn tiny_problem() -> PlacementProblem {
+        // Two clusters of users, two well-placed sites and one useless one.
+        // Budget 12 ms − 8 ms access − 2 ms processing leaves 2 ms of
+        // backhaul ⇒ a ~6.6 km coverage radius: each cluster needs its own
+        // site.
+        let mk_user = |x: f64, y: f64| User {
+            loc: Point { x, y },
+            access_rtt: SimDuration::from_millis(8),
+            budget: SimDuration::from_millis(12),
+        };
+        PlacementProblem {
+            users: vec![
+                mk_user(1.0, 1.0),
+                mk_user(1.5, 1.2),
+                mk_user(9.0, 9.0),
+                mk_user(9.5, 8.8),
+            ],
+            sites: vec![
+                Site { loc: Point { x: 1.2, y: 1.1 }, processing: SimDuration::from_millis(2) },
+                Site { loc: Point { x: 9.2, y: 9.0 }, processing: SimDuration::from_millis(2) },
+                Site { loc: Point { x: 50.0, y: 50.0 }, processing: SimDuration::from_millis(2) },
+            ],
+            model: LatencyModel::default(),
+        }
+    }
+
+    #[test]
+    fn distances() {
+        let a = Point { x: 0.0, y: 0.0 };
+        let b = Point { x: 3.0, y: 4.0 };
+        assert_eq!(a.distance(b), 5.0);
+    }
+
+    #[test]
+    fn greedy_covers_the_tiny_instance_with_two_sites() {
+        let p = tiny_problem();
+        let sol = p.solve_greedy();
+        assert_eq!(sol.cost(), 2);
+        assert_eq!(sol.open_sites, vec![0, 1]);
+        assert!(sol.uncovered.is_empty());
+        assert!(p.validate(&sol));
+    }
+
+    #[test]
+    fn exact_matches_greedy_on_tiny_instance() {
+        let p = tiny_problem();
+        assert_eq!(p.solve_exact().cost(), p.solve_greedy().cost());
+    }
+
+    #[test]
+    fn exact_beats_greedy_on_adversarial_instance() {
+        // Classic set-cover trap: greedy takes the big middle site first
+        // and then needs the two side sites anyway; optimal is the two
+        // side sites. Built with three user groups A, B, M:
+        //  site0 covers A∪M-part, site1 covers B∪M-part, site2 covers M
+        //  (biggest). Construct geometrically: users on a line.
+        let u = |x: f64| User {
+            loc: Point { x, y: 0.0 },
+            access_rtt: SimDuration::from_millis(1),
+            budget: SimDuration::from_millis(4),
+        };
+        // Coverage radius: budget 4ms - 1ms access - 1ms proc = 2 ms of
+        // backhaul at 0.3ms/km ⇒ ~6.6 km.
+        let s = |x: f64| Site { loc: Point { x, y: 0.0 }, processing: SimDuration::from_millis(1) };
+        let p = PlacementProblem {
+            users: vec![u(0.0), u(2.0), u(4.0), u(10.0), u(12.0), u(14.0)],
+            sites: vec![
+                s(2.0),  // covers users at 0,2,4 (left three)
+                s(12.0), // covers users at 10,12,14 (right three)
+                s(7.0),  // covers users at 2,4,10,12 (the greedy trap: 4 users)
+            ],
+            model: LatencyModel::default(),
+        };
+        let greedy = p.solve_greedy();
+        let exact = p.solve_exact();
+        assert_eq!(exact.cost(), 2, "optimum is the two side sites");
+        assert_eq!(greedy.cost(), 3, "greedy falls for the middle site");
+        assert!(p.validate(&greedy) && p.validate(&exact));
+    }
+
+    #[test]
+    fn infeasible_users_are_reported_not_fatal() {
+        let mut p = tiny_problem();
+        // A user on LTE with a budget below its own access RTT.
+        p.users.push(User {
+            loc: Point { x: 5.0, y: 5.0 },
+            access_rtt: SimDuration::from_millis(60),
+            budget: SimDuration::from_millis(12),
+        });
+        let sol = p.solve_greedy();
+        assert_eq!(sol.uncovered, vec![4]);
+        assert_eq!(sol.cost(), 2);
+        assert!(p.validate(&sol));
+    }
+
+    #[test]
+    fn lower_bound_is_a_lower_bound() {
+        let mut rng = derive_rng(17, "placement");
+        let p = synthetic_metro(120, 16, 20.0, SimDuration::from_millis(25), &mut rng);
+        let lb = p.lower_bound();
+        let exact = p.solve_exact();
+        let greedy = p.solve_greedy();
+        assert!(lb <= exact.cost(), "lb {lb} vs exact {}", exact.cost());
+        assert!(exact.cost() <= greedy.cost());
+        assert!(p.validate(&exact) && p.validate(&greedy));
+    }
+
+    #[test]
+    fn tighter_budget_needs_more_datacenters() {
+        let mut rng = derive_rng(18, "placement2");
+        let p_loose = synthetic_metro(200, 25, 30.0, SimDuration::from_millis(60), &mut rng);
+        let mut rng = derive_rng(18, "placement2");
+        let p_tight = synthetic_metro(200, 25, 30.0, SimDuration::from_millis(15), &mut rng);
+        let loose = p_loose.solve_greedy();
+        let tight = p_tight.solve_greedy();
+        // With the same geography, tighter deadlines shrink coverage radii,
+        // so more sites must open (or users become infeasible).
+        assert!(
+            tight.cost() + tight.uncovered.len() > loose.cost(),
+            "tight {}+{} vs loose {}",
+            tight.cost(),
+            tight.uncovered.len(),
+            loose.cost()
+        );
+    }
+
+    #[test]
+    fn synthetic_instance_shape() {
+        let mut rng = derive_rng(19, "placement3");
+        let p = synthetic_metro(100, 9, 10.0, SimDuration::from_millis(30), &mut rng);
+        assert_eq!(p.users.len(), 100);
+        assert_eq!(p.sites.len(), 9);
+        for s in &p.sites {
+            assert!((0.0..=12.0).contains(&s.loc.x));
+        }
+    }
+}

@@ -1,0 +1,240 @@
+//! Per-path server selection and inter-server synchronisation (§VI-E).
+//!
+//! "When connecting to a university's WiFi network, it may be preferable to
+//! offload to the university server, while the connection using 4G […] may
+//! contact a different server. […] However, servers should be interconnected
+//! in order to process data efficiently. The question of inter-server
+//! synchronisation remains with the need for n-way synchronisation."
+
+use marnet_sim::time::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// A reachable server as seen from one network path.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServerOption {
+    /// Human-readable label ("university", "cloud-tw", ...).
+    pub name: String,
+    /// RTT from the device over this path to this server.
+    pub rtt: SimDuration,
+    /// Server compute capacity in GFLOPS.
+    pub compute_gflops: f64,
+}
+
+/// Pairwise inter-server latency matrix (symmetric, zero diagonal).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InterServerMatrix {
+    names: Vec<String>,
+    /// Row-major RTTs.
+    rtt: Vec<Vec<SimDuration>>,
+}
+
+impl InterServerMatrix {
+    /// Builds a matrix from names and a full RTT table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table is not square or diagonal entries are non-zero.
+    pub fn new(names: Vec<String>, rtt: Vec<Vec<SimDuration>>) -> Self {
+        assert_eq!(names.len(), rtt.len(), "matrix must be square");
+        for (i, row) in rtt.iter().enumerate() {
+            assert_eq!(row.len(), names.len(), "matrix must be square");
+            assert_eq!(row[i], SimDuration::ZERO, "diagonal must be zero");
+        }
+        InterServerMatrix { names, rtt }
+    }
+
+    fn index(&self, name: &str) -> Option<usize> {
+        self.names.iter().position(|n| n == name)
+    }
+
+    /// RTT between two servers (`None` if either is unknown).
+    pub fn between(&self, a: &str, b: &str) -> Option<SimDuration> {
+        Some(self.rtt[self.index(a)?][self.index(b)?])
+    }
+
+    /// The n-way synchronisation latency across the given servers: one
+    /// round of all-to-all state exchange is bounded by the slowest pair.
+    pub fn sync_latency(&self, servers: &[&str]) -> SimDuration {
+        let mut worst = SimDuration::ZERO;
+        for (i, a) in servers.iter().enumerate() {
+            for b in &servers[i + 1..] {
+                if let Some(r) = self.between(a, b) {
+                    worst = worst.max(r);
+                }
+            }
+        }
+        worst
+    }
+}
+
+/// An assignment of servers to paths, with its synchronisation cost.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultiServerPlan {
+    /// Chosen server name per path (same order as the input).
+    pub per_path: Vec<String>,
+    /// Sync latency if the per-path servers differ (zero for one server).
+    pub sync: SimDuration,
+    /// Per-path device→server RTT of the chosen servers.
+    pub path_rtt: Vec<SimDuration>,
+}
+
+impl MultiServerPlan {
+    /// Effective latency of an offload that needs fan-in across servers:
+    /// the worst chosen path RTT plus the sync round.
+    pub fn fan_in_latency(&self) -> SimDuration {
+        self.path_rtt.iter().copied().max().unwrap_or(SimDuration::ZERO) + self.sync
+    }
+}
+
+/// Chooses, per path, the lowest-RTT server — Fig. 5a's "the nearest
+/// server would be selected for a given path" — and prices the resulting
+/// synchronisation.
+///
+/// # Panics
+///
+/// Panics if any path has no server options.
+pub fn select_per_path(
+    options_per_path: &[Vec<ServerOption>],
+    matrix: &InterServerMatrix,
+) -> MultiServerPlan {
+    let mut per_path = Vec::new();
+    let mut path_rtt = Vec::new();
+    for opts in options_per_path {
+        let best = opts
+            .iter()
+            .min_by_key(|o| o.rtt)
+            .expect("every path needs at least one server option");
+        per_path.push(best.name.clone());
+        path_rtt.push(best.rtt);
+    }
+    let mut distinct: Vec<&str> = per_path.iter().map(String::as_str).collect();
+    distinct.sort_unstable();
+    distinct.dedup();
+    let sync =
+        if distinct.len() > 1 { matrix.sync_latency(&distinct) } else { SimDuration::ZERO };
+    MultiServerPlan { per_path, sync, path_rtt }
+}
+
+/// Chooses a single shared server minimising the worst path RTT — the
+/// alternative to per-path selection when synchronisation is too costly.
+///
+/// # Panics
+///
+/// Panics if no server is reachable from every path.
+pub fn select_single(options_per_path: &[Vec<ServerOption>]) -> MultiServerPlan {
+    // Candidate servers reachable from all paths.
+    let first: Vec<&ServerOption> = options_per_path.first().map_or(Vec::new(), |v| v.iter().collect());
+    let mut best: Option<(SimDuration, &ServerOption, Vec<SimDuration>)> = None;
+    for cand in first {
+        let mut rtts = Vec::new();
+        let mut ok = true;
+        for opts in options_per_path {
+            match opts.iter().find(|o| o.name == cand.name) {
+                Some(o) => rtts.push(o.rtt),
+                None => {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if !ok {
+            continue;
+        }
+        let worst = rtts.iter().copied().max().unwrap_or(SimDuration::ZERO);
+        if best.as_ref().is_none_or(|(w, _, _)| worst < *w) {
+            best = Some((worst, cand, rtts));
+        }
+    }
+    let (_, server, path_rtt) = best.expect("no server reachable from every path");
+    MultiServerPlan {
+        per_path: vec![server.name.clone(); options_per_path.len()],
+        sync: SimDuration::ZERO,
+        path_rtt,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> SimDuration {
+        SimDuration::from_millis(v)
+    }
+
+    fn matrix() -> InterServerMatrix {
+        InterServerMatrix::new(
+            vec!["uni".into(), "cloud".into()],
+            vec![vec![ms(0), ms(25)], vec![ms(25), ms(0)]],
+        )
+    }
+
+    fn options() -> Vec<Vec<ServerOption>> {
+        vec![
+            // Path 0 (campus WiFi): university server is close.
+            vec![
+                ServerOption { name: "uni".into(), rtt: ms(9), compute_gflops: 2_000.0 },
+                ServerOption { name: "cloud".into(), rtt: ms(36), compute_gflops: 20_000.0 },
+            ],
+            // Path 1 (LTE): cloud is closer than the campus detour.
+            vec![
+                ServerOption { name: "uni".into(), rtt: ms(90), compute_gflops: 2_000.0 },
+                ServerOption { name: "cloud".into(), rtt: ms(60), compute_gflops: 20_000.0 },
+            ],
+        ]
+    }
+
+    #[test]
+    fn per_path_picks_nearest_and_prices_sync() {
+        let plan = select_per_path(&options(), &matrix());
+        assert_eq!(plan.per_path, vec!["uni", "cloud"]);
+        assert_eq!(plan.path_rtt, vec![ms(9), ms(60)]);
+        assert_eq!(plan.sync, ms(25));
+        assert_eq!(plan.fan_in_latency(), ms(85));
+    }
+
+    #[test]
+    fn single_server_avoids_sync_at_higher_path_cost() {
+        let plan = select_single(&options());
+        assert_eq!(plan.per_path, vec!["cloud", "cloud"]);
+        assert_eq!(plan.sync, SimDuration::ZERO);
+        assert_eq!(plan.fan_in_latency(), ms(60));
+        // The §VI-E trade-off, concretely: here the single server wins on
+        // fan-in latency (60 < 85) but loses on path-0 latency (36 > 9).
+        let per_path = select_per_path(&options(), &matrix());
+        assert!(plan.fan_in_latency() < per_path.fan_in_latency());
+        assert!(plan.path_rtt[0] > per_path.path_rtt[0]);
+    }
+
+    #[test]
+    fn same_server_on_all_paths_needs_no_sync() {
+        let opts = vec![
+            vec![ServerOption { name: "cloud".into(), rtt: ms(30), compute_gflops: 1.0 }],
+            vec![ServerOption { name: "cloud".into(), rtt: ms(50), compute_gflops: 1.0 }],
+        ];
+        let plan = select_per_path(&opts, &matrix());
+        assert_eq!(plan.sync, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn sync_latency_is_worst_pair() {
+        let m = InterServerMatrix::new(
+            vec!["a".into(), "b".into(), "c".into()],
+            vec![
+                vec![ms(0), ms(10), ms(40)],
+                vec![ms(10), ms(0), ms(20)],
+                vec![ms(40), ms(20), ms(0)],
+            ],
+        );
+        assert_eq!(m.sync_latency(&["a", "b", "c"]), ms(40));
+        assert_eq!(m.sync_latency(&["a", "b"]), ms(10));
+        assert_eq!(m.sync_latency(&["a"]), ms(0));
+        assert_eq!(m.between("b", "c"), Some(ms(20)));
+        assert_eq!(m.between("b", "zzz"), None);
+    }
+
+    #[test]
+    #[should_panic]
+    fn nonzero_diagonal_panics() {
+        let _ = InterServerMatrix::new(vec!["a".into()], vec![vec![ms(1)]]);
+    }
+}

@@ -1,0 +1,230 @@
+//! Sensitive-region anonymisation cost and leakage model (§VI-G).
+//!
+//! "In the case of a picture, at least faces, license plates and visible
+//! street plates should be blurred before sending to other users for
+//! processing." Detection and blurring are themselves vision work — this
+//! model prices them in GFLOP per frame and tracks the residual leakage of
+//! each user-selectable privacy level (the I-PIC idea of letting users
+//! define levels of privacy).
+
+use rand::Rng;
+use rand_chacha::ChaCha12Rng;
+use serde::{Deserialize, Serialize};
+
+/// Kinds of sensitive regions the paper enumerates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RegionKind {
+    /// Human faces.
+    Face,
+    /// Vehicle license plates.
+    LicensePlate,
+    /// Street name plates (reveal location).
+    StreetPlate,
+}
+
+impl RegionKind {
+    /// All kinds.
+    pub const ALL: [RegionKind; 3] =
+        [RegionKind::Face, RegionKind::LicensePlate, RegionKind::StreetPlate];
+
+    /// Relative identifiability weight: how much of a person's identity /
+    /// location one unredacted region leaks.
+    pub fn leak_weight(self) -> f64 {
+        match self {
+            RegionKind::Face => 1.0,
+            RegionKind::LicensePlate => 0.6,
+            RegionKind::StreetPlate => 0.3,
+        }
+    }
+}
+
+/// User-selectable privacy level, I-PIC style.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum PrivacyLevel {
+    /// No redaction (trusted first-party server only).
+    Off,
+    /// Blur faces only.
+    FacesOnly,
+    /// Blur faces and license plates.
+    FacesAndPlates,
+    /// Blur everything the paper lists (required before D2D sharing).
+    Full,
+}
+
+impl PrivacyLevel {
+    /// Whether this level redacts the given region kind.
+    pub fn redacts(self, kind: RegionKind) -> bool {
+        match self {
+            PrivacyLevel::Off => false,
+            PrivacyLevel::FacesOnly => kind == RegionKind::Face,
+            PrivacyLevel::FacesAndPlates => {
+                matches!(kind, RegionKind::Face | RegionKind::LicensePlate)
+            }
+            PrivacyLevel::Full => true,
+        }
+    }
+
+    /// Whether the level satisfies the paper's D2D requirement ("data
+    /// offloaded to other users devices should not be recoverable").
+    pub fn safe_for_d2d(self) -> bool {
+        self == PrivacyLevel::Full
+    }
+}
+
+/// The sensitive regions present in one frame.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FrameRegions {
+    /// Face count.
+    pub faces: u32,
+    /// License-plate count.
+    pub plates: u32,
+    /// Street-plate count.
+    pub street_plates: u32,
+}
+
+impl FrameRegions {
+    fn count(&self, kind: RegionKind) -> u32 {
+        match kind {
+            RegionKind::Face => self.faces,
+            RegionKind::LicensePlate => self.plates,
+            RegionKind::StreetPlate => self.street_plates,
+        }
+    }
+
+    /// Total regions.
+    pub fn total(&self) -> u32 {
+        self.faces + self.plates + self.street_plates
+    }
+}
+
+/// Computation-cost model of the anonymisation pass.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AnonymizeCost {
+    /// Fixed per-frame detection sweep, GFLOP (runs whenever any kind is
+    /// redacted — detectors must look before they can blur).
+    pub detection_gflop: f64,
+    /// Per-region blur cost, GFLOP.
+    pub blur_gflop_per_region: f64,
+}
+
+impl Default for AnonymizeCost {
+    fn default() -> Self {
+        AnonymizeCost { detection_gflop: 0.20, blur_gflop_per_region: 0.01 }
+    }
+}
+
+impl AnonymizeCost {
+    /// GFLOP spent anonymising one frame at the given level.
+    pub fn frame_gflop(&self, level: PrivacyLevel, regions: &FrameRegions) -> f64 {
+        if level == PrivacyLevel::Off {
+            return 0.0;
+        }
+        let blurred: u32 = RegionKind::ALL
+            .iter()
+            .filter(|&&k| level.redacts(k))
+            .map(|&k| regions.count(k))
+            .sum();
+        self.detection_gflop + self.blur_gflop_per_region * f64::from(blurred)
+    }
+}
+
+/// Residual leakage score of a frame after redaction at `level`:
+/// sum of leak weights of regions *not* redacted (0 = fully private).
+pub fn leakage(level: PrivacyLevel, regions: &FrameRegions) -> f64 {
+    RegionKind::ALL
+        .iter()
+        .filter(|&&k| !level.redacts(k))
+        .map(|&k| f64::from(regions.count(k)) * k.leak_weight())
+        .sum()
+}
+
+/// Draws the sensitive-region content of a street-scene frame (Poisson-ish
+/// counts calibrated to a busy sidewalk).
+pub fn sample_street_scene(rng: &mut ChaCha12Rng) -> FrameRegions {
+    let draw = |rng: &mut ChaCha12Rng, mean: f64| -> u32 {
+        // Cheap Poisson via exponential gaps.
+        let mut count = 0;
+        let mut acc = 0.0;
+        loop {
+            let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+            acc += -u.ln() / mean;
+            if acc > 1.0 || count > 30 {
+                break;
+            }
+            count += 1;
+        }
+        count
+    };
+    FrameRegions {
+        faces: draw(rng, 3.0),
+        plates: draw(rng, 1.0),
+        street_plates: draw(rng, 0.5),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use marnet_sim::rng::derive_rng;
+
+    fn busy() -> FrameRegions {
+        FrameRegions { faces: 4, plates: 2, street_plates: 1 }
+    }
+
+    #[test]
+    fn levels_redact_monotonically() {
+        let r = busy();
+        let leaks: Vec<f64> = [
+            PrivacyLevel::Off,
+            PrivacyLevel::FacesOnly,
+            PrivacyLevel::FacesAndPlates,
+            PrivacyLevel::Full,
+        ]
+        .iter()
+        .map(|&l| leakage(l, &r))
+        .collect();
+        assert!(leaks.windows(2).all(|w| w[0] > w[1]), "{leaks:?}");
+        assert_eq!(leaks[3], 0.0);
+        assert_eq!(leaks[0], 4.0 + 1.2 + 0.3);
+    }
+
+    #[test]
+    fn only_full_is_d2d_safe() {
+        assert!(PrivacyLevel::Full.safe_for_d2d());
+        assert!(!PrivacyLevel::FacesAndPlates.safe_for_d2d());
+        assert!(!PrivacyLevel::Off.safe_for_d2d());
+    }
+
+    #[test]
+    fn cost_scales_with_redacted_regions() {
+        let c = AnonymizeCost::default();
+        let r = busy();
+        assert_eq!(c.frame_gflop(PrivacyLevel::Off, &r), 0.0);
+        let faces = c.frame_gflop(PrivacyLevel::FacesOnly, &r);
+        let full = c.frame_gflop(PrivacyLevel::Full, &r);
+        assert!(full > faces);
+        assert!((faces - (0.20 + 0.04)).abs() < 1e-12);
+        assert!((full - (0.20 + 0.07)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_frame_costs_only_detection() {
+        let c = AnonymizeCost::default();
+        let r = FrameRegions::default();
+        assert_eq!(c.frame_gflop(PrivacyLevel::Full, &r), 0.20);
+        assert_eq!(leakage(PrivacyLevel::Off, &r), 0.0);
+    }
+
+    #[test]
+    fn street_scene_sampler_is_plausible() {
+        let mut rng = derive_rng(3, "privacy");
+        let mut total_faces = 0u32;
+        for _ in 0..500 {
+            let r = sample_street_scene(&mut rng);
+            total_faces += r.faces;
+            assert!(r.faces <= 31 && r.plates <= 31);
+        }
+        let mean = f64::from(total_faces) / 500.0;
+        assert!((mean - 3.0).abs() < 0.5, "mean faces {mean}");
+    }
+}

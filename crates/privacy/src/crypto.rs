@@ -1,0 +1,130 @@
+//! Encryption cost model (§VI-G).
+//!
+//! "Heavy usage of cryptography should be performed for every
+//! communication." Encryption throughput depends on whether the device has
+//! hardware AES; on wearable-class CPUs software crypto measurably eats
+//! into the latency budget.
+
+use marnet_app::device::DeviceClass;
+use marnet_sim::time::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Cipher families with distinct cost profiles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Cipher {
+    /// AES-GCM with hardware support where available.
+    AesGcm,
+    /// ChaCha20-Poly1305 (fast in software, no hardware dependence).
+    ChaCha20Poly1305,
+}
+
+/// Encryption throughput of a device for a cipher, MB/s.
+pub fn throughput_mbps(device: DeviceClass, cipher: Cipher) -> f64 {
+    // Calibrated to circa-2017 mobile/desktop benchmarks.
+    let (aes_hw, sw_base) = match device {
+        DeviceClass::SmartGlasses => (false, 30.0),
+        DeviceClass::Smartphone => (true, 120.0),
+        DeviceClass::Tablet => (true, 180.0),
+        DeviceClass::Laptop => (true, 500.0),
+        DeviceClass::Desktop => (true, 900.0),
+        DeviceClass::Cloud => (true, 2_000.0),
+    };
+    match cipher {
+        Cipher::AesGcm => {
+            if aes_hw {
+                sw_base * 8.0 // AES-NI/ARMv8-CE class speedup
+            } else {
+                sw_base * 0.6 // software AES is slower than ChaCha
+            }
+        }
+        Cipher::ChaCha20Poly1305 => sw_base,
+    }
+}
+
+/// Time to encrypt (or decrypt) `bytes` on `device` with `cipher`.
+pub fn encrypt_time(device: DeviceClass, cipher: Cipher, bytes: u64) -> SimDuration {
+    let mbps = throughput_mbps(device, cipher);
+    SimDuration::from_secs_f64(bytes as f64 / (mbps * 1e6))
+}
+
+/// Handshake cost when (re)establishing a secure session — relevant after
+/// every WiFi handover gap (§IV-A-4 meets §VI-G).
+pub fn handshake_time(device: DeviceClass, rtt: SimDuration) -> SimDuration {
+    // 1-RTT handshake plus asymmetric crypto on the device.
+    let asym = match device {
+        DeviceClass::SmartGlasses => SimDuration::from_millis(12),
+        DeviceClass::Smartphone => SimDuration::from_millis(3),
+        DeviceClass::Tablet => SimDuration::from_millis(2),
+        _ => SimDuration::from_millis(1),
+    };
+    rtt + asym
+}
+
+/// Picks the faster cipher for a device — the practical §VI-G guidance.
+pub fn best_cipher(device: DeviceClass) -> Cipher {
+    if throughput_mbps(device, Cipher::AesGcm)
+        >= throughput_mbps(device, Cipher::ChaCha20Poly1305)
+    {
+        Cipher::AesGcm
+    } else {
+        Cipher::ChaCha20Poly1305
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hardware_aes_beats_chacha_on_phones() {
+        assert_eq!(best_cipher(DeviceClass::Smartphone), Cipher::AesGcm);
+        assert_eq!(best_cipher(DeviceClass::Cloud), Cipher::AesGcm);
+    }
+
+    #[test]
+    fn glasses_prefer_chacha() {
+        assert_eq!(best_cipher(DeviceClass::SmartGlasses), Cipher::ChaCha20Poly1305);
+    }
+
+    #[test]
+    fn encrypting_a_frame_fits_the_budget_on_a_phone_not_glasses() {
+        // A 40 KB frame payload.
+        let phone = encrypt_time(DeviceClass::Smartphone, best_cipher(DeviceClass::Smartphone), 40_000);
+        let glasses = encrypt_time(
+            DeviceClass::SmartGlasses,
+            best_cipher(DeviceClass::SmartGlasses),
+            40_000,
+        );
+        assert!(phone < SimDuration::from_millis(1), "phone {phone}");
+        assert!(glasses > phone * 10, "glasses {glasses}");
+        // Still only ~1.3 ms on glasses; crypto alone is affordable, the
+        // paper's worry compounds when it stacks with vision work.
+        assert!(glasses < SimDuration::from_millis(5));
+    }
+
+    #[test]
+    fn handshake_cost_adds_to_handover() {
+        let rtt = SimDuration::from_millis(36);
+        let h = handshake_time(DeviceClass::SmartGlasses, rtt);
+        assert_eq!(h, SimDuration::from_millis(48));
+        assert!(handshake_time(DeviceClass::Cloud, rtt) < h);
+    }
+
+    #[test]
+    fn throughput_monotone_in_device_power() {
+        let order = [
+            DeviceClass::SmartGlasses,
+            DeviceClass::Smartphone,
+            DeviceClass::Tablet,
+            DeviceClass::Laptop,
+            DeviceClass::Desktop,
+            DeviceClass::Cloud,
+        ];
+        for w in order.windows(2) {
+            assert!(
+                throughput_mbps(w[0], Cipher::ChaCha20Poly1305)
+                    < throughput_mbps(w[1], Cipher::ChaCha20Poly1305)
+            );
+        }
+    }
+}

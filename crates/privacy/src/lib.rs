@@ -1,0 +1,25 @@
+//! # marnet-privacy — privacy and security cost models (§VI-G)
+//!
+//! "As AR applications transmit audio or video feeds from a camera, user
+//! privacy is primordial." The paper requires cryptography on every
+//! communication and anonymisation of offloaded imagery (faces, license
+//! plates, street plates blurred before D2D sharing), citing PrivateEye/
+//! WaveOff, Privacy.Tag and I-PIC. Those are vision systems; per the
+//! substitution rule this crate models their *costs and leakage*:
+//!
+//! * [`anonymize`] — sensitive-region detection/blur cost per frame and a
+//!   residual-leakage score per privacy level (I-PIC-style user levels);
+//! * [`crypto`] — encryption throughput per device class and the latency
+//!   it adds to MAR payloads (AES-class with and without hardware offload);
+//! * [`policy`] — a combined per-frame pipeline: given a frame and a
+//!   policy, the added latency, added bytes and leakage.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod anonymize;
+pub mod crypto;
+pub mod policy;
+
+pub use anonymize::PrivacyLevel;
+pub use policy::{PrivacyPolicy, PrivacyVerdict};

@@ -1,0 +1,143 @@
+//! The combined per-frame privacy pipeline (§VI-G).
+//!
+//! "A trade-off needs to be found between the user's privacy and the amount
+//! of personal data required for proper behavior of the application." A
+//! [`PrivacyPolicy`] fixes one point on that trade-off; applying it to a
+//! frame yields the added latency (anonymisation compute + encryption), the
+//! added bytes (auth tags/nonces) and the residual leakage.
+
+use crate::anonymize::{leakage, AnonymizeCost, FrameRegions, PrivacyLevel};
+use crate::crypto::{best_cipher, encrypt_time, Cipher};
+use marnet_app::device::DeviceClass;
+use marnet_sim::time::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Per-packet overhead of AEAD encryption (nonce + tag), bytes.
+pub const AEAD_OVERHEAD_BYTES: u32 = 28;
+
+/// One point on the privacy/cost trade-off.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PrivacyPolicy {
+    /// Redaction level for offloaded imagery.
+    pub level: PrivacyLevel,
+    /// Whether payloads are encrypted.
+    pub encrypt: bool,
+    /// Cipher to use; `None` picks the device's fastest.
+    pub cipher: Option<Cipher>,
+}
+
+impl PrivacyPolicy {
+    /// The paper's recommendation: full redaction + encryption.
+    pub fn paranoid() -> Self {
+        PrivacyPolicy { level: PrivacyLevel::Full, encrypt: true, cipher: None }
+    }
+
+    /// Trusted first-party server: encrypt but do not redact.
+    pub fn first_party() -> Self {
+        PrivacyPolicy { level: PrivacyLevel::Off, encrypt: true, cipher: None }
+    }
+
+    /// The (non-compliant) baseline: nothing.
+    pub fn none() -> Self {
+        PrivacyPolicy { level: PrivacyLevel::Off, encrypt: false, cipher: None }
+    }
+
+    /// Whether this policy satisfies the §VI-G requirements for offloading
+    /// to untrusted peers.
+    pub fn d2d_compliant(&self) -> bool {
+        self.level.safe_for_d2d() && self.encrypt
+    }
+}
+
+/// What applying a policy to one frame costs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PrivacyVerdict {
+    /// Added processing latency on the device.
+    pub added_latency: SimDuration,
+    /// Added payload bytes.
+    pub added_bytes: u32,
+    /// Residual leakage score (0 = fully private).
+    pub leakage: f64,
+}
+
+/// Applies `policy` to a frame of `frame_bytes` with the given sensitive
+/// regions, on `device`.
+pub fn apply(
+    policy: &PrivacyPolicy,
+    device: DeviceClass,
+    frame_bytes: u64,
+    regions: &FrameRegions,
+) -> PrivacyVerdict {
+    let cost = AnonymizeCost::default();
+    let gflop = cost.frame_gflop(policy.level, regions);
+    let spec = device.spec();
+    let anonymize = SimDuration::from_secs_f64(gflop / spec.compute_gflops.max(1e-9));
+    let (encrypt, bytes) = if policy.encrypt {
+        let cipher = policy.cipher.unwrap_or_else(|| best_cipher(device));
+        (encrypt_time(device, cipher, frame_bytes), AEAD_OVERHEAD_BYTES)
+    } else {
+        (SimDuration::ZERO, 0)
+    };
+    PrivacyVerdict {
+        added_latency: anonymize + encrypt,
+        added_bytes: bytes,
+        leakage: leakage(policy.level, regions),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn busy() -> FrameRegions {
+        FrameRegions { faces: 4, plates: 2, street_plates: 1 }
+    }
+
+    #[test]
+    fn paranoid_policy_is_d2d_compliant() {
+        assert!(PrivacyPolicy::paranoid().d2d_compliant());
+        assert!(!PrivacyPolicy::first_party().d2d_compliant());
+        assert!(!PrivacyPolicy::none().d2d_compliant());
+    }
+
+    #[test]
+    fn privacy_costs_latency_on_weak_devices() {
+        let frame = 40_000;
+        let none = apply(&PrivacyPolicy::none(), DeviceClass::SmartGlasses, frame, &busy());
+        let full = apply(&PrivacyPolicy::paranoid(), DeviceClass::SmartGlasses, frame, &busy());
+        assert_eq!(none.added_latency, SimDuration::ZERO);
+        assert_eq!(none.leakage, 5.5);
+        assert_eq!(full.leakage, 0.0);
+        // Detection (0.27 GFLOP at 2 GFLOPS ≈ 135 ms!) dominates: on
+        // glasses the anonymisation itself must be offloaded — which is
+        // exactly the paper's D2D chicken-and-egg observation.
+        assert!(full.added_latency > SimDuration::from_millis(100), "{}", full.added_latency);
+    }
+
+    #[test]
+    fn phones_afford_the_paranoid_policy() {
+        let v = apply(&PrivacyPolicy::paranoid(), DeviceClass::Smartphone, 40_000, &busy());
+        assert!(v.added_latency < SimDuration::from_millis(20), "{}", v.added_latency);
+        assert_eq!(v.added_bytes, AEAD_OVERHEAD_BYTES);
+    }
+
+    #[test]
+    fn encryption_only_adds_tag_bytes() {
+        let v = apply(&PrivacyPolicy::first_party(), DeviceClass::Smartphone, 40_000, &busy());
+        assert_eq!(v.added_bytes, AEAD_OVERHEAD_BYTES);
+        assert!(v.leakage > 0.0, "no redaction leaves leakage");
+        assert!(v.added_latency < SimDuration::from_millis(1));
+    }
+
+    #[test]
+    fn explicit_cipher_is_honoured() {
+        let p = PrivacyPolicy {
+            level: PrivacyLevel::Off,
+            encrypt: true,
+            cipher: Some(Cipher::ChaCha20Poly1305),
+        };
+        let slow = apply(&p, DeviceClass::Smartphone, 1_000_000, &busy());
+        let fast = apply(&PrivacyPolicy::first_party(), DeviceClass::Smartphone, 1_000_000, &busy());
+        assert!(slow.added_latency > fast.added_latency);
+    }
+}

@@ -1,0 +1,178 @@
+//! Uplink/downlink asymmetry catalogs and helpers (§IV-D).
+//!
+//! The paper's argument: access links are provisioned download-heavy
+//! (fixed ISPs at ratios 3.31-8.22, mobile at 1.81-3.20), usage is drifting
+//! the same way (download:upload volume ~10:1 in the 1990s, ~3:1 in 2012,
+//! 2.70:1 in 2016) — but MAR offloading *reverses* the traffic profile,
+//! pushing video up and pulling only results down. This module records the
+//! quoted numbers and builds asymmetric duplex links for the experiments.
+
+use marnet_sim::link::{Bandwidth, LinkParams};
+use marnet_sim::queue::QueueConfig;
+use marnet_sim::time::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// One access offer in the asymmetry catalog.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AccessOffer {
+    /// Provider/offer label.
+    pub name: &'static str,
+    /// Access family.
+    pub kind: AccessKind,
+    /// Downlink rate in Mb/s.
+    pub down_mbps: f64,
+    /// Uplink rate in Mb/s.
+    pub up_mbps: f64,
+}
+
+/// Broad family of an access offer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AccessKind {
+    /// Fixed broadband (ADSL/cable/fiber).
+    Fixed,
+    /// Mobile broadband (3G/4G).
+    Mobile,
+}
+
+impl AccessOffer {
+    /// Downlink:uplink ratio.
+    pub fn ratio(&self) -> f64 {
+        self.down_mbps / self.up_mbps
+    }
+
+    /// `true` if the offer is (near-)symmetric (ratio ≤ 1.1).
+    pub fn is_symmetric(&self) -> bool {
+        self.ratio() <= 1.1
+    }
+}
+
+/// The §IV-D catalog: representative offers with the quoted ratios.
+///
+/// The fixed entries bracket the reported 3.31-8.22 ratios of the top-6
+/// fastest US ISPs (exactly one symmetric), the Orange fiber offer
+/// (500/200), and the mobile entries bracket the reported 1.81-3.20 with a
+/// 2.49 average.
+pub fn catalog() -> Vec<AccessOffer> {
+    vec![
+        AccessOffer { name: "US fixed ISP A (symmetric)", kind: AccessKind::Fixed, down_mbps: 150.0, up_mbps: 150.0 },
+        AccessOffer { name: "US fixed ISP B", kind: AccessKind::Fixed, down_mbps: 200.0, up_mbps: 60.4 },
+        AccessOffer { name: "US fixed ISP C", kind: AccessKind::Fixed, down_mbps: 180.0, up_mbps: 40.0 },
+        AccessOffer { name: "US fixed ISP D", kind: AccessKind::Fixed, down_mbps: 120.0, up_mbps: 20.0 },
+        AccessOffer { name: "US fixed ISP E (cable)", kind: AccessKind::Fixed, down_mbps: 100.0, up_mbps: 12.2 },
+        AccessOffer { name: "Orange fiber (FR)", kind: AccessKind::Fixed, down_mbps: 500.0, up_mbps: 200.0 },
+        AccessOffer { name: "US mobile ISP 1", kind: AccessKind::Mobile, down_mbps: 21.0, up_mbps: 11.6 },
+        AccessOffer { name: "US mobile ISP 2", kind: AccessKind::Mobile, down_mbps: 20.0, up_mbps: 8.9 },
+        AccessOffer { name: "US mobile ISP 3", kind: AccessKind::Mobile, down_mbps: 18.0, up_mbps: 6.4 },
+        AccessOffer { name: "US mobile ISP 4", kind: AccessKind::Mobile, down_mbps: 16.0, up_mbps: 5.0 },
+    ]
+}
+
+/// The historical download:upload *usage* ratio the paper traces (§IV-D-2).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UsageRatio {
+    /// Calendar year.
+    pub year: u32,
+    /// Download volume divided by upload volume.
+    pub down_over_up: f64,
+    /// What drove it.
+    pub era: &'static str,
+}
+
+/// The usage-ratio history quoted in §IV-D-2.
+pub fn usage_history() -> Vec<UsageRatio> {
+    vec![
+        UsageRatio { year: 1995, down_over_up: 10.0, era: "mail + web surfing" },
+        UsageRatio { year: 2012, down_over_up: 3.0, era: "peer-to-peer & cloud storage grow uploads" },
+        UsageRatio { year: 2016, down_over_up: 2.70, era: "streaming recession of P2P" },
+    ]
+}
+
+/// Builds the two directions of an asymmetric access link: `down_mbps` down,
+/// `down_mbps / ratio` up, shared one-way delay, and the §VI-H oversized
+/// uplink buffer that makes the Fig. 3 pathology bite.
+pub fn asymmetric_pair(
+    down_mbps: f64,
+    ratio: f64,
+    one_way_delay: SimDuration,
+    uplink_buffer_packets: usize,
+) -> (LinkParams, LinkParams) {
+    assert!(ratio >= 1.0, "asymmetry ratio must be ≥ 1, got {ratio}");
+    let down = LinkParams::new(Bandwidth::from_mbps(down_mbps), one_way_delay)
+        .with_queue(QueueConfig::DropTail { cap_packets: 300 });
+    let up = LinkParams::new(Bandwidth::from_mbps(down_mbps / ratio), one_way_delay)
+        .with_queue(QueueConfig::DropTail { cap_packets: uplink_buffer_packets });
+    (down, up)
+}
+
+/// Byte ratio uploaded:downloaded for a MAR offloading session, given the
+/// per-frame uplink payload and downlink result sizes — the "reversed
+/// asymmetry" number the conclusion highlights.
+pub fn mar_upload_ratio(uplink_bytes_per_frame: u64, downlink_bytes_per_frame: u64) -> f64 {
+    assert!(downlink_bytes_per_frame > 0, "downlink bytes must be positive");
+    uplink_bytes_per_frame as f64 / downlink_bytes_per_frame as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_ratios_match_the_quoted_spread() {
+        let cat = catalog();
+        let fixed: Vec<&AccessOffer> =
+            cat.iter().filter(|o| o.kind == AccessKind::Fixed && o.name.starts_with("US")).collect();
+        // Exactly one symmetric among the US fixed ISPs.
+        assert_eq!(fixed.iter().filter(|o| o.is_symmetric()).count(), 1);
+        // The rest span ~3.31 to ~8.22.
+        let ratios: Vec<f64> =
+            fixed.iter().filter(|o| !o.is_symmetric()).map(|o| o.ratio()).collect();
+        let min = ratios.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = ratios.iter().cloned().fold(0.0, f64::max);
+        assert!((min - 3.31).abs() < 0.05, "min ratio {min}");
+        assert!((max - 8.22).abs() < 0.05, "max ratio {max}");
+    }
+
+    #[test]
+    fn mobile_ratios_average_near_quoted() {
+        let cat = catalog();
+        let mobile: Vec<f64> =
+            cat.iter().filter(|o| o.kind == AccessKind::Mobile).map(|o| o.ratio()).collect();
+        assert_eq!(mobile.len(), 4);
+        let avg = mobile.iter().sum::<f64>() / mobile.len() as f64;
+        assert!((avg - 2.49).abs() < 0.15, "avg mobile ratio {avg}");
+        assert!(mobile.iter().all(|&r| (1.81..=3.21).contains(&r)), "{mobile:?}");
+    }
+
+    #[test]
+    fn usage_history_trends_down() {
+        let h = usage_history();
+        assert!(h.windows(2).all(|w| w[0].down_over_up > w[1].down_over_up));
+        assert_eq!(h.last().unwrap().down_over_up, 2.70);
+    }
+
+    #[test]
+    fn asymmetric_pair_builds_rates_and_buffers() {
+        let (down, up) = asymmetric_pair(10.0, 5.0, SimDuration::from_millis(10), 1000);
+        assert_eq!(down.rate.as_mbps(), 10.0);
+        assert_eq!(up.rate.as_mbps(), 2.0);
+        assert_eq!(up.queue, QueueConfig::DropTail { cap_packets: 1000 });
+        assert_eq!(down.delay, up.delay);
+    }
+
+    #[test]
+    #[should_panic]
+    fn ratio_below_one_panics() {
+        let _ = asymmetric_pair(10.0, 0.5, SimDuration::ZERO, 10);
+    }
+
+    #[test]
+    fn mar_reverses_the_profile() {
+        // A CloudRidAR-style offload: ~40 KB of features up, ~1 KB of pose
+        // results down, per frame → upload-dominated by ~40x while access
+        // links assume the opposite.
+        let r = mar_upload_ratio(40_000, 1_000);
+        assert!(r > 10.0);
+        let typical_link = 2.49; // download-favoured
+        assert!(r * typical_link > 25.0, "the mismatch compounds");
+    }
+}

@@ -1,0 +1,361 @@
+//! 802.11 DCF airtime model and the *performance anomaly* (Fig. 2).
+//!
+//! Heusse et al. showed that CSMA/CA's per-*packet* fairness becomes
+//! per-*airtime* unfairness: a station that falls back to a low PHY rate
+//! occupies the medium longer per frame, dragging every other station's
+//! throughput down to roughly its own. §IV-A-4 of the paper reproduces this
+//! as a core obstacle for WiFi-based MAR offloading.
+//!
+//! Two models are provided and cross-checked in the E3 experiment:
+//!
+//! * [`Dot11Params::shared_throughput_mbps`] — the closed-form model: with
+//!   per-packet fair access every saturated station delivers one frame per
+//!   round, so each gets `payload / Σᵢ T(rᵢ)`;
+//! * [`WifiCell`] — a packet-level shared-medium actor that arbitrates
+//!   transmissions frame by frame, from which the same collapse emerges.
+
+use marnet_sim::engine::{Actor, Event, SimCtx};
+use marnet_sim::link::LinkId;
+use marnet_sim::packet::{Packet, Payload};
+use marnet_sim::time::SimDuration;
+use std::collections::VecDeque;
+
+/// 802.11 MAC/PHY timing parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Dot11Params {
+    /// Slot time.
+    pub slot: SimDuration,
+    /// Short interframe space.
+    pub sifs: SimDuration,
+    /// DCF interframe space.
+    pub difs: SimDuration,
+    /// Minimum contention window (slots); mean backoff is `cw_min/2` slots.
+    pub cw_min: u32,
+    /// PLCP preamble + header duration.
+    pub plcp: SimDuration,
+    /// ACK frame duration (sent at a basic rate).
+    pub ack: SimDuration,
+    /// MAC header + FCS bytes sent at the data rate.
+    pub mac_header_bytes: u32,
+}
+
+impl Dot11Params {
+    /// 802.11g OFDM parameters (the 54/18/6 Mb/s zones of Fig. 2).
+    pub fn dot11g() -> Self {
+        Dot11Params {
+            slot: SimDuration::from_micros(9),
+            sifs: SimDuration::from_micros(10),
+            difs: SimDuration::from_micros(28),
+            cw_min: 15,
+            plcp: SimDuration::from_micros(20),
+            ack: SimDuration::from_micros(34), // PLCP + 14-byte ACK at 24 Mb/s
+            mac_header_bytes: 36,
+        }
+    }
+
+    /// Mean per-frame fixed overhead: DIFS + mean backoff + PLCP + SIFS + ACK.
+    pub fn overhead(&self) -> SimDuration {
+        self.difs + self.slot * u64::from(self.cw_min) / 2 + self.plcp + self.sifs + self.ack
+    }
+
+    /// Total medium occupancy for one data frame of `payload_bytes` at
+    /// `rate_mbps`, including MAC header and all fixed overheads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate_mbps` is not positive.
+    pub fn frame_time(&self, rate_mbps: f64, payload_bytes: u32) -> SimDuration {
+        assert!(rate_mbps > 0.0, "PHY rate must be positive");
+        let bits = f64::from((payload_bytes + self.mac_header_bytes) * 8);
+        let tx = SimDuration::from_secs_f64(bits / (rate_mbps * 1e6));
+        self.overhead() + tx
+    }
+
+    /// Throughput of a *single* saturated station at `rate_mbps` (Mb/s of
+    /// payload).
+    pub fn solo_throughput_mbps(&self, rate_mbps: f64, payload_bytes: u32) -> f64 {
+        let t = self.frame_time(rate_mbps, payload_bytes).as_secs_f64();
+        f64::from(payload_bytes) * 8.0 / t / 1e6
+    }
+
+    /// Per-station throughput when all `rates_mbps` stations are saturated.
+    ///
+    /// DCF gives each station one transmission opportunity per contention
+    /// round, so every station — fast or slow — delivers `payload` bytes per
+    /// `Σᵢ T(rᵢ)` seconds. This *equal throughput at the slowest pace* is
+    /// the performance anomaly.
+    ///
+    /// ```
+    /// use marnet_radio::dcf::Dot11Params;
+    /// let p = Dot11Params::dot11g();
+    /// let fast_alone = p.solo_throughput_mbps(54.0, 1500);
+    /// let together = p.shared_throughput_mbps(&[54.0, 6.0], 1500);
+    /// // The fast station collapses to near the slow station's level.
+    /// assert!(together < fast_alone / 3.0);
+    /// ```
+    pub fn shared_throughput_mbps(&self, rates_mbps: &[f64], payload_bytes: u32) -> f64 {
+        if rates_mbps.is_empty() {
+            return 0.0;
+        }
+        let cycle: f64 =
+            rates_mbps.iter().map(|&r| self.frame_time(r, payload_bytes).as_secs_f64()).sum();
+        f64::from(payload_bytes) * 8.0 / cycle / 1e6
+    }
+}
+
+impl Default for Dot11Params {
+    fn default() -> Self {
+        Dot11Params::dot11g()
+    }
+}
+
+/// A station attached to a [`WifiCell`].
+#[derive(Debug, Clone, Copy)]
+pub struct WifiStation {
+    /// PHY rate in Mb/s (distance dependent: 54 near the AP, 6 at the edge).
+    pub phy_rate_mbps: f64,
+    /// Link the cell forwards this station's frames onto once they win the
+    /// medium (typically a fast wired link from the AP onwards).
+    pub out: LinkId,
+}
+
+/// Message actors send to a [`WifiCell`] to submit a frame for the medium.
+#[derive(Debug, Clone)]
+pub struct WifiSubmit {
+    /// Index of the submitting station (position in the construction list).
+    pub station: usize,
+    /// The frame to transmit.
+    pub packet: Packet,
+}
+
+/// Message changing a station's PHY rate (models the station moving between
+/// coverage zones, as User B does in Fig. 2).
+#[derive(Debug, Clone, Copy)]
+pub struct WifiSetRate {
+    /// Station index.
+    pub station: usize,
+    /// New PHY rate in Mb/s.
+    pub phy_rate_mbps: f64,
+}
+
+/// Packet-level shared-medium arbiter: one transmission at a time,
+/// round-robin transmission opportunities (ideal DCF without collisions).
+#[derive(Debug)]
+pub struct WifiCell {
+    params: Dot11Params,
+    stations: Vec<WifiStation>,
+    queues: Vec<VecDeque<Packet>>,
+    busy: bool,
+    /// Next station to get a transmission opportunity.
+    next: usize,
+    /// Frame currently occupying the medium.
+    in_flight: Option<(usize, Packet)>,
+    /// Per-station queue cap (frames beyond it are dropped, saturating
+    /// sources just keep it full).
+    queue_cap: usize,
+}
+
+impl WifiCell {
+    /// Creates a cell with the given stations.
+    pub fn new(params: Dot11Params, stations: Vec<WifiStation>) -> Self {
+        let n = stations.len();
+        WifiCell {
+            params,
+            stations,
+            queues: (0..n).map(|_| VecDeque::new()).collect(),
+            busy: false,
+            next: 0,
+            in_flight: None,
+            queue_cap: 100,
+        }
+    }
+
+    fn try_start(&mut self, ctx: &mut SimCtx) {
+        if self.busy {
+            return;
+        }
+        // Round-robin scan for a backlogged station.
+        for i in 0..self.queues.len() {
+            let idx = (self.next + i) % self.queues.len();
+            if let Some(pkt) = self.queues[idx].pop_front() {
+                self.next = (idx + 1) % self.queues.len();
+                self.busy = true;
+                let airtime = self.params.frame_time(self.stations[idx].phy_rate_mbps, pkt.size);
+                self.in_flight = Some((idx, pkt));
+                ctx.schedule_timer(airtime, 0);
+                return;
+            }
+        }
+    }
+}
+
+impl Actor for WifiCell {
+    fn on_event(&mut self, ctx: &mut SimCtx, ev: Event) {
+        match ev {
+            Event::Message { mut msg, .. } => {
+                if let Some(submit) = msg.take::<WifiSubmit>() {
+                    let q = &mut self.queues[submit.station];
+                    if q.len() < self.queue_cap {
+                        q.push_back(submit.packet);
+                    }
+                    self.try_start(ctx);
+                } else if let Some(set) = msg.take::<WifiSetRate>() {
+                    self.stations[set.station].phy_rate_mbps = set.phy_rate_mbps;
+                }
+            }
+            Event::Timer { .. } => {
+                if let Some((idx, pkt)) = self.in_flight.take() {
+                    ctx.transmit(self.stations[idx].out, pkt);
+                }
+                self.busy = false;
+                self.try_start(ctx);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Convenience payload constructor for submitting a frame to a cell.
+pub fn submit(station: usize, packet: Packet) -> Payload {
+    Payload::new(WifiSubmit { station, packet })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use marnet_sim::engine::{ActorId, Simulator};
+    use marnet_sim::link::{Bandwidth, LinkParams};
+    use marnet_sim::time::SimTime;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn frame_time_scales_with_rate() {
+        let p = Dot11Params::dot11g();
+        let fast = p.frame_time(54.0, 1500);
+        let slow = p.frame_time(6.0, 1500);
+        assert!(slow > fast * 4, "slow={slow} fast={fast}");
+        // 1536 bytes at 54 Mb/s = ~227 us + ~160 us overhead.
+        assert!(fast.as_micros_f64() > 300.0 && fast.as_micros_f64() < 500.0, "{fast}");
+    }
+
+    #[test]
+    fn solo_throughput_is_below_phy_rate() {
+        let p = Dot11Params::dot11g();
+        let x54 = p.solo_throughput_mbps(54.0, 1500);
+        let x6 = p.solo_throughput_mbps(6.0, 1500);
+        assert!(x54 < 54.0 && x54 > 20.0, "x54={x54}");
+        assert!(x6 < 6.0 && x6 > 3.0, "x6={x6}");
+    }
+
+    #[test]
+    fn anomaly_equalizes_throughput_downward() {
+        // The Fig. 2 story: A at 54 Mb/s, B moves 54 → 18 → 6.
+        let p = Dot11Params::dot11g();
+        let both_fast = p.shared_throughput_mbps(&[54.0, 54.0], 1500);
+        let b_mid = p.shared_throughput_mbps(&[54.0, 18.0], 1500);
+        let b_slow = p.shared_throughput_mbps(&[54.0, 6.0], 1500);
+        // Equal split when symmetric.
+        let solo = p.solo_throughput_mbps(54.0, 1500);
+        assert!((both_fast - solo / 2.0).abs() < 0.5, "both_fast={both_fast} solo={solo}");
+        // Monotone collapse as B slows down.
+        assert!(b_mid < both_fast && b_slow < b_mid);
+        // A's throughput ends up close to what B alone would achieve at
+        // 6 Mb/s — within a factor ~2 (Heusse et al.'s headline result).
+        let b_solo_slow = p.solo_throughput_mbps(6.0, 1500);
+        assert!(b_slow < b_solo_slow, "shared {b_slow} vs slow solo {b_solo_slow}");
+        assert!(b_slow > b_solo_slow / 2.5);
+    }
+
+    #[test]
+    fn shared_empty_is_zero() {
+        assert_eq!(Dot11Params::dot11g().shared_throughput_mbps(&[], 1500), 0.0);
+    }
+
+    /// Saturating source that keeps `station`'s queue at the cell non-empty.
+    struct Saturator {
+        cell: ActorId,
+        station: usize,
+        flow: u64,
+    }
+    impl Actor for Saturator {
+        fn on_event(&mut self, ctx: &mut SimCtx, ev: Event) {
+            if matches!(ev, Event::Start | Event::Timer { .. }) {
+                for _ in 0..4 {
+                    let id = ctx.next_packet_id();
+                    let pkt = Packet::new(id, self.flow, 1500, ctx.now());
+                    ctx.send_message(self.cell, submit(self.station, pkt));
+                }
+                ctx.schedule_timer(SimDuration::from_millis(1), 0);
+            }
+        }
+    }
+
+    struct CountingSink {
+        bytes_by_flow: Rc<RefCell<Vec<u64>>>,
+    }
+    impl Actor for CountingSink {
+        fn on_event(&mut self, _ctx: &mut SimCtx, ev: Event) {
+            if let Event::Packet { packet, .. } = ev {
+                let mut b = self.bytes_by_flow.borrow_mut();
+                let f = packet.flow as usize;
+                if f >= b.len() {
+                    b.resize(f + 1, 0);
+                }
+                b[f] += u64::from(packet.size);
+            }
+        }
+    }
+
+    fn run_cell(rates: [f64; 2], secs: u64) -> Vec<u64> {
+        let bytes = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = Simulator::new(5);
+        let cell = sim.reserve_actor();
+        let sink = sim.add_actor(CountingSink { bytes_by_flow: Rc::clone(&bytes) });
+        // Fast wired side so the medium is the bottleneck.
+        let wired = LinkParams::new(Bandwidth::from_gbps(1.0), SimDuration::from_micros(100))
+            .with_queue(marnet_sim::queue::QueueConfig::DropTail { cap_packets: 10_000 });
+        let out0 = sim.add_link(cell, sink, wired.clone());
+        let out1 = sim.add_link(cell, sink, wired);
+        sim.install_actor(
+            cell,
+            WifiCell::new(
+                Dot11Params::dot11g(),
+                vec![
+                    WifiStation { phy_rate_mbps: rates[0], out: out0 },
+                    WifiStation { phy_rate_mbps: rates[1], out: out1 },
+                ],
+            ),
+        );
+        sim.add_actor(Saturator { cell, station: 0, flow: 0 });
+        sim.add_actor(Saturator { cell, station: 1, flow: 1 });
+        sim.run_until(SimTime::from_secs(secs));
+        let b = bytes.borrow().clone();
+        b
+    }
+
+    #[test]
+    fn packet_level_cell_matches_analytic_model() {
+        let p = Dot11Params::dot11g();
+        let secs = 5;
+        let bytes = run_cell([54.0, 6.0], secs);
+        let a_mbps = bytes[0] as f64 * 8.0 / secs as f64 / 1e6;
+        let b_mbps = bytes[1] as f64 * 8.0 / secs as f64 / 1e6;
+        let predicted = p.shared_throughput_mbps(&[54.0, 6.0], 1500);
+        // Per-packet fairness: both stations land on the predicted value.
+        assert!((a_mbps - predicted).abs() / predicted < 0.15, "A={a_mbps} pred={predicted}");
+        assert!((b_mbps - predicted).abs() / predicted < 0.15, "B={b_mbps} pred={predicted}");
+    }
+
+    #[test]
+    fn packet_level_cell_fast_pair_is_faster() {
+        let fast = run_cell([54.0, 54.0], 3);
+        let degraded = run_cell([54.0, 6.0], 3);
+        assert!(
+            fast[0] > degraded[0] * 3,
+            "fast A {} should dwarf degraded A {}",
+            fast[0],
+            degraded[0]
+        );
+    }
+}

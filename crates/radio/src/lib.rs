@@ -1,0 +1,31 @@
+//! # marnet-radio — wireless access-network models
+//!
+//! §IV of the paper surveys the access networks a MAR device can use —
+//! HSPA+, LTE, LTE-Direct, WiFi (802.11n/ac), WiFi-Direct and the 5G KPI
+//! targets — quoting both *theoretical* rates and *measured* behaviour
+//! (OpenSignal/SpeedTest corpora and academic studies). Those measurement
+//! campaigns are not reproducible here, so this crate encodes their reported
+//! numbers as calibrated stochastic models:
+//!
+//! * [`profiles`] — the catalog of technologies with theoretical and
+//!   measured throughput/latency, and samplers that turn a profile into
+//!   [`marnet_sim::link::LinkParams`] for the simulator;
+//! * [`variance`] — throughput variance processes (§IV-A-1 notes abrupt
+//!   order-of-magnitude swings on HSPA+), including a link-modulator actor;
+//! * [`dcf`] — the 802.11 DCF airtime model reproducing the *performance
+//!   anomaly* of Fig. 2 (Heusse et al.), both analytically and as a
+//!   packet-level shared-medium actor;
+//! * [`coverage`] — availability/handover traces (WiFi present 98.9% of the
+//!   time but usable only 53.8%, §IV-A-4);
+//! * [`asymmetry`] — uplink/downlink asymmetry catalogs (§IV-D).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod asymmetry;
+pub mod coverage;
+pub mod dcf;
+pub mod profiles;
+pub mod variance;
+
+pub use profiles::{LinkDirection, RadioProfile, RadioTechnology};

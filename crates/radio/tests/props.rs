@@ -1,0 +1,105 @@
+//! Property-based tests for the wireless models: profile sampling stays in
+//! the quoted ranges, the DCF anomaly formula behaves, coverage traces are
+//! well-formed, and rate processes stay positive.
+
+use marnet_radio::coverage::CoverageModel;
+use marnet_radio::dcf::Dot11Params;
+use marnet_radio::profiles::{LinkDirection, RadioTechnology};
+use marnet_radio::variance::{Ar1LogRate, MarkovRate, RateProcess};
+use marnet_sim::link::Bandwidth;
+use marnet_sim::rng::derive_rng;
+use marnet_sim::time::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn sampled_links_stay_within_quoted_ranges(seed in 0u64..500, tech_idx in 0usize..7) {
+        let tech = RadioTechnology::ALL[tech_idx];
+        let p = tech.profile();
+        let mut rng = derive_rng(seed, "props.radio");
+        for dir in [LinkDirection::Uplink, LinkDirection::Downlink] {
+            let lp = p.sample_link_params(dir, &mut rng);
+            let mbps = lp.rate.as_mbps();
+            let range = match dir {
+                LinkDirection::Uplink => p.measured_up_mbps,
+                LinkDirection::Downlink => p.measured_down_mbps,
+            };
+            prop_assert!(mbps >= range.low - 1e-9 && mbps <= range.high + 1e-9);
+            let rtt = lp.delay.as_millis_f64() * 2.0;
+            prop_assert!(rtt >= p.latency_ms.low - 1e-6 && rtt <= p.latency_ms.high + 1e-6);
+        }
+    }
+
+    /// The anomaly: adding any station can only reduce per-station
+    /// throughput, and slowing any station can only reduce it further.
+    #[test]
+    fn dcf_shared_throughput_is_monotone(
+        rates in prop::collection::vec(1.0f64..54.0, 1..6),
+        extra in 1.0f64..54.0,
+    ) {
+        let p = Dot11Params::dot11g();
+        let base = p.shared_throughput_mbps(&rates, 1500);
+        let mut more = rates.clone();
+        more.push(extra);
+        prop_assert!(p.shared_throughput_mbps(&more, 1500) < base);
+        // Slowing station 0 to 1 Mb/s cannot help anyone.
+        let mut slower = rates.clone();
+        slower[0] = 1.0;
+        prop_assert!(p.shared_throughput_mbps(&slower, 1500) <= base + 1e-9);
+        // Per-station throughput never exceeds solo throughput of the
+        // fastest member.
+        let best = rates.iter().cloned().fold(0.0, f64::max);
+        prop_assert!(base <= p.solo_throughput_mbps(best, 1500) + 1e-9);
+    }
+
+    #[test]
+    fn coverage_traces_are_contiguous_and_bounded(
+        seed in 0u64..200,
+        frac in 0.1f64..0.99,
+        mean_s in 5u64..120,
+    ) {
+        let model = CoverageModel {
+            usable_fraction: frac,
+            mean_usable: SimDuration::from_secs(mean_s),
+            handover_gap: SimDuration::from_secs(1),
+        };
+        let mut rng = derive_rng(seed, "props.coverage");
+        let horizon = SimTime::from_secs(5_000);
+        let trace = model.generate(horizon, &mut rng);
+        // Contiguity from zero to the horizon.
+        let mut t = SimTime::ZERO;
+        for iv in trace.intervals() {
+            prop_assert_eq!(iv.from, t);
+            prop_assert!(iv.to >= iv.from);
+            t = iv.to;
+        }
+        prop_assert_eq!(t, horizon);
+        let f = trace.usable_fraction();
+        prop_assert!((0.0..=1.0).contains(&f));
+    }
+
+    #[test]
+    fn rate_processes_stay_positive(seed in 0u64..200, steps in 10u64..500) {
+        let mut ar1 = Ar1LogRate::new(
+            Bandwidth::from_mbps(10.0),
+            0.4,
+            0.85,
+            derive_rng(seed, "props.ar1"),
+        );
+        let mut markov = MarkovRate::new(
+            Bandwidth::from_mbps(10.0),
+            Bandwidth::from_kbps(50.0),
+            0.1,
+            0.2,
+            derive_rng(seed, "props.markov"),
+        );
+        for i in 0..steps {
+            let t = SimTime::from_millis(i * 100);
+            prop_assert!(ar1.rate_at(t).as_bps() > 0);
+            let m = markov.rate_at(t);
+            prop_assert!(
+                m == Bandwidth::from_mbps(10.0) || m == Bandwidth::from_kbps(50.0)
+            );
+        }
+    }
+}

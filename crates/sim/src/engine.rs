@@ -1,0 +1,942 @@
+//! The discrete-event engine: actors, events, timers and the run loop.
+//!
+//! A [`Simulator`] owns a set of [`Actor`]s (protocol endpoints, traffic
+//! sources, middleboxes) and a set of directed links between them. Actors
+//! react to [`Event`]s — simulation start, packet arrivals, timers and
+//! direct messages — through a mutable [`SimCtx`] that lets them schedule
+//! future events and transmit packets.
+//!
+//! Determinism: the event heap orders by `(time, insertion sequence)`, so
+//! simultaneous events fire in the order they were scheduled, and all
+//! randomness comes from per-link RNG streams derived from the simulation
+//! seed (see [`crate::rng::derive_rng`]).
+
+use crate::link::{Bandwidth, Jitter, LinkId, LinkParams, LinkStats, LossModel};
+use crate::packet::{Packet, Payload};
+use crate::time::{SimDuration, SimTime};
+use rand::Rng;
+use rand_chacha::ChaCha12Rng;
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+use std::fmt;
+
+/// Identifier of an actor within a [`Simulator`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ActorId(u32);
+
+impl ActorId {
+    /// The raw index of this actor.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ActorId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "actor#{}", self.0)
+    }
+}
+
+/// Handle to a scheduled timer, usable with [`SimCtx::cancel_timer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TimerHandle(u64);
+
+/// What an actor is being told.
+#[derive(Debug)]
+pub enum Event {
+    /// Fired once when the simulation starts (or when the actor is installed
+    /// into an already-running simulation).
+    Start,
+    /// A packet arrived over a link.
+    Packet {
+        /// The link it arrived on.
+        link: LinkId,
+        /// The packet itself.
+        packet: Packet,
+    },
+    /// A timer scheduled via [`SimCtx::schedule_timer`] fired.
+    Timer {
+        /// The tag given at scheduling time.
+        tag: u64,
+    },
+    /// A direct message from a co-located actor (no network in between).
+    Message {
+        /// The sending actor.
+        from: ActorId,
+        /// The message body.
+        msg: Payload,
+    },
+}
+
+/// A simulation participant.
+///
+/// Implementations must be deterministic: any randomness should come from an
+/// RNG derived via [`crate::rng::derive_rng`] and owned by the actor.
+pub trait Actor {
+    /// Reacts to an event. `ctx` exposes the clock, timers and links.
+    fn on_event(&mut self, ctx: &mut SimCtx, ev: Event);
+}
+
+enum Dest {
+    Actor { id: ActorId, event: Event },
+    LinkDeparture { link: LinkId },
+    LinkArrival { link: LinkId, packet: Packet },
+}
+
+struct Scheduled {
+    time: SimTime,
+    seq: u64,
+    dest: Dest,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    // Reversed: BinaryHeap is a max-heap, we want earliest-first.
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+struct LinkRuntime {
+    src: ActorId,
+    dst: ActorId,
+    rate: Bandwidth,
+    delay: SimDuration,
+    jitter: Jitter,
+    loss: LossModel,
+    queue: Box<dyn crate::queue::Queue>,
+    busy: bool,
+    up: bool,
+    ge_bad: bool,
+    in_flight: Option<Packet>,
+    stats: LinkStats,
+    rng: ChaCha12Rng,
+}
+
+/// The engine state visible to actors while they handle an event.
+pub struct SimCtx {
+    now: SimTime,
+    seed: u64,
+    heap: BinaryHeap<Scheduled>,
+    next_seq: u64,
+    next_packet_id: u64,
+    cancelled: HashSet<u64>,
+    links: Vec<LinkRuntime>,
+    current_actor: ActorId,
+    stopped: bool,
+    events_processed: u64,
+}
+
+impl fmt::Debug for SimCtx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SimCtx")
+            .field("now", &self.now)
+            .field("pending_events", &self.heap.len())
+            .field("links", &self.links.len())
+            .finish()
+    }
+}
+
+impl SimCtx {
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The experiment seed the simulator was created with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The actor currently handling an event.
+    pub fn self_id(&self) -> ActorId {
+        self.current_actor
+    }
+
+    /// Total events processed so far (diagnostics).
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Allocates a globally unique packet id.
+    pub fn next_packet_id(&mut self) -> u64 {
+        let id = self.next_packet_id;
+        self.next_packet_id += 1;
+        id
+    }
+
+    /// Stops the run loop after the current event completes.
+    pub fn stop(&mut self) {
+        self.stopped = true;
+    }
+
+    fn push(&mut self, time: SimTime, dest: Dest) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { time, seq, dest });
+        seq
+    }
+
+    /// Schedules a [`Event::Timer`] for the current actor after `delay`.
+    pub fn schedule_timer(&mut self, delay: SimDuration, tag: u64) -> TimerHandle {
+        let id = self.current_actor;
+        self.schedule_timer_for(id, delay, tag)
+    }
+
+    /// Schedules a [`Event::Timer`] for an arbitrary actor after `delay`.
+    pub fn schedule_timer_for(
+        &mut self,
+        target: ActorId,
+        delay: SimDuration,
+        tag: u64,
+    ) -> TimerHandle {
+        let t = self.now.saturating_add(delay);
+        let seq = self.push(t, Dest::Actor { id: target, event: Event::Timer { tag } });
+        TimerHandle(seq)
+    }
+
+    /// Cancels a pending timer. Cancelling an already-fired timer is a no-op.
+    pub fn cancel_timer(&mut self, handle: TimerHandle) {
+        self.cancelled.insert(handle.0);
+    }
+
+    /// Delivers a direct [`Event::Message`] to `target` at the current time
+    /// (after all already-scheduled events for this instant).
+    pub fn send_message(&mut self, target: ActorId, msg: Payload) {
+        let from = self.current_actor;
+        self.push(self.now, Dest::Actor { id: target, event: Event::Message { from, msg } });
+    }
+
+    /// Delivers a direct [`Event::Message`] after `delay` (e.g. modelling
+    /// local compute time before handing data to a transport endpoint).
+    pub fn send_message_in(&mut self, target: ActorId, delay: SimDuration, msg: Payload) {
+        let from = self.current_actor;
+        let t = self.now.saturating_add(delay);
+        self.push(t, Dest::Actor { id: target, event: Event::Message { from, msg } });
+    }
+
+    /// Offers a packet to a link for transmission.
+    ///
+    /// The packet is queued at the transmitter; drops (queue full, link down)
+    /// are reflected in [`SimCtx::link_stats`], not reported to the caller —
+    /// like a real kernel socket buffer, senders learn of loss end-to-end.
+    pub fn transmit(&mut self, link: LinkId, pkt: Packet) {
+        let now = self.now;
+        let l = &mut self.links[link.index()];
+        l.stats.offered_packets += 1;
+        l.stats.offered_bytes += u64::from(pkt.size);
+        if !l.up {
+            l.stats.drops_down += 1;
+            return;
+        }
+        match l.queue.enqueue(pkt, now) {
+            crate::queue::EnqueueOutcome::Dropped(_) => {
+                l.stats.drops_queue += 1;
+            }
+            crate::queue::EnqueueOutcome::Enqueued => {
+                if !l.busy {
+                    self.start_tx(link);
+                }
+            }
+        }
+    }
+
+    fn start_tx(&mut self, link: LinkId) {
+        let now = self.now;
+        let l = &mut self.links[link.index()];
+        if l.rate == Bandwidth::ZERO {
+            l.busy = false;
+            return;
+        }
+        let deq = l.queue.dequeue(now);
+        l.stats.drops_aqm += deq.dropped.len() as u64;
+        match deq.packet {
+            Some(pkt) => {
+                l.busy = true;
+                let ser = l.rate.serialization_time(pkt.size);
+                l.in_flight = Some(pkt);
+                self.push(now.saturating_add(ser), Dest::LinkDeparture { link });
+            }
+            None => {
+                l.busy = false;
+            }
+        }
+    }
+
+    fn handle_departure(&mut self, link: LinkId) {
+        let now = self.now;
+        let l = &mut self.links[link.index()];
+        let pkt = l.in_flight.take().expect("departure without in-flight packet");
+        l.stats.tx_packets += 1;
+        l.stats.tx_bytes += u64::from(pkt.size);
+
+        let lost = match l.loss {
+            LossModel::None => false,
+            LossModel::Bernoulli { p } => l.rng.gen_bool(p.clamp(0.0, 1.0)),
+            LossModel::GilbertElliott { p_good_to_bad, p_bad_to_good, loss_in_bad } => {
+                if l.ge_bad {
+                    if l.rng.gen_bool(p_bad_to_good.clamp(0.0, 1.0)) {
+                        l.ge_bad = false;
+                    }
+                } else if l.rng.gen_bool(p_good_to_bad.clamp(0.0, 1.0)) {
+                    l.ge_bad = true;
+                }
+                l.ge_bad && l.rng.gen_bool(loss_in_bad.clamp(0.0, 1.0))
+            }
+        };
+
+        if !l.up {
+            l.stats.drops_down += 1;
+        } else if lost {
+            l.stats.drops_loss += 1;
+        } else {
+            let jitter = match l.jitter {
+                Jitter::None => SimDuration::ZERO,
+                Jitter::Uniform { max } => {
+                    SimDuration::from_nanos(l.rng.gen_range(0..=max.as_nanos()))
+                }
+                Jitter::Gaussian { sigma } => {
+                    // Box-Muller; half-normal truncated at 3 sigma.
+                    let u1: f64 = l.rng.gen_range(f64::EPSILON..1.0);
+                    let u2: f64 = l.rng.gen();
+                    let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+                    let nanos = (z.abs().min(3.0) * sigma.as_nanos() as f64) as u64;
+                    SimDuration::from_nanos(nanos)
+                }
+            };
+            let arrival = now.saturating_add(l.delay + jitter);
+            self.push(arrival, Dest::LinkArrival { link, packet: pkt });
+        }
+        self.start_tx(link);
+    }
+
+    /// Current rate of a link.
+    pub fn link_rate(&self, link: LinkId) -> Bandwidth {
+        self.links[link.index()].rate
+    }
+
+    /// Changes a link's rate. Takes effect for the next serialized packet.
+    pub fn set_link_rate(&mut self, link: LinkId, rate: Bandwidth) {
+        let l = &mut self.links[link.index()];
+        l.rate = rate;
+        let kick = !l.busy && !l.queue.is_empty();
+        if kick {
+            self.start_tx(link);
+        }
+    }
+
+    /// Whether a link is administratively up.
+    pub fn link_is_up(&self, link: LinkId) -> bool {
+        self.links[link.index()].up
+    }
+
+    /// Brings a link up or down. While down, offered and departing packets
+    /// are dropped; queued packets are held.
+    pub fn set_link_up(&mut self, link: LinkId, up: bool) {
+        let l = &mut self.links[link.index()];
+        l.up = up;
+        let kick = up && !l.busy && !l.queue.is_empty();
+        if kick {
+            self.start_tx(link);
+        }
+    }
+
+    /// Changes a link's loss model on the fly.
+    pub fn set_link_loss(&mut self, link: LinkId, loss: LossModel) {
+        self.links[link.index()].loss = loss;
+    }
+
+    /// Cumulative counters for a link.
+    pub fn link_stats(&self, link: LinkId) -> LinkStats {
+        self.links[link.index()].stats
+    }
+
+    /// Queue occupancy of a link's transmitter: `(packets, bytes)`.
+    pub fn link_queue_len(&self, link: LinkId) -> (usize, u64) {
+        let l = &self.links[link.index()];
+        (l.queue.len_packets(), l.queue.len_bytes())
+    }
+
+    /// One-way propagation delay of a link.
+    pub fn link_delay(&self, link: LinkId) -> SimDuration {
+        self.links[link.index()].delay
+    }
+
+    /// The receiving actor of a link.
+    pub fn link_dst(&self, link: LinkId) -> ActorId {
+        self.links[link.index()].dst
+    }
+
+    /// The sending actor of a link.
+    pub fn link_src(&self, link: LinkId) -> ActorId {
+        self.links[link.index()].src
+    }
+}
+
+/// The simulator: an event loop over a set of actors and links.
+///
+/// See the [crate-level documentation](crate) for a complete example.
+pub struct Simulator {
+    ctx: SimCtx,
+    actors: Vec<Option<Box<dyn Actor>>>,
+    started: Vec<bool>,
+    event_limit: u64,
+}
+
+impl fmt::Debug for Simulator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Simulator")
+            .field("now", &self.ctx.now)
+            .field("actors", &self.actors.len())
+            .field("links", &self.ctx.links.len())
+            .finish()
+    }
+}
+
+impl Simulator {
+    /// Creates an empty simulator with the given experiment seed.
+    pub fn new(seed: u64) -> Self {
+        Simulator {
+            ctx: SimCtx {
+                now: SimTime::ZERO,
+                seed,
+                heap: BinaryHeap::new(),
+                next_seq: 0,
+                next_packet_id: 0,
+                cancelled: HashSet::new(),
+                links: Vec::new(),
+                current_actor: ActorId(u32::MAX),
+                stopped: false,
+                events_processed: 0,
+            },
+            actors: Vec::new(),
+            started: Vec::new(),
+            event_limit: u64::MAX,
+        }
+    }
+
+    /// Caps the number of events a single `run_*` call may process; exceeded
+    /// budgets abort the run (guards against zero-delay event loops in
+    /// actor bugs).
+    pub fn set_event_limit(&mut self, limit: u64) {
+        self.event_limit = limit;
+    }
+
+    /// Reserves an actor slot so links can reference the actor before it is
+    /// constructed. Must be filled with [`Simulator::install_actor`] before
+    /// the simulation runs.
+    pub fn reserve_actor(&mut self) -> ActorId {
+        let id = ActorId(self.actors.len() as u32);
+        self.actors.push(None);
+        self.started.push(false);
+        id
+    }
+
+    /// Installs an actor into a reserved slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is already filled.
+    pub fn install_actor<A: Actor + 'static>(&mut self, id: ActorId, actor: A) {
+        let slot = &mut self.actors[id.index()];
+        assert!(slot.is_none(), "actor slot {id} already filled");
+        *slot = Some(Box::new(actor));
+    }
+
+    /// Reserves a slot and installs the actor in one step.
+    pub fn add_actor<A: Actor + 'static>(&mut self, actor: A) -> ActorId {
+        let id = self.reserve_actor();
+        self.install_actor(id, actor);
+        id
+    }
+
+    /// Adds a directed link from `src` to `dst`.
+    pub fn add_link(&mut self, src: ActorId, dst: ActorId, params: LinkParams) -> LinkId {
+        let id = LinkId(self.ctx.links.len() as u32);
+        let rng = crate::rng::derive_rng(self.ctx.seed, &format!("sim.link.{}", id.index()));
+        self.ctx.links.push(LinkRuntime {
+            src,
+            dst,
+            rate: params.rate,
+            delay: params.delay,
+            jitter: params.jitter,
+            loss: params.loss,
+            queue: params.queue.build(),
+            busy: false,
+            up: params.up,
+            ge_bad: false,
+            in_flight: None,
+            stats: LinkStats::default(),
+            rng,
+        });
+        id
+    }
+
+    /// Immutable access to engine state between runs (time, stats, queues).
+    pub fn ctx(&self) -> &SimCtx {
+        &self.ctx
+    }
+
+    /// Mutable access to engine state between runs, e.g. to reconfigure
+    /// links from test code.
+    pub fn ctx_mut(&mut self) -> &mut SimCtx {
+        &mut self.ctx
+    }
+
+    fn deliver_starts(&mut self) {
+        for (i, started) in self.started.iter_mut().enumerate() {
+            if !*started && self.actors[i].is_some() {
+                *started = true;
+                let id = ActorId(i as u32);
+                self.ctx.push(self.ctx.now, Dest::Actor { id, event: Event::Start });
+            }
+        }
+    }
+
+    fn dispatch_to_actor(&mut self, id: ActorId, event: Event) {
+        let mut actor = self.actors[id.index()]
+            .take()
+            .unwrap_or_else(|| panic!("event for uninstalled {id}"));
+        self.ctx.current_actor = id;
+        actor.on_event(&mut self.ctx, event);
+        self.ctx.current_actor = ActorId(u32::MAX);
+        self.actors[id.index()] = Some(actor);
+    }
+
+    /// Runs the event loop until virtual time `end`, the event budget is
+    /// exhausted, an actor calls [`SimCtx::stop`], or no events remain.
+    /// Returns the number of events processed by this call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an event targets a reserved-but-never-installed actor.
+    pub fn run_until(&mut self, end: SimTime) -> u64 {
+        self.deliver_starts();
+        self.ctx.stopped = false;
+        let mut processed = 0;
+        while processed < self.event_limit && !self.ctx.stopped {
+            let time = match self.ctx.heap.peek() {
+                Some(s) => s.time,
+                None => break,
+            };
+            if time > end {
+                break;
+            }
+            let s = self.ctx.heap.pop().expect("peeked");
+            if self.ctx.cancelled.remove(&s.seq) {
+                continue;
+            }
+            self.ctx.now = s.time;
+            self.ctx.events_processed += 1;
+            processed += 1;
+            match s.dest {
+                Dest::Actor { id, event } => self.dispatch_to_actor(id, event),
+                Dest::LinkDeparture { link } => self.ctx.handle_departure(link),
+                Dest::LinkArrival { link, packet } => {
+                    let l = &mut self.ctx.links[link.index()];
+                    l.stats.delivered_packets += 1;
+                    l.stats.delivered_bytes += u64::from(packet.size);
+                    let dst = l.dst;
+                    self.dispatch_to_actor(dst, Event::Packet { link, packet });
+                }
+            }
+        }
+        // Advance the clock to the horizon so stats over `end` are meaningful.
+        if !self.ctx.stopped && processed < self.event_limit && self.ctx.now < end && end != SimTime::MAX {
+            self.ctx.now = end;
+        }
+        processed
+    }
+
+    /// Runs until no events remain (or the event budget is exhausted).
+    pub fn run_to_completion(&mut self) -> u64 {
+        self.run_until(SimTime::MAX)
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.ctx.now
+    }
+
+    /// Removes an actor from the simulation, returning it for inspection.
+    ///
+    /// The slot becomes empty; events still targeting it will panic, so only
+    /// extract actors once the simulation is finished.
+    pub fn take_actor(&mut self, id: ActorId) -> Option<Box<dyn Actor>> {
+        self.actors[id.index()].take()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::Bandwidth;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    /// Counts events it receives; used to probe engine mechanics.
+    struct Probe {
+        log: Rc<RefCell<Vec<(SimTime, String)>>>,
+        echo_link: Option<LinkId>,
+    }
+
+    impl Actor for Probe {
+        fn on_event(&mut self, ctx: &mut SimCtx, ev: Event) {
+            let entry = match &ev {
+                Event::Start => "start".to_string(),
+                Event::Packet { packet, .. } => format!("pkt:{}", packet.id),
+                Event::Timer { tag } => format!("timer:{tag}"),
+                Event::Message { .. } => "msg".to_string(),
+            };
+            self.log.borrow_mut().push((ctx.now(), entry));
+            if let (Some(link), Event::Packet { packet, .. }) = (self.echo_link, &ev) {
+                ctx.transmit(link, packet.clone());
+            }
+        }
+    }
+
+    fn probe(log: &Rc<RefCell<Vec<(SimTime, String)>>>) -> Probe {
+        Probe { log: Rc::clone(log), echo_link: None }
+    }
+
+    #[test]
+    fn start_events_fire_once() {
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = Simulator::new(1);
+        sim.add_actor(probe(&log));
+        sim.run_until(SimTime::from_secs(1));
+        sim.run_until(SimTime::from_secs(2));
+        let starts = log.borrow().iter().filter(|(_, e)| e == "start").count();
+        assert_eq!(starts, 1);
+    }
+
+    #[test]
+    fn timers_fire_in_order_and_cancel() {
+        struct TimerActor {
+            log: Rc<RefCell<Vec<u64>>>,
+        }
+        impl Actor for TimerActor {
+            fn on_event(&mut self, ctx: &mut SimCtx, ev: Event) {
+                match ev {
+                    Event::Start => {
+                        ctx.schedule_timer(SimDuration::from_millis(30), 3);
+                        ctx.schedule_timer(SimDuration::from_millis(10), 1);
+                        let h = ctx.schedule_timer(SimDuration::from_millis(20), 2);
+                        ctx.cancel_timer(h);
+                    }
+                    Event::Timer { tag } => self.log.borrow_mut().push(tag),
+                    _ => {}
+                }
+            }
+        }
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = Simulator::new(1);
+        sim.add_actor(TimerActor { log: Rc::clone(&log) });
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(*log.borrow(), vec![1, 3]);
+    }
+
+    #[test]
+    fn packet_latency_is_serialization_plus_delay() {
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = Simulator::new(1);
+        let a = sim.reserve_actor();
+        let b = sim.reserve_actor();
+        // 1 Mb/s, 5 ms: a 1250-byte packet takes 10 ms + 5 ms = 15 ms.
+        let l = sim.add_link(a, b, LinkParams::new(Bandwidth::from_mbps(1.0), SimDuration::from_millis(5)));
+        struct Sender {
+            link: LinkId,
+        }
+        impl Actor for Sender {
+            fn on_event(&mut self, ctx: &mut SimCtx, ev: Event) {
+                if matches!(ev, Event::Start) {
+                    let id = ctx.next_packet_id();
+                    ctx.transmit(self.link, Packet::new(id, 0, 1250, ctx.now()));
+                }
+            }
+        }
+        sim.install_actor(a, Sender { link: l });
+        sim.install_actor(b, probe(&log));
+        sim.run_until(SimTime::from_secs(1));
+        let log = log.borrow();
+        let (t, e) = log.iter().find(|(_, e)| e.starts_with("pkt")).unwrap();
+        assert_eq!(e, "pkt:0");
+        assert_eq!(*t, SimTime::from_millis(15));
+    }
+
+    #[test]
+    fn queueing_delay_accumulates_back_to_back() {
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = Simulator::new(1);
+        let a = sim.reserve_actor();
+        let b = sim.reserve_actor();
+        let l = sim.add_link(a, b, LinkParams::new(Bandwidth::from_mbps(1.0), SimDuration::ZERO));
+        struct Burst {
+            link: LinkId,
+        }
+        impl Actor for Burst {
+            fn on_event(&mut self, ctx: &mut SimCtx, ev: Event) {
+                if matches!(ev, Event::Start) {
+                    for _ in 0..3 {
+                        let id = ctx.next_packet_id();
+                        ctx.transmit(self.link, Packet::new(id, 0, 1250, ctx.now()));
+                    }
+                }
+            }
+        }
+        sim.install_actor(a, Burst { link: l });
+        sim.install_actor(b, probe(&log));
+        sim.run_until(SimTime::from_secs(1));
+        let times: Vec<SimTime> = log.borrow().iter().filter(|(_, e)| e.starts_with("pkt")).map(|(t, _)| *t).collect();
+        assert_eq!(
+            times,
+            vec![SimTime::from_millis(10), SimTime::from_millis(20), SimTime::from_millis(30)]
+        );
+    }
+
+    #[test]
+    fn bernoulli_loss_drops_roughly_p() {
+        let mut sim = Simulator::new(7);
+        let a = sim.reserve_actor();
+        let b = sim.reserve_actor();
+        let params = LinkParams::new(Bandwidth::from_mbps(100.0), SimDuration::ZERO)
+            .with_loss(LossModel::Bernoulli { p: 0.3 })
+            .with_queue(QueueConfigLarge());
+        let l = sim.add_link(a, b, params);
+        struct Flood {
+            link: LinkId,
+        }
+        impl Actor for Flood {
+            fn on_event(&mut self, ctx: &mut SimCtx, ev: Event) {
+                if matches!(ev, Event::Start) {
+                    for _ in 0..5000 {
+                        let id = ctx.next_packet_id();
+                        ctx.transmit(self.link, Packet::new(id, 0, 100, ctx.now()));
+                    }
+                }
+            }
+        }
+        struct Sink;
+        impl Actor for Sink {
+            fn on_event(&mut self, _: &mut SimCtx, _: Event) {}
+        }
+        sim.install_actor(a, Flood { link: l });
+        sim.install_actor(b, Sink);
+        sim.run_to_completion();
+        let st = sim.ctx().link_stats(l);
+        assert_eq!(st.tx_packets, 5000);
+        let loss = st.drops_loss as f64 / 5000.0;
+        assert!((loss - 0.3).abs() < 0.03, "measured loss {loss}");
+        assert_eq!(st.delivered_packets + st.drops_loss, 5000);
+    }
+
+    #[allow(non_snake_case)]
+    fn QueueConfigLarge() -> crate::queue::QueueConfig {
+        crate::queue::QueueConfig::DropTail { cap_packets: 100_000 }
+    }
+
+    #[test]
+    fn link_down_drops_and_up_resumes() {
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = Simulator::new(1);
+        let a = sim.reserve_actor();
+        let b = sim.reserve_actor();
+        let l = sim.add_link(
+            a,
+            b,
+            LinkParams::new(Bandwidth::from_mbps(10.0), SimDuration::ZERO).initially_down(),
+        );
+        struct S {
+            link: LinkId,
+        }
+        impl Actor for S {
+            fn on_event(&mut self, ctx: &mut SimCtx, ev: Event) {
+                match ev {
+                    Event::Start => {
+                        let id = ctx.next_packet_id();
+                        ctx.transmit(self.link, Packet::new(id, 0, 100, ctx.now()));
+                        ctx.schedule_timer(SimDuration::from_millis(10), 0);
+                    }
+                    Event::Timer { .. } => {
+                        ctx.set_link_up(self.link, true);
+                        let id = ctx.next_packet_id();
+                        ctx.transmit(self.link, Packet::new(id, 0, 100, ctx.now()));
+                    }
+                    _ => {}
+                }
+            }
+        }
+        sim.install_actor(a, S { link: l });
+        sim.install_actor(b, probe(&log));
+        sim.run_until(SimTime::from_secs(1));
+        let st = sim.ctx().link_stats(l);
+        assert_eq!(st.drops_down, 1);
+        assert_eq!(st.delivered_packets, 1);
+        assert_eq!(log.borrow().iter().filter(|(_, e)| e.starts_with("pkt")).count(), 1);
+    }
+
+    #[test]
+    fn rate_change_kicks_stalled_queue() {
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = Simulator::new(1);
+        let a = sim.reserve_actor();
+        let b = sim.reserve_actor();
+        let l = sim.add_link(a, b, LinkParams::new(Bandwidth::ZERO, SimDuration::ZERO));
+        struct S {
+            link: LinkId,
+        }
+        impl Actor for S {
+            fn on_event(&mut self, ctx: &mut SimCtx, ev: Event) {
+                match ev {
+                    Event::Start => {
+                        let id = ctx.next_packet_id();
+                        ctx.transmit(self.link, Packet::new(id, 0, 1250, ctx.now()));
+                        ctx.schedule_timer(SimDuration::from_millis(50), 0);
+                    }
+                    Event::Timer { .. } => {
+                        ctx.set_link_rate(self.link, Bandwidth::from_mbps(1.0));
+                    }
+                    _ => {}
+                }
+            }
+        }
+        sim.install_actor(a, S { link: l });
+        sim.install_actor(b, probe(&log));
+        sim.run_until(SimTime::from_secs(1));
+        let times: Vec<SimTime> =
+            log.borrow().iter().filter(|(_, e)| e.starts_with("pkt")).map(|(t, _)| *t).collect();
+        // Stalled until t=50ms, then 10 ms serialization.
+        assert_eq!(times, vec![SimTime::from_millis(60)]);
+    }
+
+    #[test]
+    fn messages_are_delivered_same_instant_in_order() {
+        struct Sender {
+            peer: ActorId,
+        }
+        impl Actor for Sender {
+            fn on_event(&mut self, ctx: &mut SimCtx, ev: Event) {
+                if matches!(ev, Event::Start) {
+                    ctx.send_message(self.peer, Payload::new(1u32));
+                    ctx.send_message(self.peer, Payload::new(2u32));
+                }
+            }
+        }
+        struct Receiver {
+            got: Rc<RefCell<Vec<u32>>>,
+        }
+        impl Actor for Receiver {
+            fn on_event(&mut self, _ctx: &mut SimCtx, ev: Event) {
+                if let Event::Message { mut msg, .. } = ev {
+                    self.got.borrow_mut().push(msg.take::<u32>().unwrap());
+                }
+            }
+        }
+        let got = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = Simulator::new(1);
+        let r = sim.reserve_actor();
+        sim.add_actor(Sender { peer: r });
+        sim.install_actor(r, Receiver { got: Rc::clone(&got) });
+        sim.run_until(SimTime::from_millis(1));
+        assert_eq!(*got.borrow(), vec![1, 2]);
+    }
+
+    #[test]
+    fn event_limit_halts_runaway() {
+        struct Loopy;
+        impl Actor for Loopy {
+            fn on_event(&mut self, ctx: &mut SimCtx, _: Event) {
+                let me = ctx.self_id();
+                ctx.send_message(me, Payload::empty());
+            }
+        }
+        let mut sim = Simulator::new(1);
+        sim.add_actor(Loopy);
+        sim.set_event_limit(1000);
+        let processed = sim.run_until(SimTime::from_secs(1));
+        assert_eq!(processed, 1000);
+    }
+
+    #[test]
+    fn clock_advances_to_horizon_when_idle() {
+        let mut sim = Simulator::new(1);
+        sim.run_until(SimTime::from_secs(5));
+        assert_eq!(sim.now(), SimTime::from_secs(5));
+    }
+
+    #[test]
+    fn stop_halts_immediately() {
+        struct Stopper;
+        impl Actor for Stopper {
+            fn on_event(&mut self, ctx: &mut SimCtx, ev: Event) {
+                match ev {
+                    Event::Start => {
+                        ctx.schedule_timer(SimDuration::from_millis(1), 0);
+                        ctx.schedule_timer(SimDuration::from_millis(2), 1);
+                    }
+                    Event::Timer { tag: 0 } => ctx.stop(),
+                    Event::Timer { .. } => panic!("should have stopped"),
+                    _ => {}
+                }
+            }
+        }
+        let mut sim = Simulator::new(1);
+        sim.add_actor(Stopper);
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(sim.now(), SimTime::from_millis(1));
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        fn run() -> (u64, u64) {
+            let mut sim = Simulator::new(99);
+            let a = sim.reserve_actor();
+            let b = sim.reserve_actor();
+            let params = LinkParams::new(Bandwidth::from_mbps(5.0), SimDuration::from_millis(2))
+                .with_loss(LossModel::GilbertElliott {
+                    p_good_to_bad: 0.05,
+                    p_bad_to_good: 0.3,
+                    loss_in_bad: 0.5,
+                })
+                .with_jitter(Jitter::Gaussian { sigma: SimDuration::from_micros(500) });
+            let l = sim.add_link(a, b, params);
+            struct Flood {
+                link: LinkId,
+            }
+            impl Actor for Flood {
+                fn on_event(&mut self, ctx: &mut SimCtx, ev: Event) {
+                    match ev {
+                        Event::Start | Event::Timer { .. } => {
+                            let id = ctx.next_packet_id();
+                            ctx.transmit(self.link, Packet::new(id, 0, 1000, ctx.now()));
+                            if ctx.now() < SimTime::from_millis(500) {
+                                ctx.schedule_timer(SimDuration::from_micros(800), 0);
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            struct Sink;
+            impl Actor for Sink {
+                fn on_event(&mut self, _: &mut SimCtx, _: Event) {}
+            }
+            sim.install_actor(a, Flood { link: l });
+            sim.install_actor(b, Sink);
+            sim.run_to_completion();
+            let st = sim.ctx().link_stats(l);
+            (st.delivered_packets, st.drops_loss)
+        }
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,207 @@
+//! Packets and their opaque, clonable payloads.
+//!
+//! The simulator core moves [`Packet`]s between actors without interpreting
+//! them. Protocol crates (TCP in `marnet-transport`, the AR protocol in
+//! `marnet-core`) attach their own header/payload structures through
+//! [`Payload`], which type-erases any `Clone + Debug + 'static` value.
+//! Cloning is required because multipath redundancy (§VI-D of the paper)
+//! duplicates packets across links.
+
+use crate::time::SimTime;
+use std::any::Any;
+use std::fmt;
+
+/// A value that can travel inside a [`Packet`].
+///
+/// Automatically implemented for every `Clone + Debug + 'static` type; you
+/// never implement it manually.
+pub trait PayloadData: Any + fmt::Debug {
+    /// Clones the payload behind the type-erased pointer.
+    fn clone_box(&self) -> Box<dyn PayloadData>;
+    /// Upcasts to [`Any`] for downcasting by reference.
+    fn as_any(&self) -> &dyn Any;
+    /// Upcasts to [`Any`] for downcasting by value.
+    fn into_any(self: Box<Self>) -> Box<dyn Any>;
+}
+
+impl<T: Any + Clone + fmt::Debug> PayloadData for T {
+    fn clone_box(&self) -> Box<dyn PayloadData> {
+        Box::new(self.clone())
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn into_any(self: Box<Self>) -> Box<dyn Any> {
+        self
+    }
+}
+
+/// A type-erased, clonable packet payload.
+///
+/// ```
+/// use marnet_sim::packet::Payload;
+/// #[derive(Debug, Clone, PartialEq)]
+/// struct Seg { seq: u64 }
+/// let p = Payload::new(Seg { seq: 9 });
+/// assert_eq!(p.downcast_ref::<Seg>().unwrap().seq, 9);
+/// assert!(p.downcast_ref::<String>().is_none());
+/// ```
+pub struct Payload(Option<Box<dyn PayloadData>>);
+
+impl Payload {
+    /// An empty payload (pure filler bytes, e.g. bulk traffic).
+    pub fn empty() -> Self {
+        Payload(None)
+    }
+
+    /// Wraps a value as a packet payload.
+    pub fn new<T: PayloadData>(value: T) -> Self {
+        Payload(Some(Box::new(value)))
+    }
+
+    /// Returns `true` if no payload value is attached.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_none()
+    }
+
+    /// Borrows the payload as `T`, or `None` if empty or of another type.
+    pub fn downcast_ref<T: Any>(&self) -> Option<&T> {
+        self.0.as_deref().and_then(|b| b.as_any().downcast_ref())
+    }
+
+    /// Takes the payload out as `T`.
+    ///
+    /// Returns `None` (leaving the payload in place) if it is empty or of a
+    /// different type.
+    pub fn take<T: Any>(&mut self) -> Option<T> {
+        if self.downcast_ref::<T>().is_some() {
+            let boxed = self.0.take().expect("checked above");
+            Some(*boxed.into_any().downcast::<T>().expect("checked above"))
+        } else {
+            None
+        }
+    }
+}
+
+impl Clone for Payload {
+    fn clone(&self) -> Self {
+        Payload(self.0.as_deref().map(|b| b.clone_box()))
+    }
+}
+
+impl Default for Payload {
+    fn default() -> Self {
+        Payload::empty()
+    }
+}
+
+impl fmt::Debug for Payload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.0 {
+            Some(b) => write!(f, "Payload({b:?})"),
+            None => write!(f, "Payload(empty)"),
+        }
+    }
+}
+
+/// A simulated network packet.
+///
+/// `size` is the wire size in bytes and is what links serialize; the attached
+/// [`Payload`] carries protocol state and contributes nothing to timing.
+#[derive(Debug, Clone)]
+pub struct Packet {
+    /// Globally unique packet identifier (from [`crate::engine::SimCtx::next_packet_id`]).
+    pub id: u64,
+    /// Flow identifier, used by fair queueing and per-flow statistics.
+    pub flow: u64,
+    /// Priority band, `0` = highest; used by priority queues (§VI-A).
+    pub prio: u8,
+    /// Wire size in bytes, including headers.
+    pub size: u32,
+    /// Instant the packet was created by its source.
+    pub created: SimTime,
+    /// Instant the packet was last enqueued (stamped by queues for AQM).
+    pub enqueued: SimTime,
+    /// Protocol payload.
+    pub payload: Payload,
+}
+
+impl Packet {
+    /// Creates a packet with an empty payload and default (highest) priority.
+    pub fn new(id: u64, flow: u64, size: u32, created: SimTime) -> Self {
+        Packet {
+            id,
+            flow,
+            prio: 0,
+            size,
+            created,
+            enqueued: created,
+            payload: Payload::empty(),
+        }
+    }
+
+    /// Sets the payload, builder style.
+    #[must_use]
+    pub fn with_payload<T: PayloadData>(mut self, value: T) -> Self {
+        self.payload = Payload::new(value);
+        self
+    }
+
+    /// Sets the priority band, builder style (`0` = highest).
+    #[must_use]
+    pub fn with_prio(mut self, prio: u8) -> Self {
+        self.prio = prio;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    struct Header {
+        seq: u32,
+        tag: String,
+    }
+
+    #[test]
+    fn payload_downcast_and_take() {
+        let mut p = Payload::new(Header { seq: 5, tag: "a".into() });
+        assert!(!p.is_empty());
+        assert_eq!(p.downcast_ref::<Header>().unwrap().seq, 5);
+        assert!(p.take::<u32>().is_none());
+        let h = p.take::<Header>().unwrap();
+        assert_eq!(h.tag, "a");
+        assert!(p.is_empty());
+        assert!(p.take::<Header>().is_none());
+    }
+
+    #[test]
+    fn payload_clone_is_deep() {
+        let p = Payload::new(Header { seq: 1, tag: "x".into() });
+        let mut q = p.clone();
+        let h = q.take::<Header>().unwrap();
+        assert_eq!(h.seq, 1);
+        // Original still intact.
+        assert_eq!(p.downcast_ref::<Header>().unwrap().seq, 1);
+    }
+
+    #[test]
+    fn packet_builder() {
+        let pkt = Packet::new(1, 2, 1500, SimTime::from_millis(3))
+            .with_prio(2)
+            .with_payload(Header { seq: 7, tag: "t".into() });
+        assert_eq!(pkt.prio, 2);
+        assert_eq!(pkt.size, 1500);
+        assert_eq!(pkt.payload.downcast_ref::<Header>().unwrap().seq, 7);
+        let clone = pkt.clone();
+        assert_eq!(clone.id, 1);
+        assert_eq!(clone.payload.downcast_ref::<Header>().unwrap().tag, "t");
+    }
+
+    #[test]
+    fn empty_payload_debug() {
+        assert_eq!(format!("{:?}", Payload::empty()), "Payload(empty)");
+    }
+}

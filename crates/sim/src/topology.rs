@@ -1,0 +1,138 @@
+//! Convenience builder for common topologies.
+//!
+//! The experiments mostly need small node graphs (mobile device, access
+//! point, middleboxes, servers) with duplex links. [`TopologyBuilder`]
+//! wraps a [`Simulator`] and remembers the links between named endpoints so
+//! scenario code stays readable.
+
+use crate::engine::{ActorId, Simulator};
+use crate::link::{LinkId, LinkParams};
+use std::collections::HashMap;
+
+/// A pair of directed links forming a duplex channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Duplex {
+    /// Link from the first endpoint to the second.
+    pub forward: LinkId,
+    /// Link from the second endpoint back to the first.
+    pub reverse: LinkId,
+}
+
+impl Duplex {
+    /// The two directions as `(forward, reverse)`.
+    pub fn pair(self) -> (LinkId, LinkId) {
+        (self.forward, self.reverse)
+    }
+}
+
+/// Incrementally builds a simulator topology with duplex links.
+///
+/// ```
+/// use marnet_sim::prelude::*;
+///
+/// let mut topo = TopologyBuilder::new(7);
+/// let phone = topo.node("phone");
+/// let server = topo.node("server");
+/// let params = LinkParams::new(Bandwidth::from_mbps(20.0), SimDuration::from_millis(18));
+/// let duplex = topo.duplex(phone, server, params.clone(), params);
+/// let (sim, _) = topo.finish();
+/// # let _ = (sim, duplex);
+/// ```
+#[derive(Debug)]
+pub struct TopologyBuilder {
+    sim: Simulator,
+    names: HashMap<String, ActorId>,
+}
+
+impl TopologyBuilder {
+    /// Starts a topology on a fresh simulator with the given seed.
+    pub fn new(seed: u64) -> Self {
+        TopologyBuilder { sim: Simulator::new(seed), names: HashMap::new() }
+    }
+
+    /// Reserves a named actor slot. Names are for diagnostics and lookup;
+    /// re-using a name returns the existing id.
+    pub fn node(&mut self, name: &str) -> ActorId {
+        if let Some(&id) = self.names.get(name) {
+            return id;
+        }
+        let id = self.sim.reserve_actor();
+        self.names.insert(name.to_string(), id);
+        id
+    }
+
+    /// Looks up a previously created node.
+    pub fn lookup(&self, name: &str) -> Option<ActorId> {
+        self.names.get(name).copied()
+    }
+
+    /// Adds a one-directional link.
+    pub fn simplex(&mut self, from: ActorId, to: ActorId, params: LinkParams) -> LinkId {
+        self.sim.add_link(from, to, params)
+    }
+
+    /// Adds a duplex channel with per-direction parameters (asymmetric links
+    /// are two different parameter sets).
+    pub fn duplex(
+        &mut self,
+        a: ActorId,
+        b: ActorId,
+        a_to_b: LinkParams,
+        b_to_a: LinkParams,
+    ) -> Duplex {
+        Duplex {
+            forward: self.sim.add_link(a, b, a_to_b),
+            reverse: self.sim.add_link(b, a, b_to_a),
+        }
+    }
+
+    /// Adds a symmetric duplex channel (same parameters both ways).
+    pub fn symmetric(&mut self, a: ActorId, b: ActorId, params: LinkParams) -> Duplex {
+        self.duplex(a, b, params.clone(), params)
+    }
+
+    /// Direct access to the underlying simulator (to install actors).
+    pub fn sim_mut(&mut self) -> &mut Simulator {
+        &mut self.sim
+    }
+
+    /// Finishes building, returning the simulator and the name table.
+    pub fn finish(self) -> (Simulator, HashMap<String, ActorId>) {
+        (self.sim, self.names)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::Bandwidth;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn nodes_are_deduplicated_by_name() {
+        let mut t = TopologyBuilder::new(1);
+        let a = t.node("a");
+        let a2 = t.node("a");
+        let b = t.node("b");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(t.lookup("a"), Some(a));
+        assert_eq!(t.lookup("missing"), None);
+    }
+
+    #[test]
+    fn duplex_creates_two_links() {
+        let mut t = TopologyBuilder::new(1);
+        let a = t.node("a");
+        let b = t.node("b");
+        let p = LinkParams::new(Bandwidth::from_mbps(1.0), SimDuration::from_millis(1));
+        let d = t.symmetric(a, b, p);
+        assert_ne!(d.forward, d.reverse);
+        let (sim, names) = t.finish();
+        assert_eq!(names.len(), 2);
+        assert_eq!(sim.ctx().link_dst(d.forward), b);
+        assert_eq!(sim.ctx().link_dst(d.reverse), a);
+        assert_eq!(sim.ctx().link_src(d.forward), a);
+        assert_eq!(d.pair(), (d.forward, d.reverse));
+    }
+}

@@ -1,0 +1,154 @@
+//! RFC 6298 round-trip-time estimation and retransmission timeout.
+
+use marnet_sim::time::SimDuration;
+
+/// SRTT/RTTVAR estimator with the RFC 6298 RTO computation.
+///
+/// ```
+/// use marnet_transport::tcp::RttEstimator;
+/// use marnet_sim::time::SimDuration;
+/// let mut est = RttEstimator::new();
+/// est.sample(SimDuration::from_millis(100));
+/// assert_eq!(est.srtt().unwrap(), SimDuration::from_millis(100));
+/// assert!(est.rto() >= SimDuration::from_millis(200));
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct RttEstimator {
+    srtt: Option<SimDuration>,
+    rttvar: SimDuration,
+    min_rtt: Option<SimDuration>,
+    latest: Option<SimDuration>,
+}
+
+impl RttEstimator {
+    /// Lower RTO clamp. RFC 6298 says 1 s; like most real stacks we use
+    /// 200 ms so short-RTT simulations recover promptly.
+    pub const MIN_RTO: SimDuration = SimDuration::from_millis(200);
+    /// Upper RTO clamp (60 s).
+    pub const MAX_RTO: SimDuration = SimDuration::from_secs(60);
+    /// RTO used before any sample exists (RFC 6298: 1 s).
+    pub const INITIAL_RTO: SimDuration = SimDuration::from_secs(1);
+
+    /// A fresh estimator with no samples.
+    pub fn new() -> Self {
+        RttEstimator { srtt: None, rttvar: SimDuration::ZERO, min_rtt: None, latest: None }
+    }
+
+    /// Feeds one RTT measurement.
+    pub fn sample(&mut self, rtt: SimDuration) {
+        self.latest = Some(rtt);
+        self.min_rtt = Some(match self.min_rtt {
+            Some(m) if m <= rtt => m,
+            _ => rtt,
+        });
+        match self.srtt {
+            None => {
+                self.srtt = Some(rtt);
+                self.rttvar = rtt / 2;
+            }
+            Some(srtt) => {
+                // RTTVAR = 3/4 RTTVAR + 1/4 |SRTT - R'| ; SRTT = 7/8 SRTT + 1/8 R'
+                let err = if srtt > rtt { srtt - rtt } else { rtt - srtt };
+                self.rttvar = self.rttvar.mul_f64(0.75) + err.mul_f64(0.25);
+                self.srtt = Some(srtt.mul_f64(0.875) + rtt.mul_f64(0.125));
+            }
+        }
+    }
+
+    /// Smoothed RTT, if at least one sample was taken.
+    pub fn srtt(&self) -> Option<SimDuration> {
+        self.srtt
+    }
+
+    /// RTT variance estimate.
+    pub fn rttvar(&self) -> SimDuration {
+        self.rttvar
+    }
+
+    /// Smallest RTT observed (a baseline-propagation estimate).
+    pub fn min_rtt(&self) -> Option<SimDuration> {
+        self.min_rtt
+    }
+
+    /// Most recent raw sample.
+    pub fn latest(&self) -> Option<SimDuration> {
+        self.latest
+    }
+
+    /// The retransmission timeout: `SRTT + 4·RTTVAR`, clamped.
+    pub fn rto(&self) -> SimDuration {
+        match self.srtt {
+            None => Self::INITIAL_RTO,
+            Some(srtt) => {
+                let rto = srtt + self.rttvar * 4;
+                rto.max(Self::MIN_RTO).min(Self::MAX_RTO)
+            }
+        }
+    }
+}
+
+impl Default for RttEstimator {
+    fn default() -> Self {
+        RttEstimator::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_rto_is_one_second() {
+        assert_eq!(RttEstimator::new().rto(), SimDuration::from_secs(1));
+    }
+
+    #[test]
+    fn first_sample_initializes() {
+        let mut e = RttEstimator::new();
+        e.sample(SimDuration::from_millis(80));
+        assert_eq!(e.srtt(), Some(SimDuration::from_millis(80)));
+        assert_eq!(e.rttvar(), SimDuration::from_millis(40));
+        // RTO = 80 + 160 = 240 ms.
+        assert_eq!(e.rto(), SimDuration::from_millis(240));
+        assert_eq!(e.min_rtt(), Some(SimDuration::from_millis(80)));
+    }
+
+    #[test]
+    fn smoothing_converges_on_stable_rtt() {
+        let mut e = RttEstimator::new();
+        for _ in 0..100 {
+            e.sample(SimDuration::from_millis(50));
+        }
+        let srtt = e.srtt().unwrap();
+        assert!((srtt.as_millis_f64() - 50.0).abs() < 0.5);
+        // Variance decays toward zero; RTO hits the lower clamp.
+        assert_eq!(e.rto(), RttEstimator::MIN_RTO);
+    }
+
+    #[test]
+    fn variance_grows_with_jittery_samples() {
+        let mut e = RttEstimator::new();
+        for i in 0..50 {
+            let ms = if i % 2 == 0 { 40 } else { 160 };
+            e.sample(SimDuration::from_millis(ms));
+        }
+        assert!(e.rto() > SimDuration::from_millis(250), "rto = {}", e.rto());
+    }
+
+    #[test]
+    fn min_rtt_tracks_the_floor() {
+        let mut e = RttEstimator::new();
+        e.sample(SimDuration::from_millis(100));
+        e.sample(SimDuration::from_millis(30));
+        e.sample(SimDuration::from_millis(300));
+        assert_eq!(e.min_rtt(), Some(SimDuration::from_millis(30)));
+        assert_eq!(e.latest(), Some(SimDuration::from_millis(300)));
+    }
+
+    #[test]
+    fn rto_clamps_at_max() {
+        let mut e = RttEstimator::new();
+        e.sample(SimDuration::from_secs(80));
+        assert_eq!(e.rto(), RttEstimator::MAX_RTO);
+    }
+}

@@ -1,0 +1,55 @@
+//! Plan an edge-datacenter deployment for a metro area (§VI-F).
+//!
+//! Generates a synthetic 1000-user metro, then answers the operator
+//! questions: how many edge datacenters does a given AR deadline require,
+//! where does greedy placement fall short of optimal, and which users are
+//! unreachable at any placement because their own access RTT already
+//! exceeds the budget?
+//!
+//! Run with: `cargo run --example edge_planning`
+
+use marnet::edge::placement::synthetic_metro;
+use marnet::sim::rng::derive_rng;
+use marnet::sim::time::SimDuration;
+
+fn main() {
+    println!("== edge datacenter planning: 1000 users, 60 candidate sites, 30 km metro ==\n");
+    println!(
+        "{:>10} {:>13} {:>18} {:>14}",
+        "budget δ", "datacenters", "infeasible users", "users per DC"
+    );
+    for budget_ms in [10u64, 15, 20, 30, 50, 75] {
+        let mut rng = derive_rng(31, "edge_planning");
+        let problem =
+            synthetic_metro(1000, 60, 30.0, SimDuration::from_millis(budget_ms), &mut rng);
+        let solution = problem.solve_greedy();
+        assert!(problem.validate(&solution), "solver produced an invalid cover");
+        let covered = 1000 - solution.uncovered.len();
+        println!(
+            "{:>8}ms {:>13} {:>18} {:>14}",
+            budget_ms,
+            solution.cost(),
+            solution.uncovered.len(),
+            if solution.cost() > 0 { covered / solution.cost() } else { 0 },
+        );
+    }
+
+    // Solver quality on a small instance, where exact search is affordable.
+    let mut rng = derive_rng(32, "edge_planning.small");
+    let problem = synthetic_metro(150, 18, 25.0, SimDuration::from_millis(14), &mut rng);
+    let greedy = problem.solve_greedy();
+    let exact = problem.solve_exact();
+    println!(
+        "\nsolver check (150 users, 18 sites, δ=14 ms): greedy {} DCs, optimal {} DCs, \
+         lower bound {}",
+        greedy.cost(),
+        exact.cost(),
+        problem.lower_bound()
+    );
+    println!(
+        "\nTight AR deadlines are what make edge placement a real planning\n\
+         problem: at 75 ms a couple of metro datacenters cover everyone, at\n\
+         10-20 ms the map fragments into many small coverage islands and\n\
+         LTE users drop out entirely (their access RTT alone busts δ)."
+    );
+}

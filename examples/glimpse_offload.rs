@@ -1,0 +1,113 @@
+//! Compare offloading strategies for a vision MAR app on a smartphone.
+//!
+//! Runs the full end-to-end pipeline (camera → strategy → AR transport →
+//! server compute → results → QoE) for each of the paper's named designs —
+//! local-only, full-frame offload, CloudRidAR-style feature offload and
+//! Glimpse-style tracking offload — on two networks: a good edge (16 ms
+//! RTT) and an LTE path (120 ms RTT, Table II row 4).
+//!
+//! Run with: `cargo run --example glimpse_offload`
+
+use marnet::app::compute::{ComputeModel, FrameWork};
+use marnet::app::device::DeviceClass;
+use marnet::app::pipeline::{MarClient, MarServer};
+use marnet::app::qoe::QoeReport;
+use marnet::app::strategy::OffloadStrategy;
+use marnet::app::video::{FrameSource, VideoConfig};
+use marnet::arcore::config::ArConfig;
+use marnet::arcore::endpoint::{ArReceiver, ArSender, SenderPathConfig};
+use marnet::arcore::multipath::PathRole;
+use marnet::sim::engine::Simulator;
+use marnet::sim::link::{Bandwidth, LinkParams};
+use marnet::sim::rng::derive_rng;
+use marnet::sim::time::{SimDuration, SimTime};
+use marnet::transport::nic::TxPath;
+
+fn run(strategy: OffloadStrategy, up_mbps: f64, one_way_ms: u64, secs: u64) -> QoeReport {
+    let mut sim = Simulator::new(99);
+    let c_snd = sim.reserve_actor();
+    let s_rcv = sim.reserve_actor();
+    let s_snd = sim.reserve_actor();
+    let c_rcv = sim.reserve_actor();
+    let client = sim.reserve_actor();
+    let server = sim.reserve_actor();
+
+    let one_way = SimDuration::from_millis(one_way_ms);
+    let up = sim.add_link(c_snd, s_rcv, LinkParams::new(Bandwidth::from_mbps(up_mbps), one_way));
+    let up_fb = sim.add_link(s_rcv, c_snd, LinkParams::new(Bandwidth::from_mbps(20.0), one_way));
+    let down = sim.add_link(s_snd, c_rcv, LinkParams::new(Bandwidth::from_mbps(20.0), one_way));
+    let down_fb =
+        sim.add_link(c_rcv, s_snd, LinkParams::new(Bandwidth::from_mbps(up_mbps), one_way));
+
+    let cfg = ArConfig::default();
+    let sender = ArSender::new(
+        1,
+        cfg.clone(),
+        vec![SenderPathConfig { role: PathRole::Wifi, tx: TxPath::Link(up), link: Some(up) }],
+    )
+    .with_qos_target(client);
+    sim.install_actor(c_snd, sender);
+    sim.install_actor(
+        s_rcv,
+        ArReceiver::new(1, cfg.feedback_interval, vec![TxPath::Link(up_fb)])
+            .with_delivery_target(server),
+    );
+    sim.install_actor(
+        s_snd,
+        ArSender::new(
+            2,
+            cfg.clone(),
+            vec![SenderPathConfig { role: PathRole::Wifi, tx: TxPath::Link(down), link: Some(down) }],
+        ),
+    );
+    sim.install_actor(
+        c_rcv,
+        ArReceiver::new(2, cfg.feedback_interval, vec![TxPath::Link(down_fb)])
+            .with_delivery_target(client),
+    );
+
+    let model = ComputeModel::new(30.0, FrameWork::vision_pipeline())
+        .with_deadline(SimDuration::from_millis(75));
+    let video = FrameSource::new(VideoConfig::ar_minimal(), 0.05, derive_rng(99, "example.video"));
+    let mar = MarClient::new(c_snd, DeviceClass::Smartphone.spec(), model.clone(), strategy, video);
+    let qoe = mar.qoe();
+    sim.install_actor(client, mar);
+    sim.install_actor(
+        server,
+        MarServer::new(s_snd, DeviceClass::Cloud.spec(), model.work, strategy),
+    );
+    sim.run_until(SimTime::from_secs(secs));
+    let report = qoe.borrow_mut().report();
+    report
+}
+
+fn main() {
+    println!("== offloading strategies on a smartphone (10 s sessions) ==\n");
+    for (net_label, up, rtt_half) in
+        [("good edge, 16 ms RTT, 20 Mb/s up", 20.0, 8), ("LTE, 120 ms RTT, 6 Mb/s up", 6.0, 60)]
+    {
+        println!("--- {net_label} ---");
+        println!(
+            "{:<30} {:>7} {:>10} {:>9} {:>9} {:>7}",
+            "strategy", "frames", "mean ms", "p95 ms", "≤75ms", "score"
+        );
+        for strategy in OffloadStrategy::canonical() {
+            let r = run(strategy, up, rtt_half, 10);
+            println!(
+                "{:<30} {:>7} {:>10.1} {:>9.1} {:>8.1}% {:>7.1}",
+                strategy.to_string(),
+                r.frames,
+                r.mean_latency_ms,
+                r.p95_latency_ms,
+                r.within_budget * 100.0,
+                r.score()
+            );
+        }
+        println!();
+    }
+    println!(
+        "Glimpse's local tracking sidesteps the network for 9 of 10 frames —\n\
+         the only strategy that stays usable once the RTT alone eats the\n\
+         75 ms budget, which is the insight the paper draws from it."
+    );
+}

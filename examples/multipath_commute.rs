@@ -1,0 +1,50 @@
+//! A commuting MAR user: WiFi that comes and goes, LTE that costs money.
+//!
+//! Replays the §VI-D scenario — urban WiFi usable only ~54% of the time
+//! (the Wi2Me numbers the paper cites) with near-ubiquitous LTE — under the
+//! three multipath policies the paper proposes, and prints the service
+//! quality each one buys per LTE megabyte.
+//!
+//! Run with: `cargo run --example multipath_commute`
+
+use marnet::arcore::class::StreamKind;
+use marnet::arcore::multipath::MultipathPolicy;
+use marnet_bench::scenarios::run_multipath_commute;
+
+fn main() {
+    let secs = 180;
+    println!("== {secs}s commute: WiFi usable ~54% of the time, LTE always on ==\n");
+    println!(
+        "{:<42} {:>9} {:>10} {:>10} {:>8}",
+        "policy", "video", "meta", "p95 ms", "LTE MB"
+    );
+    for (label, policy) in [
+        ("1: WiFi all the time, 4G for handover", MultipathPolicy::WifiOnly),
+        ("2: WiFi preferred, 4G when WiFi is out", MultipathPolicy::WifiPreferred),
+        ("3: WiFi and 4G simultaneously", MultipathPolicy::Aggregate),
+    ] {
+        let out = run_multipath_commute(policy, secs, 7);
+        let r = out.receiver.borrow();
+        let s = out.sender.borrow();
+        let video = r.by_kind.get(&StreamKind::VideoInter);
+        let p95 = video
+            .map(|k| k.latency_ms.clone())
+            .and_then(|mut h| h.p95())
+            .unwrap_or(f64::NAN);
+        println!(
+            "{:<42} {:>9} {:>10} {:>10.1} {:>8.1}",
+            label,
+            video.map_or(0, |k| k.delivered),
+            r.by_kind.get(&StreamKind::Metadata).map_or(0, |k| k.delivered),
+            p95,
+            s.cellular_bytes as f64 / 1e6,
+        );
+    }
+    println!(
+        "\nPolicy 1 protects the data plan but loses video in every WiFi gap\n\
+         (metadata survives — the protocol moves critical data to LTE during\n\
+         handover). Policy 2 is the 'almost 100% service, low LTE usage'\n\
+         compromise; policy 3 buys the smoothest stream with the biggest\n\
+         bill — the §VI-D menu, quantified."
+    );
+}

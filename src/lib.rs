@@ -1,0 +1,15 @@
+//! Umbrella crate re-exporting the whole marnet suite.
+//!
+//! `marnet` reproduces the system argued for in *"Future Networking
+//! Challenges: The Case of Mobile Augmented Reality"* (ICDCS 2017): an
+//! AR-oriented transport protocol together with the simulated network,
+//! wireless, application, and edge substrates needed to evaluate it.
+#![forbid(unsafe_code)]
+
+pub use marnet_app as app;
+pub use marnet_core as arcore;
+pub use marnet_edge as edge;
+pub use marnet_privacy as privacy;
+pub use marnet_radio as radio;
+pub use marnet_sim as sim;
+pub use marnet_transport as transport;
