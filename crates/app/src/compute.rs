@@ -121,12 +121,7 @@ impl ComputeModel {
     /// A model with `δ_a = 1/f` (sustained frame-rate reading of Eq. 1).
     pub fn new(fps: f64, work: FrameWork) -> Self {
         assert!(fps > 0.0, "frame rate must be positive");
-        ComputeModel {
-            fps,
-            work,
-            db: None,
-            deadline: SimDuration::from_secs_f64(1.0 / fps),
-        }
+        ComputeModel { fps, work, db: None, deadline: SimDuration::from_secs_f64(1.0 / fps) }
     }
 
     /// Attaches a database access pattern, builder style.
@@ -270,7 +265,8 @@ mod tests {
 
     #[test]
     fn external_db_cost_scales_with_cache_misses() {
-        let model = ComputeModel::new(30.0, FrameWork::vision_pipeline()).with_db(DbAccess::browser());
+        let model =
+            ComputeModel::new(30.0, FrameWork::vision_pipeline()).with_db(DbAccess::browser());
         let phone = DeviceClass::Smartphone.spec();
         let n = net(8.0, 20.0, 40);
         let all_cached = model.p_local_external_db(&phone, &n, 1.0);
@@ -314,7 +310,8 @@ mod tests {
 
     #[test]
     fn split_surrogates_cost_more() {
-        let model = ComputeModel::new(30.0, FrameWork::vision_pipeline()).with_db(DbAccess::browser());
+        let model =
+            ComputeModel::new(30.0, FrameWork::vision_pipeline()).with_db(DbAccess::browser());
         let phone = DeviceClass::Smartphone.spec();
         let cloud = DeviceClass::Cloud.spec();
         let n = net(10.0, 20.0, 40);
@@ -343,10 +340,6 @@ mod tests {
     #[should_panic]
     fn db_model_requires_db_pattern() {
         let m = ComputeModel::new(30.0, FrameWork::vision_pipeline());
-        let _ = m.p_local_external_db(
-            &DeviceClass::Smartphone.spec(),
-            &net(10.0, 10.0, 10),
-            0.5,
-        );
+        let _ = m.p_local_external_db(&DeviceClass::Smartphone.spec(), &net(10.0, 10.0, 10), 0.5);
     }
 }

@@ -290,13 +290,7 @@ mod tests {
 
     #[test]
     fn overhead_formula() {
-        let o = db_overhead_per_frame(
-            2.0,
-            0.5,
-            50_000,
-            10_000_000,
-            SimDuration::from_millis(40),
-        );
+        let o = db_overhead_per_frame(2.0, 0.5, 50_000, 10_000_000, SimDuration::from_millis(40));
         // 1 miss/frame × (40 ms + 40 ms transfer) = 80 ms.
         assert_eq!(o, SimDuration::from_millis(80));
         assert_eq!(

@@ -220,12 +220,7 @@ mod tests {
     fn compute_power_rises_with_class() {
         let c = catalog();
         for w in c.windows(2) {
-            assert!(
-                w[0].compute_gflops < w[1].compute_gflops,
-                "{} vs {}",
-                w[0].class,
-                w[1].class
-            );
+            assert!(w[0].compute_gflops < w[1].compute_gflops, "{} vs {}", w[0].class, w[1].class);
         }
     }
 

@@ -119,7 +119,9 @@ impl MarClient {
                 } else {
                     StreamKind::VideoInter
                 };
-                Some(ArMessage::new(self.alloc_id(), kind, frame.bytes, now).with_deadline(deadline))
+                Some(
+                    ArMessage::new(self.alloc_id(), kind, frame.bytes, now).with_deadline(deadline),
+                )
             }
             OffloadStrategy::FeatureOffload { features, descriptor_bytes } => {
                 let bytes = features * descriptor_bytes;
@@ -133,8 +135,13 @@ impl MarClient {
             OffloadStrategy::TrackingOffload { frame_bytes, offload_every } => {
                 if self.frame_index % u64::from(offload_every.max(1)) == 1 {
                     Some(
-                        ArMessage::new(self.alloc_id(), StreamKind::VideoReference, frame_bytes, now)
-                            .with_deadline(deadline),
+                        ArMessage::new(
+                            self.alloc_id(),
+                            StreamKind::VideoReference,
+                            frame_bytes,
+                            now,
+                        )
+                        .with_deadline(deadline),
                     )
                 } else {
                     // Tracking handles this frame locally.
@@ -164,8 +171,8 @@ impl MarClient {
 
         // Sensors and connection metadata accompany every frame (Fig. 4's
         // four sub-streams).
-        let sensors = ArMessage::new(self.alloc_id(), StreamKind::Sensor, 200, now)
-            .with_deadline(deadline);
+        let sensors =
+            ArMessage::new(self.alloc_id(), StreamKind::Sensor, 200, now).with_deadline(deadline);
         self.submit(ctx, sensors);
         let meta = ArMessage::new(self.alloc_id(), StreamKind::Metadata, 100, now);
         self.submit(ctx, meta);
@@ -383,7 +390,11 @@ mod tests {
         let r_sender = ArSender::new(
             2,
             cfg.clone(),
-            vec![SenderPathConfig { role: PathRole::Wifi, tx: TxPath::Link(down), link: Some(down) }],
+            vec![SenderPathConfig {
+                role: PathRole::Wifi,
+                tx: TxPath::Link(down),
+                link: Some(down),
+            }],
         );
         sim.install_actor(s_snd, r_sender);
         let r_receiver = ArReceiver::new(2, cfg.feedback_interval, vec![TxPath::Link(down_fb)])
@@ -392,18 +403,10 @@ mod tests {
 
         let model = ComputeModel::new(30.0, FrameWork::vision_pipeline())
             .with_deadline(SimDuration::from_millis(75));
-        let video = FrameSource::new(
-            VideoConfig::ar_minimal(),
-            0.05,
-            derive_rng(31, "pipeline.video"),
-        );
-        let mar_client = MarClient::new(
-            c_snd,
-            DeviceClass::Smartphone.spec(),
-            model.clone(),
-            strategy,
-            video,
-        );
+        let video =
+            FrameSource::new(VideoConfig::ar_minimal(), 0.05, derive_rng(31, "pipeline.video"));
+        let mar_client =
+            MarClient::new(c_snd, DeviceClass::Smartphone.spec(), model.clone(), strategy, video);
         let qoe = mar_client.qoe();
         sim.install_actor(client, mar_client);
         sim.install_actor(

@@ -174,21 +174,15 @@ impl FrameSource {
     pub fn next_frame(&mut self) -> Frame {
         let (ref_bytes, inter_bytes) = self.cfg.gop_frame_sizes();
         let is_reference = self.index.is_multiple_of(u64::from(self.cfg.gop));
-        let base = if is_reference {
-            f64::from(ref_bytes)
-        } else {
-            f64::from(inter_bytes) * self.quality
-        };
+        let base =
+            if is_reference { f64::from(ref_bytes) } else { f64::from(inter_bytes) * self.quality };
         let factor = if self.jitter > 0.0 {
             1.0 + self.rng.gen_range(-self.jitter..=self.jitter)
         } else {
             1.0
         };
-        let frame = Frame {
-            index: self.index,
-            is_reference,
-            bytes: (base * factor).max(64.0) as u32,
-        };
+        let frame =
+            Frame { index: self.index, is_reference, bytes: (base * factor).max(64.0) as u32 };
         self.index += 1;
         frame
     }
@@ -292,8 +286,11 @@ mod tests {
     fn jitter_varies_sizes() {
         let v = VideoConfig::ar_minimal();
         let mut src = FrameSource::new(v, 0.2, derive_rng(1, "video4"));
-        let sizes: Vec<u32> =
-            (0..10).map(|_| src.next_frame()).filter(|f| !f.is_reference).map(|f| f.bytes).collect();
+        let sizes: Vec<u32> = (0..10)
+            .map(|_| src.next_frame())
+            .filter(|f| !f.is_reference)
+            .map(|f| f.bytes)
+            .collect();
         let min = sizes.iter().min().unwrap();
         let max = sizes.iter().max().unwrap();
         assert!(max > min, "jitter must vary sizes: {sizes:?}");

@@ -118,10 +118,7 @@ fn main() {
     sim.add_actor(Saturator { cell, station: 1, flow: 1 });
     sim.add_actor(Walker {
         cell,
-        schedule: vec![
-            (SimTime::from_secs(phase), 18.0),
-            (SimTime::from_secs(2 * phase), 6.0),
-        ],
+        schedule: vec![(SimTime::from_secs(phase), 18.0), (SimTime::from_secs(2 * phase), 6.0)],
         next: 0,
     });
     sim.run_until(SimTime::from_secs(3 * phase));

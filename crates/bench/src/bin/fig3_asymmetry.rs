@@ -42,11 +42,8 @@ fn main() {
         if to <= from {
             continue;
         }
-        let ul_total: f64 = out
-            .uploads
-            .iter()
-            .map(|u| u.borrow().goodput_meter.mean_mbps(from, to))
-            .sum();
+        let ul_total: f64 =
+            out.uploads.iter().map(|u| u.borrow().goodput_meter.mean_mbps(from, to)).sum();
         phases.push(Phase {
             active_uploads: k,
             from_s: from,
@@ -73,7 +70,10 @@ fn main() {
         &table,
     );
 
-    println!("\nDownload goodput timeline (2 s buckets, upload starts at {:?} s):", out.upload_starts);
+    println!(
+        "\nDownload goodput timeline (2 s buckets, upload starts at {:?} s):",
+        out.upload_starts
+    );
     let series = dl.goodput_meter.series_mbps();
     for (t, mbps) in series.iter().step_by(20) {
         let bar = "#".repeat((mbps * 4.0) as usize);

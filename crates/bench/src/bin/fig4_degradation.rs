@@ -132,7 +132,8 @@ fn main() {
         LinkParams::new(Bandwidth::from_mbps(RATES_MBPS[0]), SimDuration::from_millis(15)),
     );
     modulate_links(&mut sim, vec![fwd], Box::new(scripted()), SimDuration::from_millis(100));
-    let sender = TcpSender::new(1, TxPath::Link(fwd), TcpConfig::default(), Box::new(Reno::new(1460)));
+    let sender =
+        TcpSender::new(1, TxPath::Link(fwd), TcpConfig::default(), Box::new(Reno::new(1460)));
     let tcp_stats = sender.stats();
     sim.install_actor(s, sender);
     let receiver = TcpReceiver::new(1, TxPath::Link(rev));
@@ -188,19 +189,13 @@ fn main() {
     let ar = ar_stats.borrow();
     let arx = ar_rx.borrow();
     let kbps = |kind: StreamKind, from: f64, to: f64| {
-        ar.send_meters
-            .get(&kind)
-            .map_or(0.0, |m| m.mean_mbps(from, to) * 1000.0)
+        ar.send_meters.get(&kind).map_or(0.0, |m| m.mean_mbps(from, to) * 1000.0)
     };
     let mut rows = Vec::new();
     for (phase, &link_mbps) in RATES_MBPS.iter().enumerate() {
         let from = (phase as u64 * PHASE_SECS) as f64 + 4.0;
         let to = ((phase as u64 + 1) * PHASE_SECS) as f64;
-        let cwnd = tcp
-            .cwnd_series
-            .window_mean(from, to)
-            .unwrap_or(0.0)
-            / 1000.0;
+        let cwnd = tcp.cwnd_series.window_mean(from, to).unwrap_or(0.0) / 1000.0;
         rows.push(PhaseRow {
             phase: phase + 1,
             link_mbps,

@@ -54,15 +54,7 @@ fn main() {
         .collect();
     print_table(
         "Fig. 5 — distribution architectures (30 s MAR session each)",
-        &[
-            "Scenario",
-            "Loops",
-            "Loop med ms",
-            "Loop p95 ms",
-            "≤75 ms",
-            "Critical med ms",
-            "LTE MB",
-        ],
+        &["Scenario", "Loops", "Loop med ms", "Loop p95 ms", "≤75 ms", "Critical med ms", "LTE MB"],
         &table,
     );
 
@@ -98,11 +90,7 @@ fn main() {
         per_path.sync,
         per_path.fan_in_latency()
     );
-    println!(
-        "  single:   {:?} → fan-in {}",
-        single.per_path,
-        single.fan_in_latency()
-    );
+    println!("  single:   {:?} → fan-in {}", single.per_path, single.fan_in_latency());
 
     println!(
         "\nShape check: nearby executors (5b home PC, then 5a university)\n\

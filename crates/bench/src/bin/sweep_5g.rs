@@ -82,10 +82,7 @@ fn run(tech: RadioTechnology, offered_mbps: f64, secs: u64) -> Row {
             let offered = secs * 1000 / 33;
             k.deadline_hits as f64 / offered.max(total) as f64 * 100.0
         }),
-        p95_ms: video
-            .map(|k| k.latency_ms.clone())
-            .and_then(|mut h| h.p95())
-            .unwrap_or(f64::NAN),
+        p95_ms: video.map(|k| k.latency_ms.clone()).and_then(|mut h| h.p95()).unwrap_or(f64::NAN),
     }
 }
 
@@ -94,7 +91,12 @@ fn main() {
     let mut rows = Vec::new();
 
     // Today's 10 Mb/s minimal AR feed on each generation.
-    for tech in [RadioTechnology::HspaPlus, RadioTechnology::Lte, RadioTechnology::Wifi80211ac, RadioTechnology::FiveG] {
+    for tech in [
+        RadioTechnology::HspaPlus,
+        RadioTechnology::Lte,
+        RadioTechnology::Wifi80211ac,
+        RadioTechnology::FiveG,
+    ] {
         rows.push(run(tech, 10.0, secs));
     }
     // Tomorrow's feeds on 5G only: higher resolution, stereo, "several

@@ -34,10 +34,7 @@ fn main() {
         let s = out.sender.borrow();
         let video = r.by_kind.get(&StreamKind::VideoInter);
         let meta = r.by_kind.get(&StreamKind::Metadata);
-        let p95 = video
-            .map(|k| k.latency_ms.clone())
-            .and_then(|mut h| h.p95())
-            .unwrap_or(f64::NAN);
+        let p95 = video.map(|k| k.latency_ms.clone()).and_then(|mut h| h.p95()).unwrap_or(f64::NAN);
         rows.push(Row {
             policy: label.to_string(),
             video_delivered: video.map_or(0, |k| k.delivered),
@@ -63,9 +60,7 @@ fn main() {
         })
         .collect();
     print_table(
-        &format!(
-            "E12 — §VI-D policies over a {secs}s commute (WiFi usable ~54% of the time)"
-        ),
+        &format!("E12 — §VI-D policies over a {secs}s commute (WiFi usable ~54% of the time)"),
         &["Policy", "Video delivered", "Metadata", "Video p95 ms", "Deadline hits", "LTE MB"],
         &table,
     );

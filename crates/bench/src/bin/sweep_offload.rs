@@ -49,9 +49,7 @@ fn main() {
                         let e = s.evaluate(&model, &device, &cloud, &net);
                         (s, e)
                     })
-                    .min_by(|(_, a), (_, b)| {
-                        a.per_frame.partial_cmp(&b.per_frame).expect("finite")
-                    })
+                    .min_by(|(_, a), (_, b)| a.per_frame.partial_cmp(&b.per_frame).expect("finite"))
                     .expect("non-empty strategies");
                 let tag = if !est.feasible() {
                     "∅".to_string()

@@ -2,40 +2,15 @@
 //! XOR FEC vs duplication, over an RTT × loss grid, at 30 FPS with the
 //! 75 ms budget. Includes the paper's analytic 37.5 ms rule and the
 //! FEC overhead/residual-loss frontier.
+//!
+//! The topology lives in [`marnet_bench::scenarios::run_recovery`] so the
+//! `marnet-lab` replicated version of this sweep runs the same code; this
+//! binary is the single-seed quick look.
 
+use marnet_bench::scenarios::{run_recovery, RecoveryMechanism};
 use marnet_bench::{fmt, print_table, write_json};
-use marnet_core::class::StreamKind;
-use marnet_core::config::ArConfig;
-use marnet_core::endpoint::{ArReceiver, ArSender, SenderPathConfig, Submit};
 use marnet_core::fec;
-use marnet_core::message::ArMessage;
-use marnet_core::multipath::PathRole;
-use marnet_core::recovery::RecoveryPolicy;
-use marnet_sim::engine::{Actor, ActorId, Event, SimCtx, Simulator};
-use marnet_sim::link::{Bandwidth, LinkParams, LossModel};
-use marnet_sim::packet::Payload;
-use marnet_sim::time::{SimDuration, SimTime};
-use marnet_transport::nic::TxPath;
 use serde::Serialize;
-
-/// 30 FPS stream of recovery-class reference-frame-like messages.
-struct RefStream {
-    sender: ActorId,
-    next_id: u64,
-}
-
-impl Actor for RefStream {
-    fn on_event(&mut self, ctx: &mut SimCtx, ev: Event) {
-        if matches!(ev, Event::Start | Event::Timer { .. }) {
-            let now = ctx.now();
-            let m = ArMessage::new(self.next_id, StreamKind::VideoReference, 6_000, now)
-                .with_deadline(now + SimDuration::from_millis(75));
-            self.next_id += 1;
-            ctx.send_message(self.sender, Payload::new(Submit(m)));
-            ctx.schedule_timer(SimDuration::from_millis(33), 0);
-        }
-    }
-}
 
 #[derive(Serialize)]
 struct Row {
@@ -47,98 +22,22 @@ struct Row {
     overhead_pct: f64,
 }
 
-#[allow(clippy::too_many_arguments)]
-fn run(
-    rtt_ms: u64,
-    loss: f64,
-    recovery: RecoveryPolicy,
-    fec_group: Option<usize>,
-    duplicate: bool,
-    secs: u64,
-    seed: u64,
-) -> Row {
-    let mut sim = Simulator::new(seed);
-    let snd = sim.reserve_actor();
-    let rcv = sim.reserve_actor();
-    let one_way = SimDuration::from_millis_f64(rtt_ms as f64 / 2.0);
-    let up = sim.add_link(
-        snd,
-        rcv,
-        LinkParams::new(Bandwidth::from_mbps(20.0), one_way)
-            .with_loss(LossModel::Bernoulli { p: loss }),
-    );
-    let up2 = sim.add_link(
-        snd,
-        rcv,
-        LinkParams::new(Bandwidth::from_mbps(20.0), one_way)
-            .with_loss(LossModel::Bernoulli { p: loss }),
-    );
-    let down = sim.add_link(rcv, snd, LinkParams::new(Bandwidth::from_mbps(20.0), one_way));
-    let cfg = ArConfig { recovery, fec_group, duplicate_recovery: duplicate, ..ArConfig::default() };
-    let mut paths =
-        vec![SenderPathConfig { role: PathRole::Wifi, tx: TxPath::Link(up), link: Some(up) }];
-    if duplicate {
-        paths.push(SenderPathConfig {
-            role: PathRole::Cellular,
-            tx: TxPath::Link(up2),
-            link: Some(up2),
-        });
-    }
-    let sender = ArSender::new(1, cfg.clone(), paths);
-    let sstats = sender.stats();
-    sim.install_actor(snd, sender);
-    let receiver = ArReceiver::new(
-        1,
-        cfg.feedback_interval,
-        vec![TxPath::Link(down), TxPath::Link(down)],
-    );
-    let rstats = receiver.stats();
-    sim.install_actor(rcv, receiver);
-    sim.add_actor(RefStream { sender: snd, next_id: 0 });
-    sim.run_until(SimTime::from_secs(secs));
-
-    let offered = (secs * 30) as f64;
-    let r = rstats.borrow();
-    let s = sstats.borrow();
-    let ks = r.by_kind.get(&StreamKind::VideoReference);
-    let delivered = ks.map_or(0, |k| k.delivered) as f64;
-    let hits = ks.map_or(0, |k| k.deadline_hits) as f64;
-    let goodput_bytes = delivered * 6_000.0;
-    let sent_bytes: u64 = s.sent_bytes_by_kind.values().sum();
-    Row {
-        mechanism: String::new(),
-        rtt_ms,
-        loss_pct: loss * 100.0,
-        delivered_in_budget_pct: hits / offered * 100.0,
-        delivered_total_pct: delivered / offered * 100.0,
-        overhead_pct: (sent_bytes as f64 / goodput_bytes.max(1.0) - 1.0) * 100.0,
-    }
-}
-
 fn main() {
-    let mechanisms: Vec<(&str, RecoveryPolicy, Option<usize>, bool)> = vec![
-        ("none", RecoveryPolicy { enabled: false, ..Default::default() }, None, false),
-        ("arq-gated", RecoveryPolicy::default(), None, false),
-        (
-            "arq-always",
-            RecoveryPolicy { deadline_gated: false, ..Default::default() },
-            None,
-            false,
-        ),
-        ("fec-k4", RecoveryPolicy { enabled: false, ..Default::default() }, Some(4), false),
-        ("fec-k8", RecoveryPolicy { enabled: false, ..Default::default() }, Some(8), false),
-        ("arq+fec-k8", RecoveryPolicy::default(), Some(8), false),
-        ("duplicate", RecoveryPolicy { enabled: false, ..Default::default() }, None, true),
-    ];
     let rtts = [20u64, 36, 60, 120];
     let loss = 0.03;
 
     let mut all = Vec::new();
-    for (name, policy, fec_group, dup) in &mechanisms {
+    for mechanism in RecoveryMechanism::ALL {
         for &rtt in &rtts {
-            let mut row = run(rtt, loss, *policy, *fec_group, *dup, 30, 11);
-            row.mechanism = name.to_string();
-            all.push(row);
+            let out = run_recovery(rtt, loss, mechanism, 30, 11);
+            all.push(Row {
+                mechanism: mechanism.label().to_string(),
+                rtt_ms: rtt,
+                loss_pct: loss * 100.0,
+                delivered_in_budget_pct: out.delivered_in_budget_pct,
+                delivered_total_pct: out.delivered_total_pct,
+                overhead_pct: out.overhead_pct,
+            });
         }
     }
 

@@ -36,8 +36,7 @@ fn main() {
         let network = if spec.network.is_empty() && spec.wired {
             "Ethernet/Fiber".to_string()
         } else {
-            let mut ifaces: Vec<String> =
-                spec.network.iter().map(|t| t.to_string()).collect();
+            let mut ifaces: Vec<String> = spec.network.iter().map(|t| t.to_string()).collect();
             if spec.wired {
                 ifaces.push("Ethernet".to_string());
             }

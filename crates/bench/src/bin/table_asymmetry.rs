@@ -53,12 +53,7 @@ fn main() {
             continue;
         }
         let ratio = mar_upload_ratio(up, down);
-        mar_rows.push(vec![
-            s.to_string(),
-            up.to_string(),
-            down.to_string(),
-            fmt(ratio, 1),
-        ]);
+        mar_rows.push(vec![s.to_string(), up.to_string(), down.to_string(), fmt(ratio, 1)]);
         mar_json.push((s.to_string(), ratio));
     }
     print_table(

@@ -67,9 +67,7 @@ fn main() {
 
     let table: Vec<Vec<String>> = rows
         .iter()
-        .map(|r| {
-            vec![r.step.clone(), r.paper_value.clone(), r.computed.clone(), r.note.clone()]
-        })
+        .map(|r| vec![r.step.clone(), r.paper_value.clone(), r.computed.clone(), r.note.clone()])
         .collect();
     print_table(
         "§III-B — bandwidth estimates for MAR video",

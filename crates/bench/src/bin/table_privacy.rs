@@ -45,8 +45,7 @@ fn main() {
         ("first-party (encrypt only)", PrivacyPolicy::first_party()),
         ("paranoid (full redact + encrypt)", PrivacyPolicy::paranoid()),
     ];
-    let devices =
-        [DeviceClass::SmartGlasses, DeviceClass::Smartphone, DeviceClass::Laptop];
+    let devices = [DeviceClass::SmartGlasses, DeviceClass::Smartphone, DeviceClass::Laptop];
 
     let mut rows = Vec::new();
     for device in devices {

@@ -36,16 +36,17 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
         println!("| {} |", padded.join(" | "));
     };
     line(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>());
-    println!(
-        "|{}|",
-        widths.iter().map(|w| "-".repeat(w + 2)).collect::<Vec<_>>().join("|")
-    );
+    println!("|{}|", widths.iter().map(|w| "-".repeat(w + 2)).collect::<Vec<_>>().join("|"));
     for row in rows {
         line(row);
     }
 }
 
 /// Writes a JSON artifact under `results/`, creating the directory.
+///
+/// The write is atomic: the body lands in a temp file next to the target
+/// which is then renamed into place, so a crash mid-write can never leave
+/// a truncated artifact behind.
 ///
 /// # Panics
 ///
@@ -56,18 +57,27 @@ pub fn write_json<T: Serialize>(name: &str, value: &T) {
     fs::create_dir_all(&dir).expect("create results dir");
     let path = dir.join(format!("{name}.json"));
     let body = serde_json::to_string_pretty(value).expect("serialize results");
-    fs::write(&path, body).expect("write results");
+    let tmp = dir.join(format!(".{name}.json.tmp"));
+    fs::write(&tmp, body).expect("write results");
+    fs::rename(&tmp, &path).expect("publish results");
     println!("\n[artifact] {}", path.display());
 }
 
 /// Formats a float with the given precision; NaN prints as `-` and
-/// negative zero is normalised.
+/// negative zero is normalised — including values that only *round* to
+/// zero at the requested precision (e.g. `fmt(-0.04, 1)`).
 pub fn fmt(v: f64, prec: usize) -> String {
     if v.is_nan() {
         return "-".to_string();
     }
-    let v = if v == 0.0 { 0.0 } else { v };
-    format!("{v:.prec$}")
+    let s = format!("{v:.prec$}");
+    // Normalise after rounding: "-0", "-0.00", ... have no non-zero digit.
+    if let Some(rest) = s.strip_prefix('-') {
+        if rest.chars().all(|c| c == '0' || c == '.') {
+            return rest.to_string();
+        }
+    }
+    s
 }
 
 #[cfg(test)]
@@ -80,6 +90,27 @@ mod tests {
         assert_eq!(fmt(10.0, 0), "10");
         assert_eq!(fmt(f64::NAN, 2), "-");
         assert_eq!(fmt(-0.0, 1), "0.0");
+        // Values that only round to zero must not print a minus sign...
+        assert_eq!(fmt(-0.04, 1), "0.0");
+        assert_eq!(fmt(-0.0004, 2), "0.00");
+        assert_eq!(fmt(-0.4, 0), "0");
+        // ...while genuinely negative results keep theirs.
+        assert_eq!(fmt(-0.06, 1), "-0.1");
+        assert_eq!(fmt(-1.0, 1), "-1.0");
+    }
+
+    #[test]
+    fn write_json_is_atomic_and_readable() {
+        let dir = std::env::temp_dir().join(format!("marnet_bench_wj_{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let prev = std::env::current_dir().unwrap();
+        std::env::set_current_dir(&dir).unwrap();
+        write_json("atomic_check", &vec![1u64, 2, 3]);
+        let body = fs::read_to_string("results/atomic_check.json").unwrap();
+        assert!(body.contains('1') && body.contains('3'));
+        assert!(!PathBuf::from("results/.atomic_check.json.tmp").exists());
+        std::env::set_current_dir(prev).unwrap();
+        let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]

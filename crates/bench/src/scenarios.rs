@@ -4,19 +4,24 @@
 use marnet_core::class::StreamKind;
 use marnet_core::config::ArConfig;
 use marnet_core::congestion::CongestionConfig;
-use marnet_core::endpoint::{ArReceiver, ArReceiverStats, ArSender, ArSenderStats, SenderPathConfig, Submit};
+use marnet_core::endpoint::{
+    ArReceiver, ArReceiverStats, ArSender, ArSenderStats, SenderPathConfig, Submit,
+};
 use marnet_core::message::ArMessage;
 use marnet_core::multipath::{MultipathPolicy, PathRole};
+use marnet_core::recovery::RecoveryPolicy;
 use marnet_radio::coverage::{CoverageActor, CoverageModel};
 use marnet_sim::engine::{Actor, ActorId, Event, SimCtx, Simulator};
-use marnet_sim::link::{Bandwidth, LinkParams};
+use marnet_sim::link::{Bandwidth, LinkParams, LossModel};
 use marnet_sim::packet::Payload;
 use marnet_sim::queue::QueueConfig;
 use marnet_sim::rng::derive_rng;
 use marnet_sim::time::{SimDuration, SimTime};
 use marnet_transport::nic::{Nic, TxPath};
 use marnet_transport::probe::{ProbeClient, ProbeServer, ProbeStats};
-use marnet_transport::tcp::{DataSource, Reno, TcpConfig, TcpReceiver, TcpReceiverStats, TcpSender};
+use marnet_transport::tcp::{
+    DataSource, Reno, TcpConfig, TcpReceiver, TcpReceiverStats, TcpSender,
+};
 use marnet_transport::udp::{UdpSink, UdpSinkStats, UdpSource};
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -154,10 +159,7 @@ pub fn run_table2(
     );
     let stats = probe.stats();
     sim.install_actor(client, probe);
-    sim.install_actor(
-        server,
-        ProbeServer::new(1, TxPath::Link(rev_links[0]), response_bytes),
-    );
+    sim.install_actor(server, ProbeServer::new(1, TxPath::Link(rev_links[0]), response_bytes));
     sim.run_until(SimTime::from_secs(probes / 20 + 30));
     stats
 }
@@ -296,8 +298,9 @@ pub fn run_fairness(
     let mut sim = Simulator::new(seed);
     let left = sim.reserve_actor();
     let right = sim.reserve_actor();
-    let params = LinkParams::new(Bandwidth::from_mbps(bottleneck_mbps), SimDuration::from_millis(10))
-        .with_queue(QueueConfig::DropTail { cap_packets: 100 });
+    let params =
+        LinkParams::new(Bandwidth::from_mbps(bottleneck_mbps), SimDuration::from_millis(10))
+            .with_queue(QueueConfig::DropTail { cap_packets: 100 });
     let fwd = sim.add_link(left, right, params.clone());
     let rev = sim.add_link(right, left, params);
     let mut left_nic = Nic::new(fwd);
@@ -336,7 +339,12 @@ pub fn run_fairness(
         let conn = 10 + i as u64;
         let s_id = sim.reserve_actor();
         let r_id = sim.reserve_actor();
-        let s = TcpSender::new(conn, TxPath::Nic(left), TcpConfig::default(), Box::new(Reno::new(1460)));
+        let s = TcpSender::new(
+            conn,
+            TxPath::Nic(left),
+            TcpConfig::default(),
+            Box::new(Reno::new(1460)),
+        );
         sim.install_actor(s_id, s);
         let r = TcpReceiver::new(conn, TxPath::Nic(right));
         tcp.push(r.stats());
@@ -420,6 +428,172 @@ pub fn run_queueing(
 }
 
 // ---------------------------------------------------------------------------
+// Loss recovery (E11)
+// ---------------------------------------------------------------------------
+
+/// The seven §VI-C recovery mechanisms of the E11 sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryMechanism {
+    /// No recovery at all: what the network drops stays dropped.
+    None,
+    /// Deadline-gated ARQ (retransmit only if it can still arrive in budget).
+    ArqGated,
+    /// Unconditional ARQ, deadline or not.
+    ArqAlways,
+    /// XOR FEC over groups of 4.
+    FecK4,
+    /// XOR FEC over groups of 8.
+    FecK8,
+    /// Deadline-gated ARQ plus XOR FEC over groups of 8.
+    ArqFecK8,
+    /// Blind duplication over a second path.
+    Duplicate,
+}
+
+impl RecoveryMechanism {
+    /// All seven, in table order.
+    pub const ALL: [RecoveryMechanism; 7] = [
+        RecoveryMechanism::None,
+        RecoveryMechanism::ArqGated,
+        RecoveryMechanism::ArqAlways,
+        RecoveryMechanism::FecK4,
+        RecoveryMechanism::FecK8,
+        RecoveryMechanism::ArqFecK8,
+        RecoveryMechanism::Duplicate,
+    ];
+
+    /// The stable label used in tables and artifacts.
+    pub fn label(self) -> &'static str {
+        match self {
+            RecoveryMechanism::None => "none",
+            RecoveryMechanism::ArqGated => "arq-gated",
+            RecoveryMechanism::ArqAlways => "arq-always",
+            RecoveryMechanism::FecK4 => "fec-k4",
+            RecoveryMechanism::FecK8 => "fec-k8",
+            RecoveryMechanism::ArqFecK8 => "arq+fec-k8",
+            RecoveryMechanism::Duplicate => "duplicate",
+        }
+    }
+
+    /// Parses a [`RecoveryMechanism::label`] back.
+    pub fn from_label(label: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|m| m.label() == label)
+    }
+
+    /// The `(recovery policy, FEC group, duplicate)` knobs this mechanism
+    /// sets on [`ArConfig`].
+    fn knobs(self) -> (RecoveryPolicy, Option<usize>, bool) {
+        let off = RecoveryPolicy { enabled: false, ..Default::default() };
+        match self {
+            RecoveryMechanism::None => (off, None, false),
+            RecoveryMechanism::ArqGated => (RecoveryPolicy::default(), None, false),
+            RecoveryMechanism::ArqAlways => {
+                (RecoveryPolicy { deadline_gated: false, ..Default::default() }, None, false)
+            }
+            RecoveryMechanism::FecK4 => (off, Some(4), false),
+            RecoveryMechanism::FecK8 => (off, Some(8), false),
+            RecoveryMechanism::ArqFecK8 => (RecoveryPolicy::default(), Some(8), false),
+            RecoveryMechanism::Duplicate => (off, None, true),
+        }
+    }
+}
+
+/// Outcome of one E11 recovery run, as percentages of offered frames.
+#[derive(Debug, Clone, Copy)]
+pub struct RecoveryOutcome {
+    /// Frames that arrived within the 75 ms budget, % of offered.
+    pub delivered_in_budget_pct: f64,
+    /// Frames that arrived at all, % of offered.
+    pub delivered_total_pct: f64,
+    /// Bytes on the wire beyond the goodput, %.
+    pub overhead_pct: f64,
+}
+
+/// 30 FPS stream of recovery-class reference-frame-like messages.
+#[derive(Debug)]
+struct RefStream {
+    sender: ActorId,
+    next_id: u64,
+}
+
+impl Actor for RefStream {
+    fn on_event(&mut self, ctx: &mut SimCtx, ev: Event) {
+        if matches!(ev, Event::Start | Event::Timer { .. }) {
+            let now = ctx.now();
+            let m = ArMessage::new(self.next_id, StreamKind::VideoReference, 6_000, now)
+                .with_deadline(now + SimDuration::from_millis(75));
+            self.next_id += 1;
+            ctx.send_message(self.sender, Payload::new(Submit(m)));
+            ctx.schedule_timer(SimDuration::from_millis(33), 0);
+        }
+    }
+}
+
+/// Runs one §VI-C recovery configuration: 30 FPS of 6 KB reference frames
+/// with a 75 ms deadline over a lossy `rtt_ms` path, recovered by
+/// `mechanism`, for `secs` of virtual time.
+pub fn run_recovery(
+    rtt_ms: u64,
+    loss: f64,
+    mechanism: RecoveryMechanism,
+    secs: u64,
+    seed: u64,
+) -> RecoveryOutcome {
+    let (recovery, fec_group, duplicate) = mechanism.knobs();
+    let mut sim = Simulator::new(seed);
+    let snd = sim.reserve_actor();
+    let rcv = sim.reserve_actor();
+    let one_way = SimDuration::from_millis_f64(rtt_ms as f64 / 2.0);
+    let up = sim.add_link(
+        snd,
+        rcv,
+        LinkParams::new(Bandwidth::from_mbps(20.0), one_way)
+            .with_loss(LossModel::Bernoulli { p: loss }),
+    );
+    let up2 = sim.add_link(
+        snd,
+        rcv,
+        LinkParams::new(Bandwidth::from_mbps(20.0), one_way)
+            .with_loss(LossModel::Bernoulli { p: loss }),
+    );
+    let down = sim.add_link(rcv, snd, LinkParams::new(Bandwidth::from_mbps(20.0), one_way));
+    let cfg =
+        ArConfig { recovery, fec_group, duplicate_recovery: duplicate, ..ArConfig::default() };
+    let mut paths =
+        vec![SenderPathConfig { role: PathRole::Wifi, tx: TxPath::Link(up), link: Some(up) }];
+    if duplicate {
+        paths.push(SenderPathConfig {
+            role: PathRole::Cellular,
+            tx: TxPath::Link(up2),
+            link: Some(up2),
+        });
+    }
+    let sender = ArSender::new(1, cfg.clone(), paths);
+    let sstats = sender.stats();
+    sim.install_actor(snd, sender);
+    let receiver =
+        ArReceiver::new(1, cfg.feedback_interval, vec![TxPath::Link(down), TxPath::Link(down)]);
+    let rstats = receiver.stats();
+    sim.install_actor(rcv, receiver);
+    sim.add_actor(RefStream { sender: snd, next_id: 0 });
+    sim.run_until(SimTime::from_secs(secs));
+
+    let offered = (secs * 30) as f64;
+    let r = rstats.borrow();
+    let s = sstats.borrow();
+    let ks = r.by_kind.get(&StreamKind::VideoReference);
+    let delivered = ks.map_or(0, |k| k.delivered) as f64;
+    let hits = ks.map_or(0, |k| k.deadline_hits) as f64;
+    let goodput_bytes = delivered * 6_000.0;
+    let sent_bytes: u64 = s.sent_bytes_by_kind.values().sum();
+    RecoveryOutcome {
+        delivered_in_budget_pct: hits / offered * 100.0,
+        delivered_total_pct: delivered / offered * 100.0,
+        overhead_pct: (sent_bytes as f64 / goodput_bytes.max(1.0) - 1.0) * 100.0,
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Multipath commute (E12)
 // ---------------------------------------------------------------------------
 
@@ -433,11 +607,7 @@ pub struct MultipathOutcome {
 
 /// A commuting MAR user: WiFi with urban-walk coverage + always-on LTE,
 /// running the given §VI-D policy for `secs`.
-pub fn run_multipath_commute(
-    policy: MultipathPolicy,
-    secs: u64,
-    seed: u64,
-) -> MultipathOutcome {
+pub fn run_multipath_commute(policy: MultipathPolicy, secs: u64, seed: u64) -> MultipathOutcome {
     let mut sim = Simulator::new(seed);
     let snd = sim.reserve_actor();
     let rcv = sim.reserve_actor();
@@ -479,7 +649,11 @@ pub fn run_multipath_commute(
         1,
         cfg.clone(),
         vec![
-            SenderPathConfig { role: PathRole::Wifi, tx: TxPath::Link(wifi_up), link: Some(wifi_up) },
+            SenderPathConfig {
+                role: PathRole::Wifi,
+                tx: TxPath::Link(wifi_up),
+                link: Some(wifi_up),
+            },
             SenderPathConfig {
                 role: PathRole::Cellular,
                 tx: TxPath::Link(lte_up),
@@ -529,10 +703,7 @@ mod tests {
         let before = dl.goodput_meter.mean_mbps(2.0, out.upload_starts[0]);
         let after = dl.goodput_meter.mean_mbps(out.upload_starts[1] + 5.0, 60.0);
         assert!(before > 7.0, "clean download {before} Mb/s");
-        assert!(
-            after < before * 0.5,
-            "uploads must crush the download: {before} → {after} Mb/s"
-        );
+        assert!(after < before * 0.5, "uploads must crush the download: {before} → {after} Mb/s");
     }
 
     #[test]
@@ -540,14 +711,7 @@ mod tests {
         // In loss-only mode (delay signal effectively disabled) the AR
         // protocol competes like an AIMD flow and holds its share; the
         // delay-sensitive mode's starvation is measured by the E14 sweep.
-        let out = run_fairness(
-            10.0,
-            1,
-            true,
-            SimDuration::from_secs(10),
-            30,
-            7,
-        );
+        let out = run_fairness(10.0, 1, true, SimDuration::from_secs(10), 30, 7);
         let ar_bytes = out.ar.borrow().received_bytes as f64;
         let tcp_bytes = out.tcp[0].borrow().goodput_bytes as f64;
         assert!(ar_bytes > 0.0 && tcp_bytes > 0.0);
@@ -559,13 +723,7 @@ mod tests {
 
     #[test]
     fn queueing_priority_protects_mar_latency() {
-        let bloated = run_queueing(
-            2.0,
-            QueueConfig::bloated_uplink(),
-            0,
-            30,
-            9,
-        );
+        let bloated = run_queueing(2.0, QueueConfig::bloated_uplink(), 0, 30, 9);
         let prio = run_queueing(
             2.0,
             QueueConfig::StrictPriority { bands: 4, cap_packets_per_band: 250 },
@@ -595,12 +753,7 @@ mod tests {
         let aggregate = run_multipath_commute(MultipathPolicy::Aggregate, secs, 21);
         let lte = |o: &MultipathOutcome| o.sender.borrow().cellular_bytes;
         let delivered = |o: &MultipathOutcome| {
-            o.receiver
-                .borrow()
-                .by_kind
-                .values()
-                .map(|k| k.delivered)
-                .sum::<u64>()
+            o.receiver.borrow().by_kind.values().map(|k| k.delivered).sum::<u64>()
         };
         // LTE usage: WifiOnly ≤ WifiPreferred ≤ Aggregate (policy 1 barely
         // touches LTE, policy 3 uses it all the time).

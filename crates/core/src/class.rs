@@ -131,9 +131,7 @@ impl StreamKind {
         match self {
             StreamKind::Metadata => (TrafficClass::Critical, Priority::Highest),
             StreamKind::Sensor => (TrafficClass::FullBestEffort, Priority::DelayNotDrop(0)),
-            StreamKind::VideoReference => {
-                (TrafficClass::BestEffortWithRecovery, Priority::Highest)
-            }
+            StreamKind::VideoReference => (TrafficClass::BestEffortWithRecovery, Priority::Highest),
             StreamKind::VideoInter => (TrafficClass::FullBestEffort, Priority::Lowest(0)),
             StreamKind::Result => (TrafficClass::BestEffortWithRecovery, Priority::DropNotDelay(0)),
             StreamKind::Bulk => (TrafficClass::FullBestEffort, Priority::Lowest(1)),

@@ -57,9 +57,9 @@ pub struct CongestionConfig {
 impl Default for CongestionConfig {
     fn default() -> Self {
         CongestionConfig {
-            initial_rate: 250_000.0,           // 2 Mb/s
-            min_rate: 10_000.0,                // 80 kb/s — metadata floor
-            max_rate: 125_000_000.0,           // 1 Gb/s
+            initial_rate: 250_000.0, // 2 Mb/s
+            min_rate: 10_000.0,      // 80 kb/s — metadata floor
+            max_rate: 125_000_000.0, // 1 Gb/s
             latency_threshold: SimDuration::from_millis(15),
             jitter_threshold: SimDuration::from_millis(30),
             beta: 0.8,
@@ -250,7 +250,8 @@ mod tests {
 
     #[test]
     fn loss_ignored_when_fallback_disabled() {
-        let mut c = DelayCongestionController::new(CongestionConfig { react_to_loss: false, ..cfg() });
+        let mut c =
+            DelayCongestionController::new(CongestionConfig { react_to_loss: false, ..cfg() });
         let v = c.on_feedback(SimDuration::from_millis(20), 5, None, SimTime::from_millis(500));
         assert_eq!(v, CongestionVerdict::Clear);
     }

@@ -164,7 +164,9 @@ impl DegradationScheduler {
         // discard from the least important rank upward.
         let max_backlog = budget_bytes * self.backlog_ticks;
         let mut droppable_backlog: f64 = self
-            .queues.values().flat_map(|q| q.iter())
+            .queues
+            .values()
+            .flat_map(|q| q.iter())
             .filter(|m| m.priority.can_drop())
             .map(|m| f64::from(m.size))
             .sum();
@@ -180,8 +182,10 @@ impl DegradationScheduler {
                             let m = q.remove(i).expect("position valid");
                             droppable_backlog -= f64::from(m.size);
                             removed_bytes += u64::from(m.size);
-                            out.dropped
-                                .push(DroppedMessage { message: m, reason: DropReason::Congestion });
+                            out.dropped.push(DroppedMessage {
+                                message: m,
+                                reason: DropReason::Congestion,
+                            });
                         }
                         None => break,
                     }
@@ -266,8 +270,7 @@ mod tests {
         let out4 = s.tick(SimTime::from_millis(16), 1000.0);
         let out5 = s.tick(SimTime::from_millis(21), 1000.0);
         // Debt: -4000 after tick 1, repaid at 1000/tick across ticks 2-5.
-        let repaying: usize =
-            [&out2, &out3, &out4, &out5].iter().map(|o| o.sent.len()).sum();
+        let repaying: usize = [&out2, &out3, &out4, &out5].iter().map(|o| o.sent.len()).sum();
         assert_eq!(repaying, 0, "nothing may flow while the debt is outstanding");
         let out6 = s.tick(SimTime::from_millis(26), 1000.0);
         assert_eq!(out6.sent.len(), 1, "message 2 flows once the debt is repaid");
@@ -276,9 +279,7 @@ mod tests {
     #[test]
     fn late_droppable_messages_are_shed() {
         let mut s = sched();
-        s.submit(
-            msg(1, StreamKind::VideoInter, 100, 0).with_deadline(SimTime::from_millis(30)),
-        );
+        s.submit(msg(1, StreamKind::VideoInter, 100, 0).with_deadline(SimTime::from_millis(30)));
         s.submit(msg(2, StreamKind::Metadata, 100, 0).with_deadline(SimTime::from_millis(30)));
         let out = s.tick(SimTime::from_millis(50), 1000.0);
         // The interframe is late → shed; metadata cannot be dropped → sent.

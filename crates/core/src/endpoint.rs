@@ -17,7 +17,7 @@ use crate::fec::{FecGroupTracker, FecOutcome};
 use crate::message::ArMessage;
 use crate::multipath::{MultipathScheduler, PathRole, PathSnapshot};
 use crate::recovery::{FragmentRecord, RetransmitBuffer};
-use crate::wire::{ArFeedback, ArPacket, FecInfo, FragmentId, feedback_size, AR_HEADER_BYTES};
+use crate::wire::{feedback_size, ArFeedback, ArPacket, FecInfo, FragmentId, AR_HEADER_BYTES};
 use marnet_sim::engine::{Actor, ActorId, Event, SimCtx};
 use marnet_sim::link::LinkId;
 use marnet_sim::packet::{Packet, Payload};
@@ -424,7 +424,15 @@ impl ArSender {
             }
             for (n, path_idx) in picks.into_iter().enumerate() {
                 self.send_fragment(
-                    ctx, path_idx, &msg, frag_index, frag_count, frag_size, false, n > 0, 1,
+                    ctx,
+                    path_idx,
+                    &msg,
+                    frag_index,
+                    frag_count,
+                    frag_size,
+                    false,
+                    n > 0,
+                    1,
                 );
             }
             // Space the next fragment at the aggregate allowed rate, on
@@ -586,9 +594,7 @@ impl Actor for ArSender {
             Event::Message { mut msg, from } => {
                 if let Some(Submit(m)) = msg.take::<Submit>() {
                     self.sched.submit(m);
-                } else if let Some(pkt) =
-                    unwrap_packet(Event::Message { msg, from })
-                {
+                } else if let Some(pkt) = unwrap_packet(Event::Message { msg, from }) {
                     if let Some(fb) = pkt.payload.downcast_ref::<ArFeedback>() {
                         if fb.conn == self.conn {
                             let fb = fb.clone();
@@ -1022,9 +1028,8 @@ impl ArReceiver {
                 self.stats.borrow_mut().abandoned_holes += 1;
             }
 
-            let echo_delay = path
-                .last_rx_at
-                .map_or(SimDuration::ZERO, |t| ctx.now().saturating_since(t));
+            let echo_delay =
+                path.last_rx_at.map_or(SimDuration::ZERO, |t| ctx.now().saturating_since(t));
             // Delivery rate over a ~200 ms sliding window of feedback
             // intervals (single intervals are packet-granularity noise).
             let now = ctx.now();
@@ -1064,8 +1069,7 @@ impl ArReceiver {
             };
             let size = feedback_size(fb.nacks.len());
             let id = ctx.next_packet_id();
-            let pkt =
-                Packet::new(id, self.conn, size, ctx.now()).with_prio(0).with_payload(fb);
+            let pkt = Packet::new(id, self.conn, size, ctx.now()).with_prio(0).with_payload(fb);
             self.reverse[i].send(ctx, pkt);
             self.stats.borrow_mut().feedback_sent += 1;
         }
@@ -1131,11 +1135,8 @@ mod tests {
                     } else {
                         StreamKind::VideoInter
                     };
-                    let size = if kind == StreamKind::VideoReference {
-                        20_000
-                    } else {
-                        self.inter_size
-                    };
+                    let size =
+                        if kind == StreamKind::VideoReference { 20_000 } else { self.inter_size };
                     self.frame += 1;
                     let mut submit = |id: u64, kind, size| {
                         let m = ArMessage::new(id, kind, size, now).with_deadline(deadline);

@@ -292,10 +292,8 @@ mod tests {
     #[test]
     fn all_paths_down_selects_nothing() {
         let mut s = MultipathScheduler::new(MultipathPolicy::Aggregate, false);
-        let snaps = vec![
-            snap(PathRole::Wifi, false, 10, 1.0),
-            snap(PathRole::Cellular, false, 40, 1.0),
-        ];
+        let snaps =
+            vec![snap(PathRole::Wifi, false, 10, 1.0), snap(PathRole::Cellular, false, 40, 1.0)];
         let (mc, mp) = StreamKind::Metadata.default_class();
         assert!(s.select(&snaps, mc, mp, 100).is_empty());
         let (bc, bp) = StreamKind::Bulk.default_class();

@@ -88,9 +88,7 @@ impl RecoveryPolicy {
             return true;
         }
         match (frag.deadline, srtt) {
-            (Some(deadline), Some(srtt)) => {
-                now.saturating_add(srtt + self.margin) <= deadline
-            }
+            (Some(deadline), Some(srtt)) => now.saturating_add(srtt + self.margin) <= deadline,
             // No deadline: recovery is harmless. No RTT estimate yet: be
             // optimistic once, the attempt cap bounds the damage.
             _ => true,
@@ -140,8 +138,7 @@ impl RetransmitBuffer {
         for m in self.by_path.values_mut() {
             let before = m.len();
             m.retain(|_, f| {
-                f.class.recovery_is_unconditional()
-                    || f.deadline.is_none_or(|d| now <= d)
+                f.class.recovery_is_unconditional() || f.deadline.is_none_or(|d| now <= d)
             });
             expired += before - m.len();
         }

@@ -4,7 +4,9 @@
 
 use marnet_core::class::StreamKind;
 use marnet_core::config::ArConfig;
-use marnet_core::endpoint::{ArReceiver, ArReceiverStats, ArSender, ArSenderStats, SenderPathConfig, Submit};
+use marnet_core::endpoint::{
+    ArReceiver, ArReceiverStats, ArSender, ArSenderStats, SenderPathConfig, Submit,
+};
 use marnet_core::message::ArMessage;
 use marnet_core::multipath::{MultipathPolicy, PathRole};
 use marnet_sim::engine::{Actor, ActorId, Event, SimCtx, Simulator};
@@ -81,8 +83,11 @@ fn build(policy: MultipathPolicy, with_lte: bool, loss: LossModel, seed: u64) ->
         snd,
         LinkParams::new(Bandwidth::from_mbps(20.0), SimDuration::from_millis(8)),
     );
-    let mut paths =
-        vec![SenderPathConfig { role: PathRole::Wifi, tx: TxPath::Link(wifi_up), link: Some(wifi_up) }];
+    let mut paths = vec![SenderPathConfig {
+        role: PathRole::Wifi,
+        tx: TxPath::Link(wifi_up),
+        link: Some(wifi_up),
+    }];
     let mut reverse = vec![TxPath::Link(wifi_down)];
     if with_lte {
         let lte_up = sim.add_link(
@@ -179,12 +184,7 @@ fn total_blackout_delays_critical_data_but_loses_none() {
     );
     // Some metadata must have seen multi-second latency (queued through the
     // blackout) — proof the data was delayed, not dropped.
-    let max_ms = meta
-        .latency_ms
-        .values()
-        .iter()
-        .cloned()
-        .fold(0.0f64, f64::max);
+    let max_ms = meta.latency_ms.values().iter().cloned().fold(0.0f64, f64::max);
     assert!(max_ms > 2_000.0, "expected blackout-sized latency, max {max_ms} ms");
 }
 
@@ -192,11 +192,8 @@ fn total_blackout_delays_critical_data_but_loses_none() {
 fn bursty_loss_is_survivable_for_recovery_class() {
     // Gilbert-Elliott bursts: FEC alone dies inside a burst (whole groups
     // lost) but deadline-gated ARQ at 16 ms RTT refills the holes.
-    let ge = LossModel::GilbertElliott {
-        p_good_to_bad: 0.02,
-        p_bad_to_good: 0.3,
-        loss_in_bad: 0.6,
-    };
+    let ge =
+        LossModel::GilbertElliott { p_good_to_bad: 0.02, p_bad_to_good: 0.3, loss_in_bad: 0.6 };
     let mut b = build(MultipathPolicy::WifiPreferred, false, ge, 7);
     b.sim.run_until(SimTime::from_secs(30));
     let r = b.rstats.borrow();

@@ -1,12 +1,12 @@
 //! Property-based tests for the AR protocol's invariants: FEC round trips,
 //! priority ordering, scheduler conservation and the recovery gate.
 
+use marnet_core::class::TrafficClass;
 use marnet_core::class::{Priority, StreamKind};
 use marnet_core::degradation::DegradationScheduler;
 use marnet_core::fec::{recover_single, residual_loss, XorEncoder};
 use marnet_core::message::ArMessage;
 use marnet_core::recovery::{FragmentRecord, RecoveryPolicy};
-use marnet_core::class::TrafficClass;
 use marnet_sim::time::{SimDuration, SimTime};
 use proptest::prelude::*;
 
@@ -172,8 +172,8 @@ proptest! {
 }
 
 mod controller_props {
-    use marnet_core::congestion::{CongestionConfig, DelayCongestionController};
     use marnet_core::class::StreamKind;
+    use marnet_core::congestion::{CongestionConfig, DelayCongestionController};
     use marnet_core::multipath::{MultipathPolicy, MultipathScheduler, PathRole, PathSnapshot};
     use marnet_sim::time::{SimDuration, SimTime};
     use proptest::prelude::*;

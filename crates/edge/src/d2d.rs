@@ -31,10 +31,7 @@ pub struct Helper {
 impl Helper {
     /// Whether the helper is within the radio's range at all.
     pub fn in_range(&self) -> bool {
-        self.radio
-            .profile()
-            .range_m
-            .is_none_or(|r| self.distance_m <= r)
+        self.radio.profile().range_m.is_none_or(|r| self.distance_m <= r)
     }
 
     /// Link parameters for the D2D hop, derated linearly with distance
@@ -45,9 +42,8 @@ impl Helper {
         let mut params = profile.sample_link_params(LinkDirection::Uplink, rng);
         if let Some(range) = profile.range_m {
             let frac = (1.0 - self.distance_m / range).clamp(0.05, 1.0);
-            params.rate = marnet_sim::link::Bandwidth::from_bps(
-                (params.rate.as_bps() as f64 * frac) as u64,
-            );
+            params.rate =
+                marnet_sim::link::Bandwidth::from_bps((params.rate.as_bps() as f64 * frac) as u64);
         }
         params
     }
@@ -144,7 +140,9 @@ pub fn choose_executor(
     let mut best = (
         Executor::Cloud,
         cloud_rtt
-            + SimDuration::from_secs_f64(payload_bytes as f64 * 8.0 / cloud_uplink_bps.max(1) as f64)
+            + SimDuration::from_secs_f64(
+                payload_bytes as f64 * 8.0 / cloud_uplink_bps.max(1) as f64,
+            )
             + SimDuration::from_secs_f64(gflop / cloud_gflops.max(1e-9)),
     );
     for h in helpers {
@@ -177,7 +175,9 @@ mod tests {
     #[test]
     fn range_checks() {
         assert!(helper("a", DeviceClass::Smartphone, 150.0, RadioTechnology::WifiDirect).in_range());
-        assert!(!helper("a", DeviceClass::Smartphone, 250.0, RadioTechnology::WifiDirect).in_range());
+        assert!(
+            !helper("a", DeviceClass::Smartphone, 250.0, RadioTechnology::WifiDirect).in_range()
+        );
         assert!(helper("a", DeviceClass::Smartphone, 900.0, RadioTechnology::LteDirect).in_range());
     }
 
@@ -216,8 +216,8 @@ mod tests {
             SimDuration::from_millis(36),
             20_000.0,
             8_000_000,
-            0.4,      // extraction GFLOP
-            16_000,   // descriptor payload
+            0.4,    // extraction GFLOP
+            16_000, // descriptor payload
             SimDuration::from_millis(75),
         );
         assert_eq!(exec, Executor::Helper("phone".into()));
@@ -263,8 +263,7 @@ mod tests {
     #[test]
     fn out_of_range_helpers_are_skipped() {
         let glasses = DeviceClass::SmartGlasses.spec();
-        let helpers =
-            vec![helper("far", DeviceClass::Desktop, 500.0, RadioTechnology::WifiDirect)];
+        let helpers = vec![helper("far", DeviceClass::Desktop, 500.0, RadioTechnology::WifiDirect)];
         let (exec, _) = choose_executor(
             &glasses,
             &helpers,

@@ -107,18 +107,13 @@ impl PlacementProblem {
 
     /// Coverage bitmap: for each site, which users it can serve.
     fn coverage(&self) -> Vec<Vec<bool>> {
-        self.sites
-            .iter()
-            .map(|s| self.users.iter().map(|u| self.covers(u, s)).collect())
-            .collect()
+        self.sites.iter().map(|s| self.users.iter().map(|u| self.covers(u, s)).collect()).collect()
     }
 
     /// Users no site can serve (their deadline is infeasible anywhere).
     pub fn infeasible_users(&self) -> Vec<usize> {
         let cov = self.coverage();
-        (0..self.users.len())
-            .filter(|&u| !cov.iter().any(|c| c[u]))
-            .collect()
+        (0..self.users.len()).filter(|&u| !cov.iter().any(|c| c[u])).collect()
     }
 
     /// Greedy set cover: repeatedly open the site covering the most
@@ -167,9 +162,8 @@ impl PlacementProblem {
         assert!(self.sites.len() <= 30, "exact solver limited to 30 sites");
         let cov = self.coverage();
         let infeasible = self.infeasible_users();
-        let feasible_users: Vec<usize> = (0..self.users.len())
-            .filter(|u| !infeasible.contains(u))
-            .collect();
+        let feasible_users: Vec<usize> =
+            (0..self.users.len()).filter(|u| !infeasible.contains(u)).collect();
 
         // Represent coverage as bitmasks over feasible users (≤ usize
         // chunks; users may exceed 64, so use Vec<u64> masks).
@@ -228,8 +222,7 @@ impl PlacementProblem {
                 return;
             }
             // Bound: remaining uncovered / best remaining site coverage.
-            let uncovered: u32 =
-                covered.iter().zip(full).map(|(c, f)| (f & !c).count_ones()).sum();
+            let uncovered: u32 = covered.iter().zip(full).map(|(c, f)| (f & !c).count_ones()).sum();
             let best_gain = order[pos..]
                 .iter()
                 .map(|&s| {
@@ -297,10 +290,8 @@ impl PlacementProblem {
     /// Verifies that a solution covers every feasible user.
     pub fn validate(&self, sol: &PlacementSolution) -> bool {
         let cov = self.coverage();
-        (0..self.users.len()).all(|u| {
-            sol.uncovered.contains(&u)
-                || sol.open_sites.iter().any(|&s| cov[s][u])
-        })
+        (0..self.users.len())
+            .all(|u| sol.uncovered.contains(&u) || sol.open_sites.iter().any(|&s| cov[s][u]))
     }
 }
 
@@ -337,11 +328,7 @@ pub fn synthetic_metro(
             } else {
                 rng.gen_range(30.0..70.0)
             };
-            User {
-                loc,
-                access_rtt: SimDuration::from_millis_f64(access_ms),
-                budget,
-            }
+            User { loc, access_rtt: SimDuration::from_millis_f64(access_ms), budget }
         })
         .collect();
     let grid = (n_sites as f64).sqrt().ceil() as usize;
@@ -380,12 +367,7 @@ mod tests {
             budget: SimDuration::from_millis(12),
         };
         PlacementProblem {
-            users: vec![
-                mk_user(1.0, 1.0),
-                mk_user(1.5, 1.2),
-                mk_user(9.0, 9.0),
-                mk_user(9.5, 8.8),
-            ],
+            users: vec![mk_user(1.0, 1.0), mk_user(1.5, 1.2), mk_user(9.0, 9.0), mk_user(9.5, 8.8)],
             sites: vec![
                 Site { loc: Point { x: 1.2, y: 1.1 }, processing: SimDuration::from_millis(2) },
                 Site { loc: Point { x: 9.2, y: 9.0 }, processing: SimDuration::from_millis(2) },

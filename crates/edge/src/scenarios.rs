@@ -178,9 +178,7 @@ impl Actor for ExecutorProbe {
                         self.loop_latency_ms.borrow_mut().record(total.as_millis_f64());
                     }
                     StreamKind::Metadata => {
-                        self.critical_latency_ms
-                            .borrow_mut()
-                            .record(transport.as_millis_f64());
+                        self.critical_latency_ms.borrow_mut().record(transport.as_millis_f64());
                     }
                     _ => {}
                 }
@@ -268,20 +266,13 @@ pub fn run_scenario(scenario: DistributionScenario, seed: u64, secs: u64) -> Sce
         });
     }
 
-    let cfg = ArConfig {
-        policy: MultipathPolicy::Aggregate,
-        ..ArConfig::default()
-    };
+    let cfg = ArConfig { policy: MultipathPolicy::Aggregate, ..ArConfig::default() };
     let sender = ArSender::new(1, cfg, paths).with_qos_target(client);
     let sender_stats = sender.stats();
     sim.install_actor(snd, sender);
 
     let model = ComputeModel::new(30.0, work).with_deadline(SimDuration::from_millis(75));
-    let video = FrameSource::new(
-        VideoConfig::ar_minimal(),
-        0.05,
-        derive_rng(seed, "fig5.video"),
-    );
+    let video = FrameSource::new(VideoConfig::ar_minimal(), 0.05, derive_rng(seed, "fig5.video"));
     // The client is a smartphone in every scenario: in 5b-5d it stands in
     // for the glasses+companion pair (the glasses' own contribution is the
     // display; the measured loop is capture → executor → display).

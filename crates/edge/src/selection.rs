@@ -100,18 +100,15 @@ pub fn select_per_path(
     let mut per_path = Vec::new();
     let mut path_rtt = Vec::new();
     for opts in options_per_path {
-        let best = opts
-            .iter()
-            .min_by_key(|o| o.rtt)
-            .expect("every path needs at least one server option");
+        let best =
+            opts.iter().min_by_key(|o| o.rtt).expect("every path needs at least one server option");
         per_path.push(best.name.clone());
         path_rtt.push(best.rtt);
     }
     let mut distinct: Vec<&str> = per_path.iter().map(String::as_str).collect();
     distinct.sort_unstable();
     distinct.dedup();
-    let sync =
-        if distinct.len() > 1 { matrix.sync_latency(&distinct) } else { SimDuration::ZERO };
+    let sync = if distinct.len() > 1 { matrix.sync_latency(&distinct) } else { SimDuration::ZERO };
     MultiServerPlan { per_path, sync, path_rtt }
 }
 
@@ -123,7 +120,8 @@ pub fn select_per_path(
 /// Panics if no server is reachable from every path.
 pub fn select_single(options_per_path: &[Vec<ServerOption>]) -> MultiServerPlan {
     // Candidate servers reachable from all paths.
-    let first: Vec<&ServerOption> = options_per_path.first().map_or(Vec::new(), |v| v.iter().collect());
+    let first: Vec<&ServerOption> =
+        options_per_path.first().map_or(Vec::new(), |v| v.iter().collect());
     let mut best: Option<(SimDuration, &ServerOption, Vec<SimDuration>)> = None;
     for cand in first {
         let mut rtts = Vec::new();

@@ -1,0 +1,48 @@
+//! Replicate throughput of the lab runner at increasing thread counts.
+//!
+//! Each trial runs a small but non-trivial deterministic workload, so the
+//! benchmark shows how close the atomic-work-queue executor gets to linear
+//! scaling (merge order is fixed, so results are identical throughout).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use marnet_lab::runner::{run_experiment, TrialReport};
+use marnet_lab::spec::{ParamValue, ScenarioSpec};
+
+fn spec(replicates: u32) -> ScenarioSpec {
+    ScenarioSpec::new("runner-scaling", 7, replicates).with_axis(
+        "x",
+        vec![ParamValue::Int(1), ParamValue::Int(2), ParamValue::Int(3), ParamValue::Int(4)],
+    )
+}
+
+fn bench_runner_scaling(c: &mut Criterion) {
+    let replicates = 16u32;
+    let s = spec(replicates);
+    let trials = s.trial_count() as u64;
+    let mut group = c.benchmark_group("runner_scaling");
+    group.throughput(Throughput::Elements(trials));
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_function(&format!("threads_{threads}"), |b| {
+            b.iter(|| {
+                let run = run_experiment(&s, threads, |point, ctx| {
+                    use rand::Rng;
+                    let mut rng = ctx.rng();
+                    let x = point.param("x").as_int().unwrap() as f64;
+                    // ~50k RNG draws + arithmetic per trial.
+                    let mut acc = 0.0f64;
+                    for _ in 0..50_000 {
+                        acc += (x + rng.gen_range(-1.0..1.0)).sqrt().abs();
+                    }
+                    let mut r = TrialReport::new();
+                    r.scalar("acc", acc);
+                    r
+                });
+                black_box(run.reports.len())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_runner_scaling);
+criterion_main!(benches);

@@ -1,0 +1,222 @@
+//! Cross-replicate aggregation: scalar metrics are folded through
+//! [`OnlineStats`] accumulators merged in replicate order (Chan's parallel
+//! Welford), sample streams through [`Histogram`] merges, and every scalar
+//! gains a 95% confidence half-width from the Student-t distribution.
+
+use crate::runner::ExperimentRun;
+use crate::spec::ParamValue;
+use marnet_sim::stats::{Histogram, OnlineStats};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Two-sided 95% Student-t critical values, indexed by degrees of freedom
+/// 1..=30; beyond that the normal approximation 1.960 is used.
+const T_95: [f64; 30] = [
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+    2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+    2.052, 2.048, 2.045, 2.042,
+];
+
+/// The two-sided 95% t critical value for `df` degrees of freedom.
+pub fn t_critical_95(df: u64) -> f64 {
+    match df {
+        0 => f64::NAN,
+        1..=30 => T_95[(df - 1) as usize],
+        _ => 1.960,
+    }
+}
+
+/// Summary of one scalar metric across replicates.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricSummary {
+    /// Replicates that reported this metric.
+    pub count: u64,
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation.
+    pub std_dev: f64,
+    /// Half-width of the 95% confidence interval on the mean
+    /// (`t · s / √n`; 0 for a single replicate).
+    pub ci95: f64,
+    /// Smallest replicate value.
+    pub min: f64,
+    /// Largest replicate value.
+    pub max: f64,
+}
+
+impl MetricSummary {
+    /// Builds the summary from a merged accumulator.
+    pub fn from_stats(stats: &OnlineStats) -> Self {
+        let n = stats.count();
+        let ci95 =
+            if n >= 2 { t_critical_95(n - 1) * stats.std_dev() / (n as f64).sqrt() } else { 0.0 };
+        MetricSummary {
+            count: n,
+            mean: stats.mean(),
+            std_dev: stats.std_dev(),
+            ci95,
+            min: if n == 0 { 0.0 } else { stats.min() },
+            max: if n == 0 { 0.0 } else { stats.max() },
+        }
+    }
+}
+
+/// Summary of one pooled sample stream across replicates.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SampleSummary {
+    /// Total pooled samples.
+    pub count: u64,
+    /// Pooled mean.
+    pub mean: f64,
+    /// Pooled median.
+    pub p50: f64,
+    /// Pooled 95th percentile.
+    pub p95: f64,
+    /// Pooled 99th percentile.
+    pub p99: f64,
+}
+
+impl SampleSummary {
+    /// Builds the summary from a merged histogram.
+    ///
+    /// Returns `None` for an empty histogram (all replicates failed or
+    /// produced no samples).
+    pub fn from_histogram(h: &Histogram) -> Option<Self> {
+        if h.count() == 0 {
+            return None;
+        }
+        let mut h = h.clone();
+        Some(SampleSummary {
+            count: h.count() as u64,
+            mean: h.mean().expect("non-empty"),
+            p50: h.median().expect("non-empty"),
+            p95: h.p95().expect("non-empty"),
+            p99: h.p99().expect("non-empty"),
+        })
+    }
+}
+
+/// Aggregated view of one grid point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PointSummary {
+    /// The point's parameter assignment.
+    pub params: BTreeMap<String, ParamValue>,
+    /// Replicates that completed.
+    pub replicates_ok: u32,
+    /// Replicates that panicked.
+    pub failed: u32,
+    /// Per-metric cross-replicate summaries.
+    pub scalars: BTreeMap<String, MetricSummary>,
+    /// Per-stream pooled-sample summaries.
+    pub samples: BTreeMap<String, SampleSummary>,
+}
+
+/// Aggregates every point of a run, in point order.
+pub fn aggregate_run(run: &ExperimentRun) -> Vec<PointSummary> {
+    run.points
+        .iter()
+        .zip(&run.reports)
+        .map(|(point, replicates)| {
+            // One accumulator per metric, merged in replicate order so the
+            // result is independent of which thread ran which replicate.
+            let mut scalar_stats: BTreeMap<String, OnlineStats> = BTreeMap::new();
+            let mut sample_hists: BTreeMap<String, Histogram> = BTreeMap::new();
+            let mut ok = 0u32;
+            for report in replicates.iter().flatten() {
+                ok += 1;
+                for (key, &value) in &report.scalars {
+                    let mut one = OnlineStats::new();
+                    one.record(value);
+                    scalar_stats.entry(key.clone()).or_default().merge(&one);
+                }
+                for (key, values) in &report.samples {
+                    let mut one = Histogram::new();
+                    for &v in values {
+                        one.record(v);
+                    }
+                    sample_hists.entry(key.clone()).or_default().merge(&one);
+                }
+            }
+            PointSummary {
+                params: point.params.clone(),
+                replicates_ok: ok,
+                failed: replicates.len() as u32 - ok,
+                scalars: scalar_stats
+                    .iter()
+                    .map(|(k, s)| (k.clone(), MetricSummary::from_stats(s)))
+                    .collect(),
+                samples: sample_hists
+                    .iter()
+                    .filter_map(|(k, h)| SampleSummary::from_histogram(h).map(|s| (k.clone(), s)))
+                    .collect(),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{run_experiment, TrialReport};
+    use crate::spec::ScenarioSpec;
+
+    #[test]
+    fn t_table_endpoints() {
+        assert!((t_critical_95(1) - 12.706).abs() < 1e-9);
+        assert!((t_critical_95(30) - 2.042).abs() < 1e-9);
+        assert!((t_critical_95(1000) - 1.960).abs() < 1e-9);
+        assert!(t_critical_95(0).is_nan());
+    }
+
+    #[test]
+    fn scalar_summary_matches_direct_computation() {
+        let values = [3.0, 5.0, 7.0, 9.0];
+        let mut s = OnlineStats::new();
+        for v in values {
+            s.record(v);
+        }
+        let m = MetricSummary::from_stats(&s);
+        assert_eq!(m.count, 4);
+        assert_eq!(m.mean, 6.0);
+        assert_eq!(m.min, 3.0);
+        assert_eq!(m.max, 9.0);
+        // s = sqrt(20/3); CI = 3.182 * s / 2.
+        let sd = (20.0f64 / 3.0).sqrt();
+        assert!((m.std_dev - sd).abs() < 1e-12);
+        assert!((m.ci95 - 3.182 * sd / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_replicate_has_zero_ci() {
+        let mut s = OnlineStats::new();
+        s.record(42.0);
+        let m = MetricSummary::from_stats(&s);
+        assert_eq!(m.ci95, 0.0);
+        assert_eq!(m.std_dev, 0.0);
+    }
+
+    #[test]
+    fn aggregate_pools_samples_and_counts_failures() {
+        let spec = ScenarioSpec::new("agg-demo", 5, 4);
+        let run = run_experiment(&spec, 2, |_, ctx| {
+            if ctx.replicate == 3 {
+                panic!("deliberate");
+            }
+            let mut r = TrialReport::new();
+            r.scalar("v", ctx.replicate as f64);
+            r.samples("s", vec![ctx.replicate as f64; 10]);
+            r
+        });
+        let summary = aggregate_run(&run);
+        assert_eq!(summary.len(), 1);
+        let p = &summary[0];
+        assert_eq!(p.replicates_ok, 3);
+        assert_eq!(p.failed, 1);
+        let v = &p.scalars["v"];
+        assert_eq!(v.count, 3);
+        assert_eq!(v.mean, 1.0);
+        let s = &p.samples["s"];
+        assert_eq!(s.count, 30);
+        assert_eq!(s.p50, 1.0);
+    }
+}

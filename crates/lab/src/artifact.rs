@@ -1,0 +1,211 @@
+//! Versioned, reproducible experiment artifacts.
+//!
+//! An [`Artifact`] is the JSON file a lab run leaves behind: schema
+//! version, full provenance (spec, spec hash, base seed, replicate count,
+//! failure count) and the per-point aggregates. Nothing time- or
+//! machine-dependent goes in, so the same spec at any thread count
+//! produces a byte-identical file — which is what makes
+//! [`Artifact::diff`] against a stored baseline meaningful.
+
+use crate::agg::{aggregate_run, PointSummary};
+use crate::runner::ExperimentRun;
+use crate::spec::ScenarioSpec;
+use serde::{Deserialize, Serialize};
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Current artifact schema version.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// A complete, versioned experiment result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Artifact {
+    /// Artifact schema version (see [`SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// Experiment name (mirrors `spec.name`).
+    pub experiment: String,
+    /// Base seed the run used (mirrors `spec.seed`).
+    pub seed: u64,
+    /// Replicates per point (mirrors `spec.replicates`).
+    pub replicates: u32,
+    /// Hex [`ScenarioSpec::spec_hash`] of `spec`.
+    pub spec_hash: String,
+    /// Total replicates that panicked across all points.
+    pub failed_trials: u32,
+    /// The full spec, for re-running the experiment from the artifact.
+    pub spec: ScenarioSpec,
+    /// Per-point aggregates, in grid order.
+    pub points: Vec<PointSummary>,
+}
+
+impl Artifact {
+    /// Builds the artifact for a finished run.
+    pub fn from_run(run: &ExperimentRun) -> Self {
+        Artifact {
+            schema_version: SCHEMA_VERSION,
+            experiment: run.spec.name.clone(),
+            seed: run.spec.seed,
+            replicates: run.spec.replicates,
+            spec_hash: format!("{:016x}", run.spec_hash),
+            failed_trials: run.failures.len() as u32,
+            spec: run.spec.clone(),
+            points: aggregate_run(run),
+        }
+    }
+
+    /// The canonical pretty-printed JSON encoding.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("artifact serializes")
+    }
+
+    /// Writes the artifact atomically: the body lands in a sibling temp
+    /// file which is renamed into place, so readers never observe a
+    /// half-written artifact.
+    pub fn write(&self, path: &Path) -> io::Result<()> {
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                fs::create_dir_all(dir)?;
+            }
+        }
+        let mut tmp = path.to_path_buf();
+        let file_name = path.file_name().ok_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidInput, "artifact path has no file name")
+        })?;
+        tmp.set_file_name(format!(".{}.tmp", file_name.to_string_lossy()));
+        fs::write(&tmp, self.to_json())?;
+        fs::rename(&tmp, path)
+    }
+
+    /// Loads an artifact, refusing schemas newer than this library knows.
+    pub fn load(path: &Path) -> io::Result<Artifact> {
+        let body = fs::read_to_string(path)?;
+        let artifact: Artifact = serde_json::from_str(&body)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("{path:?}: {e:?}")))?;
+        if artifact.schema_version > SCHEMA_VERSION {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "{path:?}: schema v{} is newer than supported v{SCHEMA_VERSION}",
+                    artifact.schema_version
+                ),
+            ));
+        }
+        Ok(artifact)
+    }
+
+    /// Compares this artifact (the current run) against a `baseline`:
+    /// every shared point/metric pair whose means differ by more than the
+    /// sum of the two 95% half-widths *and* by more than 1% relatively is
+    /// flagged. Points are matched by parameter assignment, not index, so
+    /// re-ordered grids still diff correctly.
+    pub fn diff(&self, baseline: &Artifact) -> Vec<MetricDrift> {
+        let mut drifts = Vec::new();
+        for point in &self.points {
+            let Some(base_point) = baseline.points.iter().find(|p| p.params == point.params) else {
+                continue;
+            };
+            for (metric, cur) in &point.scalars {
+                let Some(base) = base_point.scalars.get(metric) else { continue };
+                let delta = cur.mean - base.mean;
+                let ci_span = cur.ci95 + base.ci95;
+                let rel = if base.mean.abs() > f64::EPSILON {
+                    delta.abs() / base.mean.abs()
+                } else if delta.abs() > f64::EPSILON {
+                    f64::INFINITY
+                } else {
+                    0.0
+                };
+                if delta.abs() > ci_span && rel > 0.01 {
+                    drifts.push(MetricDrift {
+                        point: point
+                            .params
+                            .iter()
+                            .map(|(k, v)| format!("{k}={v}"))
+                            .collect::<Vec<_>>()
+                            .join(" "),
+                        metric: metric.clone(),
+                        baseline_mean: base.mean,
+                        current_mean: cur.mean,
+                        relative_change: if rel.is_finite() { rel } else { f64::NAN },
+                    });
+                }
+            }
+        }
+        drifts
+    }
+}
+
+/// One metric that moved outside the joint confidence band of its baseline.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct MetricDrift {
+    /// Human-readable parameter assignment of the drifted point.
+    pub point: String,
+    /// Metric name.
+    pub metric: String,
+    /// Baseline mean.
+    pub baseline_mean: f64,
+    /// Current mean.
+    pub current_mean: f64,
+    /// `|Δ| / |baseline|` (NaN when the baseline mean is zero).
+    pub relative_change: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{run_experiment, TrialReport};
+    use crate::spec::{ParamValue, ScenarioSpec};
+
+    fn artifact_for(offset: f64) -> Artifact {
+        let spec = ScenarioSpec::new("artifact-demo", 3, 4)
+            .with_axis("x", vec![ParamValue::Int(1), ParamValue::Int(2)]);
+        let run = run_experiment(&spec, 2, |point, ctx| {
+            let mut r = TrialReport::new();
+            let x = point.param("x").as_int().unwrap() as f64;
+            r.scalar("metric", x * 10.0 + offset + ctx.replicate as f64 * 0.01);
+            r
+        });
+        Artifact::from_run(&run)
+    }
+
+    #[test]
+    fn artifact_round_trips_and_is_versioned() {
+        let a = artifact_for(0.0);
+        assert_eq!(a.schema_version, SCHEMA_VERSION);
+        assert_eq!(a.points.len(), 2);
+        assert_eq!(a.spec_hash.len(), 16);
+        let dir = std::env::temp_dir().join(format!("marnet_lab_art_{}", std::process::id()));
+        let path = dir.join("a.json");
+        a.write(&path).unwrap();
+        let back = Artifact::load(&path).unwrap();
+        assert_eq!(a, back);
+        // Atomicity: no temp file left behind.
+        assert!(!dir.join(".a.json.tmp").exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn load_rejects_future_schema() {
+        let mut a = artifact_for(0.0);
+        a.schema_version = SCHEMA_VERSION + 1;
+        let dir = std::env::temp_dir().join(format!("marnet_lab_art2_{}", std::process::id()));
+        let path = dir.join("future.json");
+        a.write(&path).unwrap();
+        assert!(Artifact::load(&path).is_err());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn diff_flags_real_drift_and_ignores_noise() {
+        let base = artifact_for(0.0);
+        // Same distribution: nothing drifts.
+        assert!(artifact_for(0.0).diff(&base).is_empty());
+        // A 20% shift far outside the tiny CIs: both points flagged.
+        let drifted = artifact_for(3.0);
+        let drifts = drifted.diff(&base);
+        assert_eq!(drifts.len(), 2);
+        assert_eq!(drifts[0].metric, "metric");
+        assert!(drifts[0].relative_change > 0.01);
+    }
+}

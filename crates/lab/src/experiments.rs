@@ -1,0 +1,373 @@
+//! The built-in experiments: the paper's Table II RTT measurement, the
+//! §VI-C recovery sweep and the §III offload-decision sweep, each ported
+//! from its single-seed `marnet-bench` binary onto the replicated runner
+//! so its table gains mean ± 95% CI columns.
+
+use crate::agg::PointSummary;
+use crate::runner::{TrialCtx, TrialReport};
+use crate::spec::{GridPoint, ParamValue, ScenarioSpec};
+use marnet_app::compute::{ComputeModel, DbAccess, FrameWork, NetParams};
+use marnet_app::device::DeviceClass;
+use marnet_app::strategy::OffloadStrategy;
+use marnet_bench::scenarios::{run_recovery, run_table2, RecoveryMechanism, Table2Scenario};
+use marnet_bench::{fmt, print_table};
+use marnet_sim::link::Bandwidth;
+use marnet_sim::time::SimDuration;
+use std::collections::BTreeMap;
+
+/// A boxed trial function, shareable across worker threads.
+pub type TrialFn = Box<dyn Fn(&GridPoint, &TrialCtx) -> TrialReport + Sync + Send>;
+
+/// A runnable lab experiment: its spec, trial function and table renderer.
+pub struct Experiment {
+    /// The default spec (callers may override seed/replicates before use).
+    pub spec: ScenarioSpec,
+    /// Evaluates one replicate of one grid point.
+    pub trial: TrialFn,
+    /// Prints the experiment's table from the aggregated points.
+    pub render: fn(&[PointSummary]),
+}
+
+/// Names of the built-in experiments, in menu order.
+pub const NAMES: [&str; 3] = ["table2_rtt", "sweep_recovery", "sweep_offload"];
+
+/// Builds the named experiment, or `None` for an unknown name.
+pub fn build(name: &str, replicates: u32, seed: u64) -> Option<Experiment> {
+    match name {
+        "table2_rtt" => Some(table2_rtt(replicates, seed)),
+        "sweep_recovery" => Some(sweep_recovery(replicates, seed)),
+        "sweep_offload" => Some(sweep_offload(replicates, seed)),
+        _ => None,
+    }
+}
+
+/// `mean ± ci` cell text.
+fn pm(mean: f64, ci: f64, prec: usize) -> String {
+    format!("{} ± {}", fmt(mean, prec), fmt(ci, prec))
+}
+
+// ---------------------------------------------------------------------------
+// Table II
+// ---------------------------------------------------------------------------
+
+fn scenario_key(s: Table2Scenario) -> &'static str {
+    match s {
+        Table2Scenario::LocalServerWifi => "local_wifi",
+        Table2Scenario::CloudServerWifi => "cloud_wifi",
+        Table2Scenario::UniversityServerWifi => "university_wifi",
+        Table2Scenario::CloudServerLte => "cloud_lte",
+    }
+}
+
+fn scenario_from_key(key: &str) -> Table2Scenario {
+    Table2Scenario::ALL
+        .into_iter()
+        .find(|&s| scenario_key(s) == key)
+        .unwrap_or_else(|| panic!("unknown Table II scenario key {key:?}"))
+}
+
+fn table2_rtt(replicates: u32, seed: u64) -> Experiment {
+    let spec = ScenarioSpec::new("table2_rtt", seed, replicates)
+        .with_param("probes", ParamValue::Int(200))
+        .with_param("request_bytes", ParamValue::Int(400))
+        .with_param("response_bytes", ParamValue::Int(400))
+        .with_axis(
+            "scenario",
+            Table2Scenario::ALL
+                .into_iter()
+                .map(|s| ParamValue::Str(scenario_key(s).to_string()))
+                .collect(),
+        );
+    let trial = Box::new(|point: &GridPoint, ctx: &TrialCtx| {
+        let scenario = scenario_from_key(point.param("scenario").as_str().expect("str"));
+        let probes = point.param("probes").as_int().expect("int") as u64;
+        let request = point.param("request_bytes").as_int().expect("int") as u32;
+        let response = point.param("response_bytes").as_int().expect("int") as u32;
+        let stats = run_table2(scenario, probes, request, response, ctx.seed);
+        let st = stats.borrow();
+        let mut h = st.rtt_ms.clone();
+        let median = h.median().unwrap_or(f64::NAN);
+        let mut report = TrialReport::new();
+        report
+            .scalar("median_ms", median)
+            .scalar("mean_ms", h.mean().unwrap_or(f64::NAN))
+            .scalar("p95_ms", h.p95().unwrap_or(f64::NAN))
+            .scalar("received", st.received as f64)
+            // One offload transaction per RTT, as in the paper's 20 FPS note.
+            .scalar("fps_supportable", 1000.0 / median)
+            .samples("rtt_ms", st.rtt_ms.values().to_vec());
+        report
+    });
+    Experiment { spec, trial, render: render_table2 }
+}
+
+fn render_table2(points: &[PointSummary]) {
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            let scenario = scenario_from_key(p.params["scenario"].as_str().expect("str"));
+            let (platform, connection, paper_ms) = scenario.labels();
+            let median = &p.scalars["median_ms"];
+            let p95 = &p.scalars["p95_ms"];
+            let fps = &p.scalars["fps_supportable"];
+            let pooled = &p.samples["rtt_ms"];
+            vec![
+                platform.to_string(),
+                connection.to_string(),
+                format!("{paper_ms} ms"),
+                format!("{} ms", pm(median.mean, median.ci95, 1)),
+                format!("{} ms", pm(p95.mean, p95.ci95, 1)),
+                format!("{} ms", fmt(pooled.p99, 1)),
+                pm(fps.mean, fps.ci95, 1),
+                format!("{}", p.replicates_ok),
+            ]
+        })
+        .collect();
+    print_table(
+        "Table II — offload link RTT, mean ± 95% CI across replicates",
+        &[
+            "Platform",
+            "Connection",
+            "Paper RTT",
+            "Median (sim)",
+            "p95 (sim)",
+            "pooled p99",
+            "fps supportable",
+            "n",
+        ],
+        &rows,
+    );
+}
+
+// ---------------------------------------------------------------------------
+// §VI-C recovery sweep
+// ---------------------------------------------------------------------------
+
+fn sweep_recovery(replicates: u32, seed: u64) -> Experiment {
+    let spec = ScenarioSpec::new("sweep_recovery", seed, replicates)
+        .with_param("loss", ParamValue::Float(0.03))
+        .with_param("secs", ParamValue::Int(30))
+        .with_axis(
+            "mechanism",
+            RecoveryMechanism::ALL
+                .into_iter()
+                .map(|m| ParamValue::Str(m.label().to_string()))
+                .collect(),
+        )
+        .with_axis("rtt_ms", [20i64, 36, 60, 120].into_iter().map(ParamValue::Int).collect());
+    let trial = Box::new(|point: &GridPoint, ctx: &TrialCtx| {
+        let mechanism =
+            RecoveryMechanism::from_label(point.param("mechanism").as_str().expect("str"))
+                .expect("known mechanism");
+        let rtt = point.param("rtt_ms").as_int().expect("int") as u64;
+        let loss = point.param("loss").as_float().expect("float");
+        let secs = point.param("secs").as_int().expect("int") as u64;
+        let out = run_recovery(rtt, loss, mechanism, secs, ctx.seed);
+        let mut report = TrialReport::new();
+        report
+            .scalar("delivered_in_budget_pct", out.delivered_in_budget_pct)
+            .scalar("delivered_total_pct", out.delivered_total_pct)
+            .scalar("overhead_pct", out.overhead_pct);
+        report
+    });
+    Experiment { spec, trial, render: render_recovery }
+}
+
+fn render_recovery(points: &[PointSummary]) {
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            let budget = &p.scalars["delivered_in_budget_pct"];
+            let total = &p.scalars["delivered_total_pct"];
+            let overhead = &p.scalars["overhead_pct"];
+            vec![
+                p.params["mechanism"].to_string(),
+                format!("{} ms", p.params["rtt_ms"]),
+                format!("{}%", pm(budget.mean, budget.ci95, 1)),
+                format!("{}%", pm(total.mean, total.ci95, 1)),
+                format!("{}%", pm(overhead.mean, overhead.ci95, 1)),
+                format!("{}", p.replicates_ok),
+            ]
+        })
+        .collect();
+    print_table(
+        "E11 — recovery at 3% loss, 75 ms budget, mean ± 95% CI across replicates",
+        &["Mechanism", "RTT", "In budget", "Delivered", "Byte overhead", "n"],
+        &rows,
+    );
+}
+
+// ---------------------------------------------------------------------------
+// §III offload-decision sweep
+// ---------------------------------------------------------------------------
+
+fn device_key(d: DeviceClass) -> &'static str {
+    match d {
+        DeviceClass::SmartGlasses => "glasses",
+        DeviceClass::Smartphone => "phone",
+        DeviceClass::Laptop => "laptop",
+        _ => "other",
+    }
+}
+
+const OFFLOAD_DEVICES: [DeviceClass; 3] =
+    [DeviceClass::SmartGlasses, DeviceClass::Smartphone, DeviceClass::Laptop];
+
+fn device_from_key(key: &str) -> DeviceClass {
+    OFFLOAD_DEVICES
+        .into_iter()
+        .find(|&d| device_key(d) == key)
+        .unwrap_or_else(|| panic!("unknown device key {key:?}"))
+}
+
+/// Single-letter tag of strategy `idx` in canonical order.
+fn strategy_letter(idx: usize) -> &'static str {
+    match OffloadStrategy::canonical().get(idx) {
+        Some(OffloadStrategy::LocalOnly) => "L",
+        Some(OffloadStrategy::FullOffload { .. }) => "F",
+        Some(OffloadStrategy::FeatureOffload { .. }) => "C",
+        Some(OffloadStrategy::TrackingOffload { .. }) => "G",
+        None => "?",
+    }
+}
+
+fn sweep_offload(replicates: u32, seed: u64) -> Experiment {
+    let spec = ScenarioSpec::new("sweep_offload", seed, replicates)
+        .with_axis(
+            "device",
+            OFFLOAD_DEVICES
+                .into_iter()
+                .map(|d| ParamValue::Str(device_key(d).to_string()))
+                .collect(),
+        )
+        .with_axis(
+            "rtt_ms",
+            [4i64, 10, 20, 36, 60, 90, 120].into_iter().map(ParamValue::Int).collect(),
+        )
+        .with_axis(
+            "uplink_mbps",
+            [0.5, 1.0, 2.0, 5.0, 10.0, 25.0, 50.0].into_iter().map(ParamValue::Float).collect(),
+        );
+    let trial = Box::new(|point: &GridPoint, _ctx: &TrialCtx| {
+        let device = device_from_key(point.param("device").as_str().expect("str")).spec();
+        let rtt = point.param("rtt_ms").as_int().expect("int") as u64;
+        let up = point.param("uplink_mbps").as_float().expect("float");
+        let work = FrameWork::vision_pipeline();
+        let model = ComputeModel::new(30.0, work)
+            .with_db(DbAccess::browser())
+            .with_deadline(SimDuration::from_millis(75));
+        let cloud = DeviceClass::Cloud.spec();
+        let net = NetParams {
+            uplink: Bandwidth::from_mbps(up),
+            downlink: Bandwidth::from_mbps(up * 2.5),
+            rtt: SimDuration::from_millis(rtt),
+        };
+        let (winner_idx, est) = OffloadStrategy::canonical()
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let e = s.evaluate(&model, &device, &cloud, &net);
+                (i, e)
+            })
+            .min_by(|(_, a), (_, b)| a.per_frame.partial_cmp(&b.per_frame).expect("finite"))
+            .expect("non-empty strategies");
+        let mut report = TrialReport::new();
+        report
+            .scalar("winner_ms", est.per_frame.as_millis_f64())
+            .scalar("winner_idx", winner_idx as f64)
+            .scalar("feasible", if est.feasible() { 1.0 } else { 0.0 });
+        report
+    });
+    Experiment { spec, trial, render: render_offload }
+}
+
+fn render_offload(points: &[PointSummary]) {
+    // Regroup the flat point list into one RTT × uplink table per device.
+    let mut by_device: BTreeMap<String, Vec<&PointSummary>> = BTreeMap::new();
+    for p in points {
+        by_device.entry(p.params["device"].to_string()).or_default().push(p);
+    }
+    for device in OFFLOAD_DEVICES {
+        let Some(cells) = by_device.get(device_key(device)) else { continue };
+        let mut rtts: Vec<i64> = cells.iter().filter_map(|p| p.params["rtt_ms"].as_int()).collect();
+        rtts.dedup();
+        let mut uplinks: Vec<f64> =
+            cells.iter().filter_map(|p| p.params["uplink_mbps"].as_float()).collect();
+        uplinks.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        uplinks.dedup();
+        let rows: Vec<Vec<String>> = rtts
+            .iter()
+            .map(|&rtt| {
+                let mut row = vec![format!("{rtt} ms")];
+                for &up in &uplinks {
+                    let cell = cells.iter().find(|p| {
+                        p.params["rtt_ms"].as_int() == Some(rtt)
+                            && p.params["uplink_mbps"].as_float() == Some(up)
+                    });
+                    row.push(match cell {
+                        Some(p) => {
+                            let feasible = p.scalars["feasible"].mean >= 0.5;
+                            let tag = if feasible {
+                                strategy_letter(p.scalars["winner_idx"].mean.round() as usize)
+                            } else {
+                                "∅"
+                            };
+                            format!("{tag} {}", fmt(p.scalars["winner_ms"].mean, 0))
+                        }
+                        None => "-".to_string(),
+                    });
+                }
+                row
+            })
+            .collect();
+        let mut headers = vec!["RTT \\ uplink".to_string()];
+        headers.extend(uplinks.iter().map(|u| format!("{u} Mb/s")));
+        let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+        print_table(
+            &format!(
+                "E9 — best strategy & ms/frame on a {} (L=local F=full C=CloudRidAR G=Glimpse ∅=infeasible)",
+                device.spec().class
+            ),
+            &header_refs,
+            &rows,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_builtins_build_with_consistent_specs() {
+        for name in NAMES {
+            let exp = build(name, 3, 42).unwrap();
+            assert_eq!(exp.spec.name, name);
+            assert_eq!(exp.spec.replicates, 3);
+            assert_eq!(exp.spec.seed, 42);
+            assert!(exp.spec.point_count() > 0);
+        }
+        assert!(build("nope", 1, 1).is_none());
+    }
+
+    #[test]
+    fn scenario_and_device_keys_round_trip() {
+        for s in Table2Scenario::ALL {
+            assert_eq!(scenario_from_key(scenario_key(s)), s);
+        }
+        for d in OFFLOAD_DEVICES {
+            assert_eq!(device_from_key(device_key(d)), d);
+        }
+    }
+
+    #[test]
+    fn offload_trial_is_deterministic_and_analytic() {
+        let exp = build("sweep_offload", 2, 1).unwrap();
+        let points = exp.spec.expand_grid();
+        let ctx_a = TrialCtx { point_index: 0, replicate: 0, seed: 1 };
+        let ctx_b = TrialCtx { point_index: 0, replicate: 1, seed: 999 };
+        let a = (exp.trial)(&points[0], &ctx_a);
+        let b = (exp.trial)(&points[0], &ctx_b);
+        assert_eq!(a.scalars, b.scalars, "analytic sweep must not depend on the seed");
+    }
+}

@@ -1,0 +1,44 @@
+//! # marnet-lab — Monte-Carlo experiment orchestration
+//!
+//! Runs any scenario as `N` replicates across a parameter grid on all
+//! cores, deterministically:
+//!
+//! - [`spec`] — serde-serializable [`spec::ScenarioSpec`]: base parameters,
+//!   cartesian sweep axes, replicate count, and a stable spec hash over the
+//!   canonical JSON encoding.
+//! - [`runner`] — scoped-thread executor. Each trial draws its own ChaCha12
+//!   substream derived from `(base seed, spec hash, point, replicate)`,
+//!   panics are isolated with `catch_unwind` and recorded as failed trials,
+//!   and results merge in fixed index order — so artifacts are
+//!   **byte-identical at any thread count**.
+//! - [`agg`] — cross-replicate aggregation: scalar metrics through merged
+//!   [`marnet_sim::stats::OnlineStats`] (Chan's parallel Welford) with 95%
+//!   Student-t confidence intervals, sample streams through merged
+//!   [`marnet_sim::stats::Histogram`]s (pooled p50/p95/p99).
+//! - [`artifact`] — versioned JSON artifact (schema v1) with full
+//!   provenance (spec, spec hash, seed, replicate and failure counts) plus
+//!   a baseline diff mode flagging metrics that drift outside the joint
+//!   confidence band.
+//! - [`experiments`] — the paper experiments ported onto the runner:
+//!   `table2_rtt`, `sweep_recovery` and `sweep_offload`, whose tables gain
+//!   mean ± 95% CI columns.
+//!
+//! The `marnet-lab` binary drives it all:
+//!
+//! ```text
+//! cargo run -p marnet-lab -- table2_rtt --replicates 32 --threads 8
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod agg;
+pub mod artifact;
+pub mod experiments;
+pub mod runner;
+pub mod spec;
+
+pub use agg::{aggregate_run, MetricSummary, PointSummary, SampleSummary};
+pub use artifact::{Artifact, MetricDrift, SCHEMA_VERSION};
+pub use runner::{run_experiment, ExperimentRun, TrialCtx, TrialFailure, TrialReport};
+pub use spec::{GridAxis, GridPoint, ParamValue, ScenarioSpec};

@@ -1,0 +1,184 @@
+//! The `marnet-lab` CLI: replicated, parallel versions of the paper
+//! experiments with confidence intervals and versioned artifacts.
+//!
+//! ```text
+//! marnet-lab <experiment> [--replicates N] [--threads N] [--seed S]
+//!                         [--out PATH] [--baseline PATH]
+//! marnet-lab --list
+//! ```
+//!
+//! The artifact is independent of `--threads`: the same spec and seed give
+//! a byte-identical JSON file at any parallelism.
+
+use marnet_lab::artifact::Artifact;
+use marnet_lab::experiments;
+use marnet_lab::runner::run_experiment;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    experiment: String,
+    replicates: u32,
+    threads: usize,
+    seed: u64,
+    out: Option<PathBuf>,
+    baseline: Option<PathBuf>,
+}
+
+fn usage() -> String {
+    format!(
+        "usage: marnet-lab <experiment> [--replicates N] [--threads N] [--seed S]\n\
+         \u{20}                        [--out PATH] [--baseline PATH]\n\
+         \u{20}      marnet-lab --list\n\
+         experiments: {}",
+        experiments::NAMES.join(", ")
+    )
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut experiment = None;
+    let mut replicates = 8u32;
+    let mut threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut seed = 42u64;
+    let mut out = None;
+    let mut baseline = None;
+
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        let mut value =
+            |flag: &str| argv.next().ok_or_else(|| format!("{flag} needs a value\n{}", usage()));
+        match arg.as_str() {
+            "--list" => {
+                println!("{}", experiments::NAMES.join("\n"));
+                std::process::exit(0);
+            }
+            "--help" | "-h" => {
+                println!("{}", usage());
+                std::process::exit(0);
+            }
+            "--replicates" => {
+                replicates =
+                    value("--replicates")?.parse().map_err(|e| format!("--replicates: {e}"))?;
+            }
+            "--threads" => {
+                threads = value("--threads")?.parse().map_err(|e| format!("--threads: {e}"))?;
+            }
+            "--seed" => {
+                seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--out" => out = Some(PathBuf::from(value("--out")?)),
+            "--baseline" => baseline = Some(PathBuf::from(value("--baseline")?)),
+            other if other.starts_with('-') => {
+                return Err(format!("unknown flag {other}\n{}", usage()));
+            }
+            other if experiment.is_none() => experiment = Some(other.to_string()),
+            other => return Err(format!("unexpected argument {other}\n{}", usage())),
+        }
+    }
+    let experiment = experiment.ok_or_else(usage)?;
+    if replicates == 0 {
+        return Err("--replicates must be at least 1".into());
+    }
+    if threads == 0 {
+        return Err("--threads must be at least 1".into());
+    }
+    Ok(Args { experiment, replicates, threads, seed, out, baseline })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(experiment) = experiments::build(&args.experiment, args.replicates, args.seed) else {
+        eprintln!("unknown experiment {:?}\n{}", args.experiment, usage());
+        return ExitCode::FAILURE;
+    };
+
+    let spec = experiment.spec.clone();
+    println!(
+        "[lab] {}: {} points × {} replicates = {} trials on {} threads (seed {}, spec {:016x})",
+        spec.name,
+        spec.point_count(),
+        spec.replicates,
+        spec.trial_count(),
+        args.threads,
+        spec.seed,
+        spec.spec_hash(),
+    );
+
+    let run = run_experiment(&spec, args.threads, |point, ctx| (experiment.trial)(point, ctx));
+    for failure in &run.failures {
+        eprintln!(
+            "[lab] trial failed: point {} replicate {}: {}",
+            failure.point_index, failure.replicate, failure.message
+        );
+    }
+
+    let artifact = Artifact::from_run(&run);
+    (experiment.render)(&artifact.points);
+
+    let out = args
+        .out
+        .unwrap_or_else(|| PathBuf::from("results").join(format!("lab_{}.json", spec.name)));
+    if let Err(e) = artifact.write(&out) {
+        eprintln!("[lab] failed to write artifact {}: {e}", out.display());
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "\n[artifact] {} (schema v{}, spec {})",
+        out.display(),
+        artifact.schema_version,
+        artifact.spec_hash
+    );
+
+    if let Some(baseline_path) = args.baseline {
+        let baseline = match Artifact::load(&baseline_path) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("[lab] failed to load baseline {}: {e}", baseline_path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        if baseline.experiment != artifact.experiment {
+            eprintln!(
+                "[baseline] warning: baseline is a {:?} artifact, this run is {:?} — \
+                 no points will match",
+                baseline.experiment, artifact.experiment
+            );
+        }
+        let drifts = artifact.diff(&baseline);
+        if drifts.is_empty() {
+            println!(
+                "[baseline] no drift vs {} (all shared metrics within joint 95% CI)",
+                baseline_path.display()
+            );
+        } else {
+            println!(
+                "[baseline] {} metric(s) drifted vs {}:",
+                drifts.len(),
+                baseline_path.display()
+            );
+            for d in &drifts {
+                println!(
+                    "  {} :: {}: {:.4} -> {:.4} ({:+.1}%)",
+                    d.point,
+                    d.metric,
+                    d.baseline_mean,
+                    d.current_mean,
+                    (d.current_mean - d.baseline_mean) / d.baseline_mean.abs() * 100.0
+                );
+            }
+            return ExitCode::from(2);
+        }
+    }
+
+    if run.failures.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(3)
+    }
+}

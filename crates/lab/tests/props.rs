@@ -1,0 +1,81 @@
+//! Property tests for the lab's statistical plumbing: merged accumulators
+//! must agree with sequential accumulation no matter how the samples are
+//! partitioned.
+
+use marnet_lab::agg::MetricSummary;
+use marnet_sim::stats::{Histogram, OnlineStats};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn merged_online_stats_equal_sequential(
+        values in prop::collection::vec(-1e3f64..1e3, 1..200),
+        cut in any::<prop::sample::Index>(),
+    ) {
+        let cut = cut.index(values.len() + 1).min(values.len());
+        let mut whole = OnlineStats::new();
+        for &v in &values {
+            whole.record(v);
+        }
+        let mut left = OnlineStats::new();
+        let mut right = OnlineStats::new();
+        for &v in &values[..cut] {
+            left.record(v);
+        }
+        for &v in &values[cut..] {
+            right.record(v);
+        }
+        left.merge(&right);
+        prop_assert_eq!(left.count(), whole.count());
+        prop_assert!((left.mean() - whole.mean()).abs() < 1e-9);
+        prop_assert!((left.variance() - whole.variance()).abs() < 1e-6);
+        prop_assert_eq!(left.min(), whole.min());
+        prop_assert_eq!(left.max(), whole.max());
+    }
+
+    #[test]
+    fn merged_histograms_equal_pooled_accumulation(
+        values in prop::collection::vec(0.0f64..1e4, 1..300),
+        pieces in 1usize..6,
+    ) {
+        let mut pooled = Histogram::new();
+        for &v in &values {
+            pooled.record(v);
+        }
+        // Round-robin partition into `pieces` histograms, then merge back.
+        let mut parts = vec![Histogram::new(); pieces];
+        for (i, &v) in values.iter().enumerate() {
+            parts[i % pieces].record(v);
+        }
+        let mut merged = Histogram::new();
+        for part in &parts {
+            merged.merge(part);
+        }
+        prop_assert_eq!(merged.count(), pooled.count());
+        for q in [0.0, 0.25, 0.5, 0.95, 0.99, 1.0] {
+            prop_assert_eq!(merged.quantile(q), pooled.quantile(q));
+        }
+        prop_assert_eq!(merged.mean(), pooled.mean());
+    }
+
+    #[test]
+    fn ci_shrinks_with_replicates_and_brackets_the_mean(
+        base in -100.0f64..100.0,
+        spread in 0.1f64..10.0,
+        n in 4u64..40,
+    ) {
+        let mut stats = OnlineStats::new();
+        for i in 0..n {
+            // Symmetric deterministic spread around `base`.
+            let offset = (i as f64 / (n - 1) as f64 - 0.5) * spread;
+            stats.record(base + offset);
+        }
+        let summary = MetricSummary::from_stats(&stats);
+        prop_assert!(summary.ci95 > 0.0);
+        prop_assert!(summary.ci95.is_finite());
+        // The CI half-width never exceeds the full spread for n ≥ 4
+        // (t ≤ 3.182, s ≤ spread/2, √n ≥ 2).
+        prop_assert!(summary.ci95 <= spread * 1.6);
+        prop_assert!((summary.mean - base).abs() < 1e-9);
+    }
+}

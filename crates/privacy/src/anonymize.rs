@@ -119,11 +119,8 @@ impl AnonymizeCost {
         if level == PrivacyLevel::Off {
             return 0.0;
         }
-        let blurred: u32 = RegionKind::ALL
-            .iter()
-            .filter(|&&k| level.redacts(k))
-            .map(|&k| regions.count(k))
-            .sum();
+        let blurred: u32 =
+            RegionKind::ALL.iter().filter(|&&k| level.redacts(k)).map(|&k| regions.count(k)).sum();
         self.detection_gflop + self.blur_gflop_per_region * f64::from(blurred)
     }
 }
@@ -155,11 +152,7 @@ pub fn sample_street_scene(rng: &mut ChaCha12Rng) -> FrameRegions {
         }
         count
     };
-    FrameRegions {
-        faces: draw(rng, 3.0),
-        plates: draw(rng, 1.0),
-        street_plates: draw(rng, 0.5),
-    }
+    FrameRegions { faces: draw(rng, 3.0), plates: draw(rng, 1.0), street_plates: draw(rng, 0.5) }
 }
 
 #[cfg(test)]

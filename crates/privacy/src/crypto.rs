@@ -62,8 +62,7 @@ pub fn handshake_time(device: DeviceClass, rtt: SimDuration) -> SimDuration {
 
 /// Picks the faster cipher for a device — the practical §VI-G guidance.
 pub fn best_cipher(device: DeviceClass) -> Cipher {
-    if throughput_mbps(device, Cipher::AesGcm)
-        >= throughput_mbps(device, Cipher::ChaCha20Poly1305)
+    if throughput_mbps(device, Cipher::AesGcm) >= throughput_mbps(device, Cipher::ChaCha20Poly1305)
     {
         Cipher::AesGcm
     } else {
@@ -89,12 +88,10 @@ mod tests {
     #[test]
     fn encrypting_a_frame_fits_the_budget_on_a_phone_not_glasses() {
         // A 40 KB frame payload.
-        let phone = encrypt_time(DeviceClass::Smartphone, best_cipher(DeviceClass::Smartphone), 40_000);
-        let glasses = encrypt_time(
-            DeviceClass::SmartGlasses,
-            best_cipher(DeviceClass::SmartGlasses),
-            40_000,
-        );
+        let phone =
+            encrypt_time(DeviceClass::Smartphone, best_cipher(DeviceClass::Smartphone), 40_000);
+        let glasses =
+            encrypt_time(DeviceClass::SmartGlasses, best_cipher(DeviceClass::SmartGlasses), 40_000);
         assert!(phone < SimDuration::from_millis(1), "phone {phone}");
         assert!(glasses > phone * 10, "glasses {glasses}");
         // Still only ~1.3 ms on glasses; crypto alone is affordable, the

@@ -137,7 +137,8 @@ mod tests {
             cipher: Some(Cipher::ChaCha20Poly1305),
         };
         let slow = apply(&p, DeviceClass::Smartphone, 1_000_000, &busy());
-        let fast = apply(&PrivacyPolicy::first_party(), DeviceClass::Smartphone, 1_000_000, &busy());
+        let fast =
+            apply(&PrivacyPolicy::first_party(), DeviceClass::Smartphone, 1_000_000, &busy());
         assert!(slow.added_latency > fast.added_latency);
     }
 }

@@ -54,16 +54,66 @@ impl AccessOffer {
 /// 2.49 average.
 pub fn catalog() -> Vec<AccessOffer> {
     vec![
-        AccessOffer { name: "US fixed ISP A (symmetric)", kind: AccessKind::Fixed, down_mbps: 150.0, up_mbps: 150.0 },
-        AccessOffer { name: "US fixed ISP B", kind: AccessKind::Fixed, down_mbps: 200.0, up_mbps: 60.4 },
-        AccessOffer { name: "US fixed ISP C", kind: AccessKind::Fixed, down_mbps: 180.0, up_mbps: 40.0 },
-        AccessOffer { name: "US fixed ISP D", kind: AccessKind::Fixed, down_mbps: 120.0, up_mbps: 20.0 },
-        AccessOffer { name: "US fixed ISP E (cable)", kind: AccessKind::Fixed, down_mbps: 100.0, up_mbps: 12.2 },
-        AccessOffer { name: "Orange fiber (FR)", kind: AccessKind::Fixed, down_mbps: 500.0, up_mbps: 200.0 },
-        AccessOffer { name: "US mobile ISP 1", kind: AccessKind::Mobile, down_mbps: 21.0, up_mbps: 11.6 },
-        AccessOffer { name: "US mobile ISP 2", kind: AccessKind::Mobile, down_mbps: 20.0, up_mbps: 8.9 },
-        AccessOffer { name: "US mobile ISP 3", kind: AccessKind::Mobile, down_mbps: 18.0, up_mbps: 6.4 },
-        AccessOffer { name: "US mobile ISP 4", kind: AccessKind::Mobile, down_mbps: 16.0, up_mbps: 5.0 },
+        AccessOffer {
+            name: "US fixed ISP A (symmetric)",
+            kind: AccessKind::Fixed,
+            down_mbps: 150.0,
+            up_mbps: 150.0,
+        },
+        AccessOffer {
+            name: "US fixed ISP B",
+            kind: AccessKind::Fixed,
+            down_mbps: 200.0,
+            up_mbps: 60.4,
+        },
+        AccessOffer {
+            name: "US fixed ISP C",
+            kind: AccessKind::Fixed,
+            down_mbps: 180.0,
+            up_mbps: 40.0,
+        },
+        AccessOffer {
+            name: "US fixed ISP D",
+            kind: AccessKind::Fixed,
+            down_mbps: 120.0,
+            up_mbps: 20.0,
+        },
+        AccessOffer {
+            name: "US fixed ISP E (cable)",
+            kind: AccessKind::Fixed,
+            down_mbps: 100.0,
+            up_mbps: 12.2,
+        },
+        AccessOffer {
+            name: "Orange fiber (FR)",
+            kind: AccessKind::Fixed,
+            down_mbps: 500.0,
+            up_mbps: 200.0,
+        },
+        AccessOffer {
+            name: "US mobile ISP 1",
+            kind: AccessKind::Mobile,
+            down_mbps: 21.0,
+            up_mbps: 11.6,
+        },
+        AccessOffer {
+            name: "US mobile ISP 2",
+            kind: AccessKind::Mobile,
+            down_mbps: 20.0,
+            up_mbps: 8.9,
+        },
+        AccessOffer {
+            name: "US mobile ISP 3",
+            kind: AccessKind::Mobile,
+            down_mbps: 18.0,
+            up_mbps: 6.4,
+        },
+        AccessOffer {
+            name: "US mobile ISP 4",
+            kind: AccessKind::Mobile,
+            down_mbps: 16.0,
+            up_mbps: 5.0,
+        },
     ]
 }
 
@@ -82,7 +132,11 @@ pub struct UsageRatio {
 pub fn usage_history() -> Vec<UsageRatio> {
     vec![
         UsageRatio { year: 1995, down_over_up: 10.0, era: "mail + web surfing" },
-        UsageRatio { year: 2012, down_over_up: 3.0, era: "peer-to-peer & cloud storage grow uploads" },
+        UsageRatio {
+            year: 2012,
+            down_over_up: 3.0,
+            era: "peer-to-peer & cloud storage grow uploads",
+        },
         UsageRatio { year: 2016, down_over_up: 2.70, era: "streaming recession of P2P" },
     ]
 }
@@ -119,8 +173,10 @@ mod tests {
     #[test]
     fn fixed_ratios_match_the_quoted_spread() {
         let cat = catalog();
-        let fixed: Vec<&AccessOffer> =
-            cat.iter().filter(|o| o.kind == AccessKind::Fixed && o.name.starts_with("US")).collect();
+        let fixed: Vec<&AccessOffer> = cat
+            .iter()
+            .filter(|o| o.kind == AccessKind::Fixed && o.name.starts_with("US"))
+            .collect();
         // Exactly one symmetric among the US fixed ISPs.
         assert_eq!(fixed.iter().filter(|o| o.is_symmetric()).count(), 1);
         // The rest span ~3.31 to ~8.22.

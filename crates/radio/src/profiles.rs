@@ -187,13 +187,10 @@ impl RadioProfile {
             LinkDirection::Downlink => QueueConfig::DropTail { cap_packets: 300 },
             LinkDirection::Uplink => QueueConfig::bloated_uplink(),
         };
-        LinkParams::new(
-            Bandwidth::from_mbps(mbps),
-            SimDuration::from_millis_f64(rtt_ms / 2.0),
-        )
-        .with_jitter(Jitter::Gaussian { sigma: SimDuration::from_millis_f64(rtt_ms * 0.05) })
-        .with_loss(LossModel::Bernoulli { p: self.loss })
-        .with_queue(queue)
+        LinkParams::new(Bandwidth::from_mbps(mbps), SimDuration::from_millis_f64(rtt_ms / 2.0))
+            .with_jitter(Jitter::Gaussian { sigma: SimDuration::from_millis_f64(rtt_ms * 0.05) })
+            .with_loss(LossModel::Bernoulli { p: self.loss })
+            .with_queue(queue)
     }
 
     /// Link parameters at the midpoints of the measured ranges
@@ -372,7 +369,9 @@ mod tests {
         for _ in 0..100 {
             let up = p.sample_link_params(LinkDirection::Uplink, &mut rng);
             let mbps = up.rate.as_mbps();
-            assert!(mbps >= p.measured_up_mbps.low - 1e-9 && mbps <= p.measured_up_mbps.high + 1e-9);
+            assert!(
+                mbps >= p.measured_up_mbps.low - 1e-9 && mbps <= p.measured_up_mbps.high + 1e-9
+            );
             let one_way_ms = up.delay.as_millis_f64();
             assert!(one_way_ms >= p.latency_ms.low / 2.0 - 1e-9);
             assert!(one_way_ms <= p.latency_ms.high / 2.0 + 1e-9);

@@ -237,12 +237,7 @@ mod tests {
 
     #[test]
     fn ar1_wanders_around_median() {
-        let mut p = Ar1LogRate::new(
-            Bandwidth::from_mbps(10.0),
-            0.15,
-            0.9,
-            derive_rng(1, "ar1"),
-        );
+        let mut p = Ar1LogRate::new(Bandwidth::from_mbps(10.0), 0.15, 0.9, derive_rng(1, "ar1"));
         let mut sum_log = 0.0;
         let n = 5000;
         for i in 0..n {
@@ -256,13 +251,9 @@ mod tests {
 
     #[test]
     fn ar1_varies() {
-        let mut p = Ar1LogRate::new(
-            Bandwidth::from_mbps(10.0),
-            0.3,
-            0.8,
-            derive_rng(2, "ar1b"),
-        );
-        let rates: Vec<u64> = (0..100).map(|i| p.rate_at(SimTime::from_millis(i)).as_bps()).collect();
+        let mut p = Ar1LogRate::new(Bandwidth::from_mbps(10.0), 0.3, 0.8, derive_rng(2, "ar1b"));
+        let rates: Vec<u64> =
+            (0..100).map(|i| p.rate_at(SimTime::from_millis(i)).as_bps()).collect();
         let min = *rates.iter().min().unwrap() as f64;
         let max = *rates.iter().max().unwrap() as f64;
         assert!(max / min > 2.0, "expected noticeable variance: {min}..{max}");

@@ -504,9 +504,8 @@ impl Simulator {
     }
 
     fn dispatch_to_actor(&mut self, id: ActorId, event: Event) {
-        let mut actor = self.actors[id.index()]
-            .take()
-            .unwrap_or_else(|| panic!("event for uninstalled {id}"));
+        let mut actor =
+            self.actors[id.index()].take().unwrap_or_else(|| panic!("event for uninstalled {id}"));
         self.ctx.current_actor = id;
         actor.on_event(&mut self.ctx, event);
         self.ctx.current_actor = ActorId(u32::MAX);
@@ -552,7 +551,11 @@ impl Simulator {
             }
         }
         // Advance the clock to the horizon so stats over `end` are meaningful.
-        if !self.ctx.stopped && processed < self.event_limit && self.ctx.now < end && end != SimTime::MAX {
+        if !self.ctx.stopped
+            && processed < self.event_limit
+            && self.ctx.now < end
+            && end != SimTime::MAX
+        {
             self.ctx.now = end;
         }
         processed
@@ -653,7 +656,11 @@ mod tests {
         let a = sim.reserve_actor();
         let b = sim.reserve_actor();
         // 1 Mb/s, 5 ms: a 1250-byte packet takes 10 ms + 5 ms = 15 ms.
-        let l = sim.add_link(a, b, LinkParams::new(Bandwidth::from_mbps(1.0), SimDuration::from_millis(5)));
+        let l = sim.add_link(
+            a,
+            b,
+            LinkParams::new(Bandwidth::from_mbps(1.0), SimDuration::from_millis(5)),
+        );
         struct Sender {
             link: LinkId,
         }
@@ -697,7 +704,8 @@ mod tests {
         sim.install_actor(a, Burst { link: l });
         sim.install_actor(b, probe(&log));
         sim.run_until(SimTime::from_secs(1));
-        let times: Vec<SimTime> = log.borrow().iter().filter(|(_, e)| e.starts_with("pkt")).map(|(t, _)| *t).collect();
+        let times: Vec<SimTime> =
+            log.borrow().iter().filter(|(_, e)| e.starts_with("pkt")).map(|(t, _)| *t).collect();
         assert_eq!(
             times,
             vec![SimTime::from_millis(10), SimTime::from_millis(20), SimTime::from_millis(30)]

@@ -104,8 +104,7 @@ impl fmt::Display for Bandwidth {
 }
 
 /// Random per-packet propagation-delay perturbation.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub enum Jitter {
     /// No jitter.
     #[default]
@@ -122,10 +121,8 @@ pub enum Jitter {
     },
 }
 
-
 /// Random packet-loss process.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub enum LossModel {
     /// Lossless.
     #[default]
@@ -145,7 +142,6 @@ pub enum LossModel {
         loss_in_bad: f64,
     },
 }
-
 
 /// Configuration for one directed link.
 #[derive(Debug, Clone, PartialEq)]

@@ -129,15 +129,7 @@ pub struct Packet {
 impl Packet {
     /// Creates a packet with an empty payload and default (highest) priority.
     pub fn new(id: u64, flow: u64, size: u32, created: SimTime) -> Self {
-        Packet {
-            id,
-            flow,
-            prio: 0,
-            size,
-            created,
-            enqueued: created,
-            payload: Payload::empty(),
-        }
+        Packet { id, flow, prio: 0, size, created, enqueued: created, payload: Payload::empty() }
     }
 
     /// Sets the payload, builder style.

@@ -141,9 +141,7 @@ impl QueueConfig {
     /// Builds the stateful queue object for a link instance.
     pub fn build(&self) -> Box<dyn Queue> {
         match *self {
-            QueueConfig::DropTail { cap_packets } => {
-                Box::new(DropTailQueue::packets(cap_packets))
-            }
+            QueueConfig::DropTail { cap_packets } => Box::new(DropTailQueue::packets(cap_packets)),
             QueueConfig::DropTailBytes { cap_bytes } => Box::new(DropTailQueue::bytes(cap_bytes)),
             QueueConfig::CoDel { target, interval, cap_packets } => {
                 Box::new(CoDelQueue::new(target, interval, cap_packets))
@@ -192,8 +190,7 @@ impl DropTailQueue {
 
 impl Queue for DropTailQueue {
     fn enqueue(&mut self, mut pkt: Packet, now: SimTime) -> EnqueueOutcome {
-        if self.queue.len() >= self.cap_packets
-            || self.bytes + u64::from(pkt.size) > self.cap_bytes
+        if self.queue.len() >= self.cap_packets || self.bytes + u64::from(pkt.size) > self.cap_bytes
         {
             return EnqueueOutcome::Dropped(pkt);
         }
@@ -287,12 +284,12 @@ impl CoDelState {
                     // RFC 8289: restart close to the previous rate if we were
                     // dropping recently.
                     let delta = self.count.saturating_sub(self.last_count);
-                    self.count = if delta > 1 && now.saturating_since(self.drop_next) < self.interval
-                    {
-                        delta
-                    } else {
-                        1
-                    };
+                    self.count =
+                        if delta > 1 && now.saturating_since(self.drop_next) < self.interval {
+                            delta
+                        } else {
+                            1
+                        };
                     self.last_count = self.count;
                     self.drop_next = self.control_law(now);
                     true
@@ -435,12 +432,7 @@ impl FqCoDelQueue {
     /// Drops from the head of the fattest (most bytes) queue, per RFC 8290's
     /// overload strategy.
     fn drop_from_fattest(&mut self) -> Option<Packet> {
-        let idx = self
-            .queues
-            .iter()
-            .enumerate()
-            .max_by_key(|(_, q)| q.bytes)
-            .map(|(i, _)| i)?;
+        let idx = self.queues.iter().enumerate().max_by_key(|(_, q)| q.bytes).map(|(i, _)| i)?;
         let q = &mut self.queues[idx];
         let pkt = q.queue.pop_front()?;
         q.bytes -= u64::from(pkt.size);
@@ -648,11 +640,8 @@ mod tests {
 
     #[test]
     fn codel_passes_low_delay_traffic() {
-        let mut q = CoDelQueue::new(
-            SimDuration::from_millis(5),
-            SimDuration::from_millis(100),
-            1000,
-        );
+        let mut q =
+            CoDelQueue::new(SimDuration::from_millis(5), SimDuration::from_millis(100), 1000);
         // Packets dequeued instantly (sojourn 0) are never dropped.
         for i in 0..100 {
             let now = SimTime::from_millis(i);
@@ -665,11 +654,8 @@ mod tests {
 
     #[test]
     fn codel_drops_under_persistent_delay() {
-        let mut q = CoDelQueue::new(
-            SimDuration::from_millis(5),
-            SimDuration::from_millis(100),
-            10_000,
-        );
+        let mut q =
+            CoDelQueue::new(SimDuration::from_millis(5), SimDuration::from_millis(100), 10_000);
         // Fill with packets, then dequeue far later so sojourn >> target.
         for i in 0..2000 {
             // Staggered arrivals so each packet has a distinct enqueue time.
@@ -696,11 +682,8 @@ mod tests {
 
     #[test]
     fn codel_exits_dropping_when_queue_drains() {
-        let mut q = CoDelQueue::new(
-            SimDuration::from_millis(5),
-            SimDuration::from_millis(100),
-            1000,
-        );
+        let mut q =
+            CoDelQueue::new(SimDuration::from_millis(5), SimDuration::from_millis(100), 1000);
         for i in 0..50 {
             q.enqueue(pkt(i, 0, 1000), SimTime::ZERO);
         }

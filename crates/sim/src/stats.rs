@@ -187,6 +187,19 @@ impl Histogram {
             Some(self.values.iter().sum::<f64>() / self.values.len() as f64)
         }
     }
+
+    /// Merges another histogram's samples into this one.
+    ///
+    /// Since quantiles are computed over the raw samples, a merge of
+    /// per-replicate histograms yields exactly the quantiles of the pooled
+    /// sample set, independent of how samples were partitioned.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.values.is_empty() {
+            return;
+        }
+        self.values.extend_from_slice(&other.values);
+        self.sorted = false;
+    }
 }
 
 /// A `(time, value)` series, e.g. throughput over time for the figures.
@@ -369,6 +382,27 @@ mod tests {
         assert_eq!(a.count(), whole.count());
         assert!((a.mean() - whole.mean()).abs() < 1e-9);
         assert!((a.variance() - whole.variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_merge_matches_pooled() {
+        let mut pooled = Histogram::new();
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for v in 1..=100 {
+            pooled.record(v as f64);
+            if v % 3 == 0 {
+                a.record(v as f64);
+            } else {
+                b.record(v as f64);
+            }
+        }
+        a.merge(&b);
+        a.merge(&Histogram::new());
+        assert_eq!(a.count(), pooled.count());
+        assert_eq!(a.median(), pooled.median());
+        assert_eq!(a.p95(), pooled.p95());
+        assert_eq!(a.mean(), pooled.mean());
     }
 
     #[test]

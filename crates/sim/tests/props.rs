@@ -16,8 +16,7 @@ fn check_conservation(mut q: Box<dyn Queue>, pkts: Vec<(u64, u8, u32)>) {
     let n = pkts.len();
     let mut dropped = 0usize;
     for (i, (flow, prio, size)) in pkts.into_iter().enumerate() {
-        let pkt = Packet::new(i as u64, flow, size, SimTime::from_micros(i as u64))
-            .with_prio(prio);
+        let pkt = Packet::new(i as u64, flow, size, SimTime::from_micros(i as u64)).with_prio(prio);
         if let EnqueueOutcome::Dropped(_) = q.enqueue(pkt, SimTime::from_micros(i as u64)) {
             dropped += 1;
         }

@@ -123,7 +123,13 @@ pub struct ProbeServer {
 impl ProbeServer {
     /// A server replying with `response_bytes` immediately.
     pub fn new(flow: u64, path: TxPath, response_bytes: u32) -> Self {
-        ProbeServer { flow, path, response_bytes, service_delay: SimDuration::ZERO, pending: Vec::new() }
+        ProbeServer {
+            flow,
+            path,
+            response_bytes,
+            service_delay: SimDuration::ZERO,
+            pending: Vec::new(),
+        }
     }
 
     /// Adds a fixed service delay before each response, builder style.
@@ -184,8 +190,7 @@ mod tests {
         let s = sim.reserve_actor();
         let fwd = sim.add_link(c, s, LinkParams::new(Bandwidth::from_mbps(100.0), one_way));
         let rev = sim.add_link(s, c, LinkParams::new(Bandwidth::from_mbps(100.0), one_way));
-        let client =
-            ProbeClient::new(1, TxPath::Link(fwd), 200, SimDuration::from_millis(50), 50);
+        let client = ProbeClient::new(1, TxPath::Link(fwd), 200, SimDuration::from_millis(50), 50);
         let stats = client.stats();
         sim.install_actor(c, client);
         sim.install_actor(

@@ -124,7 +124,8 @@ mod tests {
             LinkParams::new(Bandwidth::from_mbps(10.0), SimDuration::from_millis(10))
                 .with_queue(big),
         );
-        let sender = TcpSender::new(1, TxPath::Link(fwd), TcpConfig::default(), Box::new(Reno::new(1460)));
+        let sender =
+            TcpSender::new(1, TxPath::Link(fwd), TcpConfig::default(), Box::new(Reno::new(1460)));
         let stats = sender.stats();
         sim.install_actor(s, sender);
         let receiver = TcpReceiver::new(1, TxPath::Link(rev));

@@ -193,8 +193,12 @@ mod tests {
     fn duplex(
         sim: &mut Simulator,
         loss_fwd: f64,
-    ) -> (marnet_sim::engine::ActorId, marnet_sim::engine::ActorId, marnet_sim::link::LinkId, marnet_sim::link::LinkId)
-    {
+    ) -> (
+        marnet_sim::engine::ActorId,
+        marnet_sim::engine::ActorId,
+        marnet_sim::link::LinkId,
+        marnet_sim::link::LinkId,
+    ) {
         let s = sim.reserve_actor();
         let r = sim.reserve_actor();
         // Large queues so the only loss is the injected random loss.
@@ -209,7 +213,8 @@ mod tests {
         let rev = sim.add_link(
             r,
             s,
-            LinkParams::new(Bandwidth::from_mbps(8.0), SimDuration::from_millis(10)).with_queue(big),
+            LinkParams::new(Bandwidth::from_mbps(8.0), SimDuration::from_millis(10))
+                .with_queue(big),
         );
         (s, r, fwd, rev)
     }
@@ -218,7 +223,8 @@ mod tests {
     fn in_order_stream_counts_goodput_once() {
         let mut sim = Simulator::new(7);
         let (s, r, fwd, rev) = duplex(&mut sim, 0.0);
-        let cfg = TcpConfig { data: super::super::DataSource::Finite(500_000), ..Default::default() };
+        let cfg =
+            TcpConfig { data: super::super::DataSource::Finite(500_000), ..Default::default() };
         let sender = TcpSender::new(9, TxPath::Link(fwd), cfg, Box::new(Reno::new(1460)));
         sim.install_actor(s, sender);
         let recv = TcpReceiver::new(9, TxPath::Link(rev));
@@ -234,7 +240,8 @@ mod tests {
     fn loss_produces_out_of_order_arrivals_then_recovery() {
         let mut sim = Simulator::new(8);
         let (s, r, fwd, rev) = duplex(&mut sim, 0.03);
-        let cfg = TcpConfig { data: super::super::DataSource::Finite(500_000), ..Default::default() };
+        let cfg =
+            TcpConfig { data: super::super::DataSource::Finite(500_000), ..Default::default() };
         let sender = TcpSender::new(9, TxPath::Link(fwd), cfg, Box::new(Reno::new(1460)));
         let sstats = sender.stats();
         sim.install_actor(s, sender);
@@ -252,11 +259,9 @@ mod tests {
     fn delayed_ack_halves_ack_count() {
         let mut sim = Simulator::new(9);
         let (s, r, fwd, rev) = duplex(&mut sim, 0.0);
-        let cfg = TcpConfig { data: super::super::DataSource::Finite(1_000_000), ..Default::default() };
-        sim.install_actor(
-            s,
-            TcpSender::new(9, TxPath::Link(fwd), cfg, Box::new(Reno::new(1460))),
-        );
+        let cfg =
+            TcpConfig { data: super::super::DataSource::Finite(1_000_000), ..Default::default() };
+        sim.install_actor(s, TcpSender::new(9, TxPath::Link(fwd), cfg, Box::new(Reno::new(1460))));
         let recv = TcpReceiver::new(9, TxPath::Link(rev));
         let stats = recv.stats();
         sim.install_actor(r, recv);

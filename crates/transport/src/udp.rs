@@ -87,8 +87,8 @@ impl Actor for UdpSource {
                     return;
                 }
                 let id = ctx.next_packet_id();
-                let pkt = Packet::new(id, self.flow, self.packet_bytes, ctx.now())
-                    .with_prio(self.prio);
+                let pkt =
+                    Packet::new(id, self.flow, self.packet_bytes, ctx.now()).with_prio(self.prio);
                 self.path.send(ctx, pkt);
                 self.sent += 1;
                 ctx.schedule_timer(self.interval, 0);
@@ -177,10 +177,7 @@ mod tests {
             r,
             LinkParams::new(Bandwidth::from_mbps(10.0), SimDuration::from_millis(5)),
         );
-        sim.install_actor(
-            s,
-            UdpSource::with_rate_mbps(1, TxPath::Link(l), 1250, 2.0),
-        );
+        sim.install_actor(s, UdpSource::with_rate_mbps(1, TxPath::Link(l), 1250, 2.0));
         let sink = UdpSink::new(1);
         let stats = sink.stats();
         sim.install_actor(r, sink);

@@ -27,13 +27,7 @@ fn run_solo(cc: Box<dyn CongestionControl>, secs: u64) -> (f64, f64) {
     sim.install_actor(r, receiver);
     sim.run_until(SimTime::from_secs(secs));
     let goodput = rstats.borrow().goodput_bytes as f64 * 8.0 / secs as f64 / 1e6;
-    let srtt = sstats
-        .borrow()
-        .srtt_series
-        .points()
-        .last()
-        .map(|p| p.1)
-        .unwrap_or(f64::NAN);
+    let srtt = sstats.borrow().srtt_series.points().last().map(|p| p.1).unwrap_or(f64::NAN);
     (goodput, srtt)
 }
 
@@ -99,9 +93,6 @@ fn vegas_is_starved_by_reno_on_a_shared_bottleneck() {
     let reno = stats[0].borrow().goodput_bytes as f64;
     let vegas = stats[1].borrow().goodput_bytes as f64;
     let vegas_share = vegas / (reno + vegas);
-    assert!(
-        vegas_share < 0.35,
-        "Reno's queue filling must squeeze Vegas: share {vegas_share}"
-    );
+    assert!(vegas_share < 0.35, "Reno's queue filling must squeeze Vegas: share {vegas_share}");
     assert!(vegas > 0.0, "Vegas must not fully starve");
 }

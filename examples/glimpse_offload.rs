@@ -57,7 +57,11 @@ fn run(strategy: OffloadStrategy, up_mbps: f64, one_way_ms: u64, secs: u64) -> Q
         ArSender::new(
             2,
             cfg.clone(),
-            vec![SenderPathConfig { role: PathRole::Wifi, tx: TxPath::Link(down), link: Some(down) }],
+            vec![SenderPathConfig {
+                role: PathRole::Wifi,
+                tx: TxPath::Link(down),
+                link: Some(down),
+            }],
         ),
     );
     sim.install_actor(

@@ -14,10 +14,7 @@ use marnet_bench::scenarios::run_multipath_commute;
 fn main() {
     let secs = 180;
     println!("== {secs}s commute: WiFi usable ~54% of the time, LTE always on ==\n");
-    println!(
-        "{:<42} {:>9} {:>10} {:>10} {:>8}",
-        "policy", "video", "meta", "p95 ms", "LTE MB"
-    );
+    println!("{:<42} {:>9} {:>10} {:>10} {:>8}", "policy", "video", "meta", "p95 ms", "LTE MB");
     for (label, policy) in [
         ("1: WiFi all the time, 4G for handover", MultipathPolicy::WifiOnly),
         ("2: WiFi preferred, 4G when WiFi is out", MultipathPolicy::WifiPreferred),
@@ -27,10 +24,7 @@ fn main() {
         let r = out.receiver.borrow();
         let s = out.sender.borrow();
         let video = r.by_kind.get(&StreamKind::VideoInter);
-        let p95 = video
-            .map(|k| k.latency_ms.clone())
-            .and_then(|mut h| h.p95())
-            .unwrap_or(f64::NAN);
+        let p95 = video.map(|k| k.latency_ms.clone()).and_then(|mut h| h.p95()).unwrap_or(f64::NAN);
         println!(
             "{:<42} {:>9} {:>10} {:>10.1} {:>8.1}",
             label,

@@ -1,0 +1,216 @@
+//! Vendored minimal stand-in for the `criterion` crate.
+//!
+//! Provides the API surface the workspace's benches use — `Criterion`,
+//! `benchmark_group`, `Throughput`, `black_box`, `criterion_group!`,
+//! `criterion_main!` — backed by a simple wall-clock loop: a short warm-up
+//! sizes the measurement batch, then the mean time per iteration is printed
+//! together with derived throughput. When invoked with `--test` (as
+//! `cargo test --benches` does), every routine runs exactly once.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from discarding a value.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation for a benchmark.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// The routine processes this many bytes per iteration.
+    Bytes(u64),
+    /// The routine processes this many elements per iteration.
+    Elements(u64),
+}
+
+/// The benchmark driver handed to `criterion_group!` targets.
+pub struct Criterion {
+    test_mode: bool,
+    measure_for: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { test_mode, measure_for: Duration::from_millis(200) }
+    }
+}
+
+impl Criterion {
+    /// Benchmarks a single routine.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(id, self.test_mode, self.measure_for, None, f);
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.to_string(),
+            test_mode: self.test_mode,
+            measure_for: self.measure_for,
+            throughput: None,
+        }
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup {
+    name: String,
+    test_mode: bool,
+    measure_for: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup {
+    /// Sets the per-benchmark sample size (accepted for API compatibility;
+    /// the measurement window is time-based here).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benchmarks one routine within the group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_one(&full, self.test_mode, self.measure_for, self.throughput, f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Runs and times the routine under test.
+pub struct Bencher {
+    test_mode: bool,
+    measure_for: Duration,
+    /// Mean nanoseconds per iteration, filled in by [`Bencher::iter`].
+    ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Times `routine`, storing the mean nanoseconds per iteration.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            black_box(routine());
+            self.ns_per_iter = 0.0;
+            return;
+        }
+        // Warm-up: run until ~50 ms elapse to size the measurement batch.
+        let warmup = Duration::from_millis(50);
+        let start = Instant::now();
+        let mut warm_iters = 0u64;
+        while start.elapsed() < warmup {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = start.elapsed().as_secs_f64() / warm_iters as f64;
+        let batch = ((self.measure_for.as_secs_f64() / per_iter).ceil() as u64).max(3);
+        let start = Instant::now();
+        for _ in 0..batch {
+            black_box(routine());
+        }
+        self.ns_per_iter = start.elapsed().as_secs_f64() * 1e9 / batch as f64;
+    }
+}
+
+fn format_time(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+fn run_one<F>(
+    id: &str,
+    test_mode: bool,
+    measure_for: Duration,
+    throughput: Option<Throughput>,
+    mut f: F,
+) where
+    F: FnMut(&mut Bencher),
+{
+    let mut bencher = Bencher { test_mode, measure_for, ns_per_iter: 0.0 };
+    f(&mut bencher);
+    if test_mode {
+        println!("test {id} ... ok (ran once in --test mode)");
+        return;
+    }
+    let ns = bencher.ns_per_iter;
+    let extra = match throughput {
+        Some(Throughput::Bytes(bytes)) if ns > 0.0 => {
+            let gib = bytes as f64 / ns * 1e9 / (1024.0 * 1024.0 * 1024.0);
+            format!("  thrpt: {gib:.3} GiB/s")
+        }
+        Some(Throughput::Elements(n)) if ns > 0.0 => {
+            let eps = n as f64 / ns * 1e9;
+            format!("  thrpt: {eps:.0} elem/s")
+        }
+        _ => String::new(),
+    };
+    println!("{id:<50} time: {}{extra}", format_time(ns));
+}
+
+/// Declares a function that runs the listed benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_in_test_mode_runs_once() {
+        let mut count = 0u32;
+        let mut b =
+            Bencher { test_mode: true, measure_for: Duration::from_millis(1), ns_per_iter: 0.0 };
+        b.iter(|| count += 1);
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn format_time_scales() {
+        assert!(format_time(5.0).ends_with("ns"));
+        assert!(format_time(5e4).ends_with("µs"));
+        assert!(format_time(5e7).ends_with("ms"));
+        assert!(format_time(5e10).ends_with('s'));
+    }
+}

@@ -1,0 +1,164 @@
+//! Vendored minimal stand-in for the `rand_chacha` crate.
+//!
+//! Implements a genuine ChaCha stream cipher used as a deterministic RNG,
+//! matching the layout of upstream `rand_chacha`: 256-bit key, 64-bit block
+//! counter (words 12–13), zero stream id (words 14–15), words emitted in
+//! block order, `next_u64` as two consecutive `u32`s (low half first).
+//! Only [`ChaCha12Rng`] is provided — the variant the workspace uses.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use rand_core;
+
+use rand_core::{RngCore, SeedableRng};
+
+const CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+#[inline]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+/// Runs the ChaCha block function with the given number of double rounds.
+fn chacha_block(input: &[u32; 16], double_rounds: u32) -> [u32; 16] {
+    let mut x = *input;
+    for _ in 0..double_rounds {
+        // Column round.
+        quarter_round(&mut x, 0, 4, 8, 12);
+        quarter_round(&mut x, 1, 5, 9, 13);
+        quarter_round(&mut x, 2, 6, 10, 14);
+        quarter_round(&mut x, 3, 7, 11, 15);
+        // Diagonal round.
+        quarter_round(&mut x, 0, 5, 10, 15);
+        quarter_round(&mut x, 1, 6, 11, 12);
+        quarter_round(&mut x, 2, 7, 8, 13);
+        quarter_round(&mut x, 3, 4, 9, 14);
+    }
+    for (o, i) in x.iter_mut().zip(input.iter()) {
+        *o = o.wrapping_add(*i);
+    }
+    x
+}
+
+/// A ChaCha stream cipher with 12 rounds, used as a deterministic RNG.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChaCha12Rng {
+    key: [u32; 8],
+    counter: u64,
+    buf: [u32; 16],
+    /// Next unconsumed word in `buf`; 16 means the buffer is exhausted.
+    idx: usize,
+}
+
+impl ChaCha12Rng {
+    fn refill(&mut self) {
+        let mut input = [0u32; 16];
+        input[..4].copy_from_slice(&CONSTANTS);
+        input[4..12].copy_from_slice(&self.key);
+        input[12] = self.counter as u32;
+        input[13] = (self.counter >> 32) as u32;
+        self.buf = chacha_block(&input, 6);
+        self.counter = self.counter.wrapping_add(1);
+        self.idx = 0;
+    }
+}
+
+impl SeedableRng for ChaCha12Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut key = [0u32; 8];
+        for (i, k) in key.iter_mut().enumerate() {
+            *k = u32::from_le_bytes([
+                seed[4 * i],
+                seed[4 * i + 1],
+                seed[4 * i + 2],
+                seed[4 * i + 3],
+            ]);
+        }
+        ChaCha12Rng { key, counter: 0, buf: [0; 16], idx: 16 }
+    }
+}
+
+impl RngCore for ChaCha12Rng {
+    fn next_u32(&mut self) -> u32 {
+        if self.idx >= 16 {
+            self.refill();
+        }
+        let v = self.buf[self.idx];
+        self.idx += 1;
+        v
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = u64::from(self.next_u32());
+        let hi = u64::from(self.next_u32());
+        (hi << 32) | lo
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(4) {
+            let word = self.next_u32().to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&word[..n]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = ChaCha12Rng::from_seed([7u8; 32]);
+        let mut b = ChaCha12Rng::from_seed([7u8; 32]);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = ChaCha12Rng::from_seed([1u8; 32]);
+        let mut b = ChaCha12Rng::from_seed([2u8; 32]);
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn block_function_diffuses_single_bit() {
+        let mut input = [0u32; 16];
+        input[..4].copy_from_slice(&CONSTANTS);
+        let base = chacha_block(&input, 6);
+        input[4] ^= 1;
+        let flipped = chacha_block(&input, 6);
+        let differing = base.iter().zip(flipped.iter()).filter(|(a, b)| a != b).count();
+        assert_eq!(differing, 16, "one key bit must perturb every output word");
+    }
+
+    #[test]
+    fn fill_bytes_handles_odd_lengths() {
+        let mut rng = ChaCha12Rng::from_seed([3u8; 32]);
+        let mut buf = [0u8; 7];
+        rng.fill_bytes(&mut buf);
+        assert_ne!(buf, [0u8; 7]);
+    }
+
+    #[test]
+    fn output_is_roughly_balanced() {
+        let mut rng = ChaCha12Rng::from_seed([9u8; 32]);
+        let ones: u32 = (0..1000).map(|_| rng.next_u32().count_ones()).sum();
+        // 32_000 bits, expect ~16_000 ones; allow a generous band.
+        assert!((15_000..17_000).contains(&ones), "bit balance off: {ones}");
+    }
+}
