@@ -1,0 +1,95 @@
+//! Hot-path benchmarks for the event core: the throughput gate behind the
+//! zero-alloc scheduling work. `engine_events_per_sec` is the headline
+//! number (simulator events per wall-clock second on the E11 recovery
+//! scenario); `multipath_duplication` doubles the packet volume over a
+//! second path; `timer_cancel_churn` isolates the indexed heap's
+//! schedule/cancel cycle, the pattern every retransmission timer follows.
+//!
+//! `cargo bench -p marnet-bench --bench engine_hot` measures;
+//! `cargo bench -p marnet-bench --bench engine_hot -- --test` smoke-runs
+//! every routine once (CI). JSON numbers for regression tracking come from
+//! `cargo run --release -p marnet-bench --bin perf_report`.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use marnet_bench::scenarios::{run_recovery_counted, RecoveryMechanism};
+use marnet_sim::engine::Simulator;
+use marnet_sim::time::{SimDuration, SimTime};
+
+/// Virtual seconds of AR traffic per iteration. Short enough for a sane
+/// Criterion batch, long enough to dwarf scenario setup.
+const SIM_SECS: u64 = 5;
+
+/// Events one `run_recovery` iteration processes, measured once so the
+/// throughput annotation reflects events rather than iterations.
+fn events_per_iter(mechanism: RecoveryMechanism) -> u64 {
+    run_recovery_counted(40, 0.05, mechanism, SIM_SECS, 11).1
+}
+
+/// Deadline-gated ARQ + FEC on a lossy 40 ms path: the full sender →
+/// link → receiver → feedback pipeline the perf work targets.
+fn bench_engine_events_per_sec(c: &mut Criterion) {
+    let mechanism = RecoveryMechanism::ArqFecK8;
+    let events = events_per_iter(mechanism);
+    let mut g = c.benchmark_group("engine_events_per_sec");
+    g.throughput(Throughput::Elements(events));
+    g.bench_function("run_recovery/arq+fec-k8", |b| {
+        b.iter(|| black_box(run_recovery_counted(40, 0.05, mechanism, SIM_SECS, 11)))
+    });
+    g.finish();
+}
+
+/// Blind duplication over a second path: twice the packets, twice the
+/// pressure on the link queues and the receiver's dedup path.
+fn bench_multipath_duplication(c: &mut Criterion) {
+    let mechanism = RecoveryMechanism::Duplicate;
+    let events = events_per_iter(mechanism);
+    let mut g = c.benchmark_group("multipath_duplication");
+    g.throughput(Throughput::Elements(events));
+    g.bench_function("run_recovery/duplicate", |b| {
+        b.iter(|| black_box(run_recovery_counted(40, 0.05, mechanism, SIM_SECS, 11)))
+    });
+    g.finish();
+}
+
+/// Schedule-then-cancel churn: arm a batch of timers, cancel them all,
+/// fire one sentinel. The indexed heap must remove each cancelled timer
+/// in O(log n) without leaving residue for later pops to step over.
+fn bench_timer_cancel_churn(c: &mut Criterion) {
+    use marnet_sim::engine::{Actor, Event, SimCtx};
+
+    const BATCH: usize = 1_000;
+
+    struct Churner;
+    impl Actor for Churner {
+        fn on_event(&mut self, ctx: &mut SimCtx, ev: Event) {
+            if matches!(ev, Event::Start) {
+                let handles: Vec<_> = (0..BATCH)
+                    .map(|i| ctx.schedule_timer(SimDuration::from_millis(i as u64 + 1), 1))
+                    .collect();
+                for h in handles {
+                    ctx.cancel_timer(h);
+                }
+                ctx.schedule_timer(SimDuration::from_millis(1), 2);
+            }
+        }
+    }
+
+    let mut g = c.benchmark_group("timer_cancel_churn");
+    g.throughput(Throughput::Elements(BATCH as u64));
+    g.bench_function("schedule_cancel_1k", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new(7);
+            sim.add_actor(Churner);
+            black_box(sim.run_until(SimTime::from_secs(1)))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    engine_hot,
+    bench_engine_events_per_sec,
+    bench_multipath_duplication,
+    bench_timer_cancel_churn,
+);
+criterion_main!(engine_hot);

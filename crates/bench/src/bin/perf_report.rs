@@ -1,0 +1,196 @@
+//! Event-core performance report: `results/BENCH_sim.json`.
+//!
+//! Runs the E11 recovery scenario (the `engine_events_per_sec` Criterion
+//! workload) under a counting allocator and records, per mechanism:
+//!
+//! * **events/sec** — best of `REPS` wall-clock rounds (best-of filters
+//!   scheduler noise; the mean is reported alongside),
+//! * **allocs/event** — allocator calls per simulator event, and
+//! * **peak heap proxy** — the high-water mark of live allocated bytes.
+//!
+//! A small scenario (`--smoke`) runs in CI to catch panics and gross
+//! regressions without burning minutes on a shared runner.
+//!
+//! The committed `results/BENCH_sim.json` also carries the pre-overhaul
+//! baseline (BinaryHeap + tombstone set, deep-cloned payloads) measured on
+//! the same machine as the post numbers, so the speedup ratio is
+//! apples-to-apples; absolute numbers on other machines will differ.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::time::Instant;
+
+use marnet_bench::scenarios::{run_recovery_counted, RecoveryMechanism};
+
+/// Allocator wrapper counting calls and tracking live bytes.
+struct Counting;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static LIVE: AtomicI64 = AtomicI64::new(0);
+static PEAK: AtomicI64 = AtomicI64::new(0);
+
+unsafe impl GlobalAlloc for Counting {
+    unsafe fn alloc(&self, l: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        let live = LIVE.fetch_add(l.size() as i64, Ordering::Relaxed) + l.size() as i64;
+        PEAK.fetch_max(live, Ordering::Relaxed);
+        System.alloc(l)
+    }
+
+    unsafe fn dealloc(&self, p: *mut u8, l: Layout) {
+        LIVE.fetch_sub(l.size() as i64, Ordering::Relaxed);
+        System.dealloc(p, l)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: Counting = Counting;
+
+/// One measured workload.
+struct Measurement {
+    label: &'static str,
+    events: u64,
+    best_events_per_sec: f64,
+    mean_events_per_sec: f64,
+    allocs_per_event: f64,
+    peak_heap_bytes: i64,
+}
+
+/// Pre-overhaul numbers (BinaryHeap + tombstone set, deep-cloned payloads)
+/// for the full 30 s x 5 reps workload, measured on the same machine via an
+/// interleaved pre/post run of the identical measurement loop. Event counts
+/// matched the current core exactly, so the ratio is per-event.
+struct Baseline {
+    label: &'static str,
+    best_events_per_sec: f64,
+    allocs_per_event: f64,
+    peak_heap_bytes: i64,
+}
+
+const BASELINES: [Baseline; 2] = [
+    Baseline {
+        label: "arq+fec-k8",
+        best_events_per_sec: 3.28e6,
+        allocs_per_event: 1.915,
+        peak_heap_bytes: 389_120,
+    },
+    Baseline {
+        label: "duplicate",
+        best_events_per_sec: 3.42e6,
+        allocs_per_event: 1.418,
+        peak_heap_bytes: 374_784,
+    },
+];
+
+fn measure(mechanism: RecoveryMechanism, secs: u64, reps: usize) -> Measurement {
+    // Warm-up round: fault in code paths and allocator arenas.
+    let (_, events) = run_recovery_counted(40, 0.05, mechanism, secs.min(3), 11);
+    assert!(events > 0, "scenario must process events");
+
+    let mut best = 0.0f64;
+    let mut sum = 0.0f64;
+    let mut total_events = 0u64;
+    let a0 = ALLOCS.load(Ordering::Relaxed);
+    PEAK.store(LIVE.load(Ordering::Relaxed), Ordering::Relaxed);
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let (_, ev) = run_recovery_counted(40, 0.05, mechanism, secs, 11);
+        let dt = t0.elapsed().as_secs_f64();
+        let rate = ev as f64 / dt;
+        best = best.max(rate);
+        sum += rate;
+        total_events += ev;
+    }
+    let allocs = ALLOCS.load(Ordering::Relaxed) - a0;
+    Measurement {
+        label: mechanism.label(),
+        events: total_events / reps as u64,
+        best_events_per_sec: best,
+        mean_events_per_sec: sum / reps as f64,
+        allocs_per_event: allocs as f64 / total_events as f64,
+        peak_heap_bytes: PEAK.load(Ordering::Relaxed),
+    }
+}
+
+fn json_entry(m: &Measurement, smoke: bool) -> String {
+    let baseline = (!smoke).then(|| BASELINES.iter().find(|b| b.label == m.label)).flatten();
+    let baseline_block = match baseline {
+        Some(b) => format!(
+            concat!(
+                ",\n",
+                "      \"baseline_events_per_sec_best\": {:.0},\n",
+                "      \"baseline_allocs_per_event\": {:.3},\n",
+                "      \"baseline_peak_heap_bytes\": {},\n",
+                "      \"speedup_vs_baseline\": {:.2}\n"
+            ),
+            b.best_events_per_sec,
+            b.allocs_per_event,
+            b.peak_heap_bytes,
+            m.best_events_per_sec / b.best_events_per_sec,
+        ),
+        None => "\n".to_string(),
+    };
+    format!(
+        concat!(
+            "    {{\n",
+            "      \"mechanism\": \"{}\",\n",
+            "      \"events_per_run\": {},\n",
+            "      \"events_per_sec_best\": {:.0},\n",
+            "      \"events_per_sec_mean\": {:.0},\n",
+            "      \"allocs_per_event\": {:.3},\n",
+            "      \"peak_heap_bytes\": {}{}",
+            "    }}"
+        ),
+        m.label,
+        m.events,
+        m.best_events_per_sec,
+        m.mean_events_per_sec,
+        m.allocs_per_event,
+        m.peak_heap_bytes,
+        baseline_block,
+    )
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (secs, reps) = if smoke { (2, 1) } else { (30, 5) };
+
+    let measurements = [
+        measure(RecoveryMechanism::ArqFecK8, secs, reps),
+        measure(RecoveryMechanism::Duplicate, secs, reps),
+    ];
+
+    for m in &measurements {
+        println!(
+            "{:<12} {:>9} events/run  best {:>6.2} Mev/s  mean {:>6.2} Mev/s  \
+             {:.3} allocs/event  peak {} KiB",
+            m.label,
+            m.events,
+            m.best_events_per_sec / 1e6,
+            m.mean_events_per_sec / 1e6,
+            m.allocs_per_event,
+            m.peak_heap_bytes / 1024,
+        );
+    }
+
+    let entries: Vec<String> = measurements.iter().map(|m| json_entry(m, smoke)).collect();
+    let body = format!(
+        concat!(
+            "{{\n",
+            "  \"benchmark\": \"engine_events_per_sec (run_recovery, rtt=40ms, loss=5%, \
+             {} virtual sec x {} reps, seed 11)\",\n",
+            "  \"smoke\": {},\n",
+            "  \"measurements\": [\n{}\n  ]\n",
+            "}}\n"
+        ),
+        secs,
+        reps,
+        smoke,
+        entries.join(",\n"),
+    );
+
+    std::fs::create_dir_all("results").expect("create results dir");
+    let path = "results/BENCH_sim.json";
+    std::fs::write(path, body).expect("write BENCH_sim.json");
+    println!("wrote {path}");
+}

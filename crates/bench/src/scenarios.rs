@@ -539,6 +539,19 @@ pub fn run_recovery(
     secs: u64,
     seed: u64,
 ) -> RecoveryOutcome {
+    run_recovery_counted(rtt_ms, loss, mechanism, secs, seed).0
+}
+
+/// [`run_recovery`], additionally returning the number of simulator events
+/// processed — the denominator of the `engine_events_per_sec` benchmark and
+/// the `perf_report` allocs-per-event figure.
+pub fn run_recovery_counted(
+    rtt_ms: u64,
+    loss: f64,
+    mechanism: RecoveryMechanism,
+    secs: u64,
+    seed: u64,
+) -> (RecoveryOutcome, u64) {
     let (recovery, fec_group, duplicate) = mechanism.knobs();
     let mut sim = Simulator::new(seed);
     let snd = sim.reserve_actor();
@@ -576,7 +589,7 @@ pub fn run_recovery(
     let rstats = receiver.stats();
     sim.install_actor(rcv, receiver);
     sim.add_actor(RefStream { sender: snd, next_id: 0 });
-    sim.run_until(SimTime::from_secs(secs));
+    let events = sim.run_until(SimTime::from_secs(secs));
 
     let offered = (secs * 30) as f64;
     let r = rstats.borrow();
@@ -586,11 +599,12 @@ pub fn run_recovery(
     let hits = ks.map_or(0, |k| k.deadline_hits) as f64;
     let goodput_bytes = delivered * 6_000.0;
     let sent_bytes: u64 = s.sent_bytes_by_kind.values().sum();
-    RecoveryOutcome {
+    let outcome = RecoveryOutcome {
         delivered_in_budget_pct: hits / offered * 100.0,
         delivered_total_pct: delivered / offered * 100.0,
         overhead_pct: (sent_bytes as f64 / goodput_bytes.max(1.0) - 1.0) * 100.0,
-    }
+    };
+    (outcome, events)
 }
 
 // ---------------------------------------------------------------------------

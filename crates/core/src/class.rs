@@ -153,6 +153,102 @@ impl fmt::Display for StreamKind {
     }
 }
 
+/// A map keyed by [`StreamKind`], stored as a fixed inline array.
+///
+/// The per-kind statistics on the send/deliver hot paths update one entry
+/// per fragment; an array index replaces the hashing and probing a
+/// `HashMap` would pay, and iteration order is the (deterministic) enum
+/// declaration order.
+#[derive(Debug, Clone)]
+pub struct KindMap<V> {
+    slots: [Option<V>; ALL_STREAM_KINDS.len()],
+}
+
+impl<V> Default for KindMap<V> {
+    fn default() -> Self {
+        KindMap { slots: [None, None, None, None, None, None] }
+    }
+}
+
+impl<V> KindMap<V> {
+    /// An empty map.
+    pub fn new() -> Self {
+        KindMap::default()
+    }
+
+    /// The value for `kind`, if one was ever inserted.
+    pub fn get(&self, kind: &StreamKind) -> Option<&V> {
+        self.slots[*kind as usize].as_ref()
+    }
+
+    /// Mutable access to the value for `kind`.
+    pub fn get_mut(&mut self, kind: &StreamKind) -> Option<&mut V> {
+        self.slots[*kind as usize].as_mut()
+    }
+
+    /// The value for `kind`, inserting `f()` first if absent.
+    pub fn get_or_insert_with(&mut self, kind: StreamKind, f: impl FnOnce() -> V) -> &mut V {
+        self.slots[kind as usize].get_or_insert_with(f)
+    }
+
+    /// The value for `kind`, inserting the default first if absent.
+    pub fn or_default(&mut self, kind: StreamKind) -> &mut V
+    where
+        V: Default,
+    {
+        self.slots[kind as usize].get_or_insert_with(V::default)
+    }
+
+    /// Iterates over present `(kind, value)` pairs in enum order.
+    pub fn iter(&self) -> impl Iterator<Item = (StreamKind, &V)> {
+        ALL_STREAM_KINDS.iter().zip(&self.slots).filter_map(|(k, v)| Some((*k, v.as_ref()?)))
+    }
+
+    /// Iterates over present values in enum order.
+    pub fn values(&self) -> impl Iterator<Item = &V> {
+        self.slots.iter().filter_map(|v| v.as_ref())
+    }
+}
+
+/// Iterator over present `(kind, value)` pairs in enum order.
+pub struct KindMapIter<'a, V> {
+    slots: &'a [Option<V>; ALL_STREAM_KINDS.len()],
+    pos: usize,
+}
+
+impl<'a, V> Iterator for KindMapIter<'a, V> {
+    type Item = (StreamKind, &'a V);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        while self.pos < ALL_STREAM_KINDS.len() {
+            let i = self.pos;
+            self.pos += 1;
+            if let Some(v) = &self.slots[i] {
+                return Some((ALL_STREAM_KINDS[i], v));
+            }
+        }
+        None
+    }
+}
+
+impl<'a, V> IntoIterator for &'a KindMap<V> {
+    type Item = (StreamKind, &'a V);
+    type IntoIter = KindMapIter<'a, V>;
+
+    /// `for (kind, v) in &map` — same order and filtering as [`KindMap::iter`].
+    fn into_iter(self) -> KindMapIter<'a, V> {
+        KindMapIter { slots: &self.slots, pos: 0 }
+    }
+}
+
+impl<V> std::ops::Index<&StreamKind> for KindMap<V> {
+    type Output = V;
+    /// Panics (like `HashMap` indexing) when `kind` has no entry.
+    fn index(&self, kind: &StreamKind) -> &V {
+        self.slots[*kind as usize].as_ref().expect("no entry for stream kind")
+    }
+}
+
 /// All stream kinds, for iteration in experiment code.
 pub const ALL_STREAM_KINDS: [StreamKind; 6] = [
     StreamKind::Metadata,

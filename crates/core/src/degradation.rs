@@ -118,17 +118,22 @@ impl DegradationScheduler {
     pub fn tick(&mut self, now: SimTime, budget_bytes: f64) -> TickOutcome {
         let mut out = TickOutcome::default();
 
-        // 1. Shed late droppable messages everywhere.
-        let ranks: Vec<u8> = self.queues.keys().copied().collect();
-        for rank in &ranks {
-            let stale_after = self.stale_after;
-            let q = self.queues.get_mut(rank).expect("rank exists");
+        // 1. Shed late droppable messages everywhere. Most ticks shed
+        // nothing, so scan first and rebuild the queue only when a stale
+        // message is actually present.
+        let stale_after = self.stale_after;
+        let is_stale = |m: &ArMessage| {
+            m.priority.can_drop()
+                && (m.is_late(now) || now.saturating_since(m.created) > stale_after)
+        };
+        for q in self.queues.values_mut() {
+            if !q.iter().any(is_stale) {
+                continue;
+            }
             let mut kept = VecDeque::with_capacity(q.len());
             let mut removed = 0u64;
             while let Some(m) = q.pop_front() {
-                let too_old =
-                    now.saturating_since(m.created) > stale_after && m.priority.can_drop();
-                if (m.is_late(now) && m.priority.can_drop()) || too_old {
+                if is_stale(&m) {
                     removed += u64::from(m.size);
                     out.dropped.push(DroppedMessage { message: m, reason: DropReason::Late });
                 } else {
@@ -141,8 +146,7 @@ impl DegradationScheduler {
 
         // 2. Drain by priority within budget (+ carried credit).
         let mut budget = budget_bytes + self.credit;
-        for rank in &ranks {
-            let q = self.queues.get_mut(rank).expect("rank exists");
+        for q in self.queues.values_mut() {
             while budget > 0.0 {
                 match q.pop_front() {
                     Some(m) => {
@@ -171,8 +175,7 @@ impl DegradationScheduler {
             .map(|m| f64::from(m.size))
             .sum();
         if droppable_backlog > max_backlog {
-            for rank in ranks.iter().rev() {
-                let q = self.queues.get_mut(rank).expect("rank exists");
+            for q in self.queues.values_mut().rev() {
                 // Shed from the front: old frames are the stale ones.
                 let mut removed_bytes = 0u64;
                 while droppable_backlog > max_backlog {

@@ -9,23 +9,24 @@
 //! recovery-class packets are
 //! FEC-protected; QoS signals flow back to the application.
 
-use crate::class::{StreamKind, TrafficClass};
+use crate::class::{KindMap, StreamKind, TrafficClass};
 use crate::config::ArConfig;
 use crate::congestion::{CongestionVerdict, DelayCongestionController};
 use crate::degradation::{DegradationScheduler, QosSignal};
 use crate::fec::{FecGroupTracker, FecOutcome};
 use crate::message::ArMessage;
-use crate::multipath::{MultipathScheduler, PathRole, PathSnapshot};
+use crate::multipath::{MultipathScheduler, PathRole, PathSnapshot, Picks};
 use crate::recovery::{FragmentRecord, RetransmitBuffer};
 use crate::wire::{feedback_size, ArFeedback, ArPacket, FecInfo, FragmentId, AR_HEADER_BYTES};
 use marnet_sim::engine::{Actor, ActorId, Event, SimCtx};
+use marnet_sim::hash::{FxHashMap, FxHashSet};
 use marnet_sim::link::LinkId;
 use marnet_sim::packet::{Packet, Payload};
 use marnet_sim::stats::{Histogram, RateMeter, TimeSeries};
 use marnet_sim::time::{SimDuration, SimTime};
 use marnet_transport::nic::{unwrap_packet, TxPath};
 use std::cell::RefCell;
-use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::collections::{BTreeSet, VecDeque};
 use std::rc::Rc;
 
 const TAG_TICK: u64 = 1;
@@ -74,7 +75,7 @@ struct PacedMessage {
     /// Paths chosen for this message; selection is sticky per message so
     /// that in multi-server deployments (§VI-E) all fragments of one
     /// message reach the same server.
-    picks: Option<Vec<usize>>,
+    picks: Option<Picks>,
 }
 
 struct SenderPath {
@@ -95,11 +96,11 @@ pub struct ArSenderStats {
     /// Base (minimum) RTT over time (ms), across all paths.
     pub base_rtt_series: TimeSeries,
     /// Bytes handed to the network, per sub-stream.
-    pub sent_bytes_by_kind: HashMap<StreamKind, u64>,
+    pub sent_bytes_by_kind: KindMap<u64>,
     /// Send-rate meters per sub-stream (100 ms buckets) — the Fig. 4 series.
-    pub send_meters: HashMap<StreamKind, RateMeter>,
+    pub send_meters: KindMap<RateMeter>,
     /// Messages shed by the degradation scheduler, per sub-stream.
-    pub dropped_by_kind: HashMap<StreamKind, u64>,
+    pub dropped_by_kind: KindMap<u64>,
     /// Bytes shed by the degradation scheduler.
     pub dropped_bytes: u64,
     /// Retransmissions performed.
@@ -120,9 +121,7 @@ pub struct ArSenderStats {
 
 impl ArSenderStats {
     fn meter(&mut self, kind: StreamKind) -> &mut RateMeter {
-        self.send_meters
-            .entry(kind)
-            .or_insert_with(|| RateMeter::new(SimDuration::from_millis(100)))
+        self.send_meters.get_or_insert_with(kind, || RateMeter::new(SimDuration::from_millis(100)))
     }
 }
 
@@ -268,7 +267,9 @@ impl ArSender {
             let group = self.paths[path_idx].fec_group;
             let fid = FragmentId { seq, msg_id: msg.id, frag_index };
             self.paths[path_idx].fec_accum.push((fid, frag_size));
-            Some(FecInfo { group, covered: vec![fid], is_parity: false })
+            // Data packets carry only the group id; the coverage list rides
+            // on the parity packet alone (`Vec::new` does not allocate).
+            Some(FecInfo { group, covered: Vec::new(), is_parity: false })
         } else {
             None
         };
@@ -299,7 +300,7 @@ impl ArSender {
 
         {
             let mut st = self.stats.borrow_mut();
-            *st.sent_bytes_by_kind.entry(msg.kind).or_insert(0) += u64::from(size);
+            *st.sent_bytes_by_kind.or_default(msg.kind) += u64::from(size);
             let now = ctx.now();
             st.meter(msg.kind).record(now, u64::from(size));
             if self.paths[path_idx].cfg.role == PathRole::Cellular {
@@ -390,19 +391,22 @@ impl ArSender {
             if front.msg.is_late(ctx.now()) && front.msg.priority.can_drop() {
                 let p = self.pacer.pop_front().expect("front exists");
                 let mut st = self.stats.borrow_mut();
-                *st.dropped_by_kind.entry(p.msg.kind).or_insert(0) += 1;
+                *st.dropped_by_kind.or_default(p.msg.kind) += 1;
                 st.dropped_bytes += u64::from(p.msg.size);
                 drop(st);
                 self.dropped_since_signal += u64::from(p.msg.size);
                 continue;
             }
-            let snaps = self.snapshots(ctx);
             let frag_count = front.msg.fragment_count(self.cfg.mtu);
             let frag_size = front.remaining.min(self.cfg.mtu).max(1);
-            let picks = match &front.picks {
-                // Re-validate a sticky choice against path availability.
-                Some(p) if p.iter().all(|&i| snaps[i].up) => p.clone(),
-                _ => self.mp.select(&snaps, front.msg.class, front.msg.priority, frag_size),
+            let picks = match front.picks {
+                // Re-validate a sticky choice against path availability —
+                // the common steady-state case, which needs no snapshots.
+                Some(p) if p.iter().all(|i| self.path_up(ctx, i)) => p,
+                _ => {
+                    let snaps = self.snapshots(ctx);
+                    self.mp.select(&snaps, front.msg.class, front.msg.priority, frag_size)
+                }
             };
             if picks.is_empty() {
                 // No policy-compatible path up: requeue with the scheduler
@@ -412,8 +416,18 @@ impl ArSender {
                 self.sched.submit(p.msg);
                 continue;
             }
+            // Aggregate allowed rate, read *before* sending so the spacing
+            // reflects the controller state this fragment was paced at.
+            let total_rate: f64 = self
+                .paths
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| self.path_up(ctx, *i))
+                .map(|(_, p)| p.ctrl.rate_bytes_per_sec())
+                .sum::<f64>()
+                .max(1.0);
             let front = self.pacer.front_mut().expect("front exists");
-            front.picks = Some(picks.clone());
+            front.picks = Some(picks);
             let frag_index = front.next_frag;
             front.next_frag += 1;
             front.remaining = front.remaining.saturating_sub(frag_size);
@@ -422,7 +436,7 @@ impl ArSender {
             if done {
                 self.pacer.pop_front();
             }
-            for (n, path_idx) in picks.into_iter().enumerate() {
+            for (n, path_idx) in picks.iter().enumerate() {
                 self.send_fragment(
                     ctx,
                     path_idx,
@@ -437,8 +451,6 @@ impl ArSender {
             }
             // Space the next fragment at the aggregate allowed rate, on
             // wire bytes so header overhead does not inflate the pace.
-            let total_rate: f64 =
-                snaps.iter().filter(|s| s.up).map(|s| s.rate).sum::<f64>().max(1.0);
             let spacing =
                 SimDuration::from_secs_f64(f64::from(frag_size + AR_HEADER_BYTES) / total_rate);
             self.pacing = true;
@@ -456,8 +468,13 @@ impl ArSender {
     }
 
     fn tick(&mut self, ctx: &mut SimCtx) {
-        let snaps = self.snapshots(ctx);
-        let total_rate: f64 = snaps.iter().filter(|s| s.up).map(|s| s.rate).sum();
+        let total_rate: f64 = self
+            .paths
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| self.path_up(ctx, *i))
+            .map(|(_, p)| p.ctrl.rate_bytes_per_sec())
+            .sum();
         let gross = self.cfg.budget_per_tick(total_rate);
         let budget = (gross - self.wire_debt).max(0.0);
         self.wire_debt = (self.wire_debt - gross).max(0.0);
@@ -468,7 +485,7 @@ impl ArSender {
             let severity = DegradationScheduler::shed_severity(&out.dropped);
             let mut st = self.stats.borrow_mut();
             for d in &out.dropped {
-                *st.dropped_by_kind.entry(d.message.kind).or_insert(0) += 1;
+                *st.dropped_by_kind.or_default(d.message.kind) += 1;
                 st.dropped_bytes += u64::from(d.message.size);
                 self.dropped_since_signal += u64::from(d.message.size);
             }
@@ -537,20 +554,31 @@ impl ArSender {
         }
         // Recovery decisions for NACKed fragments.
         let srtt = self.paths[path_idx].ctrl.srtt();
+        // The lowest-RTT up path is invariant across this loop (sending a
+        // retransmission changes neither link state nor controllers), so
+        // compute it once on the first NACK that needs it.
+        let mut best_cache: Option<usize> = None;
         for &seq in &fb.nacks {
             let Some(rec) = self.rtx.take(path_idx, seq) else {
                 continue;
             };
             if self.cfg.recovery.should_retransmit(&rec, srtt, ctx.now()) {
                 // Re-send on the currently best path for latency.
-                let snaps = self.snapshots(ctx);
-                let best = snaps
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, s)| s.up)
-                    .min_by_key(|(_, s)| s.srtt.unwrap_or(SimDuration::MAX))
-                    .map(|(i, _)| i)
-                    .unwrap_or(path_idx);
+                let best = match best_cache {
+                    Some(b) => b,
+                    None => {
+                        let snaps = self.snapshots(ctx);
+                        let b = snaps
+                            .iter()
+                            .enumerate()
+                            .filter(|(_, s)| s.up)
+                            .min_by_key(|(_, s)| s.srtt.unwrap_or(SimDuration::MAX))
+                            .map(|(i, _)| i)
+                            .unwrap_or(path_idx);
+                        best_cache = Some(b);
+                        b
+                    }
+                };
                 let msg = ArMessage {
                     id: rec.msg_id,
                     kind: rec.kind,
@@ -594,20 +622,19 @@ impl Actor for ArSender {
             Event::Message { mut msg, from } => {
                 if let Some(Submit(m)) = msg.take::<Submit>() {
                     self.sched.submit(m);
-                } else if let Some(pkt) = unwrap_packet(Event::Message { msg, from }) {
-                    if let Some(fb) = pkt.payload.downcast_ref::<ArFeedback>() {
+                } else if let Some(mut pkt) = unwrap_packet(Event::Message { msg, from }) {
+                    // Feedback arrives uniquely owned, so this is a move.
+                    if let Some(fb) = pkt.payload.take::<ArFeedback>() {
                         if fb.conn == self.conn {
-                            let fb = fb.clone();
                             self.on_feedback(ctx, &fb);
                         }
                     }
                 }
             }
             other => {
-                if let Some(pkt) = unwrap_packet(other) {
-                    if let Some(fb) = pkt.payload.downcast_ref::<ArFeedback>() {
+                if let Some(mut pkt) = unwrap_packet(other) {
+                    if let Some(fb) = pkt.payload.take::<ArFeedback>() {
                         if fb.conn == self.conn {
-                            let fb = fb.clone();
                             self.on_feedback(ctx, &fb);
                         }
                     }
@@ -638,7 +665,7 @@ pub struct KindStats {
 #[derive(Debug)]
 pub struct ArReceiverStats {
     /// Per-sub-stream delivery stats.
-    pub by_kind: HashMap<StreamKind, KindStats>,
+    pub by_kind: KindMap<KindStats>,
     /// Total bytes received (all packets).
     pub received_bytes: u64,
     /// Delivery-rate meter (100 ms buckets).
@@ -656,7 +683,7 @@ pub struct ArReceiverStats {
 impl Default for ArReceiverStats {
     fn default() -> Self {
         ArReceiverStats {
-            by_kind: HashMap::new(),
+            by_kind: KindMap::new(),
             received_bytes: 0,
             meter: RateMeter::new(SimDuration::from_millis(100)),
             duplicates: 0,
@@ -686,7 +713,7 @@ struct PathRx {
     /// Received (or abandoned) sequences above the cumulative point.
     above: BTreeSet<u64>,
     /// NACK rounds each missing seq has survived.
-    nack_rounds: HashMap<u64, u32>,
+    nack_rounds: FxHashMap<u64, u32>,
     /// Missing seqs already counted in `new_losses`.
     reported: BTreeSet<u64>,
     last_ts: Option<SimTime>,
@@ -711,7 +738,7 @@ impl PathRx {
         PathRx {
             cum_next: 0,
             above: BTreeSet::new(),
-            nack_rounds: HashMap::new(),
+            nack_rounds: FxHashMap::default(),
             reported: BTreeSet::new(),
             last_ts: None,
             last_rx_at: None,
@@ -726,6 +753,17 @@ impl PathRx {
 
     /// Marks a sequence received; returns `false` for duplicates.
     fn mark(&mut self, seq: u64) -> bool {
+        // In-order fast path: with no holes in flight there is nothing in
+        // any tracking set, so advancing the cumulative edge is a bare
+        // increment instead of four ordered-set operations per packet.
+        if seq == self.cum_next
+            && self.above.is_empty()
+            && self.nack_rounds.is_empty()
+            && self.reported.is_empty()
+        {
+            self.cum_next += 1;
+            return true;
+        }
         if seq < self.cum_next || self.above.contains(&seq) {
             return false;
         }
@@ -780,8 +818,10 @@ pub struct ArReceiver {
     /// Reverse path per forward path, for feedback.
     reverse: Vec<TxPath>,
     rx: Vec<PathRx>,
-    asm: HashMap<u64, MsgAsm>,
-    completed: BTreeSet<u64>,
+    asm: FxHashMap<u64, MsgAsm>,
+    /// Hashed, not ordered: only membership is ever queried, and the check
+    /// runs once per received fragment.
+    completed: FxHashSet<u64>,
     completed_order: VecDeque<u64>,
     /// Missing-seq NACK rounds before a hole is abandoned.
     abandon_after: u32,
@@ -814,8 +854,8 @@ impl ArReceiver {
             feedback_interval,
             reverse,
             rx,
-            asm: HashMap::new(),
-            completed: BTreeSet::new(),
+            asm: FxHashMap::default(),
+            completed: FxHashSet::default(),
             completed_order: VecDeque::new(),
             abandon_after: 8,
             delivery_target: None,
@@ -885,7 +925,7 @@ impl ArReceiver {
             }
             let within = deadline.is_none_or(|d| now <= d);
             let mut st = self.stats.borrow_mut();
-            let ks = st.by_kind.entry(kind).or_default();
+            let ks = st.by_kind.or_default(kind);
             ks.delivered += 1;
             ks.latency_ms.record(latency.as_millis_f64());
             if deadline.is_some() {
@@ -907,14 +947,15 @@ impl ArReceiver {
         None
     }
 
-    fn on_packet(&mut self, ctx: &mut SimCtx, pkt: &Packet) {
-        let Some(ar) = pkt.payload.downcast_ref::<ArPacket>() else {
-            return;
-        };
-        if ar.conn != self.conn || ar.path >= self.rx.len() {
+    fn on_packet(&mut self, ctx: &mut SimCtx, mut pkt: Packet) {
+        // Route by a cheap in-place peek, then move the header out of the
+        // (usually uniquely owned) payload instead of deep-cloning it.
+        let routed =
+            pkt.payload.map_ref(|ar: &ArPacket| ar.conn == self.conn && ar.path < self.rx.len());
+        if routed != Some(true) {
             return;
         }
-        let ar = ar.clone();
+        let mut ar = pkt.payload.take::<ArPacket>().expect("type checked above");
         let now = ctx.now();
         {
             let mut st = self.stats.borrow_mut();
@@ -932,17 +973,22 @@ impl ArReceiver {
         }
 
         let mut recovered: Option<(u64, FragmentId)> = None;
-        if let Some(fec) = &ar.fec {
+        if let Some(fec) = &mut ar.fec {
             if fec.is_parity {
-                let covered_seqs: Vec<u64> = fec.covered.iter().map(|f| f.seq).collect();
-                path.parity_frags.push_back((fec.group, fec.covered.clone()));
-                if path.parity_frags.len() > 64 {
-                    path.parity_frags.pop_front();
-                }
-                if let FecOutcome::Recovered(seq) = path.fec.on_parity(fec.group, &covered_seqs) {
-                    if let Some(fid) = fec.covered.iter().find(|f| f.seq == seq) {
+                // Move the coverage list out of the packet: the tracker
+                // takes the seqs by iterator and the stored parity keeps the
+                // FragmentId list, so the parity path allocates nothing.
+                let covered = std::mem::take(&mut fec.covered);
+                if let FecOutcome::Recovered(seq) =
+                    path.fec.on_parity(fec.group, covered.iter().map(|f| f.seq))
+                {
+                    if let Some(fid) = covered.iter().find(|f| f.seq == seq) {
                         recovered = Some((fec.group, *fid));
                     }
+                }
+                path.parity_frags.push_back((fec.group, covered));
+                if path.parity_frags.len() > 64 {
+                    path.parity_frags.pop_front();
                 }
             } else if let FecOutcome::Recovered(seq) = path.fec.on_data(fec.group, ar.seq) {
                 // Map the recovered seq through a stored parity coverage.
@@ -1086,7 +1132,7 @@ impl Actor for ArReceiver {
             Event::Timer { tag: TAG_FEEDBACK } => self.send_feedback(ctx),
             other => {
                 if let Some(pkt) = unwrap_packet(other) {
-                    self.on_packet(ctx, &pkt);
+                    self.on_packet(ctx, pkt);
                 }
             }
         }

@@ -12,8 +12,6 @@
 //! group. The E11 experiment sweeps `k` against loss rate and RTT to map
 //! the FEC-vs-ARQ frontier.
 
-use serde::{Deserialize, Serialize};
-
 /// Encoder producing one parity block per `k` data blocks.
 ///
 /// ```
@@ -135,14 +133,23 @@ pub fn overhead(k: usize) -> f64 {
 /// their own sequence number and group, the parity packet reports the full
 /// coverage list. A group with a received parity and exactly one missing
 /// data packet is recoverable.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+///
+/// Group ids are assigned sequentially by the encoder, so the tracker is a
+/// direct-mapped table of [`WAYS`] slots indexed by `id % WAYS`: every
+/// lookup is one probe, and a group is naturally retired when the group
+/// `WAYS` ids later claims its slot — far beyond any plausible reorder
+/// window. Retired slots keep their `Vec` capacity, so steady-state
+/// tracking allocates nothing.
+#[derive(Debug, Clone, Default)]
 pub struct FecGroupTracker {
-    groups: Vec<GroupState>,
+    slots: Vec<Option<(u64, GroupState)>>,
 }
 
-#[derive(Debug, Clone, Serialize, Deserialize)]
+/// Direct-mapped table size; bounds memory to this many live groups.
+const WAYS: usize = 64;
+
+#[derive(Debug, Clone, Default)]
 struct GroupState {
-    id: u64,
     /// Known only once the parity packet arrives.
     covered: Vec<u64>,
     received: Vec<u64>,
@@ -166,35 +173,47 @@ impl FecGroupTracker {
     }
 
     fn find_or_insert(&mut self, id: u64) -> &mut GroupState {
-        if let Some(pos) = self.groups.iter().position(|g| g.id == id) {
-            return &mut self.groups[pos];
+        if self.slots.is_empty() {
+            self.slots.resize(WAYS, None);
         }
-        self.groups.push(GroupState {
-            id,
-            covered: Vec::new(),
-            received: Vec::new(),
-            parity_received: false,
-            recovered: false,
-        });
-        // Bound memory: drop ancient groups.
-        if self.groups.len() > 256 {
-            self.groups.remove(0);
+        let slot = &mut self.slots[(id as usize) % WAYS];
+        match slot {
+            Some((gid, _)) if *gid == id => {}
+            Some((gid, g)) => {
+                // A newer group claims the slot; recycle the buffers.
+                *gid = id;
+                g.covered.clear();
+                g.received.clear();
+                g.parity_received = false;
+                g.recovered = false;
+            }
+            None => *slot = Some((id, GroupState::default())),
         }
-        self.groups.last_mut().expect("just pushed")
+        &mut slot.as_mut().expect("just filled").1
     }
 
     fn check(g: &mut GroupState) -> FecOutcome {
         if g.recovered || !g.parity_received || g.covered.is_empty() {
             return FecOutcome::Nothing;
         }
-        let missing: Vec<u64> =
-            g.covered.iter().copied().filter(|s| !g.received.contains(s)).collect();
-        if missing.len() == 1 {
-            g.recovered = true;
-            g.received.push(missing[0]);
-            FecOutcome::Recovered(missing[0])
-        } else {
-            FecOutcome::Nothing
+        // Recoverable iff exactly one covered seq is missing; bail as soon
+        // as a second gap shows up.
+        let mut missing = None;
+        for &s in &g.covered {
+            if !g.received.contains(&s) {
+                if missing.is_some() {
+                    return FecOutcome::Nothing;
+                }
+                missing = Some(s);
+            }
+        }
+        match missing {
+            Some(s) => {
+                g.recovered = true;
+                g.received.push(s);
+                FecOutcome::Recovered(s)
+            }
+            None => FecOutcome::Nothing,
         }
     }
 
@@ -209,9 +228,10 @@ impl FecGroupTracker {
 
     /// Records that the parity packet of group `id` (covering `covered`)
     /// arrived.
-    pub fn on_parity(&mut self, id: u64, covered: &[u64]) -> FecOutcome {
+    pub fn on_parity(&mut self, id: u64, covered: impl IntoIterator<Item = u64>) -> FecOutcome {
         let g = self.find_or_insert(id);
-        g.covered = covered.to_vec();
+        g.covered.clear();
+        g.covered.extend(covered);
         g.parity_received = true;
         Self::check(g)
     }
@@ -285,7 +305,7 @@ mod tests {
         assert_eq!(t.on_data(1, 10), FecOutcome::Nothing);
         assert_eq!(t.on_data(1, 12), FecOutcome::Nothing);
         // Packet 11 lost; parity closes the hole.
-        assert_eq!(t.on_parity(1, &covered), FecOutcome::Recovered(11));
+        assert_eq!(t.on_parity(1, covered.iter().copied()), FecOutcome::Recovered(11));
         // Idempotent: no double recovery.
         assert_eq!(t.on_data(1, 11), FecOutcome::Nothing);
     }
@@ -296,7 +316,7 @@ mod tests {
         let covered = [1, 2, 3, 4];
         t.on_data(7, 1);
         t.on_data(7, 2);
-        assert_eq!(t.on_parity(7, &covered), FecOutcome::Nothing);
+        assert_eq!(t.on_parity(7, covered.iter().copied()), FecOutcome::Nothing);
         // The late arrival of one of the two shrinks the gap to one.
         assert_eq!(t.on_data(7, 3), FecOutcome::Recovered(4));
     }
@@ -305,7 +325,7 @@ mod tests {
     fn tracker_parity_first_then_data() {
         let mut t = FecGroupTracker::new();
         let covered = [5, 6];
-        assert_eq!(t.on_parity(2, &covered), FecOutcome::Nothing);
+        assert_eq!(t.on_parity(2, covered.iter().copied()), FecOutcome::Nothing);
         assert_eq!(t.on_data(2, 5), FecOutcome::Recovered(6));
     }
 
@@ -315,7 +335,7 @@ mod tests {
         let covered = [1, 2];
         t.on_data(1, 1);
         t.on_data(1, 2);
-        assert_eq!(t.on_parity(1, &covered), FecOutcome::Nothing);
+        assert_eq!(t.on_parity(1, covered.iter().copied()), FecOutcome::Nothing);
     }
 
     #[test]

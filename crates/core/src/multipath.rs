@@ -54,6 +54,75 @@ pub struct PathSnapshot {
     pub rate: f64,
 }
 
+/// The path indices chosen for one packet, primary first.
+///
+/// A small inline array instead of a `Vec<usize>`: `select` runs once per
+/// fragment on the pacing hot path, and a selection never names more than
+/// [`Picks::MAX`] paths, so the result is `Copy` and allocation-free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Picks {
+    idx: [usize; Picks::MAX],
+    len: u8,
+}
+
+impl Picks {
+    /// The most paths one packet can be sent on (primary + duplicates).
+    pub const MAX: usize = 4;
+
+    /// An empty selection (no policy-compatible path is up).
+    pub fn new() -> Self {
+        Picks::default()
+    }
+
+    /// Appends a path index. Panics if already at [`Picks::MAX`].
+    pub fn push(&mut self, path: usize) {
+        assert!((self.len as usize) < Picks::MAX, "more than {} picks", Picks::MAX);
+        self.idx[self.len as usize] = path;
+        self.len += 1;
+    }
+
+    /// Number of selected paths.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// `true` when no path was selected.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The selected indices as a slice, primary first.
+    pub fn as_slice(&self) -> &[usize] {
+        &self.idx[..self.len as usize]
+    }
+
+    /// Iterates over the selected indices by value.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.as_slice().iter().copied()
+    }
+}
+
+impl std::ops::Index<usize> for Picks {
+    type Output = usize;
+    fn index(&self, i: usize) -> &usize {
+        &self.as_slice()[i]
+    }
+}
+
+impl PartialEq<Vec<usize>> for Picks {
+    fn eq(&self, other: &Vec<usize>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<'a> IntoIterator for &'a Picks {
+    type Item = &'a usize;
+    type IntoIter = std::slice::Iter<'a, usize>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
 /// Picks transmission paths for each packet.
 #[derive(Debug, Clone)]
 pub struct MultipathScheduler {
@@ -122,7 +191,7 @@ impl MultipathScheduler {
     }
 
     /// Chooses the path(s) for a packet of `size` bytes with the given
-    /// class/priority. Returns an empty vector when no policy-compatible
+    /// class/priority. Returns an empty selection when no policy-compatible
     /// path is up (the packet should stay queued).
     ///
     /// The first returned index is the primary; any further are duplicates.
@@ -132,9 +201,9 @@ impl MultipathScheduler {
         class: TrafficClass,
         priority: Priority,
         size: u32,
-    ) -> Vec<usize> {
+    ) -> Picks {
         if snaps.is_empty() {
-            return Vec::new();
+            return Picks::new();
         }
         let wifi = Self::wifi(snaps);
         let cell = Self::cellular(snaps);
@@ -168,9 +237,10 @@ impl MultipathScheduler {
         };
 
         let Some(primary) = primary else {
-            return Vec::new();
+            return Picks::new();
         };
-        let mut out = vec![primary];
+        let mut out = Picks::new();
+        out.push(primary);
         if self.duplicate_recovery && class == TrafficClass::BestEffortWithRecovery {
             // Duplicate on the best other up path (Aggregate and
             // WifiPreferred only — WifiOnly is explicitly LTE-frugal).

@@ -101,6 +101,12 @@ impl RecoveryPolicy {
 pub struct RetransmitBuffer {
     /// Per path: seq → record.
     by_path: BTreeMap<usize, BTreeMap<u64, FragmentRecord>>,
+    /// Earliest deadline among held *expirable* records (non-critical with a
+    /// deadline). [`RetransmitBuffer::expire`] is called every pacing tick;
+    /// the watermark lets it skip the full walk while nothing can have
+    /// expired yet. Kept as a lower bound: records leaving via ack/take may
+    /// make it stale (too early), never too late.
+    earliest_deadline: Option<SimTime>,
 }
 
 impl RetransmitBuffer {
@@ -111,6 +117,11 @@ impl RetransmitBuffer {
 
     /// Records a transmission of `frag` as `(path, seq)`.
     pub fn insert(&mut self, path: usize, seq: u64, frag: FragmentRecord) {
+        if !frag.class.recovery_is_unconditional() {
+            if let Some(d) = frag.deadline {
+                self.earliest_deadline = Some(self.earliest_deadline.map_or(d, |cur| cur.min(d)));
+            }
+        }
         self.by_path.entry(path).or_default().insert(seq, frag);
     }
 
@@ -125,23 +136,47 @@ impl RetransmitBuffer {
         let Some(m) = self.by_path.get_mut(&path) else {
             return 0;
         };
-        let keep = m.split_off(&(cum_seq + 1));
-        let released = m.len();
-        *m = keep;
+        // Pop acknowledged records off the front instead of `split_off`,
+        // which would allocate a fresh tree on every feedback packet.
+        let mut released = 0;
+        while let Some(entry) = m.first_entry() {
+            if *entry.key() > cum_seq {
+                break;
+            }
+            entry.remove();
+            released += 1;
+        }
         released
     }
 
     /// Drops records whose deadline passed (no point retransmitting).
     /// Returns how many were expired.
     pub fn expire(&mut self, now: SimTime) -> usize {
+        // Nothing held can be past its deadline yet: skip the walk entirely.
+        // The watermark is exact on the expiry *time* (it only goes stale
+        // when an expirable record leaves early, which can only raise the
+        // true minimum), so skipping here removes exactly zero records —
+        // the same outcome as the walk.
+        if self.earliest_deadline.is_none_or(|d| now <= d) {
+            return 0;
+        }
         let mut expired = 0;
+        let mut next_deadline: Option<SimTime> = None;
         for m in self.by_path.values_mut() {
             let before = m.len();
             m.retain(|_, f| {
-                f.class.recovery_is_unconditional() || f.deadline.is_none_or(|d| now <= d)
+                let keep =
+                    f.class.recovery_is_unconditional() || f.deadline.is_none_or(|d| now <= d);
+                if keep && !f.class.recovery_is_unconditional() {
+                    if let Some(d) = f.deadline {
+                        next_deadline = Some(next_deadline.map_or(d, |cur| cur.min(d)));
+                    }
+                }
+                keep
             });
             expired += before - m.len();
         }
+        self.earliest_deadline = next_deadline;
         expired
     }
 

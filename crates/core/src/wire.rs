@@ -28,8 +28,9 @@ pub struct FragmentId {
 pub struct FecInfo {
     /// Group identifier (per path).
     pub group: u64,
-    /// The fragments the group covers (data packets list only themselves
-    /// plus the group id; parity packets list the full group).
+    /// The fragments the group covers. Only parity packets carry the list;
+    /// data packets leave it empty (they identify themselves by `seq` and
+    /// carry just the group id, so the send path never allocates).
     pub covered: Vec<FragmentId>,
     /// `true` for the parity packet of the group.
     pub is_parity: bool,

@@ -194,7 +194,7 @@ mod controller_props {
             let mut c = DelayCongestionController::new(cfg);
             let mut now = SimTime::ZERO;
             for (rtt_ms, losses, recv) in events {
-                now = now + SimDuration::from_millis(15);
+                now += SimDuration::from_millis(15);
                 let recv_rate = if recv == 0 { None } else { Some(recv as f64) };
                 c.on_feedback(SimDuration::from_millis(rtt_ms), losses, recv_rate, now);
                 let r = c.rate_bytes_per_sec();

@@ -1,0 +1,51 @@
+//! Golden spec-hash fixtures: the `spec_hash` recorded in lab artifacts is
+//! part of their byte-identical contract, so the hashes of the built-in
+//! experiments are pinned here. A failure means either the canonical JSON
+//! encoding or an experiment's spec changed — both invalidate previously
+//! published artifacts and should be deliberate, with the goldens updated
+//! in the same change.
+
+use marnet_lab::artifact::Artifact;
+use marnet_lab::experiments;
+use marnet_lab::runner::run_experiment;
+use marnet_lab::TrialReport;
+
+/// `(name, spec_hash)` for every built-in experiment at `--replicates 8
+/// --seed 42`, the configuration the committed reference artifacts use.
+const GOLDEN_SPEC_HASHES: [(&str, u64); 3] = [
+    ("table2_rtt", 0x157f_f182_3e33_b013),
+    ("sweep_recovery", 0xcc61_0c13_0853_e855),
+    ("sweep_offload", 0xddde_06b2_685f_01d0),
+];
+
+#[test]
+fn builtin_experiment_spec_hashes_match_goldens() {
+    for (name, golden) in GOLDEN_SPEC_HASHES {
+        let exp = experiments::build(name, 8, 42).expect("built-in experiment");
+        assert_eq!(
+            exp.spec.spec_hash(),
+            golden,
+            "spec hash drifted for {name}: artifacts keyed by the old hash \
+             no longer correspond to this spec"
+        );
+    }
+}
+
+#[test]
+fn every_builtin_experiment_has_a_golden() {
+    assert_eq!(experiments::NAMES.len(), GOLDEN_SPEC_HASHES.len());
+    for name in experiments::NAMES {
+        assert!(GOLDEN_SPEC_HASHES.iter().any(|(n, _)| *n == name), "no golden for {name}");
+    }
+}
+
+/// The artifact records the hash as fixed-width lower-case hex; that string
+/// is what external tooling joins on, so pin the exact formatting too.
+#[test]
+fn artifact_spec_hash_is_fixed_width_hex_of_spec_hash() {
+    let exp = experiments::build("table2_rtt", 8, 42).expect("built-in experiment");
+    let run = run_experiment(&exp.spec, 1, |_, _| TrialReport::new());
+    let artifact = Artifact::from_run(&run);
+    assert_eq!(artifact.spec_hash, "157ff1823e33b013");
+    assert_eq!(artifact.spec_hash, format!("{:016x}", exp.spec.spec_hash()));
+}

@@ -11,13 +11,12 @@
 //! randomness comes from per-link RNG streams derived from the simulation
 //! seed (see [`crate::rng::derive_rng`]).
 
+use crate::eventq::{CancelToken, EventQueue};
 use crate::link::{Bandwidth, Jitter, LinkId, LinkParams, LinkStats, LossModel};
 use crate::packet::{Packet, Payload};
 use crate::time::{SimDuration, SimTime};
 use rand::Rng;
 use rand_chacha::ChaCha12Rng;
-use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashSet};
 use std::fmt;
 
 /// Identifier of an actor within a [`Simulator`].
@@ -39,7 +38,7 @@ impl fmt::Display for ActorId {
 
 /// Handle to a scheduled timer, usable with [`SimCtx::cancel_timer`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct TimerHandle(u64);
+pub struct TimerHandle(CancelToken);
 
 /// What an actor is being told.
 #[derive(Debug)]
@@ -83,30 +82,6 @@ enum Dest {
     LinkArrival { link: LinkId, packet: Packet },
 }
 
-struct Scheduled {
-    time: SimTime,
-    seq: u64,
-    dest: Dest,
-}
-
-impl PartialEq for Scheduled {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl Eq for Scheduled {}
-impl PartialOrd for Scheduled {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Scheduled {
-    // Reversed: BinaryHeap is a max-heap, we want earliest-first.
-    fn cmp(&self, other: &Self) -> Ordering {
-        (other.time, other.seq).cmp(&(self.time, self.seq))
-    }
-}
-
 struct LinkRuntime {
     src: ActorId,
     dst: ActorId,
@@ -127,10 +102,9 @@ struct LinkRuntime {
 pub struct SimCtx {
     now: SimTime,
     seed: u64,
-    heap: BinaryHeap<Scheduled>,
+    queue: EventQueue<Dest>,
     next_seq: u64,
     next_packet_id: u64,
-    cancelled: HashSet<u64>,
     links: Vec<LinkRuntime>,
     current_actor: ActorId,
     stopped: bool,
@@ -141,7 +115,7 @@ impl fmt::Debug for SimCtx {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("SimCtx")
             .field("now", &self.now)
-            .field("pending_events", &self.heap.len())
+            .field("pending_events", &self.queue.len())
             .field("links", &self.links.len())
             .finish()
     }
@@ -149,6 +123,7 @@ impl fmt::Debug for SimCtx {
 
 impl SimCtx {
     /// Current virtual time.
+    #[inline]
     pub fn now(&self) -> SimTime {
         self.now
     }
@@ -159,6 +134,7 @@ impl SimCtx {
     }
 
     /// The actor currently handling an event.
+    #[inline]
     pub fn self_id(&self) -> ActorId {
         self.current_actor
     }
@@ -169,6 +145,7 @@ impl SimCtx {
     }
 
     /// Allocates a globally unique packet id.
+    #[inline]
     pub fn next_packet_id(&mut self) -> u64 {
         let id = self.next_packet_id;
         self.next_packet_id += 1;
@@ -180,11 +157,21 @@ impl SimCtx {
         self.stopped = true;
     }
 
-    fn push(&mut self, time: SimTime, dest: Dest) -> u64 {
+    /// Pending events in the queue (diagnostics).
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Pending cancellable timers (diagnostics). With true removal this is
+    /// live timers only — cancelled timers leave no residue.
+    pub fn pending_timers(&self) -> usize {
+        self.queue.cancellable_len()
+    }
+
+    fn push(&mut self, time: SimTime, dest: Dest) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Scheduled { time, seq, dest });
-        seq
+        self.queue.push(time, seq, dest);
     }
 
     /// Schedules a [`Event::Timer`] for the current actor after `delay`.
@@ -201,13 +188,21 @@ impl SimCtx {
         tag: u64,
     ) -> TimerHandle {
         let t = self.now.saturating_add(delay);
-        let seq = self.push(t, Dest::Actor { id: target, event: Event::Timer { tag } });
-        TimerHandle(seq)
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let token = self.queue.push_cancellable(
+            t,
+            seq,
+            Dest::Actor { id: target, event: Event::Timer { tag } },
+        );
+        TimerHandle(token)
     }
 
-    /// Cancels a pending timer. Cancelling an already-fired timer is a no-op.
+    /// Cancels a pending timer, removing it from the event queue
+    /// immediately (O(log n), memory released right away). Cancelling an
+    /// already-fired or already-cancelled timer is a no-op.
     pub fn cancel_timer(&mut self, handle: TimerHandle) {
-        self.cancelled.insert(handle.0);
+        self.queue.cancel(handle.0);
     }
 
     /// Delivers a direct [`Event::Message`] to `target` at the current time
@@ -410,10 +405,9 @@ impl Simulator {
             ctx: SimCtx {
                 now: SimTime::ZERO,
                 seed,
-                heap: BinaryHeap::new(),
+                queue: EventQueue::new(),
                 next_seq: 0,
                 next_packet_id: 0,
-                cancelled: HashSet::new(),
                 links: Vec::new(),
                 current_actor: ActorId(u32::MAX),
                 stopped: false,
@@ -504,12 +498,14 @@ impl Simulator {
     }
 
     fn dispatch_to_actor(&mut self, id: ActorId, event: Event) {
-        let mut actor =
-            self.actors[id.index()].take().unwrap_or_else(|| panic!("event for uninstalled {id}"));
+        // Borrowing the actor in place is fine: `SimCtx` has no route back
+        // to the actor table, so `on_event` cannot alias the slot.
+        let actor = self.actors[id.index()]
+            .as_mut()
+            .unwrap_or_else(|| panic!("event for uninstalled {id}"));
         self.ctx.current_actor = id;
         actor.on_event(&mut self.ctx, event);
         self.ctx.current_actor = ActorId(u32::MAX);
-        self.actors[id.index()] = Some(actor);
     }
 
     /// Runs the event loop until virtual time `end`, the event budget is
@@ -524,21 +520,13 @@ impl Simulator {
         self.ctx.stopped = false;
         let mut processed = 0;
         while processed < self.event_limit && !self.ctx.stopped {
-            let time = match self.ctx.heap.peek() {
-                Some(s) => s.time,
-                None => break,
-            };
-            if time > end {
+            let Some((time, _seq, dest)) = self.ctx.queue.pop_at_most(end) else {
                 break;
-            }
-            let s = self.ctx.heap.pop().expect("peeked");
-            if self.ctx.cancelled.remove(&s.seq) {
-                continue;
-            }
-            self.ctx.now = s.time;
+            };
+            self.ctx.now = time;
             self.ctx.events_processed += 1;
             processed += 1;
-            match s.dest {
+            match dest {
                 Dest::Actor { id, event } => self.dispatch_to_actor(id, event),
                 Dest::LinkDeparture { link } => self.ctx.handle_departure(link),
                 Dest::LinkArrival { link, packet } => {
@@ -567,6 +555,7 @@ impl Simulator {
     }
 
     /// Current virtual time.
+    #[inline]
     pub fn now(&self) -> SimTime {
         self.ctx.now
     }

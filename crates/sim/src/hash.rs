@@ -1,0 +1,118 @@
+//! A fast, deterministic hasher for simulation state.
+//!
+//! The protocol endpoints key several per-packet lookups by small integer
+//! ids (message ids, sequence numbers). `std`'s default SipHash costs more
+//! than the table probe it guards on those paths, and its per-process
+//! random seed makes iteration order vary between runs. This multiply-
+//! rotate hasher (the rustc/Firefox "Fx" construction) is a handful of
+//! cycles per word and produces the same table layout on every run —
+//! replicated simulations stay bit-for-bit reproducible even if a map is
+//! ever iterated.
+//!
+//! Not DoS-resistant, which is irrelevant here: keys come from the
+//! simulation itself, never from untrusted input.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A `HashMap` using [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// A `HashSet` using [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// Multiply-rotate hasher over machine words.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.add(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.add(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_work_and_are_deterministic() {
+        let mut a = FxHashMap::default();
+        let mut b = FxHashMap::default();
+        for i in (0..1000u64).rev() {
+            a.insert(i, i * 2);
+            b.insert(i, i * 2);
+        }
+        assert_eq!(a.get(&77), Some(&154));
+        // Same insertion sequence → same iteration order, run after run.
+        let oa: Vec<u64> = a.keys().copied().collect();
+        let ob: Vec<u64> = b.keys().copied().collect();
+        assert_eq!(oa, ob);
+    }
+
+    #[test]
+    fn set_membership() {
+        let mut s = FxHashSet::default();
+        assert!(s.insert(42u64));
+        assert!(!s.insert(42u64));
+        assert!(s.contains(&42));
+        assert!(!s.contains(&43));
+    }
+
+    #[test]
+    fn distinct_keys_rarely_collide() {
+        use std::hash::{BuildHasher, BuildHasherDefault};
+        let bh: BuildHasherDefault<FxHasher> = BuildHasherDefault::default();
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..10_000u64 {
+            seen.insert(bh.hash_one(i));
+        }
+        assert_eq!(seen.len(), 10_000, "hash must be injective-ish on small ints");
+    }
+}

@@ -67,6 +67,8 @@
 #![forbid(unsafe_code)]
 
 pub mod engine;
+mod eventq;
+pub mod hash;
 pub mod link;
 pub mod packet;
 pub mod queue;

@@ -1,27 +1,36 @@
-//! Packets and their opaque, clonable payloads.
+//! Packets and their opaque, copy-on-write payloads.
 //!
 //! The simulator core moves [`Packet`]s between actors without interpreting
 //! them. Protocol crates (TCP in `marnet-transport`, the AR protocol in
 //! `marnet-core`) attach their own header/payload structures through
 //! [`Payload`], which type-erases any `Clone + Debug + 'static` value.
+//!
 //! Cloning is required because multipath redundancy (§VI-D of the paper)
-//! duplicates packets across links.
+//! duplicates packets across links — but a duplicate carries the *same*
+//! protocol value, so [`Payload`] is reference-counted: `clone` is a
+//! refcount bump, and a deep copy of the underlying value happens only if
+//! [`Payload::take`] is called while another clone is still alive.
 
 use crate::time::SimTime;
 use std::any::Any;
 use std::fmt;
+use std::rc::Rc;
 
 /// A value that can travel inside a [`Packet`].
 ///
 /// Automatically implemented for every `Clone + Debug + 'static` type; you
 /// never implement it manually.
 pub trait PayloadData: Any + fmt::Debug {
-    /// Clones the payload behind the type-erased pointer.
+    /// Clones the payload behind the type-erased pointer (the deep-copy
+    /// fallback of [`Payload::take`] on a shared payload).
     fn clone_box(&self) -> Box<dyn PayloadData>;
     /// Upcasts to [`Any`] for downcasting by reference.
     fn as_any(&self) -> &dyn Any;
     /// Upcasts to [`Any`] for downcasting by value.
     fn into_any(self: Box<Self>) -> Box<dyn Any>;
+    /// Upcasts the shared pointer to [`Any`] for downcasting by value
+    /// without a copy when the payload is uniquely owned.
+    fn into_any_rc(self: Rc<Self>) -> Rc<dyn Any>;
 }
 
 impl<T: Any + Clone + fmt::Debug> PayloadData for T {
@@ -34,9 +43,19 @@ impl<T: Any + Clone + fmt::Debug> PayloadData for T {
     fn into_any(self: Box<Self>) -> Box<dyn Any> {
         self
     }
+    fn into_any_rc(self: Rc<Self>) -> Rc<dyn Any> {
+        self
+    }
 }
 
-/// A type-erased, clonable packet payload.
+/// A type-erased, copy-on-write packet payload.
+///
+/// Cloning a `Payload` — as multipath duplication, FEC parity fan-out and
+/// link-layer echoes do — bumps a reference count instead of deep-cloning
+/// the protocol value. [`Payload::take`] moves the value out without a copy
+/// when this is the only reference (the common case on the receive path)
+/// and falls back to a deep clone only while the payload is genuinely
+/// shared.
 ///
 /// ```
 /// use marnet_sim::packet::Payload;
@@ -46,7 +65,7 @@ impl<T: Any + Clone + fmt::Debug> PayloadData for T {
 /// assert_eq!(p.downcast_ref::<Seg>().unwrap().seq, 9);
 /// assert!(p.downcast_ref::<String>().is_none());
 /// ```
-pub struct Payload(Option<Box<dyn PayloadData>>);
+pub struct Payload(Option<Rc<dyn PayloadData>>);
 
 impl Payload {
     /// An empty payload (pure filler bytes, e.g. bulk traffic).
@@ -56,7 +75,7 @@ impl Payload {
 
     /// Wraps a value as a packet payload.
     pub fn new<T: PayloadData>(value: T) -> Self {
-        Payload(Some(Box::new(value)))
+        Payload(Some(Rc::new(value)))
     }
 
     /// Returns `true` if no payload value is attached.
@@ -64,28 +83,55 @@ impl Payload {
         self.0.is_none()
     }
 
+    /// Returns `true` while other clones of this payload are alive, i.e.
+    /// while [`Payload::take`] would have to deep-clone.
+    pub fn is_shared(&self) -> bool {
+        self.0.as_ref().is_some_and(|rc| Rc::strong_count(rc) > 1)
+    }
+
     /// Borrows the payload as `T`, or `None` if empty or of another type.
     pub fn downcast_ref<T: Any>(&self) -> Option<&T> {
         self.0.as_deref().and_then(|b| b.as_any().downcast_ref())
     }
 
+    /// Applies `f` to the payload borrowed as `T`, or returns `None` if it
+    /// is empty or of another type — a copy-free alternative to
+    /// `take`-then-read at call sites that only need to look.
+    pub fn map_ref<T: Any, R>(&self, f: impl FnOnce(&T) -> R) -> Option<R> {
+        self.downcast_ref::<T>().map(f)
+    }
+
     /// Takes the payload out as `T`.
     ///
     /// Returns `None` (leaving the payload in place) if it is empty or of a
-    /// different type.
+    /// different type. When this is the only live reference the value is
+    /// moved out without copying; otherwise it is deep-cloned and the other
+    /// references keep the original.
     pub fn take<T: Any>(&mut self) -> Option<T> {
-        if self.downcast_ref::<T>().is_some() {
-            let boxed = self.0.take().expect("checked above");
-            Some(*boxed.into_any().downcast::<T>().expect("checked above"))
+        let rc = self.0.take()?;
+        if !(*rc).as_any().is::<T>() {
+            self.0 = Some(rc);
+            return None;
+        }
+        if Rc::strong_count(&rc) == 1 {
+            // Sole owner: unwrap in place. No weak refs exist (Payload
+            // never hands any out), so the unwrap cannot fail.
+            let rc = rc.into_any_rc().downcast::<T>().expect("type checked above");
+            Some(Rc::try_unwrap(rc).unwrap_or_else(|_| unreachable!("strong_count was 1")))
         } else {
-            None
+            // Shared: deep-clone the value out; other holders keep theirs.
+            // (Deref explicitly: `rc.clone_box()` would resolve to the
+            // blanket impl on `Rc<dyn PayloadData>` itself and box the Rc.)
+            let boxed = (*rc).clone_box();
+            Some(*boxed.into_any().downcast::<T>().expect("type checked above"))
         }
     }
 }
 
 impl Clone for Payload {
+    /// A refcount bump — the payload value itself is not copied.
     fn clone(&self) -> Self {
-        Payload(self.0.as_deref().map(|b| b.clone_box()))
+        Payload(self.0.clone())
     }
 }
 
@@ -170,13 +216,52 @@ mod tests {
     }
 
     #[test]
-    fn payload_clone_is_deep() {
+    fn payload_clone_is_cow() {
         let p = Payload::new(Header { seq: 1, tag: "x".into() });
+        assert!(!p.is_shared());
         let mut q = p.clone();
+        assert!(p.is_shared() && q.is_shared());
+        // Taking from a shared payload deep-clones; the original survives.
         let h = q.take::<Header>().unwrap();
         assert_eq!(h.seq, 1);
-        // Original still intact.
+        assert!(q.is_empty());
         assert_eq!(p.downcast_ref::<Header>().unwrap().seq, 1);
+        // The original is unique again: take moves without copying.
+        assert!(!p.is_shared());
+        let mut p = p;
+        assert_eq!(p.take::<Header>().unwrap().tag, "x");
+    }
+
+    #[test]
+    fn take_on_unique_payload_moves() {
+        // A type whose clone would be observable: cloning bumps a counter.
+        use std::cell::Cell;
+        use std::rc::Rc as StdRc;
+        #[derive(Debug)]
+        struct Probe(StdRc<Cell<u32>>);
+        impl Clone for Probe {
+            fn clone(&self) -> Self {
+                self.0.set(self.0.get() + 1);
+                Probe(StdRc::clone(&self.0))
+            }
+        }
+        let clones = StdRc::new(Cell::new(0));
+        let mut p = Payload::new(Probe(StdRc::clone(&clones)));
+        let _v = p.take::<Probe>().unwrap();
+        assert_eq!(clones.get(), 0, "unique take must not clone");
+
+        let mut p = Payload::new(Probe(StdRc::clone(&clones)));
+        let _shared = p.clone();
+        let _v = p.take::<Probe>().unwrap();
+        assert_eq!(clones.get(), 1, "shared take must deep-clone once");
+    }
+
+    #[test]
+    fn map_ref_reads_in_place() {
+        let p = Payload::new(Header { seq: 3, tag: "m".into() });
+        assert_eq!(p.map_ref(|h: &Header| h.seq), Some(3));
+        assert_eq!(p.map_ref(|s: &String| s.len()), None);
+        assert_eq!(Payload::empty().map_ref(|h: &Header| h.seq), None);
     }
 
     #[test]

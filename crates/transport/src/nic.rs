@@ -7,9 +7,9 @@
 //! arriving packets back to endpoints by [`Packet::flow`].
 
 use marnet_sim::engine::{Actor, ActorId, Event, SimCtx};
+use marnet_sim::hash::FxHashMap;
 use marnet_sim::link::LinkId;
 use marnet_sim::packet::{Packet, Payload};
-use std::collections::HashMap;
 
 /// Where an endpoint sends its packets: directly onto a link, or via a
 /// shared [`Nic`].
@@ -57,13 +57,16 @@ pub fn unwrap_packet(ev: Event) -> Option<Packet> {
 #[derive(Debug)]
 pub struct Nic {
     wan: LinkId,
-    routes: HashMap<u64, ActorId>,
+    /// Flow id → endpoint. Looked up once per arriving packet; the
+    /// deterministic multiply-rotate hasher keeps that probe off the
+    /// SipHash setup cost.
+    routes: FxHashMap<u64, ActorId>,
 }
 
 impl Nic {
     /// Creates a NIC transmitting on `wan`.
     pub fn new(wan: LinkId) -> Self {
-        Nic { wan, routes: HashMap::new() }
+        Nic { wan, routes: FxHashMap::default() }
     }
 
     /// Registers `endpoint` to receive packets whose flow id is `flow`,
