@@ -20,6 +20,7 @@ use marnet_core::message::ArMessage;
 use marnet_sim::engine::{Actor, ActorId, Event, SimCtx};
 use marnet_sim::packet::Payload;
 use marnet_sim::time::{SimDuration, SimTime};
+use marnet_telemetry::{component, TraceEvent};
 use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::rc::Rc;
@@ -152,6 +153,10 @@ impl MarClient {
 
         match uplink {
             Some(msg) => {
+                let t = now.as_nanos();
+                let comp = component::actor(ctx.self_id().index());
+                let (kind, mid, bytes) = (msg.kind as u8, msg.id, u64::from(msg.size));
+                ctx.trace_with(|| TraceEvent::offload_dispatch(t, comp, kind, mid, bytes));
                 // The message leaves after the local pipeline stage.
                 ctx.send_message_in(self.sender, local_delay, Payload::new(Submit(msg)));
             }

@@ -128,7 +128,7 @@ fn run(variant: &str, cfg: ArConfig, adaptive: bool, secs: u64) -> Row {
         } else {
             video.1 as f64 / (video.1 + video.2) as f64 * 100.0
         },
-        bytes_shed: s.dropped_bytes,
+        bytes_shed: s.dropped_bytes(),
     }
 }
 

@@ -10,7 +10,7 @@
 //! the deepest phase.
 
 use marnet_bench::{fmt, print_table, write_json};
-use marnet_core::class::StreamKind;
+use marnet_core::class::{StreamKind, ALL_STREAM_KINDS};
 use marnet_core::config::ArConfig;
 use marnet_core::degradation::QosSignal;
 use marnet_core::endpoint::{ArReceiver, ArSender, SenderPathConfig, Submit};
@@ -246,7 +246,11 @@ fn main() {
         "\nAR deliveries: metadata {} (never shed), dropped-by-kind {:?},\n\
          degrade signals {}.",
         meta_total,
-        ar.dropped_by_kind.iter().map(|(k, v)| (k.to_string(), *v)).collect::<Vec<_>>(),
+        ALL_STREAM_KINDS
+            .iter()
+            .map(|k| (k.to_string(), ar.dropped_msgs(*k)))
+            .filter(|(_, v)| *v > 0)
+            .collect::<Vec<_>>(),
         ar.degrade_signals
     );
     println!(

@@ -11,6 +11,13 @@
 //! A small scenario (`--smoke`) runs in CI to catch panics and gross
 //! regressions without burning minutes on a shared runner.
 //!
+//! The report also measures the flight-recorder tax: the same workload with
+//! the recorder ring enabled, against the default disabled path (whose cost
+//! vs. hook-free code is one predictable branch per hook — the 2%
+//! acceptance bound on `events_per_sec_best` vs. the committed baseline
+//! polices that). `--max-trace-overhead-pct <p>` turns the recording
+//! overhead into a hard failure, for CI.
+//!
 //! The committed `results/BENCH_sim.json` also carries the pre-overhaul
 //! baseline (BinaryHeap + tombstone set, deep-cloned payloads) measured on
 //! the same machine as the post numbers, so the speedup ratio is
@@ -20,7 +27,8 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::time::Instant;
 
-use marnet_bench::scenarios::{run_recovery_counted, RecoveryMechanism};
+use marnet_bench::scenarios::{run_recovery_counted, run_recovery_instrumented, RecoveryMechanism};
+use marnet_telemetry::{TelemetryOptions, DEFAULT_TRACE_CAPACITY};
 
 /// Allocator wrapper counting calls and tracking live bytes.
 struct Counting;
@@ -112,6 +120,21 @@ fn measure(mechanism: RecoveryMechanism, secs: u64, reps: usize) -> Measurement 
     }
 }
 
+/// Best-of-`reps` event rate for the same workload with the flight
+/// recorder ring enabled (the recording-tax measurement).
+fn measure_traced(mechanism: RecoveryMechanism, secs: u64, reps: usize) -> f64 {
+    let opts = TelemetryOptions { trace_capacity: Some(DEFAULT_TRACE_CAPACITY), metrics: false };
+    let mut best = 0.0f64;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let (_, ev, capture) = run_recovery_instrumented(40, 0.05, mechanism, secs, 11, &opts);
+        let dt = t0.elapsed().as_secs_f64();
+        assert!(!capture.events.is_empty(), "recorder must capture events");
+        best = best.max(ev as f64 / dt);
+    }
+    best
+}
+
 fn json_entry(m: &Measurement, smoke: bool) -> String {
     let baseline = (!smoke).then(|| BASELINES.iter().find(|b| b.label == m.label)).flatten();
     let baseline_block = match baseline {
@@ -153,6 +176,17 @@ fn json_entry(m: &Measurement, smoke: bool) -> String {
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
+    let max_trace_overhead_pct: Option<f64> = {
+        let mut argv = std::env::args().skip(1);
+        let mut bound = None;
+        while let Some(a) = argv.next() {
+            if a == "--max-trace-overhead-pct" {
+                let v = argv.next().expect("--max-trace-overhead-pct requires a value");
+                bound = Some(v.parse().expect("--max-trace-overhead-pct value must be a number"));
+            }
+        }
+        bound
+    };
     let (secs, reps) = if smoke { (2, 1) } else { (30, 5) };
 
     let measurements = [
@@ -173,6 +207,17 @@ fn main() {
         );
     }
 
+    // Flight-recorder tax on the first workload: disabled path vs. ring on.
+    let traced_best = measure_traced(RecoveryMechanism::ArqFecK8, secs, reps);
+    let disabled_best = measurements[0].best_events_per_sec;
+    let overhead_pct = (disabled_best / traced_best - 1.0) * 100.0;
+    println!(
+        "trace tax    recorder on {:>6.2} Mev/s vs off {:>6.2} Mev/s  overhead {:.1}%",
+        traced_best / 1e6,
+        disabled_best / 1e6,
+        overhead_pct,
+    );
+
     let entries: Vec<String> = measurements.iter().map(|m| json_entry(m, smoke)).collect();
     let body = format!(
         concat!(
@@ -180,17 +225,32 @@ fn main() {
             "  \"benchmark\": \"engine_events_per_sec (run_recovery, rtt=40ms, loss=5%, \
              {} virtual sec x {} reps, seed 11)\",\n",
             "  \"smoke\": {},\n",
-            "  \"measurements\": [\n{}\n  ]\n",
+            "  \"measurements\": [\n{}\n  ],\n",
+            "  \"trace_overhead\": {{\n",
+            "    \"mechanism\": \"arq+fec-k8\",\n",
+            "    \"events_per_sec_best_recording\": {:.0},\n",
+            "    \"overhead_pct\": {:.1}\n",
+            "  }}\n",
             "}}\n"
         ),
         secs,
         reps,
         smoke,
         entries.join(",\n"),
+        traced_best,
+        overhead_pct,
     );
 
     std::fs::create_dir_all("results").expect("create results dir");
     let path = "results/BENCH_sim.json";
     std::fs::write(path, body).expect("write BENCH_sim.json");
     println!("wrote {path}");
+
+    if let Some(bound) = max_trace_overhead_pct {
+        assert!(
+            overhead_pct <= bound,
+            "flight-recorder overhead {overhead_pct:.1}% exceeds the --max-trace-overhead-pct \
+             bound of {bound}%"
+        );
+    }
 }

@@ -7,9 +7,10 @@
 //! `marnet-lab` replicated version of this sweep runs the same code; this
 //! binary is the single-seed quick look.
 
-use marnet_bench::scenarios::{run_recovery, RecoveryMechanism};
-use marnet_bench::{fmt, print_table, write_json};
+use marnet_bench::scenarios::{run_recovery_instrumented, RecoveryMechanism};
+use marnet_bench::{fmt, parse_telemetry_flags, print_table, write_json, write_trace};
 use marnet_core::fec;
+use marnet_telemetry::MetricsSnapshot;
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -22,14 +23,33 @@ struct Row {
     overhead_pct: f64,
 }
 
+#[derive(Serialize)]
+struct MetricsRow {
+    mechanism: String,
+    rtt_ms: u64,
+    metrics: MetricsSnapshot,
+}
+
 fn main() {
+    let flags = parse_telemetry_flags();
     let rtts = [20u64, 36, 60, 120];
     let loss = 0.03;
 
     let mut all = Vec::new();
+    let mut events = Vec::new();
+    let mut metrics = Vec::new();
     for mechanism in RecoveryMechanism::ALL {
         for &rtt in &rtts {
-            let out = run_recovery(rtt, loss, mechanism, 30, 11);
+            let (out, _, capture) =
+                run_recovery_instrumented(rtt, loss, mechanism, 30, 11, &flags.options);
+            events.extend(capture.events);
+            if let Some(snap) = capture.metrics {
+                metrics.push(MetricsRow {
+                    mechanism: mechanism.label().to_string(),
+                    rtt_ms: rtt,
+                    metrics: snap,
+                });
+            }
             all.push(Row {
                 mechanism: mechanism.label().to_string(),
                 rtt_ms: rtt,
@@ -80,4 +100,8 @@ fn main() {
          in-budget delivery — at their respective byte costs."
     );
     write_json("sweep_recovery", &all);
+    write_trace(&flags, &events);
+    if flags.options.metrics {
+        write_json("sweep_recovery_metrics", &metrics);
+    }
 }

@@ -17,6 +17,7 @@ use marnet_sim::packet::Payload;
 use marnet_sim::queue::QueueConfig;
 use marnet_sim::rng::derive_rng;
 use marnet_sim::time::{SimDuration, SimTime};
+use marnet_telemetry::{MetricsRegistry, TelemetryCapture, TelemetryOptions};
 use marnet_transport::nic::{Nic, TxPath};
 use marnet_transport::probe::{ProbeClient, ProbeServer, ProbeStats};
 use marnet_transport::tcp::{
@@ -117,7 +118,41 @@ pub fn run_table2(
     response_bytes: u32,
     seed: u64,
 ) -> Rc<RefCell<ProbeStats>> {
+    run_table2_instrumented(
+        scenario,
+        probes,
+        request_bytes,
+        response_bytes,
+        seed,
+        &TelemetryOptions::disabled(),
+    )
+    .0
+}
+
+/// [`run_table2`] with optional flight-recorder and metrics capture.
+///
+/// With everything off (the default options) this is exactly `run_table2`:
+/// the simulator's trace hooks stay on the disabled branch and no registry
+/// is created, so results are byte-identical.
+pub fn run_table2_instrumented(
+    scenario: Table2Scenario,
+    probes: u64,
+    request_bytes: u32,
+    response_bytes: u32,
+    seed: u64,
+    telemetry: &TelemetryOptions,
+) -> (Rc<RefCell<ProbeStats>>, TelemetryCapture) {
     let mut sim = Simulator::new(seed);
+    if let Some(cap) = telemetry.trace_capacity {
+        sim.enable_flight_recorder(cap);
+    }
+    let registry = if telemetry.metrics {
+        let reg = MetricsRegistry::new();
+        sim.enable_metrics(&reg);
+        Some(reg)
+    } else {
+        None
+    };
     let hops = scenario.hops();
     let n = hops.len();
     // Actors: client, (n-1) forwarders each way, server.
@@ -150,18 +185,27 @@ pub fn run_table2(
         sim.install_actor(node, Forwarder { next: link_towards_client });
     }
 
-    let probe = ProbeClient::new(
+    let mut probe = ProbeClient::new(
         1,
         TxPath::Link(fwd_links[0]),
         request_bytes,
         SimDuration::from_millis(50),
         probes,
     );
+    if let Some(reg) = &registry {
+        probe = probe.with_rtt_series(reg, "table2");
+    }
     let stats = probe.stats();
     sim.install_actor(client, probe);
     sim.install_actor(server, ProbeServer::new(1, TxPath::Link(rev_links[0]), response_bytes));
     sim.run_until(SimTime::from_secs(probes / 20 + 30));
-    stats
+
+    let metrics = registry.map(|reg| {
+        sim.publish_link_metrics(&reg);
+        reg.snapshot()
+    });
+    let capture = TelemetryCapture { events: sim.take_trace(), metrics };
+    (stats, capture)
 }
 
 // ---------------------------------------------------------------------------
@@ -552,8 +596,40 @@ pub fn run_recovery_counted(
     secs: u64,
     seed: u64,
 ) -> (RecoveryOutcome, u64) {
+    let (outcome, events, _) = run_recovery_instrumented(
+        rtt_ms,
+        loss,
+        mechanism,
+        secs,
+        seed,
+        &TelemetryOptions::disabled(),
+    );
+    (outcome, events)
+}
+
+/// [`run_recovery_counted`] with optional flight-recorder and metrics
+/// capture; with the default (disabled) options it is byte-identical to the
+/// uninstrumented run.
+pub fn run_recovery_instrumented(
+    rtt_ms: u64,
+    loss: f64,
+    mechanism: RecoveryMechanism,
+    secs: u64,
+    seed: u64,
+    telemetry: &TelemetryOptions,
+) -> (RecoveryOutcome, u64, TelemetryCapture) {
     let (recovery, fec_group, duplicate) = mechanism.knobs();
     let mut sim = Simulator::new(seed);
+    if let Some(cap) = telemetry.trace_capacity {
+        sim.enable_flight_recorder(cap);
+    }
+    let registry = if telemetry.metrics {
+        let reg = MetricsRegistry::new();
+        sim.enable_metrics(&reg);
+        Some(reg)
+    } else {
+        None
+    };
     let snd = sim.reserve_actor();
     let rcv = sim.reserve_actor();
     let one_way = SimDuration::from_millis_f64(rtt_ms as f64 / 2.0);
@@ -598,13 +674,22 @@ pub fn run_recovery_counted(
     let delivered = ks.map_or(0, |k| k.delivered) as f64;
     let hits = ks.map_or(0, |k| k.deadline_hits) as f64;
     let goodput_bytes = delivered * 6_000.0;
-    let sent_bytes: u64 = s.sent_bytes_by_kind.values().sum();
+    let sent_bytes: u64 = s.total_sent_bytes();
     let outcome = RecoveryOutcome {
         delivered_in_budget_pct: hits / offered * 100.0,
         delivered_total_pct: delivered / offered * 100.0,
         overhead_pct: (sent_bytes as f64 / goodput_bytes.max(1.0) - 1.0) * 100.0,
     };
-    (outcome, events)
+    let metrics = registry.map(|reg| {
+        sim.publish_link_metrics(&reg);
+        s.publish_usage(&reg, "core.class");
+        reg.counter("core.recovery.fec_recovered").add(r.fec_recovered);
+        reg.counter("core.recovery.duplicates").add(r.duplicates);
+        reg.counter("core.recovery.abandoned_holes").add(r.abandoned_holes);
+        reg.snapshot()
+    });
+    let capture = TelemetryCapture { events: sim.take_trace(), metrics };
+    (outcome, events, capture)
 }
 
 // ---------------------------------------------------------------------------

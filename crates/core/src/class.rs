@@ -259,6 +259,11 @@ pub const ALL_STREAM_KINDS: [StreamKind; 6] = [
     StreamKind::Bulk,
 ];
 
+/// Stable lowercase label of each stream kind, aligned with
+/// [`ALL_STREAM_KINDS`] (used as metric-name segments by telemetry).
+pub const STREAM_KIND_LABELS: [&str; ALL_STREAM_KINDS.len()] =
+    ["metadata", "sensor", "video-ref", "video-inter", "result", "bulk"];
+
 #[cfg(test)]
 mod tests {
     use super::*;

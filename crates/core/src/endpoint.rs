@@ -9,7 +9,7 @@
 //! recovery-class packets are
 //! FEC-protected; QoS signals flow back to the application.
 
-use crate::class::{KindMap, StreamKind, TrafficClass};
+use crate::class::{KindMap, StreamKind, TrafficClass, ALL_STREAM_KINDS, STREAM_KIND_LABELS};
 use crate::config::ArConfig;
 use crate::congestion::{CongestionVerdict, DelayCongestionController};
 use crate::degradation::{DegradationScheduler, QosSignal};
@@ -24,6 +24,7 @@ use marnet_sim::link::LinkId;
 use marnet_sim::packet::{Packet, Payload};
 use marnet_sim::stats::{Histogram, RateMeter, TimeSeries};
 use marnet_sim::time::{SimDuration, SimTime};
+use marnet_telemetry::{component, ClassUsage, DropReason, MetricsRegistry, TraceEvent};
 use marnet_transport::nic::{unwrap_packet, TxPath};
 use std::cell::RefCell;
 use std::collections::{BTreeSet, VecDeque};
@@ -95,14 +96,14 @@ pub struct ArSenderStats {
     pub srtt_series: TimeSeries,
     /// Base (minimum) RTT over time (ms), across all paths.
     pub base_rtt_series: TimeSeries,
-    /// Bytes handed to the network, per sub-stream.
-    pub sent_bytes_by_kind: KindMap<u64>,
+    /// Per-sub-stream sent/shed packet and byte accounting, indexed by
+    /// `StreamKind as usize`. This is the shared telemetry usage table
+    /// (also used by the NIC per priority band) that replaced the ad-hoc
+    /// `*_by_kind` / `dropped_bytes` bookkeeping; see the accessor methods
+    /// for the per-kind views experiment code reads.
+    pub usage: ClassUsage<{ ALL_STREAM_KINDS.len() }>,
     /// Send-rate meters per sub-stream (100 ms buckets) — the Fig. 4 series.
     pub send_meters: KindMap<RateMeter>,
-    /// Messages shed by the degradation scheduler, per sub-stream.
-    pub dropped_by_kind: KindMap<u64>,
-    /// Bytes shed by the degradation scheduler.
-    pub dropped_bytes: u64,
     /// Retransmissions performed.
     pub retransmits: u64,
     /// NACKs whose retransmission the deadline gate suppressed.
@@ -122,6 +123,32 @@ pub struct ArSenderStats {
 impl ArSenderStats {
     fn meter(&mut self, kind: StreamKind) -> &mut RateMeter {
         self.send_meters.get_or_insert_with(kind, || RateMeter::new(SimDuration::from_millis(100)))
+    }
+
+    /// Bytes handed to the network for `kind`.
+    pub fn sent_bytes(&self, kind: StreamKind) -> u64 {
+        self.usage.sent_bytes[kind as usize]
+    }
+
+    /// Total bytes handed to the network across all sub-streams.
+    pub fn total_sent_bytes(&self) -> u64 {
+        self.usage.total_sent_bytes()
+    }
+
+    /// Messages shed by the degradation scheduler for `kind`.
+    pub fn dropped_msgs(&self, kind: StreamKind) -> u64 {
+        self.usage.dropped_packets[kind as usize]
+    }
+
+    /// Total bytes shed by the degradation scheduler.
+    pub fn dropped_bytes(&self) -> u64 {
+        self.usage.total_dropped_bytes()
+    }
+
+    /// Publishes the per-kind accounting into `registry` as counters named
+    /// `{prefix}.{kind}.{sent,dropped}_{packets,bytes}`.
+    pub fn publish_usage(&self, registry: &MetricsRegistry, prefix: &str) {
+        self.usage.publish(registry, prefix, &STREAM_KIND_LABELS);
     }
 }
 
@@ -296,11 +323,17 @@ impl ArSender {
         let pkt = Packet::new(id, self.conn, size, ctx.now())
             .with_prio(msg.priority.band())
             .with_payload(ar);
+        {
+            let t = ctx.now().as_nanos();
+            let comp = component::actor(ctx.self_id().index());
+            let (class, mid, bytes) = (msg.kind as u8, msg.id, u64::from(size));
+            ctx.trace_with(|| TraceEvent::class_admit(t, comp, class, mid, bytes));
+        }
         self.paths[path_idx].cfg.tx.send(ctx, pkt);
 
         {
             let mut st = self.stats.borrow_mut();
-            *st.sent_bytes_by_kind.or_default(msg.kind) += u64::from(size);
+            st.usage.record_sent(msg.kind as usize, u64::from(size));
             let now = ctx.now();
             st.meter(msg.kind).record(now, u64::from(size));
             if self.paths[path_idx].cfg.role == PathRole::Cellular {
@@ -390,11 +423,17 @@ impl ArSender {
             // Shed droppable messages that went stale inside the pacer.
             if front.msg.is_late(ctx.now()) && front.msg.priority.can_drop() {
                 let p = self.pacer.pop_front().expect("front exists");
-                let mut st = self.stats.borrow_mut();
-                *st.dropped_by_kind.or_default(p.msg.kind) += 1;
-                st.dropped_bytes += u64::from(p.msg.size);
-                drop(st);
+                self.stats
+                    .borrow_mut()
+                    .usage
+                    .record_dropped(p.msg.kind as usize, u64::from(p.msg.size));
                 self.dropped_since_signal += u64::from(p.msg.size);
+                let t = ctx.now().as_nanos();
+                let comp = component::actor(ctx.self_id().index());
+                let (mid, flow, msize) = (p.msg.id, self.conn, p.msg.size);
+                ctx.trace_with(|| {
+                    TraceEvent::packet_drop(t, comp, DropReason::Shed, mid, flow, msize)
+                });
                 continue;
             }
             let frag_count = front.msg.fragment_count(self.cfg.mtu);
@@ -405,7 +444,22 @@ impl ArSender {
                 Some(p) if p.iter().all(|i| self.path_up(ctx, i)) => p,
                 _ => {
                     let snaps = self.snapshots(ctx);
-                    self.mp.select(&snaps, front.msg.class, front.msg.priority, frag_size)
+                    let new_picks =
+                        self.mp.select(&snaps, front.msg.class, front.msg.priority, frag_size);
+                    // A sticky choice being replaced (a path went down) is a
+                    // path switch worth tracing; the initial pick is not.
+                    let old = front.picks.and_then(|p| p.iter().next());
+                    if let (Some(old), Some(new)) = (old, new_picks.iter().next()) {
+                        if old != new {
+                            let t = ctx.now().as_nanos();
+                            let comp = component::actor(ctx.self_id().index());
+                            let class = front.msg.kind as u8;
+                            ctx.trace_with(|| {
+                                TraceEvent::path_switch(t, comp, class, old as u64, new as u64)
+                            });
+                        }
+                    }
+                    new_picks
                 }
             };
             if picks.is_empty() {
@@ -483,14 +537,19 @@ impl ArSender {
         // Account drops and drive QoS signalling.
         if !out.dropped.is_empty() {
             let severity = DegradationScheduler::shed_severity(&out.dropped);
+            let mut shed_bytes = 0u64;
             let mut st = self.stats.borrow_mut();
             for d in &out.dropped {
-                *st.dropped_by_kind.or_default(d.message.kind) += 1;
-                st.dropped_bytes += u64::from(d.message.size);
+                st.usage.record_dropped(d.message.kind as usize, u64::from(d.message.size));
+                shed_bytes += u64::from(d.message.size);
                 self.dropped_since_signal += u64::from(d.message.size);
             }
             drop(st);
             self.severity_since_signal = self.severity_since_signal.max(severity);
+            let t = ctx.now().as_nanos();
+            let comp = component::actor(ctx.self_id().index());
+            let shed_msgs = out.dropped.len() as u64;
+            ctx.trace_with(|| TraceEvent::class_degrade(t, comp, severity, shed_msgs, shed_bytes));
         }
 
         for msg in out.sent {
@@ -1006,6 +1065,10 @@ impl ArReceiver {
         if let Some((_, fid)) = recovered {
             self.rx[ar.path].mark(fid.seq);
             self.stats.borrow_mut().fec_recovered += 1;
+            let t = now.as_nanos();
+            let comp = component::actor(ctx.self_id().index());
+            let (mid, frag) = (fid.msg_id, u64::from(fid.frag_index));
+            ctx.trace_with(|| TraceEvent::fec_repair(t, comp, mid, frag));
             // Recovered fragments share the parity's stream parameters; we
             // use the carrier packet's kind/class metadata as the closest
             // available description (same stream by construction).
@@ -1284,11 +1347,11 @@ mod tests {
         sim.run_until(SimTime::from_secs(20));
         let s = sstats.borrow();
         let r = rstats.borrow();
-        assert!(s.dropped_bytes > 0, "shedding must happen");
+        assert!(s.dropped_bytes() > 0, "shedding must happen");
         assert!(*degrades.borrow() > 0, "app must be told to degrade");
         // Interframes are shed, not metadata.
-        assert!(s.dropped_by_kind.get(&StreamKind::Metadata).copied().unwrap_or(0) == 0);
-        assert!(s.dropped_by_kind.get(&StreamKind::VideoInter).copied().unwrap_or(0) > 0);
+        assert!(s.dropped_msgs(StreamKind::Metadata) == 0);
+        assert!(s.dropped_msgs(StreamKind::VideoInter) > 0);
         // Critical metadata still delivered at full cadence (~30/s).
         let meta = &r.by_kind[&StreamKind::Metadata];
         assert!(meta.delivered > 500, "metadata delivered {}", meta.delivered);
@@ -1355,8 +1418,8 @@ mod tests {
         sim.add_actor(TwoStreams { sender: snd, next_id: 0 });
         sim.run_until(SimTime::from_secs(10));
         let s = sstats.borrow();
-        let bulk_drops = s.dropped_by_kind.get(&StreamKind::Bulk).copied().unwrap_or(0);
-        let video_drops = s.dropped_by_kind.get(&StreamKind::VideoInter).copied().unwrap_or(0);
+        let bulk_drops = s.dropped_msgs(StreamKind::Bulk);
+        let video_drops = s.dropped_msgs(StreamKind::VideoInter);
         assert!(bulk_drops > 0, "pressure must shed bulk");
         assert!(bulk_drops >= video_drops, "bulk {bulk_drops} vs video {video_drops}");
     }

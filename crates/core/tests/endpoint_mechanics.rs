@@ -141,7 +141,7 @@ fn wire_overhead_stays_near_the_controller_rate() {
     // Offer ~1.5 Mb/s into the 800 kb/s allowance.
     let h = run(cfg, 0.0, 6_000, 20, 13);
     let s = h.sstats.borrow();
-    let sent: u64 = s.sent_bytes_by_kind.values().sum();
+    let sent: u64 = s.total_sent_bytes();
     let parity_estimate = s.parity_sent * (1_230);
     let wire = sent + parity_estimate;
     let allowed = 100_000.0 * 20.0;

@@ -33,6 +33,7 @@ use marnet_sim::link::{Bandwidth, LinkParams};
 use marnet_sim::rng::derive_rng;
 use marnet_sim::stats::Histogram;
 use marnet_sim::time::{SimDuration, SimTime};
+use marnet_telemetry::MetricsRegistry;
 use marnet_transport::nic::TxPath;
 use serde::{Deserialize, Serialize};
 use std::cell::RefCell;
@@ -218,6 +219,34 @@ impl ScenarioOutcome {
 
 /// Builds and runs one Fig. 5 scenario for `secs` simulated seconds.
 pub fn run_scenario(scenario: DistributionScenario, seed: u64, secs: u64) -> ScenarioOutcome {
+    run_scenario_inner(scenario, seed, secs, None)
+}
+
+/// Like [`run_scenario`], but additionally publishes per-executor load and
+/// D2D offload metrics into `registry`:
+///
+/// * `edge.server.{name}.delivered_bytes` / `.fec_recovered` /
+///   `.feedback_sent` — receiver-side counters per executor;
+/// * `edge.server.{name}.load_bytes_per_sec` — mean offered load gauge;
+/// * `edge.d2d.{name}.delivered_bytes` — bytes served by device-to-device
+///   helpers (one-hop direct links);
+/// * `edge.class.{kind}.*` — the sender's per-class usage counters;
+/// * `edge.sender.cellular_bytes` — bytes steered onto cellular paths.
+pub fn run_scenario_metrics(
+    scenario: DistributionScenario,
+    seed: u64,
+    secs: u64,
+    registry: &MetricsRegistry,
+) -> ScenarioOutcome {
+    run_scenario_inner(scenario, seed, secs, Some(registry))
+}
+
+fn run_scenario_inner(
+    scenario: DistributionScenario,
+    seed: u64,
+    secs: u64,
+    registry: Option<&MetricsRegistry>,
+) -> ScenarioOutcome {
     let eps = endpoints(scenario);
     let mut sim = Simulator::new(seed);
     let snd = sim.reserve_actor();
@@ -288,6 +317,24 @@ pub fn run_scenario(scenario: DistributionScenario, seed: u64, secs: u64) -> Sce
 
     sim.run_until(SimTime::from_secs(secs));
 
+    if let Some(reg) = registry {
+        for (ep, st) in eps.iter().zip(&rx_stats) {
+            let st = st.borrow();
+            reg.counter(&format!("edge.server.{}.delivered_bytes", ep.name)).add(st.received_bytes);
+            reg.counter(&format!("edge.server.{}.fec_recovered", ep.name)).add(st.fec_recovered);
+            reg.counter(&format!("edge.server.{}.feedback_sent", ep.name)).add(st.feedback_sent);
+            reg.gauge(&format!("edge.server.{}.load_bytes_per_sec", ep.name))
+                .set(st.received_bytes as f64 / secs.max(1) as f64);
+            if ep.role == PathRole::DeviceToDevice {
+                reg.counter(&format!("edge.d2d.{}.delivered_bytes", ep.name))
+                    .add(st.received_bytes);
+            }
+        }
+        let s = sender_stats.borrow();
+        s.publish_usage(reg, "edge.class");
+        reg.counter("edge.sender.cellular_bytes").add(s.cellular_bytes);
+    }
+
     let loop_latency_ms = loop_hist.borrow().clone();
     let critical_latency_ms = crit_hist.borrow().clone();
     ScenarioOutcome {
@@ -333,7 +380,7 @@ mod tests {
     fn multipath_keeps_latency_data_off_lte() {
         let out = run_scenario(DistributionScenario::MultipathMultiServer, 9, 6);
         let s = out.sender.borrow();
-        let total: u64 = s.sent_bytes_by_kind.values().sum();
+        let total: u64 = s.total_sent_bytes();
         assert!(total > 0);
         // Critical metadata goes to the WiFi/university path; cellular
         // carries only a share of the droppable bulk.
@@ -351,6 +398,19 @@ mod tests {
         let mut out = run_scenario(DistributionScenario::WifiDirectD2d, 11, 6);
         let crit = out.critical_latency_ms.median().unwrap();
         assert!(crit < 20.0, "critical median {crit} ms");
+    }
+
+    #[test]
+    fn metrics_variant_publishes_server_load() {
+        let reg = MetricsRegistry::new();
+        let out = run_scenario_metrics(DistributionScenario::HomeWifiD2d, 5, 6, &reg);
+        let snap = reg.snapshot();
+        let pc = snap.counters.get("edge.server.home-pc.delivered_bytes").copied().unwrap_or(0);
+        assert!(pc > 0, "home PC saw no traffic");
+        assert!(snap.counters.contains_key("edge.d2d.home-pc.delivered_bytes"));
+        assert!(snap.gauges.contains_key("edge.server.cloud.load_bytes_per_sec"));
+        // The registry mirrors what the plain outcome reports.
+        assert_eq!(pc, out.receivers[0].borrow().received_bytes);
     }
 
     #[test]

@@ -10,18 +10,23 @@
 use crate::agg::{aggregate_run, PointSummary};
 use crate::runner::ExperimentRun;
 use crate::spec::ScenarioSpec;
-use serde::{Deserialize, Serialize};
+use marnet_telemetry::MetricsSnapshot;
+use serde::{object_get, Deserialize, Error, Serialize, Value};
 use std::fs;
 use std::io;
 use std::path::Path;
 
-/// Current artifact schema version.
+/// Base artifact schema version (no metrics section).
 pub const SCHEMA_VERSION: u32 = 1;
 
+/// Schema version written when the optional `metrics` section is present.
+pub const SCHEMA_VERSION_METRICS: u32 = 2;
+
 /// A complete, versioned experiment result.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Artifact {
-    /// Artifact schema version (see [`SCHEMA_VERSION`]).
+    /// Artifact schema version: [`SCHEMA_VERSION`], or
+    /// [`SCHEMA_VERSION_METRICS`] when `metrics` is present.
     pub schema_version: u32,
     /// Experiment name (mirrors `spec.name`).
     pub experiment: String,
@@ -37,13 +42,79 @@ pub struct Artifact {
     pub spec: ScenarioSpec,
     /// Per-point aggregates, in grid order.
     pub points: Vec<PointSummary>,
+    /// Schema-v2 section: one merged metrics snapshot per point, in grid
+    /// order (counters summed, series concatenated across replicates).
+    /// `None` for runs without `--metrics` — the field is then omitted from
+    /// the JSON entirely, keeping v1 artifacts byte-identical.
+    pub metrics: Option<Vec<MetricsSnapshot>>,
+}
+
+// Hand-written (de)serialization: the vendored serde derive always writes
+// every field (an absent `Option` would appear as `"metrics": null`), but
+// v1 artifacts must stay byte-identical, so `metrics` is emitted only when
+// present and tolerated as missing on load.
+impl Serialize for Artifact {
+    fn serialize_value(&self) -> Value {
+        let mut pairs = vec![
+            ("schema_version".to_string(), self.schema_version.serialize_value()),
+            ("experiment".to_string(), self.experiment.serialize_value()),
+            ("seed".to_string(), self.seed.serialize_value()),
+            ("replicates".to_string(), self.replicates.serialize_value()),
+            ("spec_hash".to_string(), self.spec_hash.serialize_value()),
+            ("failed_trials".to_string(), self.failed_trials.serialize_value()),
+            ("spec".to_string(), self.spec.serialize_value()),
+            ("points".to_string(), self.points.serialize_value()),
+        ];
+        if let Some(metrics) = &self.metrics {
+            pairs.push(("metrics".to_string(), metrics.serialize_value()));
+        }
+        Value::Object(pairs)
+    }
+}
+
+impl Deserialize for Artifact {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        let pairs = v.as_object().ok_or_else(|| Error::new("expected artifact object"))?;
+        let metrics = match object_get(pairs, "metrics") {
+            Ok(val) => Some(Vec::<MetricsSnapshot>::deserialize_value(val)?),
+            Err(_) => None,
+        };
+        Ok(Artifact {
+            schema_version: u32::deserialize_value(object_get(pairs, "schema_version")?)?,
+            experiment: String::deserialize_value(object_get(pairs, "experiment")?)?,
+            seed: u64::deserialize_value(object_get(pairs, "seed")?)?,
+            replicates: u32::deserialize_value(object_get(pairs, "replicates")?)?,
+            spec_hash: String::deserialize_value(object_get(pairs, "spec_hash")?)?,
+            failed_trials: u32::deserialize_value(object_get(pairs, "failed_trials")?)?,
+            spec: ScenarioSpec::deserialize_value(object_get(pairs, "spec")?)?,
+            points: Vec::<PointSummary>::deserialize_value(object_get(pairs, "points")?)?,
+            metrics,
+        })
+    }
 }
 
 impl Artifact {
-    /// Builds the artifact for a finished run.
+    /// Builds the artifact for a finished run. The metrics section is
+    /// present iff at least one trial captured metrics; per point, the
+    /// replicate snapshots merge in replicate order.
     pub fn from_run(run: &ExperimentRun) -> Self {
+        let any_metrics = run.reports.iter().flatten().flatten().any(|r| r.metrics.is_some());
+        let metrics = any_metrics.then(|| {
+            run.reports
+                .iter()
+                .map(|replicates| {
+                    let mut merged = MetricsSnapshot::default();
+                    for report in replicates.iter().flatten() {
+                        if let Some(snap) = &report.metrics {
+                            merged.merge(snap);
+                        }
+                    }
+                    merged
+                })
+                .collect::<Vec<_>>()
+        });
         Artifact {
-            schema_version: SCHEMA_VERSION,
+            schema_version: if metrics.is_some() { SCHEMA_VERSION_METRICS } else { SCHEMA_VERSION },
             experiment: run.spec.name.clone(),
             seed: run.spec.seed,
             replicates: run.spec.replicates,
@@ -51,6 +122,7 @@ impl Artifact {
             failed_trials: run.failures.len() as u32,
             spec: run.spec.clone(),
             points: aggregate_run(run),
+            metrics,
         }
     }
 
@@ -82,11 +154,11 @@ impl Artifact {
         let body = fs::read_to_string(path)?;
         let artifact: Artifact = serde_json::from_str(&body)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("{path:?}: {e:?}")))?;
-        if artifact.schema_version > SCHEMA_VERSION {
+        if artifact.schema_version > SCHEMA_VERSION_METRICS {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
                 format!(
-                    "{path:?}: schema v{} is newer than supported v{SCHEMA_VERSION}",
+                    "{path:?}: schema v{} is newer than supported v{SCHEMA_VERSION_METRICS}",
                     artifact.schema_version
                 ),
             ));
@@ -175,6 +247,9 @@ mod tests {
         assert_eq!(a.schema_version, SCHEMA_VERSION);
         assert_eq!(a.points.len(), 2);
         assert_eq!(a.spec_hash.len(), 16);
+        // v1 artifacts carry no metrics key at all.
+        assert!(a.metrics.is_none());
+        assert!(!a.to_json().contains("\"metrics\""));
         let dir = std::env::temp_dir().join(format!("marnet_lab_art_{}", std::process::id()));
         let path = dir.join("a.json");
         a.write(&path).unwrap();
@@ -186,9 +261,36 @@ mod tests {
     }
 
     #[test]
+    fn metrics_section_bumps_schema_and_round_trips() {
+        let spec = ScenarioSpec::new("artifact-metrics", 3, 2)
+            .with_axis("x", vec![ParamValue::Int(1), ParamValue::Int(2)]);
+        let run = run_experiment(&spec, 2, |point, ctx| {
+            let mut r = TrialReport::new();
+            r.scalar("m", 1.0);
+            let reg = marnet_telemetry::MetricsRegistry::new();
+            reg.counter("c").add(point.index as u64 + 1 + u64::from(ctx.replicate));
+            r.metrics = Some(reg.snapshot());
+            r
+        });
+        let a = Artifact::from_run(&run);
+        assert_eq!(a.schema_version, SCHEMA_VERSION_METRICS);
+        let merged = a.metrics.as_ref().unwrap();
+        assert_eq!(merged.len(), 2);
+        // Counters sum across the point's replicates: 1+2 and 2+3.
+        assert_eq!(merged[0].counters["c"], 3);
+        assert_eq!(merged[1].counters["c"], 5);
+        let dir = std::env::temp_dir().join(format!("marnet_lab_art3_{}", std::process::id()));
+        let path = dir.join("m.json");
+        a.write(&path).unwrap();
+        let back = Artifact::load(&path).unwrap();
+        assert_eq!(a, back);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn load_rejects_future_schema() {
         let mut a = artifact_for(0.0);
-        a.schema_version = SCHEMA_VERSION + 1;
+        a.schema_version = SCHEMA_VERSION_METRICS + 1;
         let dir = std::env::temp_dir().join(format!("marnet_lab_art2_{}", std::process::id()));
         let path = dir.join("future.json");
         a.write(&path).unwrap();

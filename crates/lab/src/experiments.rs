@@ -9,10 +9,13 @@ use crate::spec::{GridPoint, ParamValue, ScenarioSpec};
 use marnet_app::compute::{ComputeModel, DbAccess, FrameWork, NetParams};
 use marnet_app::device::DeviceClass;
 use marnet_app::strategy::OffloadStrategy;
-use marnet_bench::scenarios::{run_recovery, run_table2, RecoveryMechanism, Table2Scenario};
+use marnet_bench::scenarios::{
+    run_recovery_instrumented, run_table2_instrumented, RecoveryMechanism, Table2Scenario,
+};
 use marnet_bench::{fmt, print_table};
 use marnet_sim::link::Bandwidth;
 use marnet_sim::time::SimDuration;
+use marnet_telemetry::TelemetryOptions;
 use std::collections::BTreeMap;
 
 /// A boxed trial function, shareable across worker threads.
@@ -31,11 +34,18 @@ pub struct Experiment {
 /// Names of the built-in experiments, in menu order.
 pub const NAMES: [&str; 3] = ["table2_rtt", "sweep_recovery", "sweep_offload"];
 
-/// Builds the named experiment, or `None` for an unknown name.
-pub fn build(name: &str, replicates: u32, seed: u64) -> Option<Experiment> {
+/// Builds the named experiment, or `None` for an unknown name. The
+/// telemetry options are cloned into the trial closure: every replicate
+/// of an instrumented experiment records/meters with the same settings.
+pub fn build(
+    name: &str,
+    replicates: u32,
+    seed: u64,
+    telemetry: &TelemetryOptions,
+) -> Option<Experiment> {
     match name {
-        "table2_rtt" => Some(table2_rtt(replicates, seed)),
-        "sweep_recovery" => Some(sweep_recovery(replicates, seed)),
+        "table2_rtt" => Some(table2_rtt(replicates, seed, telemetry.clone())),
+        "sweep_recovery" => Some(sweep_recovery(replicates, seed, telemetry.clone())),
         "sweep_offload" => Some(sweep_offload(replicates, seed)),
         _ => None,
     }
@@ -66,7 +76,7 @@ fn scenario_from_key(key: &str) -> Table2Scenario {
         .unwrap_or_else(|| panic!("unknown Table II scenario key {key:?}"))
 }
 
-fn table2_rtt(replicates: u32, seed: u64) -> Experiment {
+fn table2_rtt(replicates: u32, seed: u64, telemetry: TelemetryOptions) -> Experiment {
     let spec = ScenarioSpec::new("table2_rtt", seed, replicates)
         .with_param("probes", ParamValue::Int(200))
         .with_param("request_bytes", ParamValue::Int(400))
@@ -78,12 +88,13 @@ fn table2_rtt(replicates: u32, seed: u64) -> Experiment {
                 .map(|s| ParamValue::Str(scenario_key(s).to_string()))
                 .collect(),
         );
-    let trial = Box::new(|point: &GridPoint, ctx: &TrialCtx| {
+    let trial = Box::new(move |point: &GridPoint, ctx: &TrialCtx| {
         let scenario = scenario_from_key(point.param("scenario").as_str().expect("str"));
         let probes = point.param("probes").as_int().expect("int") as u64;
         let request = point.param("request_bytes").as_int().expect("int") as u32;
         let response = point.param("response_bytes").as_int().expect("int") as u32;
-        let stats = run_table2(scenario, probes, request, response, ctx.seed);
+        let (stats, capture) =
+            run_table2_instrumented(scenario, probes, request, response, ctx.seed, &telemetry);
         let st = stats.borrow();
         let mut h = st.rtt_ms.clone();
         let median = h.median().unwrap_or(f64::NAN);
@@ -96,6 +107,8 @@ fn table2_rtt(replicates: u32, seed: u64) -> Experiment {
             // One offload transaction per RTT, as in the paper's 20 FPS note.
             .scalar("fps_supportable", 1000.0 / median)
             .samples("rtt_ms", st.rtt_ms.values().to_vec());
+        drop(st);
+        report.capture(capture);
         report
     });
     Experiment { spec, trial, render: render_table2 }
@@ -143,7 +156,7 @@ fn render_table2(points: &[PointSummary]) {
 // §VI-C recovery sweep
 // ---------------------------------------------------------------------------
 
-fn sweep_recovery(replicates: u32, seed: u64) -> Experiment {
+fn sweep_recovery(replicates: u32, seed: u64, telemetry: TelemetryOptions) -> Experiment {
     let spec = ScenarioSpec::new("sweep_recovery", seed, replicates)
         .with_param("loss", ParamValue::Float(0.03))
         .with_param("secs", ParamValue::Int(30))
@@ -155,19 +168,21 @@ fn sweep_recovery(replicates: u32, seed: u64) -> Experiment {
                 .collect(),
         )
         .with_axis("rtt_ms", [20i64, 36, 60, 120].into_iter().map(ParamValue::Int).collect());
-    let trial = Box::new(|point: &GridPoint, ctx: &TrialCtx| {
+    let trial = Box::new(move |point: &GridPoint, ctx: &TrialCtx| {
         let mechanism =
             RecoveryMechanism::from_label(point.param("mechanism").as_str().expect("str"))
                 .expect("known mechanism");
         let rtt = point.param("rtt_ms").as_int().expect("int") as u64;
         let loss = point.param("loss").as_float().expect("float");
         let secs = point.param("secs").as_int().expect("int") as u64;
-        let out = run_recovery(rtt, loss, mechanism, secs, ctx.seed);
+        let (out, _, capture) =
+            run_recovery_instrumented(rtt, loss, mechanism, secs, ctx.seed, &telemetry);
         let mut report = TrialReport::new();
         report
             .scalar("delivered_in_budget_pct", out.delivered_in_budget_pct)
             .scalar("delivered_total_pct", out.delivered_total_pct)
             .scalar("overhead_pct", out.overhead_pct);
+        report.capture(capture);
         report
     });
     Experiment { spec, trial, render: render_recovery }
@@ -340,14 +355,34 @@ mod tests {
 
     #[test]
     fn all_builtins_build_with_consistent_specs() {
+        let telemetry = TelemetryOptions::disabled();
         for name in NAMES {
-            let exp = build(name, 3, 42).unwrap();
+            let exp = build(name, 3, 42, &telemetry).unwrap();
             assert_eq!(exp.spec.name, name);
             assert_eq!(exp.spec.replicates, 3);
             assert_eq!(exp.spec.seed, 42);
             assert!(exp.spec.point_count() > 0);
         }
-        assert!(build("nope", 1, 1).is_none());
+        assert!(build("nope", 1, 1, &telemetry).is_none());
+    }
+
+    #[test]
+    fn instrumented_trials_capture_events_and_metrics() {
+        let telemetry = TelemetryOptions::full(4096);
+        let exp = build("table2_rtt", 1, 7, &telemetry).unwrap();
+        let points = exp.spec.expand_grid();
+        let ctx = TrialCtx { point_index: 0, replicate: 0, seed: 7 };
+        let report = (exp.trial)(&points[0], &ctx);
+        assert!(!report.events.is_empty(), "tracing on must record events");
+        let snap = report.metrics.expect("metrics on must snapshot");
+        assert!(!snap.is_empty());
+        // The same trial with telemetry off reports identical scalars and
+        // nothing captured — instrumentation must not perturb results.
+        let plain = build("table2_rtt", 1, 7, &TelemetryOptions::disabled()).unwrap();
+        let bare = (plain.trial)(&points[0], &ctx);
+        assert_eq!(bare.scalars, report.scalars);
+        assert!(bare.events.is_empty());
+        assert!(bare.metrics.is_none());
     }
 
     #[test]
@@ -362,7 +397,7 @@ mod tests {
 
     #[test]
     fn offload_trial_is_deterministic_and_analytic() {
-        let exp = build("sweep_offload", 2, 1).unwrap();
+        let exp = build("sweep_offload", 2, 1, &TelemetryOptions::disabled()).unwrap();
         let points = exp.spec.expand_grid();
         let ctx_a = TrialCtx { point_index: 0, replicate: 0, seed: 1 };
         let ctx_b = TrialCtx { point_index: 0, replicate: 1, seed: 999 };

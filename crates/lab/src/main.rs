@@ -4,15 +4,22 @@
 //! ```text
 //! marnet-lab <experiment> [--replicates N] [--threads N] [--seed S]
 //!                         [--out PATH] [--baseline PATH]
+//!                         [--trace PATH] [--metrics]
 //! marnet-lab --list
 //! ```
 //!
 //! The artifact is independent of `--threads`: the same spec and seed give
-//! a byte-identical JSON file at any parallelism.
+//! a byte-identical JSON file at any parallelism. `--trace` and
+//! `--metrics` (both off by default) run the experiment instrumented:
+//! `--trace PATH` writes every trial's flight-recorder events to a binary
+//! trace file, concatenated in `(point, replicate)` order so the file too
+//! is byte-identical at any thread count; `--metrics` merges each point's
+//! replicate metric snapshots into a schema-v2 `metrics` artifact section.
 
 use marnet_lab::artifact::Artifact;
 use marnet_lab::experiments;
 use marnet_lab::runner::run_experiment;
+use marnet_telemetry::{file as trace_file, TelemetryOptions, DEFAULT_TRACE_CAPACITY};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -23,12 +30,15 @@ struct Args {
     seed: u64,
     out: Option<PathBuf>,
     baseline: Option<PathBuf>,
+    trace: Option<PathBuf>,
+    metrics: bool,
 }
 
 fn usage() -> String {
     format!(
         "usage: marnet-lab <experiment> [--replicates N] [--threads N] [--seed S]\n\
          \u{20}                        [--out PATH] [--baseline PATH]\n\
+         \u{20}                        [--trace PATH] [--metrics]\n\
          \u{20}      marnet-lab --list\n\
          experiments: {}",
         experiments::NAMES.join(", ")
@@ -42,6 +52,8 @@ fn parse_args() -> Result<Args, String> {
     let mut seed = 42u64;
     let mut out = None;
     let mut baseline = None;
+    let mut trace = None;
+    let mut metrics = false;
 
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
@@ -68,6 +80,8 @@ fn parse_args() -> Result<Args, String> {
             }
             "--out" => out = Some(PathBuf::from(value("--out")?)),
             "--baseline" => baseline = Some(PathBuf::from(value("--baseline")?)),
+            "--trace" => trace = Some(PathBuf::from(value("--trace")?)),
+            "--metrics" => metrics = true,
             other if other.starts_with('-') => {
                 return Err(format!("unknown flag {other}\n{}", usage()));
             }
@@ -82,7 +96,7 @@ fn parse_args() -> Result<Args, String> {
     if threads == 0 {
         return Err("--threads must be at least 1".into());
     }
-    Ok(Args { experiment, replicates, threads, seed, out, baseline })
+    Ok(Args { experiment, replicates, threads, seed, out, baseline, trace, metrics })
 }
 
 fn main() -> ExitCode {
@@ -93,7 +107,13 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let Some(experiment) = experiments::build(&args.experiment, args.replicates, args.seed) else {
+    let telemetry = TelemetryOptions {
+        trace_capacity: args.trace.is_some().then_some(DEFAULT_TRACE_CAPACITY),
+        metrics: args.metrics,
+    };
+    let Some(experiment) =
+        experiments::build(&args.experiment, args.replicates, args.seed, &telemetry)
+    else {
         eprintln!("unknown experiment {:?}\n{}", args.experiment, usage());
         return ExitCode::FAILURE;
     };
@@ -134,6 +154,15 @@ fn main() -> ExitCode {
         artifact.schema_version,
         artifact.spec_hash
     );
+
+    if let Some(trace_path) = &args.trace {
+        let events = run.trace_events();
+        if let Err(e) = trace_file::write_file(trace_path, &events) {
+            eprintln!("[lab] failed to write trace {}: {e}", trace_path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("[trace] {} ({} events)", trace_path.display(), events.len());
+    }
 
     if let Some(baseline_path) = args.baseline {
         let baseline = match Artifact::load(&baseline_path) {

@@ -15,6 +15,7 @@
 //! and editing the spec (which changes `h`) reseeds everything.
 
 use crate::spec::{GridPoint, ScenarioSpec};
+use marnet_telemetry::{MetricsSnapshot, TelemetryCapture, TraceEvent};
 use rand_chacha::ChaCha12Rng;
 use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -29,6 +30,11 @@ pub struct TrialReport {
     pub scalars: BTreeMap<String, f64>,
     /// Raw per-trial samples, pooled across replicates by the aggregator.
     pub samples: BTreeMap<String, Vec<f64>>,
+    /// Flight-recorder events of this trial (empty unless tracing was on;
+    /// the lab concatenates them in `(point, replicate)` order).
+    pub events: Vec<TraceEvent>,
+    /// Metrics snapshot of this trial, when metrics capture was on.
+    pub metrics: Option<MetricsSnapshot>,
 }
 
 impl TrialReport {
@@ -46,6 +52,13 @@ impl TrialReport {
     /// Records a sample stream.
     pub fn samples(&mut self, key: impl Into<String>, values: Vec<f64>) -> &mut Self {
         self.samples.insert(key.into(), values);
+        self
+    }
+
+    /// Attaches what an instrumented scenario run captured.
+    pub fn capture(&mut self, capture: TelemetryCapture) -> &mut Self {
+        self.events = capture.events;
+        self.metrics = capture.metrics;
         self
     }
 }
@@ -95,6 +108,20 @@ pub struct ExperimentRun {
     pub reports: Vec<Vec<Option<TrialReport>>>,
     /// Every failure, in (point, replicate) order.
     pub failures: Vec<TrialFailure>,
+}
+
+impl ExperimentRun {
+    /// All recorded trace events concatenated in `(point, replicate)` order
+    /// — the same deterministic order the results merge in, so the
+    /// concatenation is byte-identical at any thread count.
+    pub fn trace_events(&self) -> Vec<TraceEvent> {
+        self.reports
+            .iter()
+            .flat_map(|point| point.iter())
+            .filter_map(Option::as_ref)
+            .flat_map(|r| r.events.iter().copied())
+            .collect()
+    }
 }
 
 /// The deterministic per-trial seed: base seed folded with the spec hash,

@@ -65,7 +65,13 @@ fn changing_the_seed_changes_the_results_but_not_the_shape() {
 #[test]
 fn built_in_experiment_artifact_is_thread_independent() {
     // The real table2_rtt experiment, scaled down for test time.
-    let exp = marnet_lab::experiments::build("table2_rtt", 2, 7).unwrap();
+    let exp = marnet_lab::experiments::build(
+        "table2_rtt",
+        2,
+        7,
+        &marnet_telemetry::TelemetryOptions::disabled(),
+    )
+    .unwrap();
     let mut spec = exp.spec.clone();
     // 40 probes instead of 200 keeps this test quick.
     spec.base.insert("probes".into(), ParamValue::Int(40));

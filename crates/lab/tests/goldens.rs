@@ -9,6 +9,7 @@ use marnet_lab::artifact::Artifact;
 use marnet_lab::experiments;
 use marnet_lab::runner::run_experiment;
 use marnet_lab::TrialReport;
+use marnet_telemetry::TelemetryOptions;
 
 /// `(name, spec_hash)` for every built-in experiment at `--replicates 8
 /// --seed 42`, the configuration the committed reference artifacts use.
@@ -21,7 +22,8 @@ const GOLDEN_SPEC_HASHES: [(&str, u64); 3] = [
 #[test]
 fn builtin_experiment_spec_hashes_match_goldens() {
     for (name, golden) in GOLDEN_SPEC_HASHES {
-        let exp = experiments::build(name, 8, 42).expect("built-in experiment");
+        let exp = experiments::build(name, 8, 42, &TelemetryOptions::disabled())
+            .expect("built-in experiment");
         assert_eq!(
             exp.spec.spec_hash(),
             golden,
@@ -43,7 +45,8 @@ fn every_builtin_experiment_has_a_golden() {
 /// is what external tooling joins on, so pin the exact formatting too.
 #[test]
 fn artifact_spec_hash_is_fixed_width_hex_of_spec_hash() {
-    let exp = experiments::build("table2_rtt", 8, 42).expect("built-in experiment");
+    let exp = experiments::build("table2_rtt", 8, 42, &TelemetryOptions::disabled())
+        .expect("built-in experiment");
     let run = run_experiment(&exp.spec, 1, |_, _| TrialReport::new());
     let artifact = Artifact::from_run(&run);
     assert_eq!(artifact.spec_hash, "157ff1823e33b013");

@@ -15,6 +15,9 @@ use crate::eventq::{CancelToken, EventQueue};
 use crate::link::{Bandwidth, Jitter, LinkId, LinkParams, LinkStats, LossModel};
 use crate::packet::{Packet, Payload};
 use crate::time::{SimDuration, SimTime};
+use marnet_telemetry::{
+    component, DropReason, Gauge, MetricsRegistry, TimeHistogram, TraceEvent, TraceSink,
+};
 use rand::Rng;
 use rand_chacha::ChaCha12Rng;
 use std::fmt;
@@ -98,6 +101,13 @@ struct LinkRuntime {
     rng: ChaCha12Rng,
 }
 
+/// Live metric handles for one link, created by [`Simulator::enable_metrics`].
+struct LinkGauges {
+    queue_packets: Gauge,
+    queue_bytes: Gauge,
+    queue_delay_ms: TimeHistogram,
+}
+
 /// The engine state visible to actors while they handle an event.
 pub struct SimCtx {
     now: SimTime,
@@ -109,6 +119,8 @@ pub struct SimCtx {
     current_actor: ActorId,
     stopped: bool,
     events_processed: u64,
+    trace: TraceSink,
+    link_gauges: Option<Vec<LinkGauges>>,
 }
 
 impl fmt::Debug for SimCtx {
@@ -227,45 +239,91 @@ impl SimCtx {
     /// like a real kernel socket buffer, senders learn of loss end-to-end.
     pub fn transmit(&mut self, link: LinkId, pkt: Packet) {
         let now = self.now;
+        let t = now.as_nanos();
+        let comp = component::link(link.index());
+        let (pid, pflow, psize, pprio) = (pkt.id, pkt.flow, pkt.size, pkt.prio);
         let l = &mut self.links[link.index()];
         l.stats.offered_packets += 1;
         l.stats.offered_bytes += u64::from(pkt.size);
         if !l.up {
             l.stats.drops_down += 1;
+            self.trace.emit_with(|| {
+                TraceEvent::packet_drop(t, comp, DropReason::LinkDown, pid, pflow, psize)
+            });
             return;
         }
         match l.queue.enqueue(pkt, now) {
-            crate::queue::EnqueueOutcome::Dropped(_) => {
+            crate::queue::EnqueueOutcome::Dropped(victim) => {
                 l.stats.drops_queue += 1;
+                if victim.id != pid {
+                    // FQ-CoDel admitted the arrival and shed a fattest-flow
+                    // victim instead; record both so event counts reconcile
+                    // with the final queue occupancy.
+                    self.trace.emit_with(|| {
+                        TraceEvent::packet_enqueue(t, comp, pid, pflow, psize, pprio)
+                    });
+                }
+                let (vid, vflow, vsize) = (victim.id, victim.flow, victim.size);
+                self.trace.emit_with(|| {
+                    TraceEvent::packet_drop(t, comp, DropReason::QueueFull, vid, vflow, vsize)
+                });
             }
             crate::queue::EnqueueOutcome::Enqueued => {
+                self.trace
+                    .emit_with(|| TraceEvent::packet_enqueue(t, comp, pid, pflow, psize, pprio));
                 if !l.busy {
                     self.start_tx(link);
                 }
             }
         }
+        self.note_queue_metrics(link, None);
     }
 
     fn start_tx(&mut self, link: LinkId) {
         let now = self.now;
+        let t = now.as_nanos();
+        let comp = component::link(link.index());
         let l = &mut self.links[link.index()];
+        let was_busy = l.busy;
         if l.rate == Bandwidth::ZERO {
             l.busy = false;
+            if was_busy {
+                let (qp, qb) = (l.queue.len_packets() as u64, l.queue.len_bytes());
+                self.trace.emit_with(|| TraceEvent::link_state(t, comp, false, qp, qb));
+            }
             return;
         }
         let deq = l.queue.dequeue(now);
         l.stats.drops_aqm += deq.dropped.len() as u64;
+        for victim in &deq.dropped {
+            let (vid, vflow, vsize) = (victim.id, victim.flow, victim.size);
+            self.trace
+                .emit_with(|| TraceEvent::packet_drop(t, comp, DropReason::Aqm, vid, vflow, vsize));
+        }
+        let mut dequeue_delay = None;
         match deq.packet {
             Some(pkt) => {
+                let delay = now.saturating_since(pkt.enqueued).as_nanos();
+                let pid = pkt.id;
+                self.trace.emit_with(|| TraceEvent::packet_dequeue(t, comp, pid, delay));
+                dequeue_delay = Some(delay);
                 l.busy = true;
+                if !was_busy {
+                    let (qp, qb) = (l.queue.len_packets() as u64, l.queue.len_bytes());
+                    self.trace.emit_with(|| TraceEvent::link_state(t, comp, true, qp, qb));
+                }
                 let ser = l.rate.serialization_time(pkt.size);
                 l.in_flight = Some(pkt);
                 self.push(now.saturating_add(ser), Dest::LinkDeparture { link });
             }
             None => {
                 l.busy = false;
+                if was_busy {
+                    self.trace.emit_with(|| TraceEvent::link_state(t, comp, false, 0, 0));
+                }
             }
         }
+        self.note_queue_metrics(link, dequeue_delay);
     }
 
     fn handle_departure(&mut self, link: LinkId) {
@@ -290,10 +348,19 @@ impl SimCtx {
             }
         };
 
+        let t = now.as_nanos();
+        let comp = component::link(link.index());
+        let (pid, pflow, psize) = (pkt.id, pkt.flow, pkt.size);
         if !l.up {
             l.stats.drops_down += 1;
+            self.trace.emit_with(|| {
+                TraceEvent::packet_drop(t, comp, DropReason::LinkDown, pid, pflow, psize)
+            });
         } else if lost {
             l.stats.drops_loss += 1;
+            self.trace.emit_with(|| {
+                TraceEvent::packet_drop(t, comp, DropReason::Loss, pid, pflow, psize)
+            });
         } else {
             let jitter = match l.jitter {
                 Jitter::None => SimDuration::ZERO,
@@ -376,6 +443,43 @@ impl SimCtx {
     pub fn link_src(&self, link: LinkId) -> ActorId {
         self.links[link.index()].src
     }
+
+    /// `true` while the flight recorder is capturing events. Instrumented
+    /// actors may use this to skip preparing expensive event operands.
+    #[inline]
+    pub fn trace_enabled(&self) -> bool {
+        self.trace.is_enabled()
+    }
+
+    /// Records the trace event built by `f` when the flight recorder is
+    /// enabled; a no-op (one predictable branch, the closure never runs)
+    /// otherwise. Actors above the engine — protocol endpoints, offload
+    /// pipelines — use this for their own event kinds (class admit/degrade,
+    /// FEC repair, path switch, offload dispatch).
+    #[inline]
+    pub fn trace_with(&mut self, f: impl FnOnce() -> TraceEvent) {
+        self.trace.emit_with(f);
+    }
+
+    /// Takes all recorded trace events in chronological order, leaving the
+    /// recorder enabled and empty. Empty when recording is off.
+    pub fn take_trace(&mut self) -> Vec<TraceEvent> {
+        self.trace.take_events()
+    }
+
+    /// Updates the per-link queue gauges (and the queue-delay series when a
+    /// packet was just dequeued). No-op unless metrics were enabled.
+    #[inline]
+    fn note_queue_metrics(&self, link: LinkId, dequeue_delay_nanos: Option<u64>) {
+        let Some(gauges) = &self.link_gauges else { return };
+        let Some(g) = gauges.get(link.index()) else { return };
+        let l = &self.links[link.index()];
+        g.queue_packets.set(l.queue.len_packets() as f64);
+        g.queue_bytes.set(l.queue.len_bytes() as f64);
+        if let Some(d) = dequeue_delay_nanos {
+            g.queue_delay_ms.observe(self.now.as_nanos(), d as f64 / 1e6);
+        }
+    }
 }
 
 /// The simulator: an event loop over a set of actors and links.
@@ -412,6 +516,8 @@ impl Simulator {
                 current_actor: ActorId(u32::MAX),
                 stopped: false,
                 events_processed: 0,
+                trace: TraceSink::Off,
+                link_gauges: None,
             },
             actors: Vec::new(),
             started: Vec::new(),
@@ -534,6 +640,16 @@ impl Simulator {
                     l.stats.delivered_packets += 1;
                     l.stats.delivered_bytes += u64::from(packet.size);
                     let dst = l.dst;
+                    let (pid, pflow, psize) = (packet.id, packet.flow, packet.size);
+                    self.ctx.trace.emit_with(|| {
+                        TraceEvent::packet_deliver(
+                            time.as_nanos(),
+                            component::link(link.index()),
+                            pid,
+                            pflow,
+                            psize,
+                        )
+                    });
                     self.dispatch_to_actor(dst, Event::Packet { link, packet });
                 }
             }
@@ -566,6 +682,59 @@ impl Simulator {
     /// extract actors once the simulation is finished.
     pub fn take_actor(&mut self, id: ActorId) -> Option<Box<dyn Actor>> {
         self.actors[id.index()].take()
+    }
+
+    /// Enables the flight recorder with a ring of `capacity` events.
+    /// Subsequent engine activity (enqueue/drop/dequeue/deliver, link
+    /// busy/idle) and actor [`SimCtx::trace_with`] calls are recorded.
+    pub fn enable_flight_recorder(&mut self, capacity: usize) {
+        self.ctx.trace = TraceSink::ring(capacity);
+    }
+
+    /// Takes all recorded trace events (see [`SimCtx::take_trace`]).
+    pub fn take_trace(&mut self) -> Vec<TraceEvent> {
+        self.ctx.trace.take_events()
+    }
+
+    /// Registers per-link queue metrics (occupancy gauges and a queue-delay
+    /// time series) in `registry` and keeps them live during the run. Call
+    /// after the topology is built; links added later are not instrumented.
+    pub fn enable_metrics(&mut self, registry: &MetricsRegistry) {
+        let gauges = (0..self.ctx.links.len())
+            .map(|i| LinkGauges {
+                queue_packets: registry.gauge(&format!("sim.link.{i}.queue_packets")),
+                queue_bytes: registry.gauge(&format!("sim.link.{i}.queue_bytes")),
+                // 100 ms buckets: fine enough to see bufferbloat build up,
+                // coarse enough to stay small over multi-minute runs.
+                queue_delay_ms: registry
+                    .time_histogram(&format!("sim.link.{i}.queue_delay_ms"), 100_000_000),
+            })
+            .collect();
+        self.ctx.link_gauges = Some(gauges);
+    }
+
+    /// Publishes each link's cumulative [`LinkStats`] counters into
+    /// `registry` (`sim.link.{i}.{offered,tx,delivered}_{packets,bytes}`,
+    /// `sim.link.{i}.drops_{queue,aqm,loss,down}`). Intended post-run.
+    pub fn publish_link_metrics(&self, registry: &MetricsRegistry) {
+        for (i, l) in self.ctx.links.iter().enumerate() {
+            let st = &l.stats;
+            let add = |name: &str, v: u64| {
+                if v > 0 {
+                    registry.counter(&format!("sim.link.{i}.{name}")).add(v);
+                }
+            };
+            add("offered_packets", st.offered_packets);
+            add("offered_bytes", st.offered_bytes);
+            add("tx_packets", st.tx_packets);
+            add("tx_bytes", st.tx_bytes);
+            add("delivered_packets", st.delivered_packets);
+            add("delivered_bytes", st.delivered_bytes);
+            add("drops_queue", st.drops_queue);
+            add("drops_aqm", st.drops_aqm);
+            add("drops_loss", st.drops_loss);
+            add("drops_down", st.drops_down);
+        }
     }
 }
 

@@ -19,6 +19,12 @@
 //! * **Actor based** — protocol endpoints, traffic sources and middleboxes
 //!   implement [`engine::Actor`] and exchange [`packet::Packet`]s over
 //!   [`link::LinkParams`]-configured links, or direct zero-copy messages for co-located components.
+//! * **Observable** — an optional flight recorder
+//!   ([`engine::Simulator::enable_flight_recorder`]) and metrics registry
+//!   ([`engine::Simulator::enable_metrics`]) from [`marnet_telemetry`]
+//!   (re-exported as [`telemetry`]) capture per-packet queue events and
+//!   occupancy series; both are off by default and cost one predictable
+//!   branch per hook when disabled.
 //!
 //! # Example
 //!
@@ -69,6 +75,7 @@
 pub mod engine;
 mod eventq;
 pub mod hash;
+pub use marnet_telemetry as telemetry;
 pub mod link;
 pub mod packet;
 pub mod queue;

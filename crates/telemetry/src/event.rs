@@ -1,0 +1,473 @@
+//! The compact binary trace event.
+//!
+//! Every recorded event is exactly [`TraceEvent::ENCODED_LEN`] bytes on
+//! disk: time (8) · component (4) · kind (1) · aux (1) · reserved (2) ·
+//! two 64-bit operands whose meaning depends on the kind. Fixed-size
+//! records keep recording allocation-free and make the file format
+//! seekable; packing packet `flow` and `size` into one operand keeps the
+//! record at 32 bytes (flows above 2³²−1 are truncated — simulation flows
+//! are small integers).
+
+use std::fmt;
+
+/// Component-id encoding: links and actors share one `u32` namespace.
+///
+/// Bit 31 distinguishes the two: `0x8000_0000 | index` is a link,
+/// a bare index is an actor. This matches `marnet-sim`'s `LinkId` /
+/// `ActorId` index spaces without depending on that crate.
+pub mod component {
+    /// Flag bit marking a link component.
+    pub const LINK_BIT: u32 = 0x8000_0000;
+
+    /// The component id of link `index`.
+    pub fn link(index: usize) -> u32 {
+        LINK_BIT | (index as u32)
+    }
+
+    /// The component id of actor `index`.
+    pub fn actor(index: usize) -> u32 {
+        index as u32 & !LINK_BIT
+    }
+
+    /// `true` if `comp` names a link.
+    pub fn is_link(comp: u32) -> bool {
+        comp & LINK_BIT != 0
+    }
+
+    /// The raw link or actor index of `comp`.
+    pub fn index(comp: u32) -> usize {
+        (comp & !LINK_BIT) as usize
+    }
+
+    /// Human-readable component label (`link#3` / `actor#7`).
+    pub fn label(comp: u32) -> String {
+        if is_link(comp) {
+            format!("link#{}", index(comp))
+        } else {
+            format!("actor#{}", index(comp))
+        }
+    }
+}
+
+/// What happened. The discriminants are the on-disk encoding; never reuse
+/// or renumber a value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum TraceKind {
+    /// A packet entered a link's transmit queue. `a` = packet id,
+    /// `b` = `flow << 32 | size`, aux = priority band.
+    PacketEnqueue = 0,
+    /// A packet was dropped. `a` = packet id, `b` = `flow << 32 | size`,
+    /// aux = [`DropReason`].
+    PacketDrop = 1,
+    /// A packet left a link's queue for serialization. `a` = packet id,
+    /// `b` = queueing delay in nanoseconds (the bufferbloat signal).
+    PacketDequeue = 2,
+    /// A packet arrived at the far end of a link. `a` = packet id,
+    /// `b` = `flow << 32 | size`.
+    PacketDeliver = 3,
+    /// A link transitioned idle → transmitting. `a` = queued packets,
+    /// `b` = queued bytes (after the dequeue).
+    LinkBusy = 4,
+    /// A link transitioned transmitting → idle. `a`/`b` as [`TraceKind::LinkBusy`].
+    LinkIdle = 5,
+    /// A traffic class admitted a message for transmission.
+    /// aux = class index, `a` = message id, `b` = bytes.
+    ClassAdmit = 6,
+    /// The degradation scheduler shed traffic. aux = severity level,
+    /// `a` = messages shed, `b` = bytes shed.
+    ClassDegrade = 7,
+    /// FEC reconstructed a lost fragment. `a` = message id, `b` = fragment.
+    FecRepair = 8,
+    /// The multipath scheduler moved a class to another path.
+    /// aux = class index, `a` = old path, `b` = new path.
+    PathSwitch = 9,
+    /// A frame/job was dispatched to a remote executor. aux = stream class,
+    /// `a` = job id, `b` = payload bytes.
+    OffloadDispatch = 10,
+}
+
+impl TraceKind {
+    /// All kinds, in discriminant order.
+    pub const ALL: [TraceKind; 11] = [
+        TraceKind::PacketEnqueue,
+        TraceKind::PacketDrop,
+        TraceKind::PacketDequeue,
+        TraceKind::PacketDeliver,
+        TraceKind::LinkBusy,
+        TraceKind::LinkIdle,
+        TraceKind::ClassAdmit,
+        TraceKind::ClassDegrade,
+        TraceKind::FecRepair,
+        TraceKind::PathSwitch,
+        TraceKind::OffloadDispatch,
+    ];
+
+    /// Decodes a discriminant byte.
+    pub fn from_u8(v: u8) -> Option<TraceKind> {
+        TraceKind::ALL.get(v as usize).copied()
+    }
+
+    /// The stable lowercase name used by `marnet-trace --kind`.
+    pub fn name(self) -> &'static str {
+        match self {
+            TraceKind::PacketEnqueue => "enqueue",
+            TraceKind::PacketDrop => "drop",
+            TraceKind::PacketDequeue => "dequeue",
+            TraceKind::PacketDeliver => "deliver",
+            TraceKind::LinkBusy => "busy",
+            TraceKind::LinkIdle => "idle",
+            TraceKind::ClassAdmit => "admit",
+            TraceKind::ClassDegrade => "degrade",
+            TraceKind::FecRepair => "fec-repair",
+            TraceKind::PathSwitch => "path-switch",
+            TraceKind::OffloadDispatch => "offload",
+        }
+    }
+
+    /// Parses a [`TraceKind::name`].
+    pub fn from_name(name: &str) -> Option<TraceKind> {
+        TraceKind::ALL.into_iter().find(|k| k.name() == name)
+    }
+}
+
+impl fmt::Display for TraceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Why a packet was dropped (the `aux` byte of [`TraceKind::PacketDrop`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum DropReason {
+    /// Transmit queue was full (tail drop, or FQ-CoDel fattest-flow drop).
+    QueueFull = 0,
+    /// Active queue management (CoDel control law) dropped at dequeue.
+    Aqm = 1,
+    /// The link's loss model lost the packet in flight.
+    Loss = 2,
+    /// The link was administratively down.
+    LinkDown = 3,
+    /// The sender shed the packet before the network (degradation/stale).
+    Shed = 4,
+}
+
+impl DropReason {
+    /// Decodes an `aux` byte.
+    pub fn from_u8(v: u8) -> Option<DropReason> {
+        [
+            DropReason::QueueFull,
+            DropReason::Aqm,
+            DropReason::Loss,
+            DropReason::LinkDown,
+            DropReason::Shed,
+        ]
+        .get(v as usize)
+        .copied()
+    }
+
+    /// Stable lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            DropReason::QueueFull => "queue-full",
+            DropReason::Aqm => "aqm",
+            DropReason::Loss => "loss",
+            DropReason::LinkDown => "link-down",
+            DropReason::Shed => "shed",
+        }
+    }
+}
+
+/// One recorded event: 32 bytes, fixed layout, little-endian on disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Simulation time in nanoseconds.
+    pub t: u64,
+    /// Component id (see [`component`]).
+    pub comp: u32,
+    /// What happened.
+    pub kind: TraceKind,
+    /// Kind-specific small operand (drop reason, class index, severity).
+    pub aux: u8,
+    /// First 64-bit operand (usually a packet/message id).
+    pub a: u64,
+    /// Second 64-bit operand (packed flow/size, delay, bytes, ...).
+    pub b: u64,
+}
+
+/// Packs a packet's flow and size into one operand.
+fn pack_flow_size(flow: u64, size: u32) -> u64 {
+    (flow << 32) | u64::from(size)
+}
+
+impl TraceEvent {
+    /// Encoded size of one record in bytes.
+    pub const ENCODED_LEN: usize = 32;
+
+    /// A packet-enqueue event on a link.
+    pub fn packet_enqueue(t: u64, comp: u32, id: u64, flow: u64, size: u32, prio: u8) -> Self {
+        TraceEvent {
+            t,
+            comp,
+            kind: TraceKind::PacketEnqueue,
+            aux: prio,
+            a: id,
+            b: pack_flow_size(flow, size),
+        }
+    }
+
+    /// A packet-drop event.
+    pub fn packet_drop(
+        t: u64,
+        comp: u32,
+        reason: DropReason,
+        id: u64,
+        flow: u64,
+        size: u32,
+    ) -> Self {
+        TraceEvent {
+            t,
+            comp,
+            kind: TraceKind::PacketDrop,
+            aux: reason as u8,
+            a: id,
+            b: pack_flow_size(flow, size),
+        }
+    }
+
+    /// A packet-dequeue event carrying the queueing delay in nanoseconds.
+    pub fn packet_dequeue(t: u64, comp: u32, id: u64, delay_nanos: u64) -> Self {
+        TraceEvent { t, comp, kind: TraceKind::PacketDequeue, aux: 0, a: id, b: delay_nanos }
+    }
+
+    /// A packet-delivery event at the far end of a link.
+    pub fn packet_deliver(t: u64, comp: u32, id: u64, flow: u64, size: u32) -> Self {
+        TraceEvent {
+            t,
+            comp,
+            kind: TraceKind::PacketDeliver,
+            aux: 0,
+            a: id,
+            b: pack_flow_size(flow, size),
+        }
+    }
+
+    /// A link busy/idle transition with the remaining queue occupancy.
+    pub fn link_state(t: u64, comp: u32, busy: bool, q_packets: u64, q_bytes: u64) -> Self {
+        TraceEvent {
+            t,
+            comp,
+            kind: if busy { TraceKind::LinkBusy } else { TraceKind::LinkIdle },
+            aux: 0,
+            a: q_packets,
+            b: q_bytes,
+        }
+    }
+
+    /// A class-admit event at a protocol endpoint.
+    pub fn class_admit(t: u64, comp: u32, class: u8, msg_id: u64, bytes: u64) -> Self {
+        TraceEvent { t, comp, kind: TraceKind::ClassAdmit, aux: class, a: msg_id, b: bytes }
+    }
+
+    /// A degradation-shed event at a protocol endpoint.
+    pub fn class_degrade(t: u64, comp: u32, severity: u8, shed_msgs: u64, shed_bytes: u64) -> Self {
+        TraceEvent {
+            t,
+            comp,
+            kind: TraceKind::ClassDegrade,
+            aux: severity,
+            a: shed_msgs,
+            b: shed_bytes,
+        }
+    }
+
+    /// A FEC-repair event.
+    pub fn fec_repair(t: u64, comp: u32, msg_id: u64, fragment: u64) -> Self {
+        TraceEvent { t, comp, kind: TraceKind::FecRepair, aux: 0, a: msg_id, b: fragment }
+    }
+
+    /// A path-switch event.
+    pub fn path_switch(t: u64, comp: u32, class: u8, old_path: u64, new_path: u64) -> Self {
+        TraceEvent { t, comp, kind: TraceKind::PathSwitch, aux: class, a: old_path, b: new_path }
+    }
+
+    /// An offload-dispatch event: a client handed `bytes` of work for
+    /// message `job` (stream class `class`) to the transport for remote
+    /// execution.
+    pub fn offload_dispatch(t: u64, comp: u32, class: u8, job: u64, bytes: u64) -> Self {
+        TraceEvent { t, comp, kind: TraceKind::OffloadDispatch, aux: class, a: job, b: bytes }
+    }
+
+    /// The packet flow id, for kinds whose `b` packs flow and size.
+    pub fn flow(&self) -> u64 {
+        self.b >> 32
+    }
+
+    /// The packet wire size, for kinds whose `b` packs flow and size.
+    pub fn size(&self) -> u32 {
+        self.b as u32
+    }
+
+    /// Encodes the record into its fixed 32-byte little-endian form.
+    pub fn encode(&self) -> [u8; TraceEvent::ENCODED_LEN] {
+        let mut out = [0u8; TraceEvent::ENCODED_LEN];
+        out[0..8].copy_from_slice(&self.t.to_le_bytes());
+        out[8..12].copy_from_slice(&self.comp.to_le_bytes());
+        out[12] = self.kind as u8;
+        out[13] = self.aux;
+        // out[14..16] reserved, zero.
+        out[16..24].copy_from_slice(&self.a.to_le_bytes());
+        out[24..32].copy_from_slice(&self.b.to_le_bytes());
+        out
+    }
+
+    /// Decodes a record, or `None` for a short buffer / unknown kind.
+    pub fn decode(bytes: &[u8]) -> Option<TraceEvent> {
+        if bytes.len() < TraceEvent::ENCODED_LEN {
+            return None;
+        }
+        let kind = TraceKind::from_u8(bytes[12])?;
+        Some(TraceEvent {
+            t: u64::from_le_bytes(bytes[0..8].try_into().ok()?),
+            comp: u32::from_le_bytes(bytes[8..12].try_into().ok()?),
+            kind,
+            aux: bytes[13],
+            a: u64::from_le_bytes(bytes[16..24].try_into().ok()?),
+            b: u64::from_le_bytes(bytes[24..32].try_into().ok()?),
+        })
+    }
+}
+
+impl fmt::Display for TraceEvent {
+    /// One human-readable line, used by `marnet-trace dump`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let t_ms = self.t as f64 / 1e6;
+        let comp = component::label(self.comp);
+        match self.kind {
+            TraceKind::PacketEnqueue => write!(
+                f,
+                "{t_ms:>12.6} ms  {comp:<10} enqueue      pkt {} flow {} size {} prio {}",
+                self.a,
+                self.flow(),
+                self.size(),
+                self.aux
+            ),
+            TraceKind::PacketDrop => {
+                let reason = DropReason::from_u8(self.aux).map_or("?", DropReason::name);
+                write!(
+                    f,
+                    "{t_ms:>12.6} ms  {comp:<10} drop         pkt {} flow {} size {} ({reason})",
+                    self.a,
+                    self.flow(),
+                    self.size()
+                )
+            }
+            TraceKind::PacketDequeue => write!(
+                f,
+                "{t_ms:>12.6} ms  {comp:<10} dequeue      pkt {} qdelay {:.6} ms",
+                self.a,
+                self.b as f64 / 1e6
+            ),
+            TraceKind::PacketDeliver => write!(
+                f,
+                "{t_ms:>12.6} ms  {comp:<10} deliver      pkt {} flow {} size {}",
+                self.a,
+                self.flow(),
+                self.size()
+            ),
+            TraceKind::LinkBusy | TraceKind::LinkIdle => write!(
+                f,
+                "{t_ms:>12.6} ms  {comp:<10} {:<12} queued {} pkts / {} bytes",
+                self.kind.name(),
+                self.a,
+                self.b
+            ),
+            TraceKind::ClassAdmit => write!(
+                f,
+                "{t_ms:>12.6} ms  {comp:<10} admit        class {} msg {} bytes {}",
+                self.aux, self.a, self.b
+            ),
+            TraceKind::ClassDegrade => write!(
+                f,
+                "{t_ms:>12.6} ms  {comp:<10} degrade      severity {} shed {} msgs / {} bytes",
+                self.aux, self.a, self.b
+            ),
+            TraceKind::FecRepair => write!(
+                f,
+                "{t_ms:>12.6} ms  {comp:<10} fec-repair   msg {} fragment {}",
+                self.a, self.b
+            ),
+            TraceKind::PathSwitch => write!(
+                f,
+                "{t_ms:>12.6} ms  {comp:<10} path-switch  class {} path {} -> {}",
+                self.aux, self.a, self.b
+            ),
+            TraceKind::OffloadDispatch => write!(
+                f,
+                "{t_ms:>12.6} ms  {comp:<10} offload      class {} job {} bytes {}",
+                self.aux, self.a, self.b
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn component_encoding_round_trips() {
+        let l = component::link(5);
+        let a = component::actor(5);
+        assert_ne!(l, a);
+        assert!(component::is_link(l));
+        assert!(!component::is_link(a));
+        assert_eq!(component::index(l), 5);
+        assert_eq!(component::index(a), 5);
+        assert_eq!(component::label(l), "link#5");
+        assert_eq!(component::label(a), "actor#5");
+    }
+
+    #[test]
+    fn encode_decode_round_trips_every_kind() {
+        for (i, kind) in TraceKind::ALL.into_iter().enumerate() {
+            let ev = TraceEvent {
+                t: 123_456_789 + i as u64,
+                comp: component::link(i),
+                kind,
+                aux: i as u8,
+                a: 0xdead_beef + i as u64,
+                b: u64::MAX - i as u64,
+            };
+            let bytes = ev.encode();
+            assert_eq!(bytes.len(), TraceEvent::ENCODED_LEN);
+            assert_eq!(TraceEvent::decode(&bytes), Some(ev));
+        }
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert_eq!(TraceEvent::decode(&[0u8; 4]), None);
+        let mut bytes = [0u8; 32];
+        bytes[12] = 250; // unknown kind
+        assert_eq!(TraceEvent::decode(&bytes), None);
+    }
+
+    #[test]
+    fn flow_size_packing() {
+        let ev = TraceEvent::packet_enqueue(1, component::link(0), 9, 77, 1500, 2);
+        assert_eq!(ev.flow(), 77);
+        assert_eq!(ev.size(), 1500);
+        assert_eq!(ev.aux, 2);
+    }
+
+    #[test]
+    fn kind_names_round_trip() {
+        for kind in TraceKind::ALL {
+            assert_eq!(TraceKind::from_name(kind.name()), Some(kind));
+            assert_eq!(TraceKind::from_u8(kind as u8), Some(kind));
+        }
+        assert_eq!(TraceKind::from_name("nope"), None);
+    }
+}

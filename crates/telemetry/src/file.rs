@@ -1,0 +1,122 @@
+//! Binary trace-file container.
+//!
+//! Layout: an 8-byte magic (`MARTRC01`) followed by fixed-size 32-byte
+//! little-endian [`TraceEvent`] records (see [`TraceEvent::encode`]). The
+//! format has no timestamps, hostnames or other ambient state, so two
+//! deterministic runs of the same seed produce byte-identical files —
+//! which is what makes `marnet-trace diff` meaningful.
+//!
+//! Writes go through a `.tmp` file renamed into place, the same atomic
+//! pattern `marnet-lab` uses for artifacts: readers never observe a
+//! half-written trace.
+
+use std::fs;
+use std::io::{self, Write as _};
+use std::path::Path;
+
+use crate::event::TraceEvent;
+
+/// File magic: "MARTRC" + 2-digit format version.
+pub const MAGIC: &[u8; 8] = b"MARTRC01";
+
+/// Encodes `events` into the trace-file byte format (magic + records).
+pub fn encode(events: &[TraceEvent]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(MAGIC.len() + events.len() * TraceEvent::ENCODED_LEN);
+    out.extend_from_slice(MAGIC);
+    for ev in events {
+        out.extend_from_slice(&ev.encode());
+    }
+    out
+}
+
+/// Decodes a trace file's bytes. Rejects a missing/wrong magic, a body
+/// that is not a whole number of records, and records with unknown kinds.
+pub fn decode(bytes: &[u8]) -> io::Result<Vec<TraceEvent>> {
+    let invalid = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+    let body = bytes
+        .strip_prefix(MAGIC.as_slice())
+        .ok_or_else(|| invalid("not a marnet trace file (bad magic; expected MARTRC01)"))?;
+    if body.len() % TraceEvent::ENCODED_LEN != 0 {
+        return Err(invalid("truncated trace file (body is not a whole number of records)"));
+    }
+    let mut events = Vec::with_capacity(body.len() / TraceEvent::ENCODED_LEN);
+    for chunk in body.chunks_exact(TraceEvent::ENCODED_LEN) {
+        events.push(
+            TraceEvent::decode(chunk).ok_or_else(|| invalid("unknown event kind in trace file"))?,
+        );
+    }
+    Ok(events)
+}
+
+/// Writes `events` to `path` atomically (temp file + rename).
+pub fn write_file(path: &Path, events: &[TraceEvent]) -> io::Result<()> {
+    let bytes = encode(events);
+    let tmp = path.with_extension("tmp");
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            fs::create_dir_all(parent)?;
+        }
+    }
+    {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(&bytes)?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp, path)
+}
+
+/// Reads and decodes the trace file at `path`.
+pub fn read_file(path: &Path) -> io::Result<Vec<TraceEvent>> {
+    decode(&fs::read(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{component, DropReason};
+
+    fn sample() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::packet_enqueue(10, component::link(0), 1, 7, 1200, 2),
+            TraceEvent::packet_drop(20, component::link(0), DropReason::QueueFull, 2, 7, 600),
+            TraceEvent::packet_dequeue(30, component::link(0), 1, 20),
+            TraceEvent::packet_deliver(40, component::actor(3), 1, 7, 1200),
+        ]
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let events = sample();
+        let bytes = encode(&events);
+        assert_eq!(bytes.len(), 8 + 4 * TraceEvent::ENCODED_LEN);
+        assert_eq!(decode(&bytes).unwrap(), events);
+    }
+
+    #[test]
+    fn empty_trace_round_trips() {
+        let bytes = encode(&[]);
+        assert_eq!(bytes, MAGIC);
+        assert!(decode(&bytes).unwrap().is_empty());
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_truncation() {
+        assert!(decode(b"NOTATRACE").is_err());
+        assert!(decode(b"").is_err());
+        let mut bytes = encode(&sample());
+        bytes.pop();
+        assert!(decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn file_round_trip_is_byte_identical() {
+        let dir = std::env::temp_dir().join("marnet-telemetry-file-test");
+        let path = dir.join("a.trc");
+        let events = sample();
+        write_file(&path, &events).unwrap();
+        write_file(&dir.join("b.trc"), &events).unwrap();
+        assert_eq!(read_file(&path).unwrap(), events);
+        assert_eq!(fs::read(&path).unwrap(), fs::read(dir.join("b.trc")).unwrap());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

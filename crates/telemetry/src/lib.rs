@@ -1,0 +1,86 @@
+//! # marnet-telemetry — deterministic observability for the marnet suite
+//!
+//! The simulator is deterministic, so its observability layer can be too:
+//! every trace is a pure function of the experiment seed, which turns
+//! determinism from a test assertion into a debugging tool (`marnet-trace
+//! diff` localizes the first divergent event between two runs).
+//!
+//! Three pieces, all zero-overhead when disabled:
+//!
+//! * **Flight recorder** ([`FlightRecorder`], [`TraceSink`]) — a
+//!   fixed-capacity ring buffer of compact 32-byte binary [`TraceEvent`]s
+//!   (packet enqueue/drop/dequeue, link busy/idle, class admit/degrade, FEC
+//!   repair, path switch, offload dispatch) stamped with sim time and a
+//!   component id. The [`Recorder`] trait's disabled implementation
+//!   ([`NullRecorder`]) is a monomorphized no-op; the engine-facing
+//!   [`TraceSink`] compiles the disabled case down to one predictable
+//!   branch per hook.
+//! * **Metrics registry** ([`MetricsRegistry`]) — named counters, gauges
+//!   and sim-time-bucketed histograms with cheap `Cell`-based handles,
+//!   snapshot into a serializable [`MetricsSnapshot`] that `marnet-lab`
+//!   flushes into schema-v2 artifacts.
+//! * **Trace files** ([`file`]) — a small binary container
+//!   (`MARTRC01` magic + fixed-size records) read by the `marnet-trace`
+//!   CLI, which dumps/filters traces, reconstructs per-flow timelines,
+//!   computes queue-delay distributions (the bufferbloat view) and diffs
+//!   two traces.
+//!
+//! This crate sits below `marnet-sim`: times are raw nanoseconds and
+//! components are raw `u32` ids (see [`event::component`]), so every layer
+//! of the stack can record without a dependency cycle.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod event;
+pub mod file;
+pub mod metrics;
+pub mod recorder;
+pub mod usage;
+
+pub use event::{component, DropReason, TraceEvent, TraceKind};
+pub use metrics::{Counter, Gauge, MetricsRegistry, MetricsSnapshot, TimeBucket, TimeHistogram};
+pub use recorder::{FlightRecorder, NullRecorder, Recorder, TraceSink};
+pub use usage::ClassUsage;
+
+/// Default flight-recorder ring capacity used by CLI `--trace` flags:
+/// 2^20 events = 32 MiB, enough to hold every event of the stock
+/// experiment binaries without wrapping.
+pub const DEFAULT_TRACE_CAPACITY: usize = 1 << 20;
+
+/// What a scenario should capture, threaded from CLI flags down to the
+/// simulator. Both knobs default to off so instrumented code paths are
+/// byte-identical to the uninstrumented ones unless explicitly asked.
+#[derive(Debug, Clone, Default)]
+pub struct TelemetryOptions {
+    /// Flight-recorder ring capacity in events; `None` disables tracing.
+    pub trace_capacity: Option<usize>,
+    /// Whether to register and snapshot metrics.
+    pub metrics: bool,
+}
+
+impl TelemetryOptions {
+    /// Everything off — the default for existing callers.
+    pub fn disabled() -> Self {
+        TelemetryOptions::default()
+    }
+
+    /// Tracing on with the given ring capacity, metrics on.
+    pub fn full(trace_capacity: usize) -> Self {
+        TelemetryOptions { trace_capacity: Some(trace_capacity), metrics: true }
+    }
+
+    /// `true` if any capture is requested.
+    pub fn any(&self) -> bool {
+        self.trace_capacity.is_some() || self.metrics
+    }
+}
+
+/// What an instrumented scenario run captured.
+#[derive(Debug, Clone, Default)]
+pub struct TelemetryCapture {
+    /// Recorded trace events in chronological order (empty when disabled).
+    pub events: Vec<TraceEvent>,
+    /// Metrics snapshot, when metrics were requested.
+    pub metrics: Option<MetricsSnapshot>,
+}

@@ -1,0 +1,305 @@
+//! Metrics registry: named counters, gauges and sim-time-bucketed
+//! histograms.
+//!
+//! The registry is shared as `Rc<MetricsRegistry>`; registering a metric
+//! hands back a cheap handle ([`Counter`], [`Gauge`], [`TimeHistogram`])
+//! that instrumented code updates directly — no name lookup on the hot
+//! path, just a `Cell` store (counters/gauges) or a `RefCell` borrow
+//! (histograms). A [`MetricsSnapshot`] freezes everything into sorted maps
+//! for serialization into `marnet-lab` artifacts.
+//!
+//! Registration is get-or-create by name, so two components naming the same
+//! metric share one cell. Names use dotted paths (`"sim.link.0.drops"`).
+
+use std::cell::{Cell, RefCell};
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use serde::{Deserialize, Serialize};
+
+/// A monotonically increasing `u64` counter handle.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Rc<Cell<u64>>);
+
+impl Counter {
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.set(self.0.get().wrapping_add(n));
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.0.get()
+    }
+}
+
+/// A last-value-wins `f64` gauge handle.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Rc<Cell<f64>>);
+
+impl Gauge {
+    /// Sets the gauge.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.0.set(v);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> f64 {
+        self.0.get()
+    }
+}
+
+#[derive(Debug, Default)]
+struct HistogramInner {
+    /// bucket index (start = index * width) -> accumulator
+    buckets: BTreeMap<u64, BucketAcc>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct BucketAcc {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+/// A sim-time-bucketed histogram handle: observations are grouped into
+/// fixed-width time buckets, each keeping count/sum/min/max. This is the
+/// "metric over sim time" primitive — cwnd evolution, RTT samples, queue
+/// delay — at bounded memory regardless of sample rate.
+#[derive(Debug, Clone)]
+pub struct TimeHistogram {
+    inner: Rc<RefCell<HistogramInner>>,
+    bucket_nanos: u64,
+}
+
+impl TimeHistogram {
+    /// Records `value` at sim time `t_nanos`.
+    pub fn observe(&self, t_nanos: u64, value: f64) {
+        let idx = t_nanos / self.bucket_nanos;
+        let mut inner = self.inner.borrow_mut();
+        match inner.buckets.get_mut(&idx) {
+            Some(acc) => {
+                acc.count += 1;
+                acc.sum += value;
+                if value < acc.min {
+                    acc.min = value;
+                }
+                if value > acc.max {
+                    acc.max = value;
+                }
+            }
+            None => {
+                inner
+                    .buckets
+                    .insert(idx, BucketAcc { count: 1, sum: value, min: value, max: value });
+            }
+        }
+    }
+
+    /// The configured bucket width in nanoseconds.
+    pub fn bucket_nanos(&self) -> u64 {
+        self.bucket_nanos
+    }
+
+    fn to_buckets(&self) -> Vec<TimeBucket> {
+        self.inner
+            .borrow()
+            .buckets
+            .iter()
+            .map(|(idx, acc)| TimeBucket {
+                start_nanos: idx * self.bucket_nanos,
+                count: acc.count,
+                sum: acc.sum,
+                min: acc.min,
+                max: acc.max,
+            })
+            .collect()
+    }
+}
+
+/// One frozen time bucket of a [`TimeHistogram`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimeBucket {
+    /// Bucket start, in sim nanoseconds.
+    pub start_nanos: u64,
+    /// Observations that fell in this bucket.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: f64,
+    /// Smallest observed value.
+    pub min: f64,
+    /// Largest observed value.
+    pub max: f64,
+}
+
+impl TimeBucket {
+    /// Mean of the observations in this bucket.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// A registry of named metrics, shared as `Rc<MetricsRegistry>`.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: RefCell<BTreeMap<String, Counter>>,
+    gauges: RefCell<BTreeMap<String, Gauge>>,
+    series: RefCell<BTreeMap<String, TimeHistogram>>,
+}
+
+impl MetricsRegistry {
+    /// A fresh shared registry.
+    pub fn new() -> Rc<MetricsRegistry> {
+        Rc::new(MetricsRegistry::default())
+    }
+
+    /// Gets or creates the counter named `name`.
+    pub fn counter(&self, name: &str) -> Counter {
+        self.counters.borrow_mut().entry(name.to_string()).or_default().clone()
+    }
+
+    /// Gets or creates the gauge named `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        self.gauges.borrow_mut().entry(name.to_string()).or_default().clone()
+    }
+
+    /// Gets or creates the time histogram named `name` with the given
+    /// bucket width (min 1 ns). The width of the first registration wins.
+    pub fn time_histogram(&self, name: &str, bucket_nanos: u64) -> TimeHistogram {
+        self.series
+            .borrow_mut()
+            .entry(name.to_string())
+            .or_insert_with(|| TimeHistogram {
+                inner: Rc::new(RefCell::new(HistogramInner::default())),
+                bucket_nanos: bucket_nanos.max(1),
+            })
+            .clone()
+    }
+
+    /// Freezes every registered metric into a serializable snapshot.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self.counters.borrow().iter().map(|(k, v)| (k.clone(), v.get())).collect(),
+            gauges: self.gauges.borrow().iter().map(|(k, v)| (k.clone(), v.get())).collect(),
+            series: self.series.borrow().iter().map(|(k, v)| (k.clone(), v.to_buckets())).collect(),
+        }
+    }
+}
+
+/// A frozen, serializable view of a [`MetricsRegistry`]. Maps are sorted by
+/// name, so snapshots of identical runs are byte-identical on disk.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Time-series buckets by name.
+    pub series: BTreeMap<String, Vec<TimeBucket>>,
+}
+
+impl MetricsSnapshot {
+    /// `true` if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.series.is_empty()
+    }
+
+    /// Merges `other` into `self`: counters add, gauges take the later
+    /// value, series concatenate bucket lists (used by `marnet-lab` when a
+    /// run has several trials; per-trial series keep their own buckets).
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.gauges {
+            self.gauges.insert(k.clone(), *v);
+        }
+        for (k, v) in &other.series {
+            self.series.entry(k.clone()).or_default().extend(v.iter().cloned());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_share_by_name() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("x.count");
+        let b = reg.counter("x.count");
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3);
+        let g = reg.gauge("x.level");
+        g.set(1.5);
+        assert_eq!(reg.gauge("x.level").get(), 1.5);
+    }
+
+    #[test]
+    fn histogram_buckets_by_time() {
+        let reg = MetricsRegistry::new();
+        let h = reg.time_histogram("rtt", 1_000);
+        h.observe(0, 10.0);
+        h.observe(999, 30.0);
+        h.observe(1_000, 5.0);
+        let snap = reg.snapshot();
+        let buckets = &snap.series["rtt"];
+        assert_eq!(buckets.len(), 2);
+        assert_eq!(buckets[0].start_nanos, 0);
+        assert_eq!(buckets[0].count, 2);
+        assert_eq!(buckets[0].mean(), 20.0);
+        assert_eq!(buckets[0].min, 10.0);
+        assert_eq!(buckets[0].max, 30.0);
+        assert_eq!(buckets[1].start_nanos, 1_000);
+        assert_eq!(buckets[1].count, 1);
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_serde() {
+        let reg = MetricsRegistry::new();
+        reg.counter("a").add(7);
+        reg.gauge("b").set(2.25);
+        reg.time_histogram("c", 500).observe(1_250, 3.0);
+        let snap = reg.snapshot();
+        let value = snap.serialize_value();
+        let back = MetricsSnapshot::deserialize_value(&value).expect("round trip");
+        assert_eq!(snap, back);
+    }
+
+    #[test]
+    fn merge_adds_counters_and_concatenates_series() {
+        let reg_a = MetricsRegistry::new();
+        reg_a.counter("n").add(1);
+        reg_a.time_histogram("s", 100).observe(0, 1.0);
+        let reg_b = MetricsRegistry::new();
+        reg_b.counter("n").add(2);
+        reg_b.time_histogram("s", 100).observe(50, 2.0);
+        let mut merged = reg_a.snapshot();
+        merged.merge(&reg_b.snapshot());
+        assert_eq!(merged.counters["n"], 3);
+        assert_eq!(merged.series["s"].len(), 2);
+    }
+
+    #[test]
+    fn zero_bucket_width_is_clamped() {
+        let reg = MetricsRegistry::new();
+        let h = reg.time_histogram("z", 0);
+        h.observe(3, 1.0); // must not divide by zero
+        assert_eq!(h.bucket_nanos(), 1);
+    }
+}

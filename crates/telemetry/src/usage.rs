@@ -1,0 +1,159 @@
+//! Shared per-class byte/packet accounting.
+//!
+//! [`ClassUsage`] replaces the ad-hoc `*_by_kind` / `dropped_bytes`
+//! bookkeeping that used to be duplicated between the core endpoint (per
+//! stream kind) and the transport NIC (per priority band). Indexing is by
+//! plain `usize` class index, so the same type serves both: the endpoint
+//! uses `ClassUsage<6>` indexed by `StreamKind as usize`, the NIC
+//! `ClassUsage<4>` indexed by priority band.
+//!
+//! The arrays are plain `u64`s updated through `&mut self` — recording
+//! costs two adds, no interior mutability, no allocation — and
+//! [`ClassUsage::publish`] copies the totals into a [`MetricsRegistry`]
+//! after a run when metrics are requested.
+
+use crate::metrics::MetricsRegistry;
+
+/// Per-class sent/dropped packet and byte totals for `N` classes.
+///
+/// Out-of-range class indices are clamped to the last class so accounting
+/// totals stay exact even for unexpected inputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClassUsage<const N: usize> {
+    /// Packets sent per class.
+    pub sent_packets: [u64; N],
+    /// Bytes sent per class.
+    pub sent_bytes: [u64; N],
+    /// Packets dropped (or shed) per class.
+    pub dropped_packets: [u64; N],
+    /// Bytes dropped (or shed) per class.
+    pub dropped_bytes: [u64; N],
+}
+
+impl<const N: usize> Default for ClassUsage<N> {
+    fn default() -> Self {
+        ClassUsage {
+            sent_packets: [0; N],
+            sent_bytes: [0; N],
+            dropped_packets: [0; N],
+            dropped_bytes: [0; N],
+        }
+    }
+}
+
+impl<const N: usize> ClassUsage<N> {
+    /// An all-zero usage table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    fn idx(class: usize) -> usize {
+        class.min(N - 1)
+    }
+
+    /// Records one sent packet of `bytes` in `class`.
+    #[inline]
+    pub fn record_sent(&mut self, class: usize, bytes: u64) {
+        let i = Self::idx(class);
+        self.sent_packets[i] += 1;
+        self.sent_bytes[i] += bytes;
+    }
+
+    /// Records one dropped (or shed) packet of `bytes` in `class`.
+    #[inline]
+    pub fn record_dropped(&mut self, class: usize, bytes: u64) {
+        let i = Self::idx(class);
+        self.dropped_packets[i] += 1;
+        self.dropped_bytes[i] += bytes;
+    }
+
+    /// Total bytes sent across all classes.
+    pub fn total_sent_bytes(&self) -> u64 {
+        self.sent_bytes.iter().sum()
+    }
+
+    /// Total packets sent across all classes.
+    pub fn total_sent_packets(&self) -> u64 {
+        self.sent_packets.iter().sum()
+    }
+
+    /// Total bytes dropped across all classes.
+    pub fn total_dropped_bytes(&self) -> u64 {
+        self.dropped_bytes.iter().sum()
+    }
+
+    /// Total packets dropped across all classes.
+    pub fn total_dropped_packets(&self) -> u64 {
+        self.dropped_packets.iter().sum()
+    }
+
+    /// Copies the totals into `registry` as counters named
+    /// `{prefix}.{label}.{sent,dropped}_{packets,bytes}`, using
+    /// `labels[i]` for class `i` (falling back to the class index when
+    /// `labels` is short).
+    pub fn publish(&self, registry: &MetricsRegistry, prefix: &str, labels: &[&str]) {
+        for i in 0..N {
+            let label = labels.get(i).map_or_else(|| i.to_string(), |l| (*l).to_string());
+            let add = |metric: &str, v: u64| {
+                if v > 0 {
+                    registry.counter(&format!("{prefix}.{label}.{metric}")).add(v);
+                }
+            };
+            add("sent_packets", self.sent_packets[i]);
+            add("sent_bytes", self.sent_bytes[i]);
+            add("dropped_packets", self.dropped_packets[i]);
+            add("dropped_bytes", self.dropped_bytes[i]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_totals() {
+        let mut u = ClassUsage::<4>::new();
+        u.record_sent(0, 100);
+        u.record_sent(0, 50);
+        u.record_sent(3, 10);
+        u.record_dropped(1, 7);
+        assert_eq!(u.sent_packets, [2, 0, 0, 1]);
+        assert_eq!(u.sent_bytes, [150, 0, 0, 10]);
+        assert_eq!(u.total_sent_bytes(), 160);
+        assert_eq!(u.total_sent_packets(), 3);
+        assert_eq!(u.total_dropped_bytes(), 7);
+        assert_eq!(u.total_dropped_packets(), 1);
+    }
+
+    #[test]
+    fn out_of_range_class_clamps_to_last() {
+        let mut u = ClassUsage::<2>::new();
+        u.record_sent(99, 5);
+        assert_eq!(u.sent_bytes, [0, 5]);
+    }
+
+    #[test]
+    fn publish_writes_named_counters_skipping_zeroes() {
+        let mut u = ClassUsage::<2>::new();
+        u.record_sent(0, 100);
+        u.record_dropped(1, 30);
+        let reg = MetricsRegistry::new();
+        u.publish(&reg, "core.class", &["meta", "bulk"]);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters["core.class.meta.sent_bytes"], 100);
+        assert_eq!(snap.counters["core.class.meta.sent_packets"], 1);
+        assert_eq!(snap.counters["core.class.bulk.dropped_bytes"], 30);
+        assert!(!snap.counters.contains_key("core.class.bulk.sent_bytes"));
+    }
+
+    #[test]
+    fn publish_falls_back_to_index_labels() {
+        let mut u = ClassUsage::<2>::new();
+        u.record_sent(1, 1);
+        let reg = MetricsRegistry::new();
+        u.publish(&reg, "nic.band", &[]);
+        assert_eq!(reg.snapshot().counters["nic.band.1.sent_bytes"], 1);
+    }
+}

@@ -10,6 +10,19 @@ use marnet_sim::engine::{Actor, ActorId, Event, SimCtx};
 use marnet_sim::hash::FxHashMap;
 use marnet_sim::link::LinkId;
 use marnet_sim::packet::{Packet, Payload};
+use marnet_telemetry::{ClassUsage, MetricsRegistry};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Number of priority bands a [`Nic`] accounts separately. Packets with
+/// `prio >= NIC_PRIO_BANDS` are clamped into the last band.
+pub const NIC_PRIO_BANDS: usize = 4;
+
+/// Metric labels for the NIC priority bands.
+pub const NIC_BAND_LABELS: [&str; NIC_PRIO_BANDS] = ["prio0", "prio1", "prio2", "prio3"];
+
+/// Shared handle to a NIC's per-priority-band usage accounting.
+pub type SharedNicUsage = Rc<RefCell<ClassUsage<NIC_PRIO_BANDS>>>;
 
 /// Where an endpoint sends its packets: directly onto a link, or via a
 /// shared [`Nic`].
@@ -61,12 +74,15 @@ pub struct Nic {
     /// deterministic multiply-rotate hasher keeps that probe off the
     /// SipHash setup cost.
     routes: FxHashMap<u64, ActorId>,
+    /// Per-priority-band accounting: bytes/packets forwarded onto the WAN
+    /// link ("sent") and arrivals discarded for lack of a route ("dropped").
+    usage: SharedNicUsage,
 }
 
 impl Nic {
     /// Creates a NIC transmitting on `wan`.
     pub fn new(wan: LinkId) -> Self {
-        Nic { wan, routes: FxHashMap::default() }
+        Nic { wan, routes: FxHashMap::default(), usage: Rc::new(RefCell::new(ClassUsage::new())) }
     }
 
     /// Registers `endpoint` to receive packets whose flow id is `flow`,
@@ -81,6 +97,18 @@ impl Nic {
     pub fn add_route(&mut self, flow: u64, endpoint: ActorId) {
         self.routes.insert(flow, endpoint);
     }
+
+    /// Shared handle to the per-band usage accounting; keep a clone to
+    /// inspect (or [`ClassUsage::publish`]) after handing the NIC to the
+    /// simulator.
+    pub fn usage(&self) -> SharedNicUsage {
+        Rc::clone(&self.usage)
+    }
+
+    /// Publishes this NIC's usage counters as `{prefix}.{band}.{metric}`.
+    pub fn publish_usage(&self, registry: &MetricsRegistry, prefix: &str) {
+        self.usage.borrow().publish(registry, prefix, &NIC_BAND_LABELS);
+    }
 }
 
 impl Actor for Nic {
@@ -88,15 +116,20 @@ impl Actor for Nic {
         match ev {
             Event::Message { mut msg, .. } => {
                 if let Some(NicForward(pkt)) = msg.take::<NicForward>() {
+                    self.usage.borrow_mut().record_sent(usize::from(pkt.prio), u64::from(pkt.size));
                     ctx.transmit(self.wan, pkt);
                 }
             }
             Event::Packet { packet, .. } => {
                 if let Some(&dst) = self.routes.get(&packet.flow) {
                     ctx.send_message(dst, Payload::new(NicDeliver(packet)));
+                } else {
+                    // Unroutable packets are dropped, like a host without a
+                    // matching socket — but the discard is accounted.
+                    self.usage
+                        .borrow_mut()
+                        .record_dropped(usize::from(packet.prio), u64::from(packet.size));
                 }
-                // Unroutable packets are dropped silently, like a host
-                // without a matching socket.
             }
             _ => {}
         }
@@ -152,15 +185,25 @@ mod tests {
             nic_b,
             LinkParams::new(Bandwidth::from_mbps(10.0), SimDuration::from_millis(1)),
         );
-        sim.install_actor(nic_a, Nic::new(l));
+        let tx_nic = Nic::new(l);
+        let tx_usage = tx_nic.usage();
+        sim.install_actor(nic_a, tx_nic);
         // nic_b never transmits in this test; give it the same link id.
-        sim.install_actor(nic_b, Nic::new(l).with_route(7, e1).with_route(8, e2));
+        let rx_nic = Nic::new(l).with_route(7, e1).with_route(8, e2);
+        let rx_usage = rx_nic.usage();
+        sim.install_actor(nic_b, rx_nic);
         sim.add_actor(Injector { nic: nic_a, flow: 7 });
         sim.add_actor(Injector { nic: nic_a, flow: 8 });
         sim.add_actor(Injector { nic: nic_a, flow: 99 }); // unroutable
         sim.run_until(SimTime::from_secs(1));
         assert_eq!(got1.borrow().len(), 1);
         assert_eq!(got2.borrow().len(), 1);
+        // All three injected packets crossed the WAN; exactly the unroutable
+        // one was discarded at the far side.
+        assert_eq!(tx_usage.borrow().total_sent_packets(), 3);
+        assert_eq!(tx_usage.borrow().total_sent_bytes(), 1500);
+        assert_eq!(rx_usage.borrow().total_dropped_packets(), 1);
+        assert_eq!(rx_usage.borrow().total_dropped_bytes(), 500);
     }
 
     #[test]

@@ -10,6 +10,7 @@ use marnet_sim::engine::{Actor, Event, SimCtx};
 use marnet_sim::packet::Packet;
 use marnet_sim::stats::Histogram;
 use marnet_sim::time::{SimDuration, SimTime};
+use marnet_telemetry::{MetricsRegistry, TimeHistogram};
 use std::cell::RefCell;
 use std::rc::Rc;
 
@@ -45,6 +46,7 @@ pub struct ProbeClient {
     count: u64,
     next_seq: u64,
     stats: Rc<RefCell<ProbeStats>>,
+    rtt_series: Option<TimeHistogram>,
 }
 
 impl ProbeClient {
@@ -64,7 +66,18 @@ impl ProbeClient {
             count,
             next_seq: 0,
             stats: Rc::new(RefCell::new(ProbeStats::default())),
+            rtt_series: None,
         }
+    }
+
+    /// Also publishes every RTT sample (milliseconds) into `registry` as the
+    /// sim-time-bucketed series `transport.probe.{name}.rtt_ms`, builder
+    /// style.
+    #[must_use]
+    pub fn with_rtt_series(mut self, registry: &MetricsRegistry, name: &str) -> Self {
+        self.rtt_series =
+            Some(registry.time_histogram(&format!("transport.probe.{name}.rtt_ms"), 100_000_000));
+        self
     }
 
     /// Shared handle to the collected samples.
@@ -101,6 +114,9 @@ impl Actor for ProbeClient {
                             let mut st = self.stats.borrow_mut();
                             st.received += 1;
                             st.rtt_ms.record(rtt.as_millis_f64());
+                            if let Some(series) = &self.rtt_series {
+                                series.observe(ctx.now().as_nanos(), rtt.as_millis_f64());
+                            }
                         }
                     }
                 }

@@ -105,7 +105,7 @@ fn main() {
          deadline-hit ratio {:.1}%",
         tx.retransmits,
         tx.parity_sent,
-        tx.dropped_bytes,
+        tx.dropped_bytes(),
         rx.deadline_hit_ratio() * 100.0
     );
 }

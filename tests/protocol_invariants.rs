@@ -104,11 +104,7 @@ fn critical_metadata_survives_loss_and_congestion() {
         meta.delivered
     );
     let s = sstats.borrow();
-    assert_eq!(
-        s.dropped_by_kind.get(&StreamKind::Metadata).copied().unwrap_or(0),
-        0,
-        "metadata must never be shed"
-    );
+    assert_eq!(s.dropped_msgs(StreamKind::Metadata), 0, "metadata must never be shed");
 }
 
 #[test]
