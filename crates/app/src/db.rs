@@ -10,7 +10,7 @@
 use marnet_sim::time::SimDuration;
 use rand::Rng;
 use rand_chacha::ChaCha12Rng;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 /// Identifier of a virtual object / reference image.
 pub type ObjectId = u64;
@@ -22,7 +22,7 @@ pub struct LruCache {
     used_bytes: u64,
     /// Most recent at the back.
     order: VecDeque<ObjectId>,
-    sizes: HashMap<ObjectId, u64>,
+    sizes: BTreeMap<ObjectId, u64>,
     hits: u64,
     misses: u64,
 }
@@ -34,7 +34,7 @@ impl LruCache {
             capacity_bytes,
             used_bytes: 0,
             order: VecDeque::new(),
-            sizes: HashMap::new(),
+            sizes: BTreeMap::new(),
             hits: 0,
             misses: 0,
         }

@@ -213,6 +213,7 @@ pub fn run_table2_instrumented(
 // ---------------------------------------------------------------------------
 
 /// Outcome of the Fig. 3 experiment.
+#[derive(Debug)]
 pub struct Fig3Outcome {
     /// Download goodput stats (its meter holds the timeline).
     pub download: Rc<RefCell<TcpReceiverStats>>,
@@ -293,6 +294,7 @@ pub fn run_fig3(
 // ---------------------------------------------------------------------------
 
 /// Outcome of a fairness run.
+#[derive(Debug)]
 pub struct FairnessOutcome {
     /// AR receiver stats (bytes arrived at the far end).
     pub ar: Rc<RefCell<ArReceiverStats>>,
@@ -408,6 +410,7 @@ pub fn run_fairness(
 // ---------------------------------------------------------------------------
 
 /// Outcome of a queueing-policy run.
+#[derive(Debug)]
 pub struct QueueingOutcome {
     /// MAR stream sink stats (one-way latency histogram).
     pub mar: Rc<RefCell<UdpSinkStats>>,
@@ -697,6 +700,7 @@ pub fn run_recovery_instrumented(
 // ---------------------------------------------------------------------------
 
 /// Outcome of a multipath-policy commute run.
+#[derive(Debug)]
 pub struct MultipathOutcome {
     /// Receiver stats (deliveries, deadline ratio).
     pub receiver: Rc<RefCell<ArReceiverStats>>,

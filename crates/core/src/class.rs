@@ -211,6 +211,7 @@ impl<V> KindMap<V> {
 }
 
 /// Iterator over present `(kind, value)` pairs in enum order.
+#[derive(Debug)]
 pub struct KindMapIter<'a, V> {
     slots: &'a [Option<V>; ALL_STREAM_KINDS.len()],
     pos: usize,

@@ -127,7 +127,7 @@ impl ArSenderStats {
 
     /// Bytes handed to the network for `kind`.
     pub fn sent_bytes(&self, kind: StreamKind) -> u64 {
-        self.usage.sent_bytes[kind as usize]
+        self.usage.sent_bytes_for(kind as usize)
     }
 
     /// Total bytes handed to the network across all sub-streams.
@@ -137,7 +137,7 @@ impl ArSenderStats {
 
     /// Messages shed by the degradation scheduler for `kind`.
     pub fn dropped_msgs(&self, kind: StreamKind) -> u64 {
-        self.usage.dropped_packets[kind as usize]
+        self.usage.dropped_packets_for(kind as usize)
     }
 
     /// Total bytes shed by the degradation scheduler.
@@ -150,6 +150,25 @@ impl ArSenderStats {
     pub fn publish_usage(&self, registry: &MetricsRegistry, prefix: &str) {
         self.usage.publish(registry, prefix, &STREAM_KIND_LABELS);
     }
+}
+
+/// Resolves a path index to the sender-side path state.
+///
+/// Free functions over the `paths` field (rather than `&mut self`
+/// methods) so call sites keep disjoint borrows of the other
+/// [`ArSender`] fields, and so the indexing invariant lives in exactly
+/// one place.
+#[inline]
+fn sender_path(paths: &[SenderPath], idx: usize) -> &SenderPath {
+    // marnet-lint: allow(panic-path): path indices come from the multipath scheduler, whose snapshots are sized by `paths`
+    &paths[idx]
+}
+
+/// Mutable counterpart of [`sender_path`].
+#[inline]
+fn sender_path_mut(paths: &mut [SenderPath], idx: usize) -> &mut SenderPath {
+    // marnet-lint: allow(panic-path): path indices come from the multipath scheduler, whose snapshots are sized by `paths`
+    &mut paths[idx]
 }
 
 /// The sending endpoint of the AR protocol.
@@ -240,11 +259,11 @@ impl ArSender {
     ///
     /// Panics if `idx` is out of range.
     pub fn path_controller(&self, idx: usize) -> &DelayCongestionController {
-        &self.paths[idx].ctrl
+        &sender_path(&self.paths, idx).ctrl
     }
 
     fn path_up(&self, ctx: &SimCtx, idx: usize) -> bool {
-        match self.paths[idx].cfg.link {
+        match sender_path(&self.paths, idx).cfg.link {
             Some(l) => ctx.link_is_up(l),
             None => true,
         }
@@ -276,8 +295,9 @@ impl ArSender {
         budget_exempt: bool,
         attempts: u32,
     ) {
-        let seq = self.paths[path_idx].next_seq;
-        self.paths[path_idx].next_seq += 1;
+        let p = sender_path_mut(&mut self.paths, path_idx);
+        let seq = p.next_seq;
+        p.next_seq += 1;
         // Headers always ride outside the payload budget; exempt sends
         // (retransmissions, multipath duplicates) charge their full size.
         self.wire_debt += if budget_exempt {
@@ -291,9 +311,10 @@ impl ArSender {
             && msg.class == TrafficClass::BestEffortWithRecovery
             && self.cfg.fec_group.is_some()
         {
-            let group = self.paths[path_idx].fec_group;
+            let p = sender_path_mut(&mut self.paths, path_idx);
+            let group = p.fec_group;
             let fid = FragmentId { seq, msg_id: msg.id, frag_index };
-            self.paths[path_idx].fec_accum.push((fid, frag_size));
+            p.fec_accum.push((fid, frag_size));
             // Data packets carry only the group id; the coverage list rides
             // on the parity packet alone (`Vec::new` does not allocate).
             Some(FecInfo { group, covered: Vec::new(), is_parity: false })
@@ -329,14 +350,14 @@ impl ArSender {
             let (class, mid, bytes) = (msg.kind as u8, msg.id, u64::from(size));
             ctx.trace_with(|| TraceEvent::class_admit(t, comp, class, mid, bytes));
         }
-        self.paths[path_idx].cfg.tx.send(ctx, pkt);
+        sender_path(&self.paths, path_idx).cfg.tx.send(ctx, pkt);
 
         {
             let mut st = self.stats.borrow_mut();
             st.usage.record_sent(msg.kind as usize, u64::from(size));
             let now = ctx.now();
             st.meter(msg.kind).record(now, u64::from(size));
-            if self.paths[path_idx].cfg.role == PathRole::Cellular {
+            if sender_path(&self.paths, path_idx).cfg.role == PathRole::Cellular {
                 st.cellular_bytes += u64::from(size);
             }
             if is_retransmit {
@@ -365,18 +386,19 @@ impl ArSender {
 
         // Emit parity when the group is full.
         if let Some(k) = self.cfg.fec_group {
-            if self.paths[path_idx].fec_accum.len() >= k {
+            if sender_path(&self.paths, path_idx).fec_accum.len() >= k {
                 self.emit_parity(ctx, path_idx);
             }
         }
     }
 
     fn emit_parity(&mut self, ctx: &mut SimCtx, path_idx: usize) {
-        let p = &mut self.paths[path_idx];
+        let p = sender_path_mut(&mut self.paths, path_idx);
         if p.fec_accum.is_empty() {
             return;
         }
         let covered: Vec<FragmentId> = p.fec_accum.iter().map(|(f, _)| *f).collect();
+        // marnet-lint: allow(panic-path): fec_accum was checked non-empty just above
         let max_size = p.fec_accum.iter().map(|(_, s)| *s).max().expect("non-empty");
         let group = p.fec_group;
         p.fec_group += 1;
@@ -405,7 +427,7 @@ impl ArSender {
         let pkt = Packet::new(id, self.conn, max_size + AR_HEADER_BYTES, ctx.now())
             .with_prio(1)
             .with_payload(ar);
-        self.paths[path_idx].cfg.tx.send(ctx, pkt);
+        sender_path(&self.paths, path_idx).cfg.tx.send(ctx, pkt);
         self.wire_debt += f64::from(max_size + AR_HEADER_BYTES);
         self.stats.borrow_mut().parity_sent += 1;
     }
@@ -422,18 +444,19 @@ impl ArSender {
             };
             // Shed droppable messages that went stale inside the pacer.
             if front.msg.is_late(ctx.now()) && front.msg.priority.can_drop() {
-                let p = self.pacer.pop_front().expect("front exists");
-                self.stats
-                    .borrow_mut()
-                    .usage
-                    .record_dropped(p.msg.kind as usize, u64::from(p.msg.size));
-                self.dropped_since_signal += u64::from(p.msg.size);
-                let t = ctx.now().as_nanos();
-                let comp = component::actor(ctx.self_id().index());
-                let (mid, flow, msize) = (p.msg.id, self.conn, p.msg.size);
-                ctx.trace_with(|| {
-                    TraceEvent::packet_drop(t, comp, DropReason::Shed, mid, flow, msize)
-                });
+                if let Some(p) = self.pacer.pop_front() {
+                    self.stats
+                        .borrow_mut()
+                        .usage
+                        .record_dropped(p.msg.kind as usize, u64::from(p.msg.size));
+                    self.dropped_since_signal += u64::from(p.msg.size);
+                    let t = ctx.now().as_nanos();
+                    let comp = component::actor(ctx.self_id().index());
+                    let (mid, flow, msize) = (p.msg.id, self.conn, p.msg.size);
+                    ctx.trace_with(|| {
+                        TraceEvent::packet_drop(t, comp, DropReason::Shed, mid, flow, msize)
+                    });
+                }
                 continue;
             }
             let frag_count = front.msg.fragment_count(self.cfg.mtu);
@@ -466,8 +489,9 @@ impl ArSender {
                 // No policy-compatible path up: requeue with the scheduler
                 // and try again when paths return. Fragments already sent
                 // are deduplicated by the receiver's assembly state.
-                let p = self.pacer.pop_front().expect("front exists");
-                self.sched.submit(p.msg);
+                if let Some(p) = self.pacer.pop_front() {
+                    self.sched.submit(p.msg);
+                }
                 continue;
             }
             // Aggregate allowed rate, read *before* sending so the spacing
@@ -480,7 +504,10 @@ impl ArSender {
                 .map(|(_, p)| p.ctrl.rate_bytes_per_sec())
                 .sum::<f64>()
                 .max(1.0);
-            let front = self.pacer.front_mut().expect("front exists");
+            let Some(front) = self.pacer.front_mut() else {
+                self.pacing = false;
+                return;
+            };
             front.picks = Some(picks);
             let frag_index = front.next_frag;
             front.next_frag += 1;
@@ -589,10 +616,14 @@ impl ArSender {
         }
         if let Some(ts) = fb.ts_echo {
             let rtt = ctx.now().saturating_since(ts).saturating_sub(fb.echo_delay);
-            let verdict =
-                self.paths[path_idx].ctrl.on_feedback(rtt, fb.new_losses, fb.recv_rate, ctx.now());
+            let verdict = sender_path_mut(&mut self.paths, path_idx).ctrl.on_feedback(
+                rtt,
+                fb.new_losses,
+                fb.recv_rate,
+                ctx.now(),
+            );
             {
-                let ctrl = &self.paths[path_idx].ctrl;
+                let ctrl = &sender_path(&self.paths, path_idx).ctrl;
                 let mut st = self.stats.borrow_mut();
                 if let Some(srtt) = ctrl.srtt() {
                     st.srtt_series.push(ctx.now(), srtt.as_millis_f64());
@@ -612,7 +643,7 @@ impl ArSender {
             self.rtx.ack_cumulative(path_idx, cum);
         }
         // Recovery decisions for NACKed fragments.
-        let srtt = self.paths[path_idx].ctrl.srtt();
+        let srtt = sender_path(&self.paths, path_idx).ctrl.srtt();
         // The lowest-RTT up path is invariant across this loop (sending a
         // retransmission changes neither link state nor controllers), so
         // compute it once on the first NACK that needs it.
@@ -961,14 +992,12 @@ impl ArReceiver {
             kind,
         });
         let idx = frag_index as usize;
-        if idx >= entry.received.len() {
-            return None;
-        }
-        if entry.received[idx] {
+        let seen = entry.received.get_mut(idx)?;
+        if *seen {
             self.stats.borrow_mut().duplicates += 1;
             return None;
         }
-        entry.received[idx] = true;
+        *seen = true;
         entry.got += 1;
         if entry.got == entry.frag_count {
             let latency = now.saturating_since(entry.created);
@@ -1014,6 +1043,7 @@ impl ArReceiver {
         if routed != Some(true) {
             return;
         }
+        // marnet-lint: allow(panic-path): the map_ref routing check above proved the payload type and path bound
         let mut ar = pkt.payload.take::<ArPacket>().expect("type checked above");
         let now = ctx.now();
         {
@@ -1021,7 +1051,9 @@ impl ArReceiver {
             st.received_bytes += u64::from(pkt.size);
             st.meter.record(now, u64::from(pkt.size));
         }
-        let path = &mut self.rx[ar.path];
+        let Some(path) = self.rx.get_mut(ar.path) else {
+            return;
+        };
         path.active = true;
         path.last_ts = Some(ar.ts);
         path.last_rx_at = Some(now);
@@ -1063,7 +1095,9 @@ impl ArReceiver {
         }
 
         if let Some((_, fid)) = recovered {
-            self.rx[ar.path].mark(fid.seq);
+            if let Some(p) = self.rx.get_mut(ar.path) {
+                p.mark(fid.seq);
+            }
             self.stats.borrow_mut().fec_recovered += 1;
             let t = now.as_nanos();
             let comp = component::actor(ctx.self_id().index());
@@ -1112,7 +1146,9 @@ impl ArReceiver {
     }
 
     fn send_feedback(&mut self, ctx: &mut SimCtx) {
-        for (i, path) in self.rx.iter_mut().enumerate() {
+        // `reverse` and `rx` are parallel vectors built together in `new`,
+        // so zipping pairs each forward path with its feedback path.
+        for (i, (path, reverse)) in self.rx.iter_mut().zip(&self.reverse).enumerate() {
             if !path.active {
                 continue;
             }
@@ -1179,7 +1215,7 @@ impl ArReceiver {
             let size = feedback_size(fb.nacks.len());
             let id = ctx.next_packet_id();
             let pkt = Packet::new(id, self.conn, size, ctx.now()).with_prio(0).with_payload(fb);
-            self.reverse[i].send(ctx, pkt);
+            reverse.send(ctx, pkt);
             self.stats.borrow_mut().feedback_sent += 1;
         }
         ctx.schedule_timer(self.feedback_interval, TAG_FEEDBACK);

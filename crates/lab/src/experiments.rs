@@ -31,6 +31,16 @@ pub struct Experiment {
     pub render: fn(&[PointSummary]),
 }
 
+impl std::fmt::Debug for Experiment {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Experiment")
+            .field("spec", &self.spec)
+            .field("trial", &"<fn>")
+            .field("render", &"<fn>")
+            .finish()
+    }
+}
+
 /// Names of the built-in experiments, in menu order.
 pub const NAMES: [&str; 3] = ["table2_rtt", "sweep_recovery", "sweep_offload"];
 

@@ -15,6 +15,10 @@
 //! trace file, concatenated in `(point, replicate)` order so the file too
 //! is byte-identical at any thread count; `--metrics` merges each point's
 //! replicate metric snapshots into a schema-v2 `metrics` artifact section.
+//!
+//! Exit codes follow the workspace convention shared by `marnet-trace`
+//! and `marnet-lint`: 0 ok, 1 findings (baseline drift or failed
+//! trials), 2 usage or I/O error.
 
 use marnet_lab::artifact::Artifact;
 use marnet_lab::experiments;
@@ -104,7 +108,7 @@ fn main() -> ExitCode {
         Ok(args) => args,
         Err(msg) => {
             eprintln!("{msg}");
-            return ExitCode::FAILURE;
+            return ExitCode::from(2);
         }
     };
     let telemetry = TelemetryOptions {
@@ -115,7 +119,7 @@ fn main() -> ExitCode {
         experiments::build(&args.experiment, args.replicates, args.seed, &telemetry)
     else {
         eprintln!("unknown experiment {:?}\n{}", args.experiment, usage());
-        return ExitCode::FAILURE;
+        return ExitCode::from(2);
     };
 
     let spec = experiment.spec.clone();
@@ -146,7 +150,7 @@ fn main() -> ExitCode {
         .unwrap_or_else(|| PathBuf::from("results").join(format!("lab_{}.json", spec.name)));
     if let Err(e) = artifact.write(&out) {
         eprintln!("[lab] failed to write artifact {}: {e}", out.display());
-        return ExitCode::FAILURE;
+        return ExitCode::from(2);
     }
     println!(
         "\n[artifact] {} (schema v{}, spec {})",
@@ -159,7 +163,7 @@ fn main() -> ExitCode {
         let events = run.trace_events();
         if let Err(e) = trace_file::write_file(trace_path, &events) {
             eprintln!("[lab] failed to write trace {}: {e}", trace_path.display());
-            return ExitCode::FAILURE;
+            return ExitCode::from(2);
         }
         println!("[trace] {} ({} events)", trace_path.display(), events.len());
     }
@@ -169,7 +173,7 @@ fn main() -> ExitCode {
             Ok(b) => b,
             Err(e) => {
                 eprintln!("[lab] failed to load baseline {}: {e}", baseline_path.display());
-                return ExitCode::FAILURE;
+                return ExitCode::from(2);
             }
         };
         if baseline.experiment != artifact.experiment {
@@ -201,13 +205,13 @@ fn main() -> ExitCode {
                     (d.current_mean - d.baseline_mean) / d.baseline_mean.abs() * 100.0
                 );
             }
-            return ExitCode::from(2);
+            return ExitCode::FAILURE;
         }
     }
 
     if run.failures.is_empty() {
         ExitCode::SUCCESS
     } else {
-        ExitCode::from(3)
+        ExitCode::FAILURE
     }
 }

@@ -1,0 +1,68 @@
+//! `marnet-lab` exit codes: the workspace CLI convention is 0 ok,
+//! 1 findings (baseline drift, failed trials), 2 usage or I/O error.
+//!
+//! The drift path is exercised by doctoring a baseline artifact's mean
+//! far outside any confidence band and re-running the same spec.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn lab_bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_marnet-lab"))
+}
+
+fn tmp(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(name)
+}
+
+/// The cheapest real experiment invocation the suite has.
+fn run_small(out: &PathBuf, extra: &[&str]) -> std::process::ExitStatus {
+    lab_bin()
+        .args(["table2_rtt", "--replicates", "2", "--threads", "1", "--seed", "11"])
+        .arg("--out")
+        .arg(out)
+        .args(extra)
+        .status()
+        .expect("run marnet-lab")
+}
+
+#[test]
+fn clean_run_and_matching_baseline_exit_zero() {
+    let base = tmp("lab_ec_base.json");
+    assert_eq!(run_small(&base, &[]).code(), Some(0));
+    let rerun = tmp("lab_ec_rerun.json");
+    let st = run_small(&rerun, &["--baseline", base.to_str().unwrap()]);
+    assert_eq!(st.code(), Some(0), "identical spec+seed must not drift");
+}
+
+#[test]
+fn doctored_baseline_drift_exits_one() {
+    let base = tmp("lab_ec_drift_base.json");
+    assert_eq!(run_small(&base, &[]).code(), Some(0));
+    // Push every mean far outside any CI band (all lab metrics are
+    // nonnegative, so prefixing a digit inflates them ~10-1000x).
+    let text = std::fs::read_to_string(&base).expect("read artifact");
+    let doctored = text.replace("\"mean\": ", "\"mean\": 9");
+    assert_ne!(text, doctored, "artifact schema changed; update the doctoring");
+    let doctored_path = tmp("lab_ec_drift_doctored.json");
+    std::fs::write(&doctored_path, doctored).expect("write doctored baseline");
+    let rerun = tmp("lab_ec_drift_rerun.json");
+    let st = run_small(&rerun, &["--baseline", doctored_path.to_str().unwrap()]);
+    assert_eq!(st.code(), Some(1));
+}
+
+#[test]
+fn usage_and_io_errors_exit_two() {
+    // No experiment named.
+    assert_eq!(lab_bin().status().expect("run").code(), Some(2));
+    // Unknown experiment.
+    assert_eq!(lab_bin().arg("not_an_experiment").status().expect("run").code(), Some(2));
+    // Unknown flag.
+    assert_eq!(lab_bin().args(["table2_rtt", "--frob"]).status().expect("run").code(), Some(2));
+    // Dangling flag value.
+    assert_eq!(lab_bin().args(["table2_rtt", "--seed"]).status().expect("run").code(), Some(2));
+    // Unreadable baseline: I/O error.
+    let out = tmp("lab_ec_io.json");
+    let st = run_small(&out, &["--baseline", "/nonexistent/baseline.json"]);
+    assert_eq!(st.code(), Some(2));
+}

@@ -1,0 +1,51 @@
+//! # marnet-lint — workspace determinism & invariant auditor
+//!
+//! The whole reproduction rests on one promise: the discrete-event
+//! simulator is *deterministic*, so lab artifacts are byte-identical at
+//! any `--threads` and every Table II / sweep number is reproducible
+//! from its spec hash. This crate makes that promise — and the
+//! structural invariants that support it — statically checked instead of
+//! tribal knowledge. It is a self-contained pass over the workspace's
+//! own Rust sources: a hand-rolled lossy tokenizer (the build is
+//! offline, so no `syn`; see [`tokens`]) feeding a rule engine that
+//! emits machine-readable JSON plus human `file:line` output.
+//!
+//! The rules (each individually deny-able; see DESIGN.md §11):
+//!
+//! | rule             | protects                                          |
+//! |------------------|---------------------------------------------------|
+//! | `wall-clock`     | results are a function of `SimTime` only          |
+//! | `thread-id`      | artifacts byte-identical at any `--threads`       |
+//! | `env-read`       | runs reproducible from the spec hash              |
+//! | `map-iter`       | no hasher-dependent order reaches an artifact     |
+//! | `panic-path`     | the event-core hot path degrades, never aborts    |
+//! | `layering`       | the crate DAG (`sim` reusable, `telemetry` leaf)  |
+//! | `unsafe-hygiene` | every determinism argument is a safe-Rust one     |
+//! | `bad-pragma`     | suppressions carry an auditable reason            |
+//! | `unused-pragma`  | stale suppressions cannot linger                  |
+//!
+//! Legitimate exceptions are suppressed inline with a reasoned pragma:
+//!
+//! ```text
+//! // marnet-lint: allow(wall-clock): benchmark timer measures the host
+//! let t0 = Instant::now();
+//! ```
+//!
+//! Run it with `cargo run -p marnet-lint -- --deny-all` (exit codes:
+//! 0 clean, 1 findings, 2 usage error); `tests/workspace_clean.rs` runs
+//! the same pass in `cargo test`, so CI fails on any undocumented
+//! violation.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod diag;
+pub mod layering;
+pub mod pragma;
+pub mod rules;
+pub mod tokens;
+pub mod workspace;
+
+pub use diag::{render_json, render_text, Diagnostic, Rule, ALL_RULES};
+pub use rules::{scan_file, FileScope};
+pub use workspace::{find_workspace_root, lint_workspace, Report, HOT_PATH, SIM_FACING};

@@ -1,0 +1,119 @@
+//! The `marnet-lint` CLI.
+//!
+//! ```text
+//! marnet-lint [--root PATH] [--format text|json] [--deny-all]
+//!             [--deny RULE] [--allow RULE] [--list-rules]
+//! ```
+//!
+//! All rules are denied by default (strict by default); `--allow RULE`
+//! downgrades one to report-only, `--deny RULE` re-enables it, and
+//! `--deny-all` resets to the strict default (what CI passes, so the
+//! gate survives accidental `--allow` creep in the invocation).
+//!
+//! Exit codes follow the workspace convention: 0 ok (no denied
+//! findings), 1 findings, 2 usage error.
+
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use marnet_lint::diag::ALL_RULES;
+use marnet_lint::{find_workspace_root, lint_workspace, render_json, render_text, Rule};
+
+const USAGE: &str = "usage: marnet-lint [--root PATH] [--format text|json] [--deny-all]
+                   [--deny RULE] [--allow RULE] [--list-rules]
+
+exit codes: 0 ok, 1 findings, 2 usage error";
+
+enum Format {
+    Text,
+    Json,
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("marnet-lint: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run() -> Result<ExitCode, String> {
+    let mut root: Option<PathBuf> = None;
+    let mut format = Format::Text;
+    let mut denied: BTreeSet<Rule> = ALL_RULES.iter().copied().collect();
+
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        let mut value =
+            |flag: &str| argv.next().ok_or_else(|| format!("{flag} needs a value\n{USAGE}"));
+        match arg.as_str() {
+            "--root" => root = Some(PathBuf::from(value("--root")?)),
+            "--format" => {
+                format = match value("--format")?.as_str() {
+                    "text" => Format::Text,
+                    "json" => Format::Json,
+                    other => return Err(format!("unknown format `{other}`\n{USAGE}")),
+                }
+            }
+            "--deny-all" => denied = ALL_RULES.iter().copied().collect(),
+            "--deny" => {
+                denied.insert(parse_rule(&value("--deny")?)?);
+            }
+            "--allow" => {
+                denied.remove(&parse_rule(&value("--allow")?)?);
+            }
+            "--list-rules" => {
+                for rule in ALL_RULES {
+                    println!("{rule}: {}", rule.rationale());
+                }
+                return Ok(ExitCode::SUCCESS);
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return Ok(ExitCode::SUCCESS);
+            }
+            other => return Err(format!("unknown argument `{other}`\n{USAGE}")),
+        }
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = std::env::current_dir().map_err(|e| e.to_string())?;
+            find_workspace_root(&cwd)
+                .ok_or_else(|| "no workspace Cargo.toml above the current directory".to_string())?
+        }
+    };
+    if !root.join("Cargo.toml").is_file() {
+        return Err(format!("{} has no Cargo.toml", root.display()));
+    }
+
+    let report = lint_workspace(&root).map_err(|e| format!("scanning {}: {e}", root.display()))?;
+    match format {
+        Format::Text => {
+            print!("{}", render_text(&report.findings));
+            eprintln!(
+                "scanned {} files across {} crates",
+                report.files_scanned, report.crates_checked
+            );
+        }
+        Format::Json => print!("{}", render_json(&report.findings)),
+    }
+
+    let denied_hits = report.findings.iter().filter(|d| denied.contains(&d.rule)).count();
+    if denied_hits > 0 {
+        Ok(ExitCode::FAILURE)
+    } else {
+        Ok(ExitCode::SUCCESS)
+    }
+}
+
+fn parse_rule(name: &str) -> Result<Rule, String> {
+    Rule::from_name(name).ok_or_else(|| {
+        let known: Vec<&str> = ALL_RULES.iter().map(|r| r.name()).collect();
+        format!("unknown rule `{name}` (known: {})\n{USAGE}", known.join(", "))
+    })
+}

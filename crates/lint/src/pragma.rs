@@ -1,0 +1,151 @@
+//! The suppression pragma: `// marnet-lint: allow(<rule>): <reason>`.
+//!
+//! Suppressions are part of the audit trail, so the grammar is strict: a
+//! plain `//` comment (doc comments are documentation, not
+//! configuration), the literal `marnet-lint:` marker, `allow(<rule>)`
+//! with a known rule name, and a non-empty reason after the second
+//! colon. Anything that starts with the marker but does not parse is
+//! itself a finding ([`crate::diag::Rule::BadPragma`]) — a typo must not
+//! silently fail to suppress.
+//!
+//! A pragma suppresses findings of its rule on its own line and on the
+//! line directly below it, so both placements read naturally:
+//!
+//! ```text
+//! let t0 = Instant::now(); // marnet-lint: allow(wall-clock): bench timer
+//! // marnet-lint: allow(wall-clock): bench timer measures host elapsed
+//! let t1 = Instant::now();
+//! ```
+
+use crate::diag::Rule;
+use crate::tokens::LineComment;
+
+/// A parsed suppression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pragma {
+    /// The rule being suppressed.
+    pub rule: Rule,
+    /// The (non-empty) justification.
+    pub reason: String,
+    /// 1-based line the pragma comment sits on.
+    pub line: usize,
+}
+
+/// A comment that tried to be a pragma and failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PragmaError {
+    /// What went wrong.
+    pub message: String,
+    /// 1-based line.
+    pub line: usize,
+}
+
+const MARKER: &str = "marnet-lint:";
+
+/// Extracts pragmas (and malformed pragma attempts) from the line
+/// comments of one file.
+pub fn collect(comments: &[LineComment]) -> (Vec<Pragma>, Vec<PragmaError>) {
+    let mut pragmas = Vec::new();
+    let mut errors = Vec::new();
+    for c in comments {
+        // Strip doc-comment sigils so `/// marnet-lint: …` is diagnosed
+        // as a doc-comment pragma rather than silently ignored.
+        let body = c.text.trim_start_matches(['/', '!']).trim_start();
+        let Some(rest) = body.strip_prefix(MARKER) else {
+            continue;
+        };
+        if c.doc {
+            errors.push(PragmaError {
+                message: "pragma in a doc comment has no effect; use a plain `//` comment".into(),
+                line: c.line,
+            });
+            continue;
+        }
+        match parse_body(rest) {
+            Ok((rule, reason)) => pragmas.push(Pragma { rule, reason, line: c.line }),
+            Err(message) => errors.push(PragmaError { message, line: c.line }),
+        }
+    }
+    (pragmas, errors)
+}
+
+/// Parses `allow(<rule>): <reason>` (the part after the marker).
+fn parse_body(rest: &str) -> Result<(Rule, String), String> {
+    let rest = rest.trim_start();
+    let Some(rest) = rest.strip_prefix("allow(") else {
+        return Err("expected `allow(<rule>): <reason>` after `marnet-lint:`".into());
+    };
+    let Some(close) = rest.find(')') else {
+        return Err("unclosed `allow(` in pragma".into());
+    };
+    let rule_name = rest[..close].trim();
+    let Some(rule) = Rule::from_name(rule_name) else {
+        return Err(format!("unknown rule `{rule_name}` in pragma"));
+    };
+    let after = rest[close + 1..].trim_start();
+    let Some(reason) = after.strip_prefix(':') else {
+        return Err("pragma requires a reason: `allow(<rule>): <reason>`".into());
+    };
+    let reason = reason.trim();
+    if reason.is_empty() {
+        return Err("pragma reason must not be empty".into());
+    }
+    Ok((rule, reason.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn comment(text: &str, line: usize) -> LineComment {
+        LineComment { text: text.into(), line, doc: false }
+    }
+
+    #[test]
+    fn well_formed_pragma_parses() {
+        let (p, e) =
+            collect(&[comment(" marnet-lint: allow(wall-clock): bench timers are host-side", 7)]);
+        assert!(e.is_empty());
+        assert_eq!(p.len(), 1);
+        assert_eq!(p[0].rule, Rule::WallClock);
+        assert_eq!(p[0].reason, "bench timers are host-side");
+        assert_eq!(p[0].line, 7);
+    }
+
+    #[test]
+    fn missing_reason_is_an_error() {
+        let (p, e) = collect(&[
+            comment(" marnet-lint: allow(wall-clock)", 1),
+            comment(" marnet-lint: allow(wall-clock):   ", 2),
+        ]);
+        assert!(p.is_empty());
+        assert_eq!(e.len(), 2);
+        assert!(e[0].message.contains("requires a reason"));
+        assert!(e[1].message.contains("must not be empty"));
+    }
+
+    #[test]
+    fn unknown_rule_is_an_error() {
+        let (p, e) = collect(&[comment(" marnet-lint: allow(warp-drive): because", 3)]);
+        assert!(p.is_empty());
+        assert_eq!(e.len(), 1);
+        assert!(e[0].message.contains("warp-drive"));
+    }
+
+    #[test]
+    fn doc_comments_cannot_carry_pragmas() {
+        let (p, e) = collect(&[LineComment {
+            text: "/ marnet-lint: allow(env-read): nope".into(),
+            line: 4,
+            doc: true,
+        }]);
+        assert!(p.is_empty());
+        assert_eq!(e.len(), 1);
+    }
+
+    #[test]
+    fn unrelated_comments_are_ignored() {
+        let (p, e) = collect(&[comment(" just a note about HashMap", 1)]);
+        assert!(p.is_empty() && e.is_empty());
+    }
+}

@@ -1,0 +1,606 @@
+//! The source-level rules: determinism, panic-safety, hygiene.
+//!
+//! Everything here works on the lossy token stream of one file (see
+//! [`crate::tokens`]); which rule families apply to a file is decided by
+//! the workspace walker from its path (see [`crate::workspace`]).
+//!
+//! Two scoping decisions keep the pass honest without type information:
+//!
+//! * `#[cfg(test)]` / `#[test]` items are skipped — tests may read the
+//!   environment or index slices freely; the invariants protect the
+//!   simulation, not its test harness.
+//! * Findings are suppressed only by an explicit, reasoned pragma on the
+//!   same line or the line directly above ([`crate::pragma`]); a pragma
+//!   that suppresses nothing is itself reported, so stale suppressions
+//!   cannot linger.
+
+use crate::diag::{Diagnostic, Rule};
+use crate::pragma;
+use crate::tokens::{tokenize, Token, TokenKind};
+
+/// Which rule families apply to the file being scanned.
+#[derive(Debug, Clone, Default)]
+pub struct FileScope {
+    /// Workspace-relative path (diagnostics anchor).
+    pub rel_path: String,
+    /// Determinism rules (wall-clock, thread-id, env-read, map-iter):
+    /// library source of a sim-facing crate.
+    pub determinism: bool,
+    /// Panic-safety rules: one of the event-core hot-path modules.
+    pub panic_path: bool,
+    /// Hygiene rule (`#![forbid(unsafe_code)]`): a crate root.
+    pub hygiene: bool,
+}
+
+/// Map-iteration methods whose visitation order reaches the caller.
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "keys",
+    "into_keys",
+    "values",
+    "values_mut",
+    "into_values",
+    "drain",
+];
+
+/// Constructors that keep the default (randomized) hasher.
+const DEFAULT_CTORS: &[&str] = &["new", "default", "with_capacity", "from"];
+
+/// Macros that abort the current trial.
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// Scans one file, returning its (pragma-filtered) diagnostics.
+pub fn scan_file(src: &str, scope: &FileScope) -> Vec<Diagnostic> {
+    let stream = tokenize(src);
+    let toks = &stream.tokens;
+    let (pragmas, pragma_errors) = pragma::collect(&stream.comments);
+    let test_ranges = test_line_ranges(toks);
+    let in_test = |line: usize| test_ranges.iter().any(|r| r.contains(&line));
+
+    let mut raw: Vec<Diagnostic> = Vec::new();
+    let mut push = |rule: Rule, line: usize, message: String| {
+        raw.push(Diagnostic { rule, file: scope.rel_path.clone(), line, message });
+    };
+
+    if scope.determinism {
+        scan_determinism(toks, &in_test, &mut push);
+    }
+    if scope.panic_path {
+        scan_panic_path(toks, &in_test, &mut push);
+    }
+    if scope.hygiene && !has_forbid_unsafe(toks) {
+        push(Rule::UnsafeHygiene, 1, "crate root is missing `#![forbid(unsafe_code)]`".into());
+    }
+
+    // Pragma suppression: same line or the line directly above.
+    let mut used = vec![false; pragmas.len()];
+    let mut findings: Vec<Diagnostic> = Vec::new();
+    'raw: for d in raw {
+        for (i, p) in pragmas.iter().enumerate() {
+            if p.rule == d.rule && (p.line == d.line || p.line + 1 == d.line) {
+                used[i] = true;
+                continue 'raw;
+            }
+        }
+        findings.push(d);
+    }
+
+    for e in pragma_errors {
+        if !in_test(e.line) {
+            findings.push(Diagnostic {
+                rule: Rule::BadPragma,
+                file: scope.rel_path.clone(),
+                line: e.line,
+                message: e.message,
+            });
+        }
+    }
+    for (p, used) in pragmas.iter().zip(used) {
+        // Only audit pragmas for rules this file is actually subject to —
+        // and leave test code alone.
+        let enabled = match p.rule {
+            Rule::WallClock | Rule::ThreadId | Rule::EnvRead | Rule::MapIter => scope.determinism,
+            Rule::PanicPath => scope.panic_path,
+            Rule::UnsafeHygiene => scope.hygiene,
+            _ => false,
+        };
+        if enabled && !used && !in_test(p.line) {
+            findings.push(Diagnostic {
+                rule: Rule::UnusedPragma,
+                file: scope.rel_path.clone(),
+                line: p.line,
+                message: format!("pragma `allow({})` suppresses nothing here; remove it", p.rule),
+            });
+        }
+    }
+    findings
+}
+
+/// True when the stream carries `#![forbid(unsafe_code)]`.
+fn has_forbid_unsafe(toks: &[Token]) -> bool {
+    toks.windows(8).any(|w| texts(w) == ["#", "!", "[", "forbid", "(", "unsafe_code", ")", "]"])
+}
+
+fn texts(w: &[Token]) -> Vec<&str> {
+    w.iter().map(|t| t.text.as_str()).collect()
+}
+
+fn word_at(toks: &[Token], i: usize, text: &str) -> bool {
+    toks.get(i).is_some_and(|t| t.kind == TokenKind::Word && t.text == text)
+}
+
+fn punct_at(toks: &[Token], i: usize, text: &str) -> bool {
+    toks.get(i).is_some_and(|t| t.kind == TokenKind::Punct && t.text == text)
+}
+
+/// Line ranges covered by `#[test]` / `#[cfg(test)]` items: from the
+/// attribute to the closing brace of the item it decorates.
+fn test_line_ranges(toks: &[Token]) -> Vec<std::ops::RangeInclusive<usize>> {
+    let mut ranges = Vec::new();
+    let mut i = 0usize;
+    while i + 1 < toks.len() {
+        if !(punct_at(toks, i, "#") && punct_at(toks, i + 1, "[")) {
+            i += 1;
+            continue;
+        }
+        // Find the matching `]`, collecting the attribute's words.
+        let mut j = i + 2;
+        let mut depth = 1usize;
+        let mut attr_words: Vec<&str> = Vec::new();
+        while j < toks.len() && depth > 0 {
+            match toks[j].text.as_str() {
+                "[" => depth += 1,
+                "]" => depth -= 1,
+                _ => {
+                    if toks[j].kind == TokenKind::Word {
+                        attr_words.push(&toks[j].text);
+                    }
+                }
+            }
+            j += 1;
+        }
+        let is_test_attr = attr_words.contains(&"test")
+            && matches!(attr_words.first(), Some(&"cfg") | Some(&"test"));
+        if !is_test_attr {
+            i = j;
+            continue;
+        }
+        let start_line = toks[i].line;
+        // Skip any further attributes, then consume tokens to the item's
+        // opening `{` (a `;` first means `mod x;` — nothing to skip).
+        let mut k = j;
+        loop {
+            if k + 1 < toks.len() && punct_at(toks, k, "#") && punct_at(toks, k + 1, "[") {
+                let mut d = 1usize;
+                k += 2;
+                while k < toks.len() && d > 0 {
+                    match toks[k].text.as_str() {
+                        "[" => d += 1,
+                        "]" => d -= 1,
+                        _ => {}
+                    }
+                    k += 1;
+                }
+                continue;
+            }
+            break;
+        }
+        let mut body_end = None;
+        while k < toks.len() {
+            match toks[k].text.as_str() {
+                ";" => break,
+                "{" => {
+                    let mut d = 1usize;
+                    k += 1;
+                    while k < toks.len() && d > 0 {
+                        match toks[k].text.as_str() {
+                            "{" => d += 1,
+                            "}" => d -= 1,
+                            _ => {}
+                        }
+                        k += 1;
+                    }
+                    body_end = Some(if k > 0 { toks[k - 1].line } else { start_line });
+                    break;
+                }
+                _ => k += 1,
+            }
+        }
+        if let Some(end_line) = body_end {
+            ranges.push(start_line..=end_line);
+            i = k;
+        } else {
+            i = j;
+        }
+    }
+    ranges
+}
+
+/// The determinism family: wall-clock, thread identity, environment
+/// reads, and default-hasher map iteration.
+fn scan_determinism(
+    toks: &[Token],
+    in_test: &dyn Fn(usize) -> bool,
+    push: &mut dyn FnMut(Rule, usize, String),
+) {
+    for i in 0..toks.len() {
+        let line = toks[i].line;
+        if in_test(line) {
+            continue;
+        }
+        if word_at(toks, i, "Instant") && punct_at(toks, i + 1, "::") && word_at(toks, i + 2, "now")
+        {
+            push(Rule::WallClock, line, "`Instant::now()` reads the wall clock".into());
+        }
+        if word_at(toks, i, "SystemTime")
+            && punct_at(toks, i + 1, "::")
+            && word_at(toks, i + 2, "now")
+        {
+            push(Rule::WallClock, line, "`SystemTime::now()` reads the wall clock".into());
+        }
+        if word_at(toks, i, "std") && punct_at(toks, i + 1, "::") && word_at(toks, i + 2, "time") {
+            push(
+                Rule::WallClock,
+                line,
+                "`std::time` in a sim-facing crate; simulation code must use SimTime".into(),
+            );
+        }
+        if word_at(toks, i, "thread")
+            && punct_at(toks, i + 1, "::")
+            && word_at(toks, i + 2, "current")
+        {
+            push(
+                Rule::ThreadId,
+                line,
+                "`thread::current()` leaks the host schedule into sim state".into(),
+            );
+        }
+        if word_at(toks, i, "std") && punct_at(toks, i + 1, "::") && word_at(toks, i + 2, "env") {
+            push(
+                Rule::EnvRead,
+                line,
+                "`std::env` read in a sim-facing crate; runs must be a function of the spec".into(),
+            );
+        }
+    }
+    scan_map_iteration(toks, in_test, push);
+}
+
+/// Default-hasher map iteration: track identifiers declared or assigned
+/// as `HashMap`/`HashSet` (with the default hasher), then flag iteration
+/// over them.
+fn scan_map_iteration(
+    toks: &[Token],
+    in_test: &dyn Fn(usize) -> bool,
+    push: &mut dyn FnMut(Rule, usize, String),
+) {
+    let mut map_vars: Vec<&str> = Vec::new();
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.kind != TokenKind::Word || (t.text != "HashMap" && t.text != "HashSet") {
+            continue;
+        }
+        let is_map = t.text == "HashMap";
+        // `name: HashMap<…>` — declaration with a type annotation.
+        let annotated = i >= 2
+            && punct_at(toks, i - 1, ":")
+            && toks[i - 2].kind == TokenKind::Word
+            && punct_at(toks, i + 1, "<")
+            && default_hasher(toks, i + 1, is_map);
+        // `name = HashMap::new()` — inferred binding to a constructor
+        // (an annotated binding never matches: the token before `=` is
+        // the annotation's closing `>`, not the name).
+        let constructed = i >= 2
+            && punct_at(toks, i - 1, "=")
+            && toks[i - 2].kind == TokenKind::Word
+            && punct_at(toks, i + 1, "::")
+            && toks.get(i + 2).is_some_and(|c| DEFAULT_CTORS.contains(&c.text.as_str()));
+        if annotated || constructed {
+            let name = toks[i - 2].text.as_str();
+            if !map_vars.contains(&name) {
+                map_vars.push(name);
+            }
+        }
+    }
+    if map_vars.is_empty() {
+        return;
+    }
+
+    for i in 0..toks.len() {
+        let line = toks[i].line;
+        if in_test(line) {
+            continue;
+        }
+        // `name.iter()` and friends, including `self.field.iter()`.
+        if toks[i].kind == TokenKind::Word
+            && map_vars.contains(&toks[i].text.as_str())
+            && punct_at(toks, i + 1, ".")
+            && toks.get(i + 2).is_some_and(|m| ITER_METHODS.contains(&m.text.as_str()))
+            && punct_at(toks, i + 3, "(")
+        {
+            push(
+                Rule::MapIter,
+                line,
+                format!(
+                    "iteration over default-hasher map `{}` (`.{}()`); order depends on \
+                     hasher state — use BTreeMap/FxHashMap or sort the drain",
+                    toks[i].text,
+                    toks[i + 2].text
+                ),
+            );
+        }
+        // `for … in &map { … }` — direct loop over the map value.
+        if word_at(toks, i, "for") {
+            // Find the `in`, then inspect the loop expression up to `{`.
+            let mut j = i + 1;
+            let mut guard = 0;
+            while j < toks.len() && !word_at(toks, j, "in") {
+                if toks[j].text == "{" || guard > 24 {
+                    j = toks.len();
+                    break;
+                }
+                guard += 1;
+                j += 1;
+            }
+            if j >= toks.len() {
+                continue;
+            }
+            let mut k = j + 1;
+            let mut expr_words: Vec<&Token> = Vec::new();
+            let mut calls = false;
+            while k < toks.len() && toks[k].text != "{" && k - j < 24 {
+                if toks[k].text == "(" {
+                    calls = true;
+                }
+                if toks[k].kind == TokenKind::Word {
+                    expr_words.push(&toks[k]);
+                }
+                k += 1;
+            }
+            if calls {
+                continue; // `for x in map.iter()` is caught above.
+            }
+            if let Some(hit) = expr_words.iter().find(|w| map_vars.contains(&w.text.as_str())) {
+                push(
+                    Rule::MapIter,
+                    toks[i].line,
+                    format!(
+                        "`for … in` over default-hasher map `{}`; order depends on hasher \
+                         state — use BTreeMap/FxHashMap or sort first",
+                        hit.text
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// Counts whether the generic argument list opening at `toks[open]`
+/// (which is `<`) leaves the default hasher in place: a third parameter
+/// on `HashMap` (second on `HashSet`) means a custom hasher.
+fn default_hasher(toks: &[Token], open: usize, is_map: bool) -> bool {
+    let mut angle = 1usize;
+    let mut round = 0usize;
+    let mut square = 0usize;
+    let mut commas = 0usize;
+    let mut i = open + 1;
+    while i < toks.len() && angle > 0 {
+        match toks[i].text.as_str() {
+            "<" => angle += 1,
+            // `->` inside `Box<dyn Fn() -> T>` must not close the list.
+            ">" if !punct_at(toks, i - 1, "-") => angle -= 1,
+            "(" => round += 1,
+            ")" => round = round.saturating_sub(1),
+            "[" => square += 1,
+            "]" => square = square.saturating_sub(1),
+            "," if angle == 1 && round == 0 && square == 0 => commas += 1,
+            _ => {}
+        }
+        i += 1;
+    }
+    let max_commas = if is_map { 1 } else { 0 };
+    commas <= max_commas
+}
+
+/// The panic-safety family for hot-path modules: `.unwrap()`,
+/// `.expect()`, aborting macros, and slice indexing.
+fn scan_panic_path(
+    toks: &[Token],
+    in_test: &dyn Fn(usize) -> bool,
+    push: &mut dyn FnMut(Rule, usize, String),
+) {
+    for i in 0..toks.len() {
+        let line = toks[i].line;
+        if in_test(line) {
+            continue;
+        }
+        if punct_at(toks, i, ".")
+            && toks.get(i + 1).is_some_and(|w| {
+                w.kind == TokenKind::Word && (w.text == "unwrap" || w.text == "expect")
+            })
+            && punct_at(toks, i + 2, "(")
+        {
+            push(
+                Rule::PanicPath,
+                toks[i + 1].line,
+                format!(
+                    "`.{}()` in an event-core hot-path module can abort a trial mid-run",
+                    toks[i + 1].text
+                ),
+            );
+        }
+        if toks[i].kind == TokenKind::Word
+            && PANIC_MACROS.contains(&toks[i].text.as_str())
+            && punct_at(toks, i + 1, "!")
+        {
+            push(
+                Rule::PanicPath,
+                line,
+                format!("`{}!` in an event-core hot-path module", toks[i].text),
+            );
+        }
+        // Slice indexing: `expr[` where expr ends in a word, `)` or `]`.
+        // Keywords that cannot end an indexable expression are excluded so
+        // slice *types* (`&mut [T]`, `dyn [..]`, `in [..]`) do not fire.
+        const NON_EXPR_KEYWORDS: &[&str] =
+            &["mut", "dyn", "in", "return", "break", "else", "as", "const", "static"];
+        if punct_at(toks, i, "[")
+            && i > 0
+            && (toks[i - 1].kind == TokenKind::Word
+                || toks[i - 1].text == ")"
+                || toks[i - 1].text == "]")
+            && !NON_EXPR_KEYWORDS.contains(&toks[i - 1].text.as_str())
+        {
+            push(
+                Rule::PanicPath,
+                line,
+                format!(
+                    "slice indexing after `{}` can panic on a bad bound; prove the \
+                     invariant or use `get`",
+                    toks[i - 1].text
+                ),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan(src: &str, determinism: bool, panic_path: bool, hygiene: bool) -> Vec<Diagnostic> {
+        scan_file(src, &FileScope { rel_path: "x.rs".into(), determinism, panic_path, hygiene })
+    }
+
+    #[test]
+    fn wall_clock_and_env_fire_in_sim_scope_only() {
+        let src = "fn f() { let t = Instant::now(); let h = std::env::var(\"HOME\"); }";
+        let d = scan(src, true, false, false);
+        assert_eq!(d.len(), 2, "{d:?}");
+        assert_eq!(d[0].rule, Rule::WallClock);
+        assert_eq!(d[1].rule, Rule::EnvRead);
+        assert!(scan(src, false, false, false).is_empty());
+    }
+
+    #[test]
+    fn literals_and_comments_never_fire() {
+        let src = r#"
+            // Instant::now() in a comment
+            fn f() -> &'static str { "Instant::now(); std::env::var" }
+        "#;
+        assert!(scan(src, true, true, false).is_empty());
+    }
+
+    #[test]
+    fn cfg_test_items_are_exempt() {
+        let src = "
+            fn hot() {}
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn t() { let _ = std::env::var(\"CASES\"); x.unwrap(); }
+            }
+        ";
+        assert!(scan(src, true, true, false).is_empty());
+    }
+
+    #[test]
+    fn map_iteration_is_flagged_but_lookup_is_not() {
+        let src = "
+            use std::collections::HashMap;
+            struct S { names: HashMap<String, u32> }
+            fn ok(s: &S) -> Option<&u32> { s.names.get(\"x\") }
+            fn bad(s: &S) -> usize { s.names.iter().count() }
+            fn worse(s: &S) { for (k, v) in &s.names { drop((k, v)); } }
+        ";
+        let d = scan(src, true, false, false);
+        assert_eq!(d.len(), 2, "{d:?}");
+        assert!(d.iter().all(|d| d.rule == Rule::MapIter));
+    }
+
+    #[test]
+    fn fx_and_custom_hashers_are_legal() {
+        let src = "
+            fn f() {
+                let a: FxHashMap<u64, u64> = FxHashMap::default();
+                let b: HashMap<u64, u64, BuildHasherDefault<FxHasher>> = HashMap::default();
+                for x in a.iter() {}
+                for y in b.keys() {}
+            }
+        ";
+        let d = scan(src, true, false, false);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn tuple_keys_do_not_fake_a_custom_hasher() {
+        let src = "
+            fn f(m: HashMap<(u32, u32), Vec<u64>>) -> usize { m.keys().count() }
+        ";
+        let d = scan(src, true, false, false);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, Rule::MapIter);
+    }
+
+    #[test]
+    fn panic_path_rules() {
+        let src = "
+            fn hot(v: &[u8], i: usize) -> u8 {
+                let x = v.first().unwrap();
+                if *x > 3 { panic!(\"boom\") }
+                v[i]
+            }
+        ";
+        let d = scan(src, false, true, false);
+        let rules: Vec<Rule> = d.iter().map(|d| d.rule).collect();
+        assert_eq!(rules, vec![Rule::PanicPath; 3], "{d:?}");
+    }
+
+    #[test]
+    fn unwrap_or_else_is_not_unwrap() {
+        let d = scan("fn f(x: Option<u8>) -> u8 { x.unwrap_or_else(|| 0) }", false, true, false);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn array_literals_and_attributes_are_not_indexing() {
+        let src = "
+            #[derive(Debug)]
+            struct S;
+            fn f() -> [u8; 2] { let buf: [u8; 2] = [0u8; 2]; buf }
+        ";
+        let d = scan(src, false, true, false);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn pragma_suppresses_and_stale_pragma_reports() {
+        let src = "
+            // marnet-lint: allow(wall-clock): measuring the host for a bench report
+            fn f() { let t = Instant::now(); }
+            // marnet-lint: allow(wall-clock): stale
+            fn g() {}
+        ";
+        let d = scan(src, true, false, false);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, Rule::UnusedPragma);
+    }
+
+    #[test]
+    fn reasonless_pragma_is_bad() {
+        let src = "fn f() {} // marnet-lint: allow(env-read)";
+        let d = scan(src, true, false, false);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, Rule::BadPragma);
+    }
+
+    #[test]
+    fn hygiene_checks_forbid_unsafe() {
+        assert_eq!(scan("#![forbid(unsafe_code)]\n", false, false, true).len(), 0);
+        let d = scan("//! docs only\n", false, false, true);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, Rule::UnsafeHygiene);
+    }
+}

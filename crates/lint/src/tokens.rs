@@ -1,0 +1,353 @@
+//! A lossy Rust tokenizer.
+//!
+//! The build is offline, so there is no `syn`; the rules only need a
+//! stream of identifiers and punctuation with line numbers, with the
+//! guarantee that nothing inside a string literal, character literal, or
+//! comment ever reaches the rule engine. That guarantee is what makes the
+//! pass trustworthy: `"Instant::now"` in a log message or a doc comment
+//! must never count as a wall-clock read (the proptest suite hammers
+//! exactly this property).
+//!
+//! Lossiness that is acceptable here: number literals come out as plain
+//! word tokens (`1.0e5` → `1`, `.`, `0e5`), multi-character operators
+//! other than `::` are split into single characters, and lifetimes are
+//! dropped entirely. None of the rules care.
+
+/// What a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier, keyword, or number word (`[A-Za-z0-9_]+`).
+    Word,
+    /// A single punctuation character, or the two-character path
+    /// separator `::`.
+    Punct,
+}
+
+/// One significant token: its text and the 1-based line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Token kind (word or punctuation).
+    pub kind: TokenKind,
+    /// The token text.
+    pub text: String,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+/// A `//` line comment that survived tokenization (pragmas live here).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LineComment {
+    /// Text after the `//`, untrimmed.
+    pub text: String,
+    /// 1-based source line.
+    pub line: usize,
+    /// `true` for `///` and `//!` doc comments (which cannot carry
+    /// pragmas — documentation is not configuration).
+    pub doc: bool,
+}
+
+/// Tokenization result: the significant tokens plus every line comment.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct TokenStream {
+    /// Significant tokens in source order.
+    pub tokens: Vec<Token>,
+    /// Line comments in source order.
+    pub comments: Vec<LineComment>,
+}
+
+fn is_word(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+/// Tokenizes Rust source, skipping whitespace, comments, and string /
+/// character / byte / raw literals. Never panics on malformed input: an
+/// unterminated literal or comment simply swallows the rest of the file,
+/// which is the behaviour `rustc` has too (it would be a compile error).
+pub fn tokenize(src: &str) -> TokenStream {
+    let mut out = TokenStream::default();
+    let bytes: Vec<char> = src.chars().collect();
+    let mut i = 0usize;
+    let mut line = 1usize;
+    let n = bytes.len();
+
+    // Advances past `bytes[i]`, tracking line numbers.
+    macro_rules! bump {
+        () => {{
+            if bytes[i] == '\n' {
+                line += 1;
+            }
+            i += 1;
+        }};
+    }
+
+    while i < n {
+        let c = bytes[i];
+
+        // Whitespace.
+        if c.is_whitespace() {
+            bump!();
+            continue;
+        }
+
+        // Comments.
+        if c == '/' && i + 1 < n {
+            match bytes[i + 1] {
+                '/' => {
+                    let start_line = line;
+                    i += 2;
+                    let mut text = String::new();
+                    while i < n && bytes[i] != '\n' {
+                        text.push(bytes[i]);
+                        i += 1;
+                    }
+                    let doc = text.starts_with('/') || text.starts_with('!');
+                    out.comments.push(LineComment { text, line: start_line, doc });
+                    continue;
+                }
+                '*' => {
+                    // Block comments nest in Rust.
+                    i += 2;
+                    let mut depth = 1usize;
+                    while i < n && depth > 0 {
+                        if bytes[i] == '/' && i + 1 < n && bytes[i + 1] == '*' {
+                            depth += 1;
+                            bump!();
+                            bump!();
+                        } else if bytes[i] == '*' && i + 1 < n && bytes[i + 1] == '/' {
+                            depth -= 1;
+                            bump!();
+                            bump!();
+                        } else {
+                            bump!();
+                        }
+                    }
+                    continue;
+                }
+                _ => {}
+            }
+        }
+
+        // Raw strings (`r"…"`, `r#"…"#`, …) and their byte/C variants.
+        // Look for an optional `b`/`c` prefix, then `r`, hashes, quote.
+        if c == 'r' || ((c == 'b' || c == 'c') && i + 1 < n && bytes[i + 1] == 'r') {
+            let r_at = if c == 'r' { i } else { i + 1 };
+            let mut j = r_at + 1;
+            while j < n && bytes[j] == '#' {
+                j += 1;
+            }
+            if j < n && bytes[j] == '"' {
+                let hashes = j - (r_at + 1);
+                // Consume the prefix and opening quote.
+                while i <= j {
+                    bump!();
+                }
+                // Scan for `"` followed by `hashes` hash marks.
+                'raw: while i < n {
+                    if bytes[i] == '"' {
+                        let mut k = 0usize;
+                        while k < hashes && i + 1 + k < n && bytes[i + 1 + k] == '#' {
+                            k += 1;
+                        }
+                        if k == hashes {
+                            for _ in 0..=hashes {
+                                bump!();
+                            }
+                            break 'raw;
+                        }
+                    }
+                    bump!();
+                }
+                continue;
+            }
+            // Not a raw string (`r` is just an identifier start) — fall
+            // through to the word path below.
+        }
+
+        // Ordinary string literals, including `b"…"` / `c"…"` prefixes.
+        if c == '"' || ((c == 'b' || c == 'c') && i + 1 < n && bytes[i + 1] == '"') {
+            if c != '"' {
+                bump!(); // the b/c prefix
+            }
+            bump!(); // opening quote
+            while i < n {
+                if bytes[i] == '\\' && i + 1 < n {
+                    bump!();
+                    bump!();
+                } else if bytes[i] == '"' {
+                    bump!();
+                    break;
+                } else {
+                    bump!();
+                }
+            }
+            continue;
+        }
+
+        // Character literals vs lifetimes, plus `b'…'` byte literals.
+        if c == '\'' || (c == 'b' && i + 1 < n && bytes[i + 1] == '\'') {
+            let q = if c == 'b' { i + 1 } else { i };
+            if c == 'b' || is_char_literal(&bytes, q) {
+                // Consume `b`, quote, contents, closing quote.
+                while i <= q {
+                    bump!();
+                }
+                while i < n {
+                    if bytes[i] == '\\' && i + 1 < n {
+                        bump!();
+                        bump!();
+                    } else if bytes[i] == '\'' {
+                        bump!();
+                        break;
+                    } else {
+                        bump!();
+                    }
+                }
+            } else {
+                // A lifetime: consume the quote and the identifier.
+                bump!();
+                while i < n && is_word(bytes[i]) {
+                    bump!();
+                }
+            }
+            continue;
+        }
+
+        // Words (identifiers, keywords, numbers).
+        if is_word(c) {
+            let start_line = line;
+            let mut text = String::new();
+            while i < n && is_word(bytes[i]) {
+                text.push(bytes[i]);
+                i += 1;
+            }
+            out.tokens.push(Token { kind: TokenKind::Word, text, line: start_line });
+            continue;
+        }
+
+        // `::` as one token; everything else single-character.
+        if c == ':' && i + 1 < n && bytes[i + 1] == ':' {
+            out.tokens.push(Token { kind: TokenKind::Punct, text: "::".into(), line });
+            i += 2;
+            continue;
+        }
+        out.tokens.push(Token { kind: TokenKind::Punct, text: c.to_string(), line });
+        bump!();
+    }
+    out
+}
+
+/// Decides whether the `'` at `bytes[q]` opens a character literal (as
+/// opposed to a lifetime). Escapes (`'\n'`) are always literals; `'a'` is
+/// a literal because the character after the one-word run is `'`; `'a` /
+/// `'static` are lifetimes.
+fn is_char_literal(bytes: &[char], q: usize) -> bool {
+    let Some(&next) = bytes.get(q + 1) else {
+        return false;
+    };
+    if next == '\\' {
+        return true;
+    }
+    if next == '\'' {
+        // `''` is malformed; treat as a (empty) literal so we skip it.
+        return true;
+    }
+    if is_word(next) {
+        // Scan the word run; a closing quote right after means a literal
+        // like 'a' (multi-char word runs such as 'ab' are not valid Rust,
+        // and `'a'` in generics is written `'a`, never quoted twice).
+        let mut j = q + 1;
+        while j < bytes.len() && is_word(bytes[j]) {
+            j += 1;
+        }
+        return bytes.get(j) == Some(&'\'');
+    }
+    // `'('`, `' '`, etc.: punctuation or space in quotes is a literal.
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn words(src: &str) -> Vec<String> {
+        tokenize(src).tokens.into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn strings_and_comments_are_invisible() {
+        let src = r##"
+            let x = "Instant::now()"; // Instant::now()
+            /* HashMap.iter() */
+            let y = 'a';
+            let z = r#"std::env::var("HOME")"#;
+        "##;
+        let w = words(src);
+        assert!(!w.contains(&"Instant".to_string()), "{w:?}");
+        assert!(!w.contains(&"HashMap".to_string()), "{w:?}");
+        assert!(!w.contains(&"env".to_string()), "{w:?}");
+    }
+
+    #[test]
+    fn line_comments_are_captured_for_pragmas() {
+        let ts = tokenize("foo(); // marnet-lint: allow(wall-clock): bench timer\n/// doc");
+        assert_eq!(ts.comments.len(), 2);
+        assert_eq!(ts.comments[0].text, " marnet-lint: allow(wall-clock): bench timer");
+        assert!(!ts.comments[0].doc);
+        assert!(ts.comments[1].doc);
+    }
+
+    #[test]
+    fn lifetimes_do_not_swallow_code() {
+        let w = words("fn f<'a>(x: &'a str) -> &'a str { Instant::now(); x }");
+        assert!(w.contains(&"Instant".to_string()));
+        assert!(w.contains(&"now".to_string()));
+    }
+
+    #[test]
+    fn char_escape_with_quote_is_contained() {
+        let w = words(r"let q = '\''; Instant::now();");
+        assert!(w.contains(&"Instant".to_string()));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let w = words("/* outer /* inner */ still comment */ real_token");
+        assert_eq!(w, vec!["real_token"]);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let w = words(r####"let s = r##"quote " and "# inside"##; after"####);
+        assert_eq!(w, vec!["let", "s", "=", ";", "after"]);
+    }
+
+    #[test]
+    fn byte_and_c_string_prefixes() {
+        let w = words(r##"let a = b"Instant::now"; let b = br#"x"#; let c = b'q'; done"##);
+        assert!(!w.contains(&"Instant".to_string()));
+        assert!(w.contains(&"done".to_string()));
+    }
+
+    #[test]
+    fn path_separator_is_one_token() {
+        let ts = tokenize("std::time::Instant");
+        let texts: Vec<&str> = ts.tokens.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(texts, vec!["std", "::", "time", "::", "Instant"]);
+    }
+
+    #[test]
+    fn line_numbers_track_newlines_everywhere() {
+        let src = "a\n\"two\nlines\"\nb\n/* c\nc */ d";
+        let ts = tokenize(src);
+        let lines: Vec<(String, usize)> = ts.tokens.into_iter().map(|t| (t.text, t.line)).collect();
+        assert_eq!(lines, vec![("a".into(), 1), ("b".into(), 4), ("d".into(), 6)]);
+    }
+
+    #[test]
+    fn unterminated_literal_swallows_tail_without_panicking() {
+        let ts = tokenize("let x = \"never closed ... Instant::now()");
+        assert!(ts.tokens.iter().all(|t| t.text != "Instant"));
+        let ts = tokenize("/* never closed Instant::now()");
+        assert!(ts.tokens.is_empty());
+    }
+}

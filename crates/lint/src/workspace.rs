@@ -1,0 +1,146 @@
+//! The workspace walker: decides which rules apply to which files and
+//! runs the whole pass.
+//!
+//! Scope decisions, all path-based (no type information exists):
+//!
+//! * **Sim-facing crates** (`sim`, `core`, `transport`, `radio`, `app`,
+//!   `edge`, `privacy`, `telemetry`) get the determinism family over
+//!   their library sources. `src/bin/` is exempt: binaries are CLI entry
+//!   points that legitimately read `std::env::args`.
+//! * **Hot-path modules** (the PR 2 event-core set: `sim::engine`,
+//!   `core::endpoint`, `transport::nic`) additionally get the
+//!   panic-safety family.
+//! * **Every crate root** (`src/lib.rs`) gets the hygiene rule, and
+//!   every crate manifest the layering rule.
+//! * `tests/`, `benches/`, `examples/`, and `#[cfg(test)]` items are
+//!   never scanned: invariants protect the simulation, not its harness.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::diag::{self, Diagnostic};
+use crate::layering;
+use crate::rules::{scan_file, FileScope};
+
+/// Crates whose library code faces the simulator and must stay
+/// deterministic.
+pub const SIM_FACING: &[&str] =
+    &["sim", "core", "transport", "radio", "app", "edge", "privacy", "telemetry"];
+
+/// Event-core hot-path modules under the panic-safety rule (workspace-
+/// relative, forward slashes).
+pub const HOT_PATH: &[&str] =
+    &["crates/sim/src/engine.rs", "crates/core/src/endpoint.rs", "crates/transport/src/nic.rs"];
+
+/// The result of a whole-workspace pass.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// All findings, in canonical order.
+    pub findings: Vec<Diagnostic>,
+    /// Rust files scanned.
+    pub files_scanned: usize,
+    /// Crate manifests checked for layering.
+    pub crates_checked: usize,
+}
+
+/// Runs every rule over the workspace rooted at `root` (the directory
+/// holding the workspace `Cargo.toml`).
+pub fn lint_workspace(root: &Path) -> io::Result<Report> {
+    let mut report = Report::default();
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = Vec::new();
+    if crates_dir.is_dir() {
+        for entry in fs::read_dir(&crates_dir)? {
+            let path = entry?.path();
+            if path.is_dir() && path.join("Cargo.toml").is_file() {
+                crate_dirs.push(path);
+            }
+        }
+    }
+    // Deterministic scan order regardless of directory enumeration.
+    crate_dirs.sort();
+
+    for dir in &crate_dirs {
+        let name = dir.file_name().and_then(|n| n.to_str()).unwrap_or_default().to_string();
+        scan_crate(root, dir, &name, &mut report)?;
+    }
+
+    // The umbrella crate at the root, when present: layering + hygiene.
+    if root.join("Cargo.toml").is_file() && root.join("src").is_dir() {
+        scan_crate(root, root, "marnet", &mut report)?;
+    }
+
+    diag::sort(&mut report.findings);
+    Ok(report)
+}
+
+/// Scans one crate: manifest layering plus every file under `src/`.
+fn scan_crate(root: &Path, dir: &Path, name: &str, report: &mut Report) -> io::Result<()> {
+    let manifest_path = dir.join("Cargo.toml");
+    let manifest = fs::read_to_string(&manifest_path)?;
+    report.findings.extend(layering::check_crate(name, &manifest, &rel(root, &manifest_path)));
+    report.crates_checked += 1;
+
+    let src = dir.join("src");
+    if !src.is_dir() {
+        return Ok(());
+    }
+    let determinism = SIM_FACING.contains(&name);
+    let mut files = Vec::new();
+    collect_rs(&src, &mut files)?;
+    files.sort();
+    for file in files {
+        let rel_path = rel(root, &file);
+        // Binaries parse argv and print; the determinism contract lives
+        // in the library the binary drives.
+        let in_bin = rel_path.contains("/src/bin/");
+        let scope = FileScope {
+            determinism: determinism && !in_bin,
+            panic_path: HOT_PATH.contains(&rel_path.as_str()),
+            hygiene: file == src.join("lib.rs"),
+            rel_path,
+        };
+        let source = fs::read_to_string(&file)?;
+        report.findings.extend(scan_file(&source, &scope));
+        report.files_scanned += 1;
+    }
+    Ok(())
+}
+
+/// Workspace-relative path with forward slashes (stable across hosts).
+fn rel(root: &Path, path: &Path) -> String {
+    let r = path.strip_prefix(root).unwrap_or(path);
+    r.components().map(|c| c.as_os_str().to_string_lossy()).collect::<Vec<_>>().join("/")
+}
+
+/// Recursively collects `.rs` files under `dir`.
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Walks upward from `start` to the first directory whose `Cargo.toml`
+/// declares `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = fs::read_to_string(&manifest) {
+                if text.lines().any(|l| l.trim() == "[workspace]") {
+                    return Some(d);
+                }
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}

@@ -1,0 +1,23 @@
+//! The repo lints itself: `cargo test` fails on any undocumented
+//! violation anywhere in the workspace, which is the same gate CI runs
+//! via `cargo run -p marnet-lint -- --deny-all --format json`.
+
+use std::path::PathBuf;
+
+use marnet_lint::{lint_workspace, render_text};
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = lint_workspace(&root).expect("scan workspace");
+    assert!(
+        report.findings.is_empty(),
+        "undocumented lint findings — fix them or add a reasoned \
+         `// marnet-lint: allow(rule): <reason>` pragma:\n{}",
+        render_text(&report.findings)
+    );
+    // Sanity-check the walker actually saw the workspace (an empty scan
+    // would also report zero findings).
+    assert!(report.crates_checked >= 10, "only {} crates checked", report.crates_checked);
+    assert!(report.files_scanned >= 50, "only {} files scanned", report.files_scanned);
+}

@@ -101,6 +101,34 @@ struct LinkRuntime {
     rng: ChaCha12Rng,
 }
 
+/// Resolves a [`LinkId`] to its runtime slot.
+///
+/// Free functions over the `links` field (rather than `&mut self`
+/// methods) so call sites keep disjoint borrows of the other [`SimCtx`]
+/// fields, and so the indexing invariant lives in exactly one place.
+#[inline]
+fn link_rt(links: &[LinkRuntime], link: LinkId) -> &LinkRuntime {
+    // marnet-lint: allow(panic-path): LinkIds are only minted by add_link for this simulator, so the slot exists
+    &links[link.index()]
+}
+
+/// Mutable counterpart of [`link_rt`].
+#[inline]
+fn link_rt_mut(links: &mut [LinkRuntime], link: LinkId) -> &mut LinkRuntime {
+    // marnet-lint: allow(panic-path): LinkIds are only minted by add_link for this simulator, so the slot exists
+    &mut links[link.index()]
+}
+
+/// Resolves an [`ActorId`] to its slot in the actor table.
+#[inline]
+fn actor_slot_mut(
+    actors: &mut [Option<Box<dyn Actor>>],
+    id: ActorId,
+) -> &mut Option<Box<dyn Actor>> {
+    // marnet-lint: allow(panic-path): ActorIds are only minted by reserve_actor for this simulator, so the slot exists
+    &mut actors[id.index()]
+}
+
 /// Live metric handles for one link, created by [`Simulator::enable_metrics`].
 struct LinkGauges {
     queue_packets: Gauge,
@@ -242,7 +270,7 @@ impl SimCtx {
         let t = now.as_nanos();
         let comp = component::link(link.index());
         let (pid, pflow, psize, pprio) = (pkt.id, pkt.flow, pkt.size, pkt.prio);
-        let l = &mut self.links[link.index()];
+        let l = link_rt_mut(&mut self.links, link);
         l.stats.offered_packets += 1;
         l.stats.offered_bytes += u64::from(pkt.size);
         if !l.up {
@@ -283,7 +311,7 @@ impl SimCtx {
         let now = self.now;
         let t = now.as_nanos();
         let comp = component::link(link.index());
-        let l = &mut self.links[link.index()];
+        let l = link_rt_mut(&mut self.links, link);
         let was_busy = l.busy;
         if l.rate == Bandwidth::ZERO {
             l.busy = false;
@@ -328,7 +356,8 @@ impl SimCtx {
 
     fn handle_departure(&mut self, link: LinkId) {
         let now = self.now;
-        let l = &mut self.links[link.index()];
+        let l = link_rt_mut(&mut self.links, link);
+        // marnet-lint: allow(panic-path): departure events are only scheduled by start_tx after setting in_flight
         let pkt = l.in_flight.take().expect("departure without in-flight packet");
         l.stats.tx_packets += 1;
         l.stats.tx_bytes += u64::from(pkt.size);
@@ -384,12 +413,12 @@ impl SimCtx {
 
     /// Current rate of a link.
     pub fn link_rate(&self, link: LinkId) -> Bandwidth {
-        self.links[link.index()].rate
+        link_rt(&self.links, link).rate
     }
 
     /// Changes a link's rate. Takes effect for the next serialized packet.
     pub fn set_link_rate(&mut self, link: LinkId, rate: Bandwidth) {
-        let l = &mut self.links[link.index()];
+        let l = link_rt_mut(&mut self.links, link);
         l.rate = rate;
         let kick = !l.busy && !l.queue.is_empty();
         if kick {
@@ -399,13 +428,13 @@ impl SimCtx {
 
     /// Whether a link is administratively up.
     pub fn link_is_up(&self, link: LinkId) -> bool {
-        self.links[link.index()].up
+        link_rt(&self.links, link).up
     }
 
     /// Brings a link up or down. While down, offered and departing packets
     /// are dropped; queued packets are held.
     pub fn set_link_up(&mut self, link: LinkId, up: bool) {
-        let l = &mut self.links[link.index()];
+        let l = link_rt_mut(&mut self.links, link);
         l.up = up;
         let kick = up && !l.busy && !l.queue.is_empty();
         if kick {
@@ -415,33 +444,33 @@ impl SimCtx {
 
     /// Changes a link's loss model on the fly.
     pub fn set_link_loss(&mut self, link: LinkId, loss: LossModel) {
-        self.links[link.index()].loss = loss;
+        link_rt_mut(&mut self.links, link).loss = loss;
     }
 
     /// Cumulative counters for a link.
     pub fn link_stats(&self, link: LinkId) -> LinkStats {
-        self.links[link.index()].stats
+        link_rt(&self.links, link).stats
     }
 
     /// Queue occupancy of a link's transmitter: `(packets, bytes)`.
     pub fn link_queue_len(&self, link: LinkId) -> (usize, u64) {
-        let l = &self.links[link.index()];
+        let l = link_rt(&self.links, link);
         (l.queue.len_packets(), l.queue.len_bytes())
     }
 
     /// One-way propagation delay of a link.
     pub fn link_delay(&self, link: LinkId) -> SimDuration {
-        self.links[link.index()].delay
+        link_rt(&self.links, link).delay
     }
 
     /// The receiving actor of a link.
     pub fn link_dst(&self, link: LinkId) -> ActorId {
-        self.links[link.index()].dst
+        link_rt(&self.links, link).dst
     }
 
     /// The sending actor of a link.
     pub fn link_src(&self, link: LinkId) -> ActorId {
-        self.links[link.index()].src
+        link_rt(&self.links, link).src
     }
 
     /// `true` while the flight recorder is capturing events. Instrumented
@@ -473,7 +502,7 @@ impl SimCtx {
     fn note_queue_metrics(&self, link: LinkId, dequeue_delay_nanos: Option<u64>) {
         let Some(gauges) = &self.link_gauges else { return };
         let Some(g) = gauges.get(link.index()) else { return };
-        let l = &self.links[link.index()];
+        let l = link_rt(&self.links, link);
         g.queue_packets.set(l.queue.len_packets() as f64);
         g.queue_bytes.set(l.queue.len_bytes() as f64);
         if let Some(d) = dequeue_delay_nanos {
@@ -548,7 +577,7 @@ impl Simulator {
     ///
     /// Panics if the slot is already filled.
     pub fn install_actor<A: Actor + 'static>(&mut self, id: ActorId, actor: A) {
-        let slot = &mut self.actors[id.index()];
+        let slot = actor_slot_mut(&mut self.actors, id);
         assert!(slot.is_none(), "actor slot {id} already filled");
         *slot = Some(Box::new(actor));
     }
@@ -594,8 +623,8 @@ impl Simulator {
     }
 
     fn deliver_starts(&mut self) {
-        for (i, started) in self.started.iter_mut().enumerate() {
-            if !*started && self.actors[i].is_some() {
+        for (i, (started, actor)) in self.started.iter_mut().zip(&self.actors).enumerate() {
+            if !*started && actor.is_some() {
                 *started = true;
                 let id = ActorId(i as u32);
                 self.ctx.push(self.ctx.now, Dest::Actor { id, event: Event::Start });
@@ -606,8 +635,9 @@ impl Simulator {
     fn dispatch_to_actor(&mut self, id: ActorId, event: Event) {
         // Borrowing the actor in place is fine: `SimCtx` has no route back
         // to the actor table, so `on_event` cannot alias the slot.
-        let actor = self.actors[id.index()]
+        let actor = actor_slot_mut(&mut self.actors, id)
             .as_mut()
+            // marnet-lint: allow(panic-path): delivering to a removed actor violates the documented take_actor contract
             .unwrap_or_else(|| panic!("event for uninstalled {id}"));
         self.ctx.current_actor = id;
         actor.on_event(&mut self.ctx, event);
@@ -636,7 +666,7 @@ impl Simulator {
                 Dest::Actor { id, event } => self.dispatch_to_actor(id, event),
                 Dest::LinkDeparture { link } => self.ctx.handle_departure(link),
                 Dest::LinkArrival { link, packet } => {
-                    let l = &mut self.ctx.links[link.index()];
+                    let l = link_rt_mut(&mut self.ctx.links, link);
                     l.stats.delivered_packets += 1;
                     l.stats.delivered_bytes += u64::from(packet.size);
                     let dst = l.dst;
@@ -681,7 +711,7 @@ impl Simulator {
     /// The slot becomes empty; events still targeting it will panic, so only
     /// extract actors once the simulation is finished.
     pub fn take_actor(&mut self, id: ActorId) -> Option<Box<dyn Actor>> {
-        self.actors[id.index()].take()
+        actor_slot_mut(&mut self.actors, id).take()
     }
 
     /// Enables the flight recorder with a ring of `capacity` events.

@@ -7,7 +7,7 @@
 
 use crate::engine::{ActorId, Simulator};
 use crate::link::{LinkId, LinkParams};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A pair of directed links forming a duplex channel.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -41,13 +41,13 @@ impl Duplex {
 #[derive(Debug)]
 pub struct TopologyBuilder {
     sim: Simulator,
-    names: HashMap<String, ActorId>,
+    names: BTreeMap<String, ActorId>,
 }
 
 impl TopologyBuilder {
     /// Starts a topology on a fresh simulator with the given seed.
     pub fn new(seed: u64) -> Self {
-        TopologyBuilder { sim: Simulator::new(seed), names: HashMap::new() }
+        TopologyBuilder { sim: Simulator::new(seed), names: BTreeMap::new() }
     }
 
     /// Reserves a named actor slot. Names are for diagnostics and lookup;
@@ -97,7 +97,7 @@ impl TopologyBuilder {
     }
 
     /// Finishes building, returning the simulator and the name table.
-    pub fn finish(self) -> (Simulator, HashMap<String, ActorId>) {
+    pub fn finish(self) -> (Simulator, BTreeMap<String, ActorId>) {
         (self.sim, self.names)
     }
 }

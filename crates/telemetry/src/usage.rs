@@ -68,6 +68,30 @@ impl<const N: usize> ClassUsage<N> {
         self.dropped_bytes[i] += bytes;
     }
 
+    /// Bytes sent in `class` (clamped like the recording methods).
+    #[inline]
+    pub fn sent_bytes_for(&self, class: usize) -> u64 {
+        self.sent_bytes[Self::idx(class)]
+    }
+
+    /// Packets sent in `class` (clamped like the recording methods).
+    #[inline]
+    pub fn sent_packets_for(&self, class: usize) -> u64 {
+        self.sent_packets[Self::idx(class)]
+    }
+
+    /// Packets dropped in `class` (clamped like the recording methods).
+    #[inline]
+    pub fn dropped_packets_for(&self, class: usize) -> u64 {
+        self.dropped_packets[Self::idx(class)]
+    }
+
+    /// Bytes dropped in `class` (clamped like the recording methods).
+    #[inline]
+    pub fn dropped_bytes_for(&self, class: usize) -> u64 {
+        self.dropped_bytes[Self::idx(class)]
+    }
+
     /// Total bytes sent across all classes.
     pub fn total_sent_bytes(&self) -> u64 {
         self.sent_bytes.iter().sum()

@@ -1,0 +1,53 @@
+//! `marnet-trace` exit codes: the workspace CLI convention is 0 ok,
+//! 1 findings (trace divergence), 2 usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use marnet_telemetry::{component, file, TraceEvent};
+
+fn trace_bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_marnet-trace"))
+}
+
+fn write_trace(name: &str, events: &[TraceEvent]) -> PathBuf {
+    let path = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(name);
+    file::write_file(&path, events).expect("write trace");
+    path
+}
+
+fn events(flow: u64) -> Vec<TraceEvent> {
+    vec![
+        TraceEvent::packet_enqueue(10, component::link(0), 1, flow, 1200, 0),
+        TraceEvent::packet_deliver(20, component::link(0), 1, flow, 1200),
+    ]
+}
+
+#[test]
+fn identical_traces_diff_to_zero() {
+    let a = write_trace("ec_a.trace", &events(7));
+    let b = write_trace("ec_b.trace", &events(7));
+    let st = trace_bin().args(["diff"]).arg(&a).arg(&b).status().expect("run");
+    assert_eq!(st.code(), Some(0));
+}
+
+#[test]
+fn divergent_traces_exit_one() {
+    let a = write_trace("ec_c.trace", &events(7));
+    let b = write_trace("ec_d.trace", &events(8));
+    let st = trace_bin().args(["diff"]).arg(&a).arg(&b).status().expect("run");
+    assert_eq!(st.code(), Some(1));
+}
+
+#[test]
+fn usage_and_io_errors_exit_two() {
+    // No arguments at all: usage error.
+    let st = trace_bin().status().expect("run");
+    assert_eq!(st.code(), Some(2));
+    // Unknown subcommand.
+    let st = trace_bin().args(["frobnicate"]).status().expect("run");
+    assert_eq!(st.code(), Some(2));
+    // Missing trace file: I/O error.
+    let st = trace_bin().args(["dump", "/nonexistent/trace.bin"]).status().expect("run");
+    assert_eq!(st.code(), Some(2));
+}

@@ -176,6 +176,7 @@ fn run_one<F>(
 #[macro_export]
 macro_rules! criterion_group {
     ($name:ident, $($target:path),+ $(,)?) => {
+        /// Runs this benchmark group (generated by `criterion_group!`).
         pub fn $name() {
             let mut criterion = $crate::Criterion::default();
             $( $target(&mut criterion); )+
