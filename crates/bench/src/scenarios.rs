@@ -1,15 +1,18 @@
 //! Shared experiment topologies, reused by the binaries and the
 //! integration tests.
 
-use marnet_core::class::StreamKind;
-use marnet_core::config::ArConfig;
+use marnet_core::class::{Priority, StreamKind};
+use marnet_core::config::{ArConfig, OutageConfig};
 use marnet_core::congestion::CongestionConfig;
 use marnet_core::endpoint::{
-    ArReceiver, ArReceiverStats, ArSender, ArSenderStats, SenderPathConfig, Submit,
+    ArReceiver, ArReceiverStats, ArSender, ArSenderStats, Delivered, SenderPathConfig, Submit,
 };
 use marnet_core::message::ArMessage;
 use marnet_core::multipath::{MultipathPolicy, PathRole};
 use marnet_core::recovery::RecoveryPolicy;
+use marnet_edge::session::RestartableServer;
+use marnet_faults::inject::FaultInjector;
+use marnet_faults::schedule::FaultSpec;
 use marnet_radio::coverage::{CoverageActor, CoverageModel};
 use marnet_sim::engine::{Actor, ActorId, Event, SimCtx, Simulator};
 use marnet_sim::link::{Bandwidth, LinkParams, LossModel};
@@ -557,18 +560,29 @@ pub struct RecoveryOutcome {
 }
 
 /// 30 FPS stream of recovery-class reference-frame-like messages.
+///
+/// With `droppable` the frames carry [`Priority::DropNotDelay`] — video is
+/// only useful on time, so the degradation scheduler may shed stale frames
+/// — while keeping the recovery class (losses are NACKed and repaired
+/// within the deadline). The recovery scenarios (§VI-C) keep the default
+/// `Priority::Highest` so every frame queues.
 #[derive(Debug)]
 struct RefStream {
     sender: ActorId,
     next_id: u64,
+    bytes: u32,
+    droppable: bool,
 }
 
 impl Actor for RefStream {
     fn on_event(&mut self, ctx: &mut SimCtx, ev: Event) {
         if matches!(ev, Event::Start | Event::Timer { .. }) {
             let now = ctx.now();
-            let m = ArMessage::new(self.next_id, StreamKind::VideoReference, 6_000, now)
+            let mut m = ArMessage::new(self.next_id, StreamKind::VideoReference, self.bytes, now)
                 .with_deadline(now + SimDuration::from_millis(75));
+            if self.droppable {
+                m = m.with_priority(Priority::DropNotDelay(0));
+            }
             self.next_id += 1;
             ctx.send_message(self.sender, Payload::new(Submit(m)));
             ctx.schedule_timer(SimDuration::from_millis(33), 0);
@@ -667,7 +681,7 @@ pub fn run_recovery_instrumented(
         ArReceiver::new(1, cfg.feedback_interval, vec![TxPath::Link(down), TxPath::Link(down)]);
     let rstats = receiver.stats();
     sim.install_actor(rcv, receiver);
-    sim.add_actor(RefStream { sender: snd, next_id: 0 });
+    sim.add_actor(RefStream { sender: snd, next_id: 0, bytes: 6_000, droppable: false });
     let events = sim.run_until(SimTime::from_secs(secs));
 
     let offered = (secs * 30) as f64;
@@ -689,6 +703,289 @@ pub fn run_recovery_instrumented(
         reg.counter("core.recovery.fec_recovered").add(r.fec_recovered);
         reg.counter("core.recovery.duplicates").add(r.duplicates);
         reg.counter("core.recovery.abandoned_holes").add(r.abandoned_holes);
+        reg.snapshot()
+    });
+    let capture = TelemetryCapture { events: sim.take_trace(), metrics };
+    (outcome, events, capture)
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection and recovery SLOs (marnet-faults)
+// ---------------------------------------------------------------------------
+
+/// Which fault the chaos scenario injects two seconds into the run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultScenario {
+    /// Both directions of the access link go dark (AP power loss): the
+    /// sender's watchdog sees every path down immediately.
+    LinkOutage,
+    /// The edge server process dies with its session state while the link
+    /// stays up: only feedback silence reveals the failure, and recovering
+    /// requires re-establishing the session with the restarted peer's new
+    /// epoch — the hardened stack's resync; the baseline keeps talking
+    /// into the dead session and never recovers.
+    EdgeCrash,
+    /// The edge server reboots but keeps its session state (a warm
+    /// restart): no epoch bump, so the half-second sequence gap is NACKed
+    /// at the old epoch and abandoned once the deadlines have passed.
+    EdgeReboot,
+}
+
+impl FaultScenario {
+    /// All three, in artifact order.
+    pub const ALL: [FaultScenario; 3] =
+        [FaultScenario::LinkOutage, FaultScenario::EdgeCrash, FaultScenario::EdgeReboot];
+
+    /// The stable label used in tables and artifacts.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultScenario::LinkOutage => "link-outage",
+            FaultScenario::EdgeCrash => "edge-crash",
+            FaultScenario::EdgeReboot => "edge-reboot",
+        }
+    }
+
+    /// Parses a [`FaultScenario::label`] back.
+    pub fn from_label(label: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|s| s.label() == label)
+    }
+}
+
+/// Outcome of one fault-injection run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultsOutcome {
+    /// Frames that arrived within the 75 ms budget, % of offered (whole run).
+    pub delivered_in_budget_pct: f64,
+    /// Frames that arrived at all, % of offered (whole run).
+    pub delivered_total_pct: f64,
+    /// In-budget % over the stress window (fault onset → onset + 1.5 s) —
+    /// the QoE-under-fault figure.
+    pub qoe_under_fault_pct: f64,
+    /// Time from the fault clearing to the first in-budget delivery at or
+    /// after the clear — the time-to-QoE-restored SLO. `None` when QoE
+    /// never recovers before the horizon (censored).
+    pub recovery_ms: Option<f64>,
+    /// Retransmissions performed inside the fault window.
+    pub retransmits_during_fault: u64,
+    /// Retransmissions over the whole run.
+    pub retransmits: u64,
+    /// Outages declared by the sender's watchdog.
+    pub outages_detected: u64,
+    /// Recovery probes sent while the peer was unreachable.
+    pub recovery_probes: u64,
+    /// Session re-establishments after an edge restart.
+    pub session_resyncs: u64,
+}
+
+/// Shared observations of the [`QoeMonitor`].
+#[derive(Debug, Default)]
+struct QoeLog {
+    /// First in-budget delivery at or after the fault clears.
+    restored_at: Option<SimTime>,
+    /// In-budget deliveries of frames created inside the stress window.
+    window_hits: u64,
+}
+
+/// Delivery target that watches for QoE restoration after the fault.
+#[derive(Debug)]
+struct QoeMonitor {
+    fault_at: SimTime,
+    fault_end: SimTime,
+    window_end: SimTime,
+    log: Rc<RefCell<QoeLog>>,
+}
+
+impl Actor for QoeMonitor {
+    fn on_event(&mut self, ctx: &mut SimCtx, ev: Event) {
+        if let Event::Message { mut msg, .. } = ev {
+            if let Some(d) = msg.take::<Delivered>() {
+                if !d.within_deadline {
+                    return;
+                }
+                let mut log = self.log.borrow_mut();
+                if d.created >= self.fault_at && d.created < self.window_end {
+                    log.window_hits += 1;
+                }
+                // An in-budget frame reaching the user after the fault
+                // cleared IS restored QoE — including a frame created
+                // during the outage that the scheduler retained (nothing
+                // arrives between onset and clear: the link or the peer is
+                // down, so this cannot fire early).
+                if ctx.now() >= self.fault_end && log.restored_at.is_none() {
+                    log.restored_at = Some(ctx.now());
+                }
+            }
+        }
+    }
+}
+
+/// Samples the sender's retransmission counter at the fault boundaries so
+/// the outcome can report retransmissions *inside* the fault window.
+#[derive(Debug)]
+struct RetransmitSampler {
+    stats: Rc<RefCell<ArSenderStats>>,
+    fault_at: SimTime,
+    fault_end: SimTime,
+    window: Rc<RefCell<[u64; 2]>>,
+}
+
+impl Actor for RetransmitSampler {
+    fn on_event(&mut self, ctx: &mut SimCtx, ev: Event) {
+        match ev {
+            Event::Start => {
+                ctx.schedule_timer(self.fault_at - ctx.now(), 0);
+                ctx.schedule_timer(self.fault_end - ctx.now(), 1);
+            }
+            Event::Timer { tag } => {
+                self.window.borrow_mut()[tag as usize & 1] = self.stats.borrow().retransmits;
+            }
+            _ => {}
+        }
+    }
+}
+
+/// [`run_faults_instrumented`] without telemetry capture.
+pub fn run_faults(
+    scenario: FaultScenario,
+    hardened: bool,
+    fault_ms: u64,
+    secs: u64,
+    seed: u64,
+) -> FaultsOutcome {
+    run_faults_instrumented(scenario, hardened, fault_ms, secs, seed, &TelemetryOptions::disabled())
+        .0
+}
+
+/// Runs the chaos scenario: 30 FPS of 15 KB droppable recovery-class
+/// frames with a 75 ms deadline over a clean 20 ms RTT path, hit by
+/// `scenario` at t = 2 s for `fault_ms`, for `secs` (> 2) of virtual time.
+///
+/// `hardened` selects the protocol stack under test: the hardened arm runs
+/// deadline-gated ARQ plus [`OutageConfig::hardened`] (watchdog detection,
+/// outage-aware degradation, probe-based recovery); the baseline arm is the
+/// naive stack — ungated ARQ, blind to outages. The whole run is a function
+/// of `(scenario, hardened, fault_ms, secs, seed)`: byte-identical
+/// artifacts at any thread count.
+pub fn run_faults_instrumented(
+    scenario: FaultScenario,
+    hardened: bool,
+    fault_ms: u64,
+    secs: u64,
+    seed: u64,
+    telemetry: &TelemetryOptions,
+) -> (FaultsOutcome, u64, TelemetryCapture) {
+    let fault_at = SimTime::from_secs(2);
+    let fault_end = fault_at + SimDuration::from_millis(fault_ms);
+    let horizon = SimTime::from_secs(secs);
+    let mut sim = Simulator::new(seed);
+    if let Some(cap) = telemetry.trace_capacity {
+        sim.enable_flight_recorder(cap);
+    }
+    let registry = if telemetry.metrics {
+        let reg = MetricsRegistry::new();
+        sim.enable_metrics(&reg);
+        Some(reg)
+    } else {
+        None
+    };
+    let snd = sim.reserve_actor();
+    let rcv = sim.reserve_actor();
+    let monitor = sim.reserve_actor();
+    let one_way = SimDuration::from_millis(10);
+    // A light residual loss keeps the ARQ machinery honest (the retransmit
+    // bound is measured against real repairs, not an idle counter) and
+    // gives replicates seed-to-seed variance.
+    let up = sim.add_link(
+        snd,
+        rcv,
+        LinkParams::new(Bandwidth::from_mbps(20.0), one_way)
+            .with_loss(LossModel::Bernoulli { p: 0.003 }),
+    );
+    let down = sim.add_link(rcv, snd, LinkParams::new(Bandwidth::from_mbps(20.0), one_way));
+    // The baseline arm is the pre-hardening stack: ARQ without the
+    // deadline gate, no watchdog, no outage-aware degradation and no
+    // session re-establishment — after a cold edge restart it keeps
+    // stamping the dead epoch, which the restarted peer discards. The
+    // hardened arm gates retransmissions on the deadline and runs the
+    // watchdog / outage degradation / probe / resync loop.
+    let (recovery, outage) = if hardened {
+        (RecoveryPolicy::default(), OutageConfig::hardened())
+    } else {
+        (RecoveryPolicy { deadline_gated: false, ..Default::default() }, OutageConfig::default())
+    };
+    let cfg = ArConfig { recovery, outage, fec_group: None, ..ArConfig::default() };
+    let sender = ArSender::new(
+        1,
+        cfg.clone(),
+        vec![SenderPathConfig { role: PathRole::Wifi, tx: TxPath::Link(up), link: Some(up) }],
+    );
+    let sstats = sender.stats();
+    sim.install_actor(snd, sender);
+    let receiver = ArReceiver::new(1, cfg.feedback_interval, vec![TxPath::Link(down)])
+        .with_delivery_target(monitor);
+    let rstats = receiver.stats();
+    let spec = match scenario {
+        FaultScenario::LinkOutage => {
+            sim.install_actor(rcv, receiver);
+            FaultSpec::new().outage(vec![up, down], fault_at, SimDuration::from_millis(fault_ms))
+        }
+        FaultScenario::EdgeCrash => {
+            sim.install_actor(rcv, RestartableServer::new(receiver));
+            FaultSpec::new().edge_crash(rcv, fault_at, SimDuration::from_millis(fault_ms), true)
+        }
+        FaultScenario::EdgeReboot => {
+            sim.install_actor(rcv, RestartableServer::new(receiver));
+            FaultSpec::new().edge_crash(rcv, fault_at, SimDuration::from_millis(fault_ms), false)
+        }
+    };
+    sim.add_actor(FaultInjector::new(spec.compile(seed, horizon)));
+    let log = Rc::new(RefCell::new(QoeLog::default()));
+    sim.install_actor(
+        monitor,
+        QoeMonitor {
+            fault_at,
+            fault_end,
+            window_end: fault_at + SimDuration::from_millis(1500),
+            log: Rc::clone(&log),
+        },
+    );
+    let window = Rc::new(RefCell::new([0u64; 2]));
+    sim.add_actor(RetransmitSampler {
+        stats: Rc::clone(&sstats),
+        fault_at,
+        fault_end,
+        window: Rc::clone(&window),
+    });
+    sim.add_actor(RefStream { sender: snd, next_id: 0, bytes: 15_000, droppable: true });
+    let events = sim.run_until(horizon);
+
+    let offered = (secs * 30) as f64;
+    let window_offered = 1.5 * 30.0;
+    let r = rstats.borrow();
+    let s = sstats.borrow();
+    let ks = r.by_kind.get(&StreamKind::VideoReference);
+    let delivered = ks.map_or(0, |k| k.delivered) as f64;
+    let hits = ks.map_or(0, |k| k.deadline_hits) as f64;
+    let lg = log.borrow();
+    let w = window.borrow();
+    let outcome = FaultsOutcome {
+        delivered_in_budget_pct: hits / offered * 100.0,
+        delivered_total_pct: delivered / offered * 100.0,
+        qoe_under_fault_pct: lg.window_hits as f64 / window_offered * 100.0,
+        recovery_ms: lg.restored_at.map(|t| t.saturating_since(fault_end).as_millis_f64()),
+        retransmits_during_fault: w[1].saturating_sub(w[0]),
+        retransmits: s.retransmits,
+        outages_detected: s.outages_detected,
+        recovery_probes: s.recovery_probes,
+        session_resyncs: s.session_resyncs,
+    };
+    let metrics = registry.map(|reg| {
+        sim.publish_link_metrics(&reg);
+        s.publish_usage(&reg, "core.class");
+        reg.counter("core.faults.retransmits").add(s.retransmits);
+        reg.counter("core.faults.outages_detected").add(s.outages_detected);
+        reg.counter("core.faults.recovery_probes").add(s.recovery_probes);
+        reg.counter("core.faults.session_resyncs").add(s.session_resyncs);
         reg.snapshot()
     });
     let capture = TelemetryCapture { events: sim.take_trace(), metrics };
@@ -782,6 +1079,7 @@ pub fn run_multipath_commute(policy: MultipathPolicy, secs: u64, seed: u64) -> M
 #[cfg(test)]
 mod tests {
     use super::*;
+    use marnet_telemetry::TraceKind;
 
     #[test]
     fn table2_rtts_match_the_paper_rows() {
@@ -864,5 +1162,116 @@ mod tests {
         assert!(lte(&preferred) < lte(&aggregate));
         // Delivery: WifiOnly loses the most (gaps drop its video).
         assert!(delivered(&wifi_only) < delivered(&preferred));
+    }
+
+    #[test]
+    fn fault_scenario_labels_round_trip() {
+        for sc in FaultScenario::ALL {
+            assert_eq!(FaultScenario::from_label(sc.label()), Some(sc));
+        }
+        assert_eq!(FaultScenario::from_label("meteor-strike"), None);
+    }
+
+    #[test]
+    fn fault_runs_are_deterministic() {
+        let a = run_faults(FaultScenario::LinkOutage, true, 500, 6, 42);
+        let b = run_faults(FaultScenario::LinkOutage, true, 500, 6, 42);
+        assert_eq!(a, b, "same inputs must reproduce the outcome bit for bit");
+    }
+
+    #[test]
+    fn hardened_stack_beats_baseline_on_link_outage_recovery() {
+        let baseline = run_faults(FaultScenario::LinkOutage, false, 500, 6, 42);
+        let hardened = run_faults(FaultScenario::LinkOutage, true, 500, 6, 42);
+        let b_ms = baseline.recovery_ms.expect("baseline recovers from a pure link outage");
+        let h_ms = hardened.recovery_ms.expect("hardened recovers from a pure link outage");
+        // Freshest-frame retention: the hardened arm banks the newest frame
+        // during the outage and sends it the instant the link returns.
+        assert!(h_ms < b_ms, "hardened {h_ms} ms must beat baseline {b_ms} ms");
+        assert!(h_ms < 75.0, "QoE restored within one frame budget: {h_ms} ms");
+        assert!(hardened.outages_detected >= 1, "watchdog engaged");
+        assert!(hardened.recovery_probes >= 1, "probes paced by backoff");
+        assert!(hardened.qoe_under_fault_pct >= baseline.qoe_under_fault_pct);
+        assert_eq!(baseline.outages_detected, 0, "baseline is blind to the outage");
+    }
+
+    #[test]
+    fn cold_edge_crash_is_fatal_without_session_resync() {
+        let baseline = run_faults(FaultScenario::EdgeCrash, false, 500, 6, 42);
+        let hardened = run_faults(FaultScenario::EdgeCrash, true, 500, 6, 42);
+        // The baseline keeps stamping the dead epoch after the cold
+        // restart; the fresh incarnation discards every packet and QoE
+        // never returns (censored at the horizon).
+        assert_eq!(baseline.recovery_ms, None, "baseline must never recover");
+        assert_eq!(baseline.session_resyncs, 0);
+        let h_ms = hardened.recovery_ms.expect("resync restores the session");
+        assert!(h_ms < 150.0, "hardened recovery {h_ms} ms");
+        assert_eq!(hardened.session_resyncs, 1);
+        assert!(hardened.delivered_in_budget_pct > baseline.delivered_in_budget_pct + 30.0);
+    }
+
+    #[test]
+    fn warm_edge_reboot_is_benign_for_both_arms() {
+        let baseline = run_faults(FaultScenario::EdgeReboot, false, 500, 6, 42);
+        let hardened = run_faults(FaultScenario::EdgeReboot, true, 500, 6, 42);
+        // No state loss → no epoch bump → no resync needed; both arms
+        // recover within about one frame budget and hardening costs
+        // nothing. The half-second hole is NACKed but its deadlines are
+        // long past, so recovery abandons it instead of storming.
+        for (label, o) in [("baseline", &baseline), ("hardened", &hardened)] {
+            let ms = o.recovery_ms.unwrap_or(f64::INFINITY);
+            assert!(ms < 75.0, "{label} recovery {ms} ms");
+            assert_eq!(o.session_resyncs, 0, "{label} must not resync");
+            assert!(o.retransmits <= 64, "{label} retransmits bounded: {}", o.retransmits);
+        }
+    }
+
+    /// Trace-based regression for the scripted 500 ms outage: the flight
+    /// recorder must show the watchdog engaging outage degradation within
+    /// one RTT of the injected fault, resolving shortly after it clears,
+    /// and retransmissions staying bounded throughout.
+    #[test]
+    fn outage_trace_degradation_engages_within_one_rtt() {
+        let telemetry = TelemetryOptions { trace_capacity: Some(1 << 15), metrics: false };
+        let (outcome, _, capture) =
+            run_faults_instrumented(FaultScenario::LinkOutage, true, 500, 6, 42, &telemetry);
+        let events = &capture.events;
+        let first = |kind: TraceKind| {
+            events.iter().find(|e| e.kind == kind).map(|e| e.t).unwrap_or_else(|| {
+                panic!("trace must contain a {} event", kind.name());
+            })
+        };
+        let inject = first(TraceKind::FaultInject);
+        let detect = first(TraceKind::OutageDetect);
+        // A feedback packet still in flight at the cut can briefly resolve
+        // the first detection; the resolve that ends the outage is the last.
+        let resolve = events
+            .iter()
+            .filter(|e| e.kind == TraceKind::OutageResolve)
+            .map(|e| e.t)
+            .max()
+            .expect("trace must contain an outage-resolve event");
+        let rtt_nanos = 20_000_000;
+        assert!(detect >= inject, "detection follows injection");
+        assert!(
+            detect - inject <= rtt_nanos,
+            "outage degradation must engage within one RTT: {} ns",
+            detect - inject
+        );
+        let fault_end = inject + 500_000_000;
+        assert!(
+            resolve > fault_end && resolve - fault_end <= 50_000_000,
+            "outage resolves within a few feedback intervals of the clear"
+        );
+        // Degradation actually shed superseded frames during the fault.
+        assert!(
+            events
+                .iter()
+                .any(|e| e.kind == TraceKind::ClassDegrade && e.t >= inject && e.t < fault_end),
+            "retention must shed superseded frames during the outage"
+        );
+        // Bounded recovery: no retransmission storm accompanies the outage.
+        assert_eq!(outcome.retransmits_during_fault, 0, "nothing to retransmit while dark");
+        assert!(outcome.retransmits <= 64, "whole-run retransmits bounded");
     }
 }

@@ -2,8 +2,50 @@
 
 use crate::congestion::CongestionConfig;
 use crate::multipath::MultipathPolicy;
-use crate::recovery::RecoveryPolicy;
+use crate::recovery::{Backoff, RecoveryPolicy};
 use marnet_sim::time::SimDuration;
+
+/// Watchdog-driven outage handling at the sender.
+///
+/// Disabled by default: the hardened behaviour only engages when an
+/// experiment opts in, so existing scenarios (and their artifacts) are
+/// byte-identical with and without this feature compiled in.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OutageConfig {
+    /// Master switch for watchdog detection, outage-aware degradation and
+    /// probe-based recovery.
+    pub enabled: bool,
+    /// Feedback silence after which the watchdog declares an outage (data
+    /// was sent but nothing came back). Must comfortably exceed the
+    /// feedback interval; the default is 4× the 15 ms default interval.
+    pub watchdog_silence: SimDuration,
+    /// Backoff schedule for recovery probes while the peer is unreachable.
+    pub probe_backoff: Backoff,
+    /// Congestion-attribution grace after an outage resolves: losses and
+    /// delivery-rate samples reported inside this window describe the fault
+    /// (packets that died against the dead link or peer, a rate window
+    /// spanning the silence), so the congestion controller updates its RTT
+    /// estimators but holds its rate instead of collapsing to the floor.
+    pub congestion_grace: SimDuration,
+}
+
+impl Default for OutageConfig {
+    fn default() -> Self {
+        OutageConfig {
+            enabled: false,
+            watchdog_silence: SimDuration::from_millis(60),
+            probe_backoff: Backoff::default(),
+            congestion_grace: SimDuration::from_millis(150),
+        }
+    }
+}
+
+impl OutageConfig {
+    /// The hardened profile: watchdog on with default constants.
+    pub fn hardened() -> Self {
+        OutageConfig { enabled: true, ..OutageConfig::default() }
+    }
+}
 
 /// Configuration of an [`crate::endpoint::ArSender`].
 #[derive(Debug, Clone)]
@@ -28,6 +70,8 @@ pub struct ArConfig {
     pub policy: MultipathPolicy,
     /// Duplicate recovery-class packets on a second path.
     pub duplicate_recovery: bool,
+    /// Watchdog/outage handling (disabled by default).
+    pub outage: OutageConfig,
 }
 
 impl Default for ArConfig {
@@ -43,6 +87,7 @@ impl Default for ArConfig {
             fec_group: Some(8),
             policy: MultipathPolicy::WifiPreferred,
             duplicate_recovery: false,
+            outage: OutageConfig::default(),
         }
     }
 }

@@ -150,6 +150,26 @@ impl DelayCongestionController {
         recv_rate: Option<f64>,
         now: SimTime,
     ) -> CongestionVerdict {
+        self.on_feedback_attributed(rtt, losses, recv_rate, now, true)
+    }
+
+    /// [`DelayCongestionController::on_feedback`] with explicit congestion
+    /// attribution. With `attribute_congestion` false the sample updates
+    /// the RTT estimators but is never blamed on congestion and the rate
+    /// holds steady — the outage-hardened sender uses this for the grace
+    /// window after an outage resolves, when reported losses describe the
+    /// fault (packets that died against a dead link or peer) and the
+    /// receiver's delivery-rate window still spans the silence. Cutting the
+    /// rate on that evidence would collapse it to the floor and stall
+    /// recovery on additive increase.
+    pub fn on_feedback_attributed(
+        &mut self,
+        rtt: SimDuration,
+        losses: u64,
+        recv_rate: Option<f64>,
+        now: SimTime,
+        attribute_congestion: bool,
+    ) -> CongestionVerdict {
         // Update estimators (EWMA 7/8, like TCP's SRTT/RTTVAR).
         self.base_rtt = Some(match self.base_rtt {
             Some(b) if b <= rtt => b,
@@ -163,6 +183,9 @@ impl DelayCongestionController {
         self.jitter = self.jitter.mul_f64(0.75) + deviation.mul_f64(0.25);
         self.srtt = Some(srtt);
 
+        if !attribute_congestion {
+            return CongestionVerdict::Clear;
+        }
         let base = self.base_rtt.expect("set above");
         if self.cfg.react_to_loss && losses > 0 {
             if self.decrease(now, recv_rate) {

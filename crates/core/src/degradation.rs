@@ -81,6 +81,15 @@ pub struct DegradationScheduler {
     /// before congestion shedding starts.
     backlog_ticks: f64,
     queued_bytes: u64,
+    /// Outage mode (§VI-B applied to faults): while the watchdog reports
+    /// the peer unreachable, only the *freshest* droppable message of each
+    /// stream kind is retained — older ones are shed as they are superseded.
+    /// AR frames are only useful on time, so banking an outage-long backlog
+    /// would deliver stale video in a burst on recovery; shedding everything
+    /// would instead waste the newest frame, which is exactly the one worth
+    /// sending the instant the path returns. Delayable and critical traffic
+    /// still queues in full.
+    outage: bool,
 }
 
 impl DegradationScheduler {
@@ -95,7 +104,21 @@ impl DegradationScheduler {
             stale_after,
             backlog_ticks,
             queued_bytes: 0,
+            outage: false,
         }
+    }
+
+    /// Enters or leaves outage mode. While on, each tick retains only the
+    /// newest droppable message per stream kind and sheds the superseded
+    /// rest (the application keeps getting `Degrade` signals);
+    /// delayable/critical data still waits for recovery.
+    pub fn set_outage(&mut self, on: bool) {
+        self.outage = on;
+    }
+
+    /// Whether the scheduler is in outage mode.
+    pub fn outage(&self) -> bool {
+        self.outage
     }
 
     /// Bytes currently queued across all priorities.
@@ -117,6 +140,37 @@ impl DegradationScheduler {
     /// Runs one pacing tick with `budget_bytes` of allowance, at time `now`.
     pub fn tick(&mut self, now: SimTime, budget_bytes: f64) -> TickOutcome {
         let mut out = TickOutcome::default();
+
+        // 1a. Outage retention: while the peer is unreachable, keep only
+        // the freshest droppable message of each stream kind — superseded
+        // frames would arrive stale on recovery, but the newest one is
+        // worth sending the instant the path returns.
+        if self.outage {
+            for q in self.queues.values_mut() {
+                if q.iter().filter(|m| m.priority.can_drop()).count() < 2 {
+                    continue;
+                }
+                // Walk back-to-front: submissions are chronological, so the
+                // first droppable of a kind seen from the back is the newest.
+                let mut seen: Vec<crate::class::StreamKind> = Vec::new();
+                let mut kept = VecDeque::with_capacity(q.len());
+                let mut removed = 0u64;
+                while let Some(m) = q.pop_back() {
+                    if m.priority.can_drop() {
+                        if seen.contains(&m.kind) {
+                            removed += u64::from(m.size);
+                            out.dropped
+                                .push(DroppedMessage { message: m, reason: DropReason::Late });
+                            continue;
+                        }
+                        seen.push(m.kind);
+                    }
+                    kept.push_front(m);
+                }
+                *q = kept;
+                self.queued_bytes -= removed;
+            }
+        }
 
         // 1. Shed late droppable messages everywhere. Most ticks shed
         // nothing, so scan first and rebuild the queue only when a stale
@@ -165,7 +219,14 @@ impl DegradationScheduler {
         self.credit = budget.min(budget_bytes);
 
         // 3. Congestion shedding: if droppable backlog exceeds the horizon,
-        // discard from the least important rank upward.
+        // discard from the least important rank upward. Skipped during an
+        // outage: the budget is zero (or meaningless) while the peer is
+        // unreachable, and retention already caps the droppable backlog at
+        // one message per kind — shedding those would throw away exactly
+        // the frames worth sending the instant the path returns.
+        if self.outage {
+            return out;
+        }
         let max_backlog = budget_bytes * self.backlog_ticks;
         let mut droppable_backlog: f64 = self
             .queues
@@ -356,5 +417,47 @@ mod tests {
     #[test]
     fn zero_severity_without_drops() {
         assert_eq!(DegradationScheduler::shed_severity(&[]), 0);
+    }
+
+    #[test]
+    fn outage_mode_retains_freshest_droppable_per_kind() {
+        let mut s = sched();
+        s.set_outage(true);
+        assert!(s.outage());
+        s.submit(msg(1, StreamKind::VideoInter, 100, 0)); // Lowest: superseded
+        s.submit(msg(2, StreamKind::VideoInter, 100, 10)); // Lowest: freshest
+        s.submit(msg(3, StreamKind::Result, 100, 0)); // DropNotDelay: only one
+        s.submit(msg(4, StreamKind::Sensor, 100, 0)); // DelayNotDrop: queued
+        s.submit(msg(5, StreamKind::Metadata, 100, 0)); // Highest: queued
+                                                        // Zero budget (the link is down): the superseded interframe is shed
+                                                        // immediately; the freshest of each kind and all delayable/critical
+                                                        // data wait for recovery.
+        let out = s.tick(SimTime::from_millis(11), 0.0);
+        let shed: Vec<u64> = out.dropped.iter().map(|d| d.message.id).collect();
+        assert_eq!(shed, vec![1]);
+        assert!(out.sent.is_empty());
+        assert_eq!(s.queued_messages(), 4);
+        // Recovery: outage mode off, the retained frames flow immediately
+        // and fresh droppables are no longer subject to retention.
+        s.set_outage(false);
+        s.submit(msg(6, StreamKind::VideoInter, 100, 20));
+        let out = s.tick(SimTime::from_millis(25), 1000.0);
+        assert!(out.dropped.is_empty());
+        assert_eq!(out.sent.len(), 5);
+    }
+
+    #[test]
+    fn outage_retention_sheds_superseded_frames_across_ticks() {
+        let mut s = sched();
+        s.set_outage(true);
+        // A long outage: frames arrive every tick, only the newest survives.
+        let mut shed_total = 0;
+        for i in 0..20u64 {
+            s.submit(msg(i, StreamKind::VideoInter, 1_000, i * 10));
+            let out = s.tick(SimTime::from_millis(i * 10 + 1), 0.0);
+            shed_total += out.dropped.len();
+            assert!(s.queued_messages() <= 1, "at most the freshest frame is banked");
+        }
+        assert_eq!(shed_total, 19, "every superseded frame was shed");
     }
 }

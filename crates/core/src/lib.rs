@@ -45,6 +45,6 @@ pub mod recovery;
 pub mod wire;
 
 pub use class::{Priority, StreamKind, TrafficClass};
-pub use config::ArConfig;
+pub use config::{ArConfig, OutageConfig};
 pub use endpoint::{ArReceiver, ArSender, Delivered, Submit};
 pub use message::ArMessage;

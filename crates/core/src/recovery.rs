@@ -96,8 +96,67 @@ impl RecoveryPolicy {
     }
 }
 
+/// Capped exponential backoff with deterministic jitter, used by the
+/// endpoint watchdog to pace recovery probes during an outage.
+///
+/// The jitter is a pure function of `(attempt, salt)` — no RNG — so probe
+/// times stay byte-identical across runs while still decorrelating the
+/// probes of different senders (use the connection id as the salt).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Backoff {
+    /// Delay of the first retry.
+    pub base: SimDuration,
+    /// Hard cap on the (pre-jitter) delay; doubling stops here.
+    pub cap: SimDuration,
+    /// Jitter added on top, as a percentage of the capped delay in
+    /// `[0, jitter_pct]`.
+    pub jitter_pct: u32,
+}
+
+impl Default for Backoff {
+    fn default() -> Self {
+        Backoff {
+            base: SimDuration::from_millis(25),
+            cap: SimDuration::from_millis(200),
+            jitter_pct: 20,
+        }
+    }
+}
+
+impl Backoff {
+    /// The delay before retry `attempt` (0-based): `base × 2^attempt`,
+    /// capped at `cap`, plus deterministic jitter derived from
+    /// `(attempt, salt)`.
+    pub fn delay(&self, attempt: u32, salt: u64) -> SimDuration {
+        let raw = self.base.as_nanos().saturating_mul(1u64 << attempt.min(16));
+        let capped = raw.min(self.cap.as_nanos());
+        let jitter = if self.jitter_pct == 0 {
+            0
+        } else {
+            let mut h = 0xcbf2_9ce4_8422_2325u64 ^ salt;
+            for b in attempt.to_le_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            capped / 100 * (h % (u64::from(self.jitter_pct) + 1))
+        };
+        SimDuration::from_nanos(capped.saturating_add(jitter))
+    }
+}
+
+/// Default bound on records a [`RetransmitBuffer`] may hold. During a long
+/// outage the sender keeps pacing recoverable fragments into a dead link;
+/// without a cap the buffer grows without bound (critical and deadline-less
+/// records are never expired). 2048 records ≈ one second of full-rate video
+/// on the default profile — far more than any feasible recovery window.
+pub const DEFAULT_RETRANSMIT_CAP: usize = 2048;
+
 /// Sender-side store of unacknowledged fragments, keyed by `(path, seq)`.
-#[derive(Debug, Default)]
+///
+/// Holds at most `cap` records: inserting at capacity evicts the oldest
+/// (lowest-sequence) record from the fullest path, so a link that stays
+/// down longer than the RTO cannot blow the buffer up.
+#[derive(Debug)]
 pub struct RetransmitBuffer {
     /// Per path: seq → record.
     by_path: BTreeMap<usize, BTreeMap<u64, FragmentRecord>>,
@@ -107,12 +166,47 @@ pub struct RetransmitBuffer {
     /// expired yet. Kept as a lower bound: records leaving via ack/take may
     /// make it stale (too early), never too late.
     earliest_deadline: Option<SimTime>,
+    /// Hard bound on held records.
+    cap: usize,
+    /// Records evicted to enforce the bound (for stats/tests).
+    evictions: u64,
+}
+
+impl Default for RetransmitBuffer {
+    fn default() -> Self {
+        RetransmitBuffer {
+            by_path: BTreeMap::new(),
+            earliest_deadline: None,
+            cap: DEFAULT_RETRANSMIT_CAP,
+            evictions: 0,
+        }
+    }
 }
 
 impl RetransmitBuffer {
-    /// An empty buffer.
+    /// An empty buffer with the default record cap.
     pub fn new() -> Self {
         RetransmitBuffer::default()
+    }
+
+    /// An empty buffer bounded to `cap` records (`cap` ≥ 1).
+    pub fn with_cap(cap: usize) -> Self {
+        RetransmitBuffer { cap: cap.max(1), ..RetransmitBuffer::default() }
+    }
+
+    /// Records evicted to enforce the record cap.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Drops every record (session re-establishment after an edge restart:
+    /// the peer's receive state is gone, so held fragments are
+    /// unrecoverable). Returns how many records were dropped.
+    pub fn clear(&mut self) -> usize {
+        let n = self.len();
+        self.by_path.clear();
+        self.earliest_deadline = None;
+        n
     }
 
     /// Records a transmission of `frag` as `(path, seq)`.
@@ -123,6 +217,29 @@ impl RetransmitBuffer {
             }
         }
         self.by_path.entry(path).or_default().insert(seq, frag);
+        if self.len() > self.cap {
+            self.evict_oldest();
+        }
+    }
+
+    /// Evicts the lowest-sequence record from the fullest path (ties go to
+    /// the lowest path id). Called only when the cap is exceeded.
+    fn evict_oldest(&mut self) {
+        let Some(victim_path) = self
+            .by_path
+            .iter()
+            .filter(|(_, m)| !m.is_empty())
+            .max_by_key(|&(p, m)| (m.len(), usize::MAX - *p))
+            .map(|(p, _)| *p)
+        else {
+            return;
+        };
+        if let Some(m) = self.by_path.get_mut(&victim_path) {
+            if let Some(e) = m.first_entry() {
+                e.remove();
+                self.evictions += 1;
+            }
+        }
     }
 
     /// Removes and returns the record for a NACKed `(path, seq)`, if held.
@@ -306,5 +423,83 @@ mod tests {
         assert_eq!(b.len(), 2);
         assert!(b.take(0, 2).is_some());
         assert!(b.take(0, 3).is_some());
+    }
+
+    #[test]
+    fn buffer_stays_bounded_during_long_outage() {
+        // A link down for longer than the RTO keeps feeding the buffer with
+        // critical/deadline-less records that `expire` never removes; the
+        // cap must bound the state anyway.
+        let mut b = RetransmitBuffer::with_cap(64);
+        for seq in 0..10_000u64 {
+            let class = if seq % 2 == 0 {
+                TrafficClass::Critical
+            } else {
+                TrafficClass::BestEffortWithRecovery
+            };
+            b.insert(0, seq, frag(class, None));
+            assert!(b.len() <= 64, "buffer exceeded its cap at seq {seq}");
+        }
+        assert_eq!(b.len(), 64);
+        assert_eq!(b.evictions(), 10_000 - 64);
+        // The newest records survive; the oldest were evicted.
+        assert!(b.take(0, 9_999).is_some());
+        assert!(b.take(0, 0).is_none());
+    }
+
+    #[test]
+    fn eviction_prefers_the_fullest_path() {
+        let mut b = RetransmitBuffer::with_cap(4);
+        b.insert(0, 0, frag(TrafficClass::Critical, None));
+        b.insert(1, 0, frag(TrafficClass::Critical, None));
+        b.insert(1, 1, frag(TrafficClass::Critical, None));
+        b.insert(1, 2, frag(TrafficClass::Critical, None));
+        // Path 1 holds 3 records, path 0 holds 1: the next insert evicts
+        // path 1's oldest, not path 0's only record.
+        b.insert(0, 1, frag(TrafficClass::Critical, None));
+        assert_eq!(b.len(), 4);
+        assert!(b.take(0, 0).is_some());
+        assert!(b.take(1, 0).is_none());
+        assert!(b.take(1, 1).is_some());
+    }
+
+    #[test]
+    fn clear_releases_everything() {
+        let mut b = RetransmitBuffer::new();
+        for seq in 0..5 {
+            b.insert(0, seq, frag(TrafficClass::Critical, None));
+        }
+        assert_eq!(b.clear(), 5);
+        assert!(b.is_empty());
+        assert_eq!(b.expire(SimTime::from_secs(1)), 0);
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let bo = Backoff { jitter_pct: 0, ..Default::default() };
+        assert_eq!(bo.delay(0, 1), SimDuration::from_millis(25));
+        assert_eq!(bo.delay(1, 1), SimDuration::from_millis(50));
+        assert_eq!(bo.delay(2, 1), SimDuration::from_millis(100));
+        assert_eq!(bo.delay(3, 1), SimDuration::from_millis(200));
+        // Capped from here on, even for huge attempt numbers.
+        assert_eq!(bo.delay(10, 1), SimDuration::from_millis(200));
+        assert_eq!(bo.delay(u32::MAX, 1), SimDuration::from_millis(200));
+    }
+
+    #[test]
+    fn backoff_jitter_is_deterministic_and_bounded() {
+        let bo = Backoff::default();
+        for attempt in 0..8 {
+            let a = bo.delay(attempt, 42);
+            let b = bo.delay(attempt, 42);
+            assert_eq!(a, b, "jitter must be a pure function of (attempt, salt)");
+            let base = Backoff { jitter_pct: 0, ..bo }.delay(attempt, 42);
+            assert!(a >= base);
+            assert!(a <= base + base.mul_f64(0.20) + SimDuration::from_nanos(100));
+        }
+        // Different salts decorrelate.
+        let spread: std::collections::BTreeSet<_> =
+            (0..16u64).map(|salt| bo.delay(4, salt)).collect();
+        assert!(spread.len() > 1);
     }
 }

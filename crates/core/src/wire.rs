@@ -41,6 +41,11 @@ pub struct FecInfo {
 pub struct ArPacket {
     /// Connection identifier.
     pub conn: u64,
+    /// Session epoch the sender believes the receiver is in (incarnation
+    /// number). The receiver discards packets from a dead epoch — without
+    /// this, old-session packets still in flight after an edge restart
+    /// would poison the fresh sequence space.
+    pub epoch: u32,
     /// Index of the path this packet was sent on.
     pub path: usize,
     /// Per-path sequence number (gaps ⇒ loss detection).
@@ -76,6 +81,11 @@ pub struct ArPacket {
 pub struct ArFeedback {
     /// Connection identifier.
     pub conn: u64,
+    /// Receiver session epoch. Bumped when the receiver re-establishes its
+    /// session after an edge crash; a sender seeing a new epoch knows the
+    /// peer's receive state is gone and must re-sync (drop retransmit
+    /// state, restart sequence spaces).
+    pub epoch: u32,
     /// Path this feedback describes.
     pub path: usize,
     /// Highest sequence received in order on the path.
@@ -115,6 +125,7 @@ mod tests {
         // The simulator requires payloads to be Clone + Debug + 'static.
         let pkt = ArPacket {
             conn: 1,
+            epoch: 0,
             path: 0,
             seq: 9,
             msg_id: 4,

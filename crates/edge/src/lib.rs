@@ -14,7 +14,10 @@
 //! * [`d2d`] — device-to-device offload: LTE-Direct / WiFi-Direct helper
 //!   selection with the energy trade-offs of §IV-A-5;
 //! * [`scenarios`] — builders for the four distribution architectures of
-//!   Fig. 5, returning ready-to-run simulations.
+//!   Fig. 5, returning ready-to-run simulations;
+//! * [`session`] — crash/restart wrappers for edge servers: downtime
+//!   windows, state loss and session re-establishment under the
+//!   `marnet-faults` injection subsystem.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -23,6 +26,8 @@ pub mod d2d;
 pub mod placement;
 pub mod scenarios;
 pub mod selection;
+pub mod session;
 
 pub use placement::{PlacementProblem, PlacementSolution};
 pub use scenarios::DistributionScenario;
+pub use session::RestartableServer;

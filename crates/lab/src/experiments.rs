@@ -10,7 +10,8 @@ use marnet_app::compute::{ComputeModel, DbAccess, FrameWork, NetParams};
 use marnet_app::device::DeviceClass;
 use marnet_app::strategy::OffloadStrategy;
 use marnet_bench::scenarios::{
-    run_recovery_instrumented, run_table2_instrumented, RecoveryMechanism, Table2Scenario,
+    run_faults_instrumented, run_recovery_instrumented, run_table2_instrumented, FaultScenario,
+    RecoveryMechanism, Table2Scenario,
 };
 use marnet_bench::{fmt, print_table};
 use marnet_sim::link::Bandwidth;
@@ -42,7 +43,7 @@ impl std::fmt::Debug for Experiment {
 }
 
 /// Names of the built-in experiments, in menu order.
-pub const NAMES: [&str; 3] = ["table2_rtt", "sweep_recovery", "sweep_offload"];
+pub const NAMES: [&str; 4] = ["table2_rtt", "sweep_recovery", "sweep_offload", "sweep_faults"];
 
 /// Builds the named experiment, or `None` for an unknown name. The
 /// telemetry options are cloned into the trial closure: every replicate
@@ -57,6 +58,7 @@ pub fn build(
         "table2_rtt" => Some(table2_rtt(replicates, seed, telemetry.clone())),
         "sweep_recovery" => Some(sweep_recovery(replicates, seed, telemetry.clone())),
         "sweep_offload" => Some(sweep_offload(replicates, seed)),
+        "sweep_faults" => Some(sweep_faults(replicates, seed, telemetry.clone())),
         _ => None,
     }
 }
@@ -218,6 +220,100 @@ fn render_recovery(points: &[PointSummary]) {
     print_table(
         "E11 — recovery at 3% loss, 75 ms budget, mean ± 95% CI across replicates",
         &["Mechanism", "RTT", "In budget", "Delivered", "Byte overhead", "n"],
+        &rows,
+    );
+}
+
+// ---------------------------------------------------------------------------
+// E16 fault-injection sweep (marnet-faults)
+// ---------------------------------------------------------------------------
+
+/// Arm labels for the `hardened` axis.
+const FAULT_ARMS: [&str; 2] = ["baseline", "hardened"];
+
+fn sweep_faults(replicates: u32, seed: u64, telemetry: TelemetryOptions) -> Experiment {
+    let spec = ScenarioSpec::new("sweep_faults", seed, replicates)
+        .with_param("fault_ms", ParamValue::Int(500))
+        .with_param("secs", ParamValue::Int(6))
+        .with_axis(
+            "scenario",
+            FaultScenario::ALL
+                .into_iter()
+                .map(|s| ParamValue::Str(s.label().to_string()))
+                .collect(),
+        )
+        .with_axis(
+            "stack",
+            FAULT_ARMS.into_iter().map(|a| ParamValue::Str(a.to_string())).collect(),
+        );
+    let trial = Box::new(move |point: &GridPoint, ctx: &TrialCtx| {
+        let scenario = FaultScenario::from_label(point.param("scenario").as_str().expect("str"))
+            .expect("known fault scenario");
+        let hardened = point.param("stack").as_str() == Some("hardened");
+        let fault_ms = point.param("fault_ms").as_int().expect("int") as u64;
+        let secs = point.param("secs").as_int().expect("int") as u64;
+        let (out, _, capture) =
+            run_faults_instrumented(scenario, hardened, fault_ms, secs, ctx.seed, &telemetry);
+        // Censor non-recoveries at the horizon: a run whose QoE never came
+        // back contributes the worst possible recovery time instead of
+        // silently dropping out of the percentiles.
+        let horizon_ms = (secs * 1000 - 2000 - fault_ms) as f64;
+        let recovery = out.recovery_ms.unwrap_or(horizon_ms);
+        let mut report = TrialReport::new();
+        report
+            .scalar("delivered_in_budget_pct", out.delivered_in_budget_pct)
+            .scalar("qoe_under_fault_pct", out.qoe_under_fault_pct)
+            .scalar("recovered", if out.recovery_ms.is_some() { 1.0 } else { 0.0 })
+            .scalar("retransmits_during_fault", out.retransmits_during_fault as f64)
+            .scalar("retransmits", out.retransmits as f64)
+            .scalar("outages_detected", out.outages_detected as f64)
+            .scalar("recovery_probes", out.recovery_probes as f64)
+            .scalar("session_resyncs", out.session_resyncs as f64)
+            .samples("recovery_ms", vec![recovery]);
+        report.capture(capture);
+        report
+    });
+    Experiment { spec, trial, render: render_faults }
+}
+
+fn render_faults(points: &[PointSummary]) {
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            let budget = &p.scalars["delivered_in_budget_pct"];
+            let qoe = &p.scalars["qoe_under_fault_pct"];
+            let recovery = &p.samples["recovery_ms"];
+            let recovered = &p.scalars["recovered"];
+            let rtx_fault = &p.scalars["retransmits_during_fault"];
+            let resyncs = &p.scalars["session_resyncs"];
+            vec![
+                p.params["scenario"].to_string(),
+                p.params["stack"].to_string(),
+                format!("{}%", pm(qoe.mean, qoe.ci95, 1)),
+                format!("{} ms", fmt(recovery.p50, 1)),
+                format!("{} ms", fmt(recovery.p99, 1)),
+                format!("{}%", fmt(recovered.mean * 100.0, 0)),
+                format!("{}%", pm(budget.mean, budget.ci95, 1)),
+                fmt(rtx_fault.mean, 1),
+                fmt(resyncs.mean, 1),
+                format!("{}", p.replicates_ok),
+            ]
+        })
+        .collect();
+    print_table(
+        "E16 — 500 ms faults at t=2 s: QoE under fault and time-to-QoE-restored (censored at horizon)",
+        &[
+            "Fault",
+            "Stack",
+            "QoE under fault",
+            "recovery p50",
+            "recovery p99",
+            "recovered",
+            "In budget (run)",
+            "rtx in fault",
+            "resyncs",
+            "n",
+        ],
         &rows,
     );
 }
@@ -402,6 +498,44 @@ mod tests {
         }
         for d in OFFLOAD_DEVICES {
             assert_eq!(device_from_key(device_key(d)), d);
+        }
+    }
+
+    #[test]
+    fn sweep_faults_hardened_beats_baseline_p99_recovery() {
+        use crate::agg::aggregate_run;
+        use crate::runner::run_experiment;
+        let exp = build("sweep_faults", 2, 42, &TelemetryOptions::disabled()).unwrap();
+        let run = run_experiment(&exp.spec, 2, |point, ctx| (exp.trial)(point, ctx));
+        assert!(run.failures.is_empty(), "{:?}", run.failures);
+        let points = aggregate_run(&run);
+        let p99 = |scenario: &str, stack: &str| {
+            points
+                .iter()
+                .find(|p| {
+                    p.params["scenario"].as_str() == Some(scenario)
+                        && p.params["stack"].as_str() == Some(stack)
+                })
+                .unwrap_or_else(|| panic!("missing point {scenario}/{stack}"))
+                .samples["recovery_ms"]
+                .p99
+        };
+        // The acceptance bar: the hardened stack beats the no-hardening
+        // baseline on p99 time-to-QoE-restored for the 500 ms outage, and
+        // by an order of magnitude when the edge restarts cold (the
+        // baseline is censored at the horizon there).
+        assert!(
+            p99("link-outage", "hardened") < p99("link-outage", "baseline"),
+            "outage: hardened {} vs baseline {}",
+            p99("link-outage", "hardened"),
+            p99("link-outage", "baseline")
+        );
+        assert!(p99("edge-crash", "hardened") * 10.0 < p99("edge-crash", "baseline"));
+        // Hardened recovers in every scenario and every replicate.
+        for p in &points {
+            if p.params["stack"].as_str() == Some("hardened") {
+                assert_eq!(p.scalars["recovered"].mean, 1.0, "{:?}", p.params);
+            }
         }
     }
 

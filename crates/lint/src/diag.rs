@@ -22,6 +22,10 @@ pub enum Rule {
     /// Iteration over a default-hasher `HashMap`/`HashSet` in sim-facing
     /// crates (construction and point lookups stay legal).
     MapIter,
+    /// Unseeded randomness (`thread_rng`, `from_entropy`, `OsRng`,
+    /// `rand::random`) in sim-facing crates; all randomness must flow
+    /// from `derive_rng(seed, label)` substreams.
+    UnseededRng,
     /// `unwrap()`/`expect()`/`panic!`-family/slice-indexing in the
     /// event-core hot-path modules.
     PanicPath,
@@ -41,6 +45,7 @@ pub const ALL_RULES: &[Rule] = &[
     Rule::ThreadId,
     Rule::EnvRead,
     Rule::MapIter,
+    Rule::UnseededRng,
     Rule::PanicPath,
     Rule::Layering,
     Rule::UnsafeHygiene,
@@ -56,6 +61,7 @@ impl Rule {
             Rule::ThreadId => "thread-id",
             Rule::EnvRead => "env-read",
             Rule::MapIter => "map-iter",
+            Rule::UnseededRng => "unseeded-rng",
             Rule::PanicPath => "panic-path",
             Rule::Layering => "layering",
             Rule::UnsafeHygiene => "unsafe-hygiene",
@@ -84,6 +90,10 @@ impl Rule {
             Rule::MapIter => {
                 "default-hasher iteration order varies per process; any order \
                  reaching an artifact breaks byte-identical replication"
+            }
+            Rule::UnseededRng => {
+                "fault schedules and every other stochastic input must come from \
+                 derive_rng substreams; OS entropy makes trials unreplayable"
             }
             Rule::PanicPath => {
                 "the event-core hot path must degrade, not abort: a panic mid-run \

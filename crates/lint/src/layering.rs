@@ -23,14 +23,34 @@ pub const LAYERS: &[(&str, &[&str])] = &[
     // lint is the auditor: it must never join the DAG it enforces.
     ("lint", &[]),
     ("sim", &["telemetry"]),
+    // faults drives the sim engine and traces transitions; it must stay
+    // below the protocol stack so any crate can inject faults.
+    ("faults", &["sim", "telemetry"]),
     ("radio", &["sim", "telemetry"]),
     ("transport", &["sim", "radio", "telemetry"]),
     ("core", &["sim", "radio", "transport", "telemetry"]),
     ("app", &["sim", "radio", "transport", "core", "telemetry"]),
-    ("edge", &["sim", "radio", "transport", "core", "app", "telemetry"]),
+    ("edge", &["sim", "radio", "transport", "core", "app", "telemetry", "faults"]),
     ("privacy", &["sim", "radio", "transport", "core", "app", "telemetry"]),
-    ("bench", &["sim", "radio", "transport", "core", "app", "edge", "privacy", "telemetry"]),
-    ("lab", &["sim", "radio", "transport", "core", "app", "edge", "privacy", "telemetry", "bench"]),
+    (
+        "bench",
+        &["sim", "radio", "transport", "core", "app", "edge", "privacy", "telemetry", "faults"],
+    ),
+    (
+        "lab",
+        &[
+            "sim",
+            "radio",
+            "transport",
+            "core",
+            "app",
+            "edge",
+            "privacy",
+            "telemetry",
+            "bench",
+            "faults",
+        ],
+    ),
     // The umbrella crate re-exports everything runnable; the auditor
     // stays out of it (it is a dev tool, not part of the suite).
     (
@@ -46,6 +66,7 @@ pub const LAYERS: &[(&str, &[&str])] = &[
             "telemetry",
             "bench",
             "lab",
+            "faults",
         ],
     ),
 ];

@@ -101,7 +101,11 @@ pub fn scan_file(src: &str, scope: &FileScope) -> Vec<Diagnostic> {
         // Only audit pragmas for rules this file is actually subject to —
         // and leave test code alone.
         let enabled = match p.rule {
-            Rule::WallClock | Rule::ThreadId | Rule::EnvRead | Rule::MapIter => scope.determinism,
+            Rule::WallClock
+            | Rule::ThreadId
+            | Rule::EnvRead
+            | Rule::MapIter
+            | Rule::UnseededRng => scope.determinism,
             Rule::PanicPath => scope.panic_path,
             Rule::UnsafeHygiene => scope.hygiene,
             _ => false,
@@ -262,6 +266,32 @@ fn scan_determinism(
                 Rule::EnvRead,
                 line,
                 "`std::env` read in a sim-facing crate; runs must be a function of the spec".into(),
+            );
+        }
+        // Unseeded randomness: OS-entropy constructors and the convenience
+        // global. `derive_rng(seed, label)` is the only legal source.
+        if toks[i].kind == TokenKind::Word
+            && ["thread_rng", "from_entropy", "from_os_rng", "OsRng"]
+                .contains(&toks[i].text.as_str())
+        {
+            push(
+                Rule::UnseededRng,
+                line,
+                format!(
+                    "`{}` draws OS entropy; use derive_rng(seed, label) so the \
+                     trial replays byte-identically",
+                    toks[i].text
+                ),
+            );
+        }
+        if word_at(toks, i, "rand") && punct_at(toks, i + 1, "::") && word_at(toks, i + 2, "random")
+        {
+            push(
+                Rule::UnseededRng,
+                line,
+                "`rand::random` uses the unseeded thread-local generator; use \
+                 derive_rng(seed, label)"
+                    .into(),
             );
         }
     }
@@ -504,6 +534,25 @@ mod tests {
             }
         ";
         assert!(scan(src, true, true, false).is_empty());
+    }
+
+    #[test]
+    fn unseeded_randomness_is_flagged() {
+        let src = "
+            fn f() -> f64 {
+                let mut rng = rand::thread_rng();
+                let a: f64 = rand::random();
+                let b = SmallRng::from_entropy();
+                let mut c = [0u8; 8];
+                OsRng.fill_bytes(&mut c);
+                a
+            }
+            fn ok(seed: u64) { let rng = derive_rng(seed, \"faults/0/outage\"); }
+        ";
+        let d = scan(src, true, false, false);
+        assert_eq!(d.len(), 4, "{d:?}");
+        assert!(d.iter().all(|d| d.rule == Rule::UnseededRng));
+        assert!(scan(src, false, false, false).is_empty());
     }
 
     #[test]

@@ -4,9 +4,9 @@
 //! Scope decisions, all path-based (no type information exists):
 //!
 //! * **Sim-facing crates** (`sim`, `core`, `transport`, `radio`, `app`,
-//!   `edge`, `privacy`, `telemetry`) get the determinism family over
-//!   their library sources. `src/bin/` is exempt: binaries are CLI entry
-//!   points that legitimately read `std::env::args`.
+//!   `edge`, `privacy`, `telemetry`, `faults`) get the determinism family
+//!   over their library sources. `src/bin/` is exempt: binaries are CLI
+//!   entry points that legitimately read `std::env::args`.
 //! * **Hot-path modules** (the PR 2 event-core set: `sim::engine`,
 //!   `core::endpoint`, `transport::nic`) additionally get the
 //!   panic-safety family.
@@ -26,7 +26,7 @@ use crate::rules::{scan_file, FileScope};
 /// Crates whose library code faces the simulator and must stay
 /// deterministic.
 pub const SIM_FACING: &[&str] =
-    &["sim", "core", "transport", "radio", "app", "edge", "privacy", "telemetry"];
+    &["sim", "core", "transport", "radio", "app", "edge", "privacy", "telemetry", "faults"];
 
 /// Event-core hot-path modules under the panic-safety rule (workspace-
 /// relative, forward slashes).

@@ -41,6 +41,7 @@ fn allowing_every_fixture_rule_exits_zero() {
         "thread-id",
         "env-read",
         "map-iter",
+        "unseeded-rng",
         "panic-path",
         "layering",
         "unsafe-hygiene",

@@ -29,3 +29,8 @@ pub fn bad_pragma() -> u64 {
 pub fn stale() -> u64 {
     0
 }
+
+pub fn unseeded() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.gen()
+}

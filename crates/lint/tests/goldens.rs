@@ -40,9 +40,10 @@ fn json_report_matches_golden_byte_for_byte() {
         "    {\"rule\": \"env-read\", \"file\": \"crates/sim/src/lib.rs\", \"line\": 15, \"message\": \"`std::env` read in a sim-facing crate; runs must be a function of the spec\"},\n",
         "    {\"rule\": \"map-iter\", \"file\": \"crates/sim/src/lib.rs\", \"line\": 20, \"message\": \"iteration over default-hasher map `counts` (`.values()`); order depends on hasher state — use BTreeMap/FxHashMap or sort the drain\"},\n",
         "    {\"rule\": \"bad-pragma\", \"file\": \"crates/sim/src/lib.rs\", \"line\": 24, \"message\": \"pragma requires a reason: `allow(<rule>): <reason>`\"},\n",
-        "    {\"rule\": \"unused-pragma\", \"file\": \"crates/sim/src/lib.rs\", \"line\": 28, \"message\": \"pragma `allow(env-read)` suppresses nothing here; remove it\"}\n",
+        "    {\"rule\": \"unused-pragma\", \"file\": \"crates/sim/src/lib.rs\", \"line\": 28, \"message\": \"pragma `allow(env-read)` suppresses nothing here; remove it\"},\n",
+        "    {\"rule\": \"unseeded-rng\", \"file\": \"crates/sim/src/lib.rs\", \"line\": 34, \"message\": \"`thread_rng` draws OS entropy; use derive_rng(seed, label) so the trial replays byte-identically\"}\n",
         "  ],\n",
-        "  \"total\": 9\n",
+        "  \"total\": 10\n",
         "}\n",
     );
     assert_eq!(render_json(&report.findings), expected);
@@ -55,5 +56,5 @@ fn text_report_anchors_every_finding() {
     assert!(text.contains("crates/sim/Cargo.toml:10: [layering]"), "{text}");
     assert!(text.contains("crates/sim/src/engine.rs:5: [panic-path]"), "{text}");
     assert!(text.contains("crates/sim/src/lib.rs:1: [unsafe-hygiene]"), "{text}");
-    assert!(text.ends_with("9 finding(s)\n"), "{text}");
+    assert!(text.ends_with("10 finding(s)\n"), "{text}");
 }

@@ -463,6 +463,13 @@ impl SimCtx {
         link_rt(&self.links, link).delay
     }
 
+    /// Changes a link's one-way propagation delay on the fly. Packets
+    /// already in flight keep the delay they departed with; the fault layer
+    /// uses this for latency-spike episodes.
+    pub fn set_link_delay(&mut self, link: LinkId, delay: SimDuration) {
+        link_rt_mut(&mut self.links, link).delay = delay;
+    }
+
     /// The receiving actor of a link.
     pub fn link_dst(&self, link: LinkId) -> ActorId {
         link_rt(&self.links, link).dst

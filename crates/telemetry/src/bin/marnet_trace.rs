@@ -27,7 +27,9 @@ const USAGE: &str = "usage:
   marnet-trace diff  <a> <b>
 
   --kind K   keep only events of kind K (enqueue, drop, dequeue, deliver,
-             busy, idle, admit, degrade, fec-repair, path-switch, offload)
+             busy, idle, admit, degrade, fec-repair, path-switch, offload,
+             fault-inject, fault-clear, outage-detect, outage-resolve,
+             edge-crash, edge-restart, session-resync, recovery-probe)
   --comp C   keep only component C (link#3, actor#7, or a raw id)
   --flow F   keep only packet events of flow F
   --limit N  print at most N events";

@@ -85,11 +85,35 @@ pub enum TraceKind {
     /// A frame/job was dispatched to a remote executor. aux = stream class,
     /// `a` = job id, `b` = payload bytes.
     OffloadDispatch = 10,
+    /// A fault was injected into the simulation. aux = fault-kind code,
+    /// `a` = target component id, `b` = kind-specific parameter.
+    FaultInject = 11,
+    /// A previously injected fault cleared. aux = fault-kind code,
+    /// `a` = target component id, `b` = fault duration in nanoseconds.
+    FaultClear = 12,
+    /// An endpoint watchdog declared the peer unreachable.
+    /// `a` = feedback silence in nanoseconds, `b` = paths still up.
+    OutageDetect = 13,
+    /// An endpoint heard from its peer again after an outage.
+    /// `a` = outage duration in nanoseconds, `b` = probes sent meanwhile.
+    OutageResolve = 14,
+    /// An edge server crashed. `a` = session epoch at crash,
+    /// `b` = 1 if session state was lost, 0 if it survived.
+    EdgeCrash = 15,
+    /// An edge server came back up. `a` = new session epoch,
+    /// `b` = downtime in nanoseconds.
+    EdgeRestart = 16,
+    /// A sender re-established its session after an edge restart.
+    /// `a` = old epoch, `b` = new epoch.
+    SessionResync = 17,
+    /// A recovery probe was sent during an outage. `a` = probe attempt
+    /// number, `b` = current backoff delay in nanoseconds.
+    RecoveryProbe = 18,
 }
 
 impl TraceKind {
     /// All kinds, in discriminant order.
-    pub const ALL: [TraceKind; 11] = [
+    pub const ALL: [TraceKind; 19] = [
         TraceKind::PacketEnqueue,
         TraceKind::PacketDrop,
         TraceKind::PacketDequeue,
@@ -101,6 +125,14 @@ impl TraceKind {
         TraceKind::FecRepair,
         TraceKind::PathSwitch,
         TraceKind::OffloadDispatch,
+        TraceKind::FaultInject,
+        TraceKind::FaultClear,
+        TraceKind::OutageDetect,
+        TraceKind::OutageResolve,
+        TraceKind::EdgeCrash,
+        TraceKind::EdgeRestart,
+        TraceKind::SessionResync,
+        TraceKind::RecoveryProbe,
     ];
 
     /// Decodes a discriminant byte.
@@ -122,6 +154,14 @@ impl TraceKind {
             TraceKind::FecRepair => "fec-repair",
             TraceKind::PathSwitch => "path-switch",
             TraceKind::OffloadDispatch => "offload",
+            TraceKind::FaultInject => "fault-inject",
+            TraceKind::FaultClear => "fault-clear",
+            TraceKind::OutageDetect => "outage-detect",
+            TraceKind::OutageResolve => "outage-resolve",
+            TraceKind::EdgeCrash => "edge-crash",
+            TraceKind::EdgeRestart => "edge-restart",
+            TraceKind::SessionResync => "session-resync",
+            TraceKind::RecoveryProbe => "recovery-probe",
         }
     }
 
@@ -299,6 +339,62 @@ impl TraceEvent {
         TraceEvent { t, comp, kind: TraceKind::OffloadDispatch, aux: class, a: job, b: bytes }
     }
 
+    /// A fault-injection event: fault kind `fault` hit component `target`
+    /// with a kind-specific parameter (loss permille, delay nanos, ...).
+    pub fn fault_inject(t: u64, comp: u32, fault: u8, target: u64, param: u64) -> Self {
+        TraceEvent { t, comp, kind: TraceKind::FaultInject, aux: fault, a: target, b: param }
+    }
+
+    /// A fault-clear event: fault kind `fault` on component `target`
+    /// cleared after `duration_nanos`.
+    pub fn fault_clear(t: u64, comp: u32, fault: u8, target: u64, duration_nanos: u64) -> Self {
+        TraceEvent {
+            t,
+            comp,
+            kind: TraceKind::FaultClear,
+            aux: fault,
+            a: target,
+            b: duration_nanos,
+        }
+    }
+
+    /// An outage-detection event at an endpoint watchdog.
+    pub fn outage_detect(t: u64, comp: u32, silence_nanos: u64, paths_up: u64) -> Self {
+        TraceEvent { t, comp, kind: TraceKind::OutageDetect, aux: 0, a: silence_nanos, b: paths_up }
+    }
+
+    /// An outage-resolution event at an endpoint watchdog.
+    pub fn outage_resolve(t: u64, comp: u32, outage_nanos: u64, probes: u64) -> Self {
+        TraceEvent { t, comp, kind: TraceKind::OutageResolve, aux: 0, a: outage_nanos, b: probes }
+    }
+
+    /// An edge-server crash event.
+    pub fn edge_crash(t: u64, comp: u32, epoch: u64, state_lost: bool) -> Self {
+        TraceEvent {
+            t,
+            comp,
+            kind: TraceKind::EdgeCrash,
+            aux: 0,
+            a: epoch,
+            b: u64::from(state_lost),
+        }
+    }
+
+    /// An edge-server restart event.
+    pub fn edge_restart(t: u64, comp: u32, epoch: u64, downtime_nanos: u64) -> Self {
+        TraceEvent { t, comp, kind: TraceKind::EdgeRestart, aux: 0, a: epoch, b: downtime_nanos }
+    }
+
+    /// A session re-establishment event at a sender.
+    pub fn session_resync(t: u64, comp: u32, old_epoch: u64, new_epoch: u64) -> Self {
+        TraceEvent { t, comp, kind: TraceKind::SessionResync, aux: 0, a: old_epoch, b: new_epoch }
+    }
+
+    /// A recovery-probe event during an outage.
+    pub fn recovery_probe(t: u64, comp: u32, attempt: u64, backoff_nanos: u64) -> Self {
+        TraceEvent { t, comp, kind: TraceKind::RecoveryProbe, aux: 0, a: attempt, b: backoff_nanos }
+    }
+
     /// The packet flow id, for kinds whose `b` packs flow and size.
     pub fn flow(&self) -> u64 {
         self.b >> 32
@@ -407,6 +503,52 @@ impl fmt::Display for TraceEvent {
                 f,
                 "{t_ms:>12.6} ms  {comp:<10} offload      class {} job {} bytes {}",
                 self.aux, self.a, self.b
+            ),
+            TraceKind::FaultInject => write!(
+                f,
+                "{t_ms:>12.6} ms  {comp:<10} fault-inject kind {} target {} param {}",
+                self.aux, self.a, self.b
+            ),
+            TraceKind::FaultClear => write!(
+                f,
+                "{t_ms:>12.6} ms  {comp:<10} fault-clear  kind {} target {} after {:.6} ms",
+                self.aux,
+                self.a,
+                self.b as f64 / 1e6
+            ),
+            TraceKind::OutageDetect => write!(
+                f,
+                "{t_ms:>12.6} ms  {comp:<10} outage-detect silence {:.6} ms paths-up {}",
+                self.a as f64 / 1e6,
+                self.b
+            ),
+            TraceKind::OutageResolve => write!(
+                f,
+                "{t_ms:>12.6} ms  {comp:<10} outage-resolve after {:.6} ms probes {}",
+                self.a as f64 / 1e6,
+                self.b
+            ),
+            TraceKind::EdgeCrash => write!(
+                f,
+                "{t_ms:>12.6} ms  {comp:<10} edge-crash   epoch {} state-lost {}",
+                self.a, self.b
+            ),
+            TraceKind::EdgeRestart => write!(
+                f,
+                "{t_ms:>12.6} ms  {comp:<10} edge-restart epoch {} down {:.6} ms",
+                self.a,
+                self.b as f64 / 1e6
+            ),
+            TraceKind::SessionResync => write!(
+                f,
+                "{t_ms:>12.6} ms  {comp:<10} session-resync epoch {} -> {}",
+                self.a, self.b
+            ),
+            TraceKind::RecoveryProbe => write!(
+                f,
+                "{t_ms:>12.6} ms  {comp:<10} recovery-probe attempt {} backoff {:.6} ms",
+                self.a,
+                self.b as f64 / 1e6
             ),
         }
     }

@@ -2,7 +2,8 @@
 //!
 //! Supports the subset the workspace's property tests use: the `proptest!`
 //! macro with `pattern in strategy` bindings, integer/float range
-//! strategies, tuples of strategies, `prop::collection::vec`, `any::<T>()`
+//! strategies, tuples of strategies, [`strategy::Strategy::prop_map`] and
+//! the unweighted `prop_oneof!` union, `prop::collection::vec`, `any::<T>()`
 //! for small primitives and `prop::sample::Index`, and the `prop_assert*`
 //! macros (which simply panic, so failures surface as test failures —
 //! there is no shrinking).
@@ -69,6 +70,63 @@ pub mod strategy {
 
         /// Draws one value.
         fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f` (the real proptest's
+        /// `prop_map`; no shrinking here, so it is a plain functor).
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Unweighted union of strategies with a common value type; each draw
+    /// picks one alternative uniformly. Built by the `prop_oneof!` macro.
+    pub struct Union<T> {
+        options: Vec<Box<dyn Strategy<Value = T>>>,
+    }
+
+    impl<T> Union<T> {
+        /// A union over the given alternatives.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `options` is empty.
+        pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one alternative");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = rng.gen_range(0..self.options.len());
+            self.options[i].generate(rng)
+        }
+    }
+
+    /// Boxes a strategy, erasing its concrete type (coercion helper for
+    /// `prop_oneof!`).
+    pub fn boxed<S: Strategy + 'static>(s: S) -> Box<dyn Strategy<Value = S::Value>> {
+        Box::new(s)
     }
 
     macro_rules! range_strategy {
@@ -237,7 +295,7 @@ pub mod prelude {
     pub use crate::arbitrary::any;
     pub use crate::strategy::Strategy;
     pub use crate::ProptestConfig;
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
 
     pub mod prop {
         //! The `prop::` namespace (collections, sampling).
@@ -279,6 +337,16 @@ macro_rules! proptest {
     };
 }
 
+/// Uniform choice between strategies producing the same value type. The
+/// real proptest accepts `weight => strategy` arms; this subset is
+/// unweighted only — use nested unions if skew is needed.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::boxed($strat)),+])
+    };
+}
+
 /// Asserts a condition inside a property (panics on failure; no shrinking).
 #[macro_export]
 macro_rules! prop_assert {
@@ -312,6 +380,19 @@ mod tests {
         fn vectors_respect_size(v in prop::collection::vec(0u8..4, 2..10)) {
             prop_assert!((2..10).contains(&v.len()));
             prop_assert!(v.iter().all(|&b| b < 4));
+        }
+
+        #[test]
+        fn map_and_oneof_compose(
+            v in prop_oneof![
+                (0u32..10).prop_map(|n| n * 2),
+                (100u32..110).prop_map(|n| n + 1),
+            ],
+        ) {
+            prop_assert!(
+                (v % 2 == 0 && v < 20) || (101..111).contains(&v),
+                "value {v} outside both alternatives"
+            );
         }
 
         #[test]
