@@ -33,7 +33,9 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::time::Instant;
 
-use marnet_bench::scenarios::{run_recovery_counted, run_recovery_instrumented, RecoveryMechanism};
+use marnet_bench::scenarios::{
+    run_cityscale_counted, run_recovery_counted, run_recovery_instrumented, RecoveryMechanism,
+};
 use marnet_telemetry::{TelemetryOptions, DEFAULT_TRACE_CAPACITY};
 
 /// Allocator wrapper counting calls and tracking live bytes.
@@ -126,6 +128,39 @@ fn measure(mechanism: RecoveryMechanism, secs: u64, reps: usize) -> Measurement 
     }
 }
 
+/// The flow-tier workload: the E17 hybrid scenario (one packet-level MAR
+/// cell, `clients` fluid background clients on a 10 Gb/s backhaul). Its
+/// event stream is dominated by fluid flow starts/completions and
+/// recomputes, so its rate is the `flow_events_per_sec` figure.
+fn measure_cityscale(clients: u64, secs: u64, reps: usize) -> Measurement {
+    let (_, events) = run_cityscale_counted(clients, 10.0, secs.min(2), 42);
+    assert!(events > 0, "hybrid scenario must process events");
+
+    let mut best = 0.0f64;
+    let mut sum = 0.0f64;
+    let mut total_events = 0u64;
+    let a0 = ALLOCS.load(Ordering::Relaxed);
+    PEAK.store(LIVE.load(Ordering::Relaxed), Ordering::Relaxed);
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let (_, ev) = run_cityscale_counted(clients, 10.0, secs, 42);
+        let dt = t0.elapsed().as_secs_f64();
+        let rate = ev as f64 / dt;
+        best = best.max(rate);
+        sum += rate;
+        total_events += ev;
+    }
+    let allocs = ALLOCS.load(Ordering::Relaxed) - a0;
+    Measurement {
+        label: "cityscale-hybrid",
+        events: total_events / reps as u64,
+        best_events_per_sec: best,
+        mean_events_per_sec: sum / reps as f64,
+        allocs_per_event: allocs as f64 / total_events as f64,
+        peak_heap_bytes: PEAK.load(Ordering::Relaxed),
+    }
+}
+
 /// Best-of-`reps` event rate for the same workload with the flight
 /// recorder ring enabled (the recording-tax measurement).
 fn measure_traced(mechanism: RecoveryMechanism, secs: u64, reps: usize) -> f64 {
@@ -194,10 +229,14 @@ fn main() {
         bound
     };
     let (secs, reps) = if smoke { (2, 1) } else { (30, 5) };
+    // Flow-tier workload scale: full mode runs the acceptance-bar 10⁵
+    // clients; smoke keeps CI fast while still crossing the saturation knee.
+    let (flow_clients, flow_secs) = if smoke { (20_000, 2) } else { (100_000, 10) };
 
     let measurements = [
         measure(RecoveryMechanism::ArqFecK8, secs, reps),
         measure(RecoveryMechanism::Duplicate, secs, reps),
+        measure_cityscale(flow_clients, flow_secs, reps),
     ];
 
     for m in &measurements {
@@ -232,6 +271,12 @@ fn main() {
              {} virtual sec x {} reps, seed 11)\",\n",
             "  \"smoke\": {},\n",
             "  \"measurements\": [\n{}\n  ],\n",
+            "  \"flow_tier\": {{\n",
+            "    \"scenario\": \"run_cityscale(clients={}, backhaul=10 Gb/s, {} virtual sec x \
+             {} reps, seed 42)\",\n",
+            "    \"clients\": {},\n",
+            "    \"flow_events_per_sec\": {:.0}\n",
+            "  }},\n",
             "  \"trace_overhead\": {{\n",
             "    \"mechanism\": \"arq+fec-k8\",\n",
             "    \"events_per_sec_best_recording\": {:.0},\n",
@@ -243,6 +288,11 @@ fn main() {
         reps,
         smoke,
         entries.join(",\n"),
+        flow_clients,
+        flow_secs,
+        reps,
+        flow_clients,
+        measurements[2].best_events_per_sec,
         traced_best,
         overhead_pct,
     );

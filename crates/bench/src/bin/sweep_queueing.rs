@@ -34,8 +34,8 @@ fn main() {
 
     let mut rows = Vec::new();
     for (label, queue, prio) in configs {
-        let out = run_queueing(2.0, queue, prio, secs, 7);
-        let mar = out.mar.borrow();
+        let out = run_queueing(2.0, queue, prio, 1, 1, secs, 7);
+        let mar = out.mar[0].borrow();
         let mut h = mar.latency_ms.clone();
         // Offered: 1.5 Mb/s in 1200 B packets.
         let offered = 1.5e6 / (1200.0 * 8.0) * secs as f64;
@@ -44,7 +44,7 @@ fn main() {
             mar_latency_median_ms: h.median().unwrap_or(f64::NAN),
             mar_latency_p95_ms: h.p95().unwrap_or(f64::NAN),
             mar_delivery_pct: mar.packets as f64 / offered * 100.0,
-            bulk_goodput_mbps: out.bulk.borrow().goodput_bytes as f64 * 8.0 / secs as f64 / 1e6,
+            bulk_goodput_mbps: out.bulk[0].borrow().goodput_bytes as f64 * 8.0 / secs as f64 / 1e6,
         });
     }
 

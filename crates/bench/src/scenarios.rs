@@ -13,11 +13,15 @@ use marnet_core::recovery::RecoveryPolicy;
 use marnet_edge::session::RestartableServer;
 use marnet_faults::inject::FaultInjector;
 use marnet_faults::schedule::FaultSpec;
+use marnet_flow::fluid::{FluidNetwork, FluidStats};
+use marnet_flow::hybrid::Coupling;
+use marnet_flow::workload::{BackgroundWorkload, WorkloadConfig, WorkloadStats};
 use marnet_radio::coverage::{CoverageActor, CoverageModel};
 use marnet_sim::engine::{Actor, ActorId, Event, SimCtx, Simulator};
 use marnet_sim::link::{Bandwidth, LinkParams, LossModel};
 use marnet_sim::packet::Payload;
 use marnet_sim::queue::QueueConfig;
+use marnet_sim::region::{Fidelity, RegionMap};
 use marnet_sim::rng::derive_rng;
 use marnet_sim::time::{SimDuration, SimTime};
 use marnet_telemetry::{MetricsRegistry, TelemetryCapture, TelemetryOptions};
@@ -415,18 +419,23 @@ pub fn run_fairness(
 /// Outcome of a queueing-policy run.
 #[derive(Debug)]
 pub struct QueueingOutcome {
-    /// MAR stream sink stats (one-way latency histogram).
-    pub mar: Rc<RefCell<UdpSinkStats>>,
-    /// Bulk upload receiver stats.
-    pub bulk: Rc<RefCell<TcpReceiverStats>>,
+    /// Per-MAR-stream sink stats (one-way latency histograms), in flow
+    /// order.
+    pub mar: Vec<Rc<RefCell<UdpSinkStats>>>,
+    /// Per-bulk-upload receiver stats, in flow order.
+    pub bulk: Vec<Rc<RefCell<TcpReceiverStats>>>,
 }
 
-/// A 2 Mb/s paced MAR stream and a greedy TCP upload share a `up_mbps`
-/// uplink governed by `queue`; returns both flows' outcomes.
+/// `n_mar` paced 1.5 Mb/s MAR streams and `n_bulk` greedy TCP uploads
+/// share a `up_mbps` uplink governed by `queue`; returns every flow's
+/// outcome. With `(1, 1)` this is the paper's E13 household; larger
+/// counts give the multi-tenant uplink E17-style scenarios reuse.
 pub fn run_queueing(
     up_mbps: f64,
     queue: QueueConfig,
     mar_prio: u8,
+    n_mar: usize,
+    n_bulk: usize,
     secs: u64,
     seed: u64,
 ) -> QueueingOutcome {
@@ -447,29 +456,37 @@ pub fn run_queueing(
     let mut cpe_nic = Nic::new(up);
     let mut isp_nic = Nic::new(down);
 
-    // MAR stream: 1200-byte packets at 1.5 Mb/s.
-    let mar_src = sim.reserve_actor();
-    let mar_sink_id = sim.reserve_actor();
-    sim.install_actor(
-        mar_src,
-        UdpSource::with_rate_mbps(1, TxPath::Nic(cpe), 1200, 1.5).with_prio(mar_prio),
-    );
-    let sink = UdpSink::new(1);
-    let mar = sink.stats();
-    sim.install_actor(mar_sink_id, sink);
-    isp_nic.add_route(1, mar_sink_id);
+    // MAR streams: 1200-byte packets at 1.5 Mb/s each, flows 1..=n_mar.
+    let mut mar = Vec::new();
+    for i in 0..n_mar {
+        let flow = 1 + i as u64;
+        let mar_src = sim.reserve_actor();
+        let mar_sink_id = sim.reserve_actor();
+        sim.install_actor(
+            mar_src,
+            UdpSource::with_rate_mbps(flow, TxPath::Nic(cpe), 1200, 1.5).with_prio(mar_prio),
+        );
+        let sink = UdpSink::new(flow);
+        mar.push(sink.stats());
+        sim.install_actor(mar_sink_id, sink);
+        isp_nic.add_route(flow, mar_sink_id);
+    }
 
-    // Bulk TCP upload, classified into the lowest band.
-    let bulk_s = sim.reserve_actor();
-    let bulk_r = sim.reserve_actor();
-    let bulk_cfg = TcpConfig { prio: 3, ..TcpConfig::default() };
-    let s = TcpSender::new(2, TxPath::Nic(cpe), bulk_cfg, Box::new(Reno::new(1460)));
-    sim.install_actor(bulk_s, s);
-    let r = TcpReceiver::new(2, TxPath::Nic(isp));
-    let bulk = r.stats();
-    sim.install_actor(bulk_r, r);
-    cpe_nic.add_route(2, bulk_s);
-    isp_nic.add_route(2, bulk_r);
+    // Bulk TCP uploads, classified into the lowest band.
+    let mut bulk = Vec::new();
+    for j in 0..n_bulk {
+        let flow = 1 + n_mar as u64 + j as u64;
+        let bulk_s = sim.reserve_actor();
+        let bulk_r = sim.reserve_actor();
+        let bulk_cfg = TcpConfig { prio: 3, ..TcpConfig::default() };
+        let s = TcpSender::new(flow, TxPath::Nic(cpe), bulk_cfg, Box::new(Reno::new(1460)));
+        sim.install_actor(bulk_s, s);
+        let r = TcpReceiver::new(flow, TxPath::Nic(isp));
+        bulk.push(r.stats());
+        sim.install_actor(bulk_r, r);
+        cpe_nic.add_route(flow, bulk_s);
+        isp_nic.add_route(flow, bulk_r);
+    }
 
     sim.install_actor(cpe, cpe_nic);
     sim.install_actor(isp, isp_nic);
@@ -1076,6 +1093,188 @@ pub fn run_multipath_commute(policy: MultipathPolicy, secs: u64, seed: u64) -> M
     MultipathOutcome { receiver: receiver_stats, sender: sender_stats }
 }
 
+// ---------------------------------------------------------------------------
+// City-scale hybrid fidelity (E17)
+// ---------------------------------------------------------------------------
+
+/// Nominal cell downlink capacity: the packet-level boundary link and the
+/// fluid foreground class's per-flow cap.
+pub const CITYSCALE_CELL_MBPS: f64 = 40.0;
+/// Paced MAR stream rate inside the cell.
+pub const CITYSCALE_MAR_MBPS: f64 = 6.0;
+/// MAR stream packet size in bytes.
+pub const CITYSCALE_MAR_PACKET_BYTES: u32 = 1_200;
+/// Per-background-flow cap: the client's access-link rate, so per-client
+/// access links need not exist in the fluid graph.
+pub const CITYSCALE_ACCESS_MBPS: f64 = 2.0;
+/// Bytes per background transfer.
+pub const CITYSCALE_TRANSFER_BYTES: u64 = 50_000;
+/// Mean exponential think time between a client's transfers.
+pub const CITYSCALE_THINK_MS: u64 = 2_000;
+
+/// Analytic offered background load in Gb/s: each client cycles through
+/// an exponential think (mean [`CITYSCALE_THINK_MS`]) and one
+/// [`CITYSCALE_TRANSFER_BYTES`] transfer, which takes
+/// `bytes·8 / access_rate` when the backhaul is unloaded.
+pub fn cityscale_offered_gbps(clients: u64) -> f64 {
+    let transfer_s = CITYSCALE_TRANSFER_BYTES as f64 * 8.0 / (CITYSCALE_ACCESS_MBPS * 1e6);
+    let cycle_s = CITYSCALE_THINK_MS as f64 / 1e3 + transfer_s;
+    clients as f64 * CITYSCALE_TRANSFER_BYTES as f64 * 8.0 / cycle_s / 1e9
+}
+
+/// Outcome of a city-scale hybrid run.
+#[derive(Debug)]
+pub struct CityscaleOutcome {
+    /// MAR sink stats inside the packet-level cell (QoE: one-way latency
+    /// histogram and delivery meter).
+    pub mar: Rc<RefCell<UdpSinkStats>>,
+    /// Background client population stats (offered/completed transfers).
+    pub background: Rc<RefCell<WorkloadStats>>,
+    /// Fluid tier aggregates (flow conservation, recompute count).
+    pub fluid: Rc<RefCell<FluidStats>>,
+    /// The fidelity partition the scenario was built from.
+    pub regions: RegionMap,
+}
+
+/// E17: one packet-level MAR cell surrounded by `clients` flow-level
+/// background clients sharing a `backhaul_gbps` metro backhaul.
+///
+/// The cell is a [`CITYSCALE_CELL_MBPS`] downlink carrying a paced
+/// [`CITYSCALE_MAR_MBPS`] MAR stream from the edge to a sink. In the
+/// fluid graph the same downlink is a standing foreground class capped at
+/// the cell rate, competing max-min fairly with the background class on
+/// the backhaul; after every recompute the foreground's allocation is
+/// pushed to the packet tier as the downlink's available rate (via the
+/// NIC, exercising the message coupling path). As offered background load
+/// approaches the backhaul capacity the foreground share collapses below
+/// the MAR stream's rate and the cell's queue — and with it the QoE —
+/// degrades: the paper's metro-scale capacity argument, measured.
+pub fn run_cityscale(clients: u64, backhaul_gbps: f64, secs: u64, seed: u64) -> CityscaleOutcome {
+    run_cityscale_counted(clients, backhaul_gbps, secs, seed).0
+}
+
+/// [`run_cityscale`], additionally returning the number of simulator
+/// events processed — the denominator of the `flow_events_per_sec`
+/// benchmark.
+pub fn run_cityscale_counted(
+    clients: u64,
+    backhaul_gbps: f64,
+    secs: u64,
+    seed: u64,
+) -> (CityscaleOutcome, u64) {
+    let (outcome, events, _) = run_cityscale_instrumented(
+        clients,
+        backhaul_gbps,
+        secs,
+        seed,
+        &TelemetryOptions::disabled(),
+    );
+    (outcome, events)
+}
+
+/// [`run_cityscale_counted`] with optional flight-recorder and metrics
+/// capture; with the default (disabled) options it is byte-identical to
+/// the uninstrumented run.
+pub fn run_cityscale_instrumented(
+    clients: u64,
+    backhaul_gbps: f64,
+    secs: u64,
+    seed: u64,
+    telemetry: &TelemetryOptions,
+) -> (CityscaleOutcome, u64, TelemetryCapture) {
+    let mut sim = Simulator::new(seed);
+    if let Some(cap) = telemetry.trace_capacity {
+        sim.enable_flight_recorder(cap);
+    }
+    let registry = if telemetry.metrics {
+        let reg = MetricsRegistry::new();
+        sim.enable_metrics(&reg);
+        Some(reg)
+    } else {
+        None
+    };
+
+    // Packet-level focus region: the cell. The edge NIC owns the
+    // downlink; the MAR source paces packets through it to the sink.
+    let edge = sim.reserve_actor();
+    let ue = sim.reserve_actor();
+    let mar_src = sim.reserve_actor();
+    let down = sim.add_link(
+        edge,
+        ue,
+        LinkParams::new(Bandwidth::from_mbps(CITYSCALE_CELL_MBPS), SimDuration::from_millis(5))
+            .with_queue(QueueConfig::DropTail { cap_packets: 400 }),
+    );
+    sim.install_actor(
+        mar_src,
+        UdpSource::with_rate_mbps(
+            1,
+            TxPath::Nic(edge),
+            CITYSCALE_MAR_PACKET_BYTES,
+            CITYSCALE_MAR_MBPS,
+        ),
+    );
+    let sink = UdpSink::new(1);
+    let mar = sink.stats();
+    sim.install_actor(ue, sink);
+    sim.install_actor(edge, Nic::new(down));
+
+    // Flow-level background region: the metro backhaul and the client
+    // population.
+    let net_id = sim.reserve_actor();
+    let wl_id = sim.reserve_actor();
+
+    let mut regions = RegionMap::new();
+    let cell = regions.add_region("cell", Fidelity::Packet);
+    let metro = regions.add_region("metro", Fidelity::Fluid);
+    for actor in [edge, ue, mar_src] {
+        regions.assign(actor, cell);
+    }
+    for actor in [net_id, wl_id] {
+        regions.assign(actor, metro);
+    }
+    regions.mark_boundary(down);
+
+    let mut net = FluidNetwork::new();
+    let backhaul = net.add_link(Bandwidth::from_gbps(backhaul_gbps));
+    let background = net.add_class(&[backhaul], Some(Bandwidth::from_mbps(CITYSCALE_ACCESS_MBPS)));
+    let foreground = net.add_class(&[backhaul], Some(Bandwidth::from_mbps(CITYSCALE_CELL_MBPS)));
+    net.add_standing_flows(foreground, 1);
+    // The boundary link's available rate tracks the foreground class's
+    // max-min share, delivered as RateUpdate messages to the owning NIC.
+    net.couple_class(foreground, Coupling::notify(down, edge));
+    let fluid = net.stats();
+    sim.install_actor(net_id, net);
+
+    let wl = BackgroundWorkload::new(WorkloadConfig {
+        clients,
+        class: background,
+        network: net_id,
+        think_mean: SimDuration::from_millis(CITYSCALE_THINK_MS),
+        transfer_bytes: CITYSCALE_TRANSFER_BYTES,
+        label: "cityscale/bg".into(),
+    });
+    let background_stats = wl.stats();
+    sim.install_actor(wl_id, wl);
+
+    let events = sim.run_until(SimTime::from_secs(secs));
+
+    let metrics = registry.map(|reg| {
+        sim.publish_link_metrics(&reg);
+        let fl = fluid.borrow();
+        reg.counter("flow.started").add(fl.started);
+        reg.counter("flow.finished").add(fl.finished);
+        reg.counter("flow.recomputes").add(fl.recomputes);
+        let bg = background_stats.borrow();
+        reg.counter("flow.workload.offered").add(bg.offered);
+        reg.counter("flow.workload.completed").add(bg.completed);
+        reg.snapshot()
+    });
+    let capture = TelemetryCapture { events: sim.take_trace(), metrics };
+    let outcome = CityscaleOutcome { mar, background: background_stats, fluid, regions };
+    (outcome, events, capture)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1124,16 +1323,18 @@ mod tests {
 
     #[test]
     fn queueing_priority_protects_mar_latency() {
-        let bloated = run_queueing(2.0, QueueConfig::bloated_uplink(), 0, 30, 9);
+        let bloated = run_queueing(2.0, QueueConfig::bloated_uplink(), 0, 1, 1, 30, 9);
         let prio = run_queueing(
             2.0,
             QueueConfig::StrictPriority { bands: 4, cap_packets_per_band: 250 },
             0,
+            1,
+            1,
             30,
             9,
         );
-        let bl = bloated.mar.borrow().latency_ms.clone();
-        let pr = prio.mar.borrow().latency_ms.clone();
+        let bl = bloated.mar[0].borrow().latency_ms.clone();
+        let pr = prio.mar[0].borrow().latency_ms.clone();
         let mut bl2 = bl.clone();
         let mut pr2 = pr.clone();
         let bloat_p95 = bl2.p95().unwrap();
@@ -1143,7 +1344,7 @@ mod tests {
             "priority queueing must slash MAR p95: {bloat_p95} → {prio_p95} ms"
         );
         // And the bulk upload still makes progress under priority queueing.
-        assert!(prio.bulk.borrow().goodput_bytes > 1_000_000);
+        assert!(prio.bulk[0].borrow().goodput_bytes > 1_000_000);
     }
 
     #[test]
@@ -1273,5 +1474,52 @@ mod tests {
         // Bounded recovery: no retransmission storm accompanies the outage.
         assert_eq!(outcome.retransmits_during_fault, 0, "nothing to retransmit while dark");
         assert!(outcome.retransmits <= 64, "whole-run retransmits bounded");
+    }
+
+    #[test]
+    fn cityscale_background_load_degrades_cell_qoe() {
+        // Light load: offered ≈ 0.4 Gb/s on a 1 Gb/s backhaul — the
+        // foreground keeps its full cell rate and MAR latency stays at
+        // propagation + serialization. Overload: offered ≈ 3.6 Gb/s —
+        // the foreground share collapses below the MAR stream's 6 Mb/s
+        // and queueing delay dominates.
+        let light = run_cityscale(2_000, 1.0, 6, 13);
+        let heavy = run_cityscale(20_000, 1.0, 6, 13);
+        let light_p95 = light.mar.borrow().latency_ms.clone().p95().unwrap();
+        let heavy_p95 = heavy.mar.borrow().latency_ms.clone().p95().unwrap();
+        assert!(light_p95 < 20.0, "unloaded cell p95 {light_p95} ms");
+        assert!(
+            heavy_p95 > light_p95 * 4.0,
+            "overload must inflate MAR p95: {light_p95} → {heavy_p95} ms"
+        );
+        // The background tier actually ran at scale and conserved flows.
+        let bg = heavy.background.borrow();
+        assert!(bg.offered > 10_000, "offered {}", bg.offered);
+        let fl = heavy.fluid.borrow();
+        assert_eq!(fl.started, bg.offered);
+        assert!(fl.finished <= fl.started);
+        // The partition is recorded: the cell is packet-level, the fluid
+        // tier fluid, and the downlink is the (only) boundary.
+        assert_eq!(heavy.regions.boundaries().len(), 1);
+    }
+
+    #[test]
+    fn cityscale_replays_bit_identically() {
+        let fingerprint = |o: &CityscaleOutcome| {
+            let mar = o.mar.borrow();
+            let bg = o.background.borrow();
+            (
+                mar.packets,
+                mar.bytes,
+                mar.latency_ms.values().to_vec(),
+                bg.offered,
+                bg.completed,
+                bg.duration_ms.values().to_vec(),
+                o.fluid.borrow().recomputes,
+            )
+        };
+        let a = run_cityscale(5_000, 1.0, 4, 29);
+        let b = run_cityscale(5_000, 1.0, 4, 29);
+        assert_eq!(fingerprint(&a), fingerprint(&b));
     }
 }

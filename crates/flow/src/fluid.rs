@@ -1,0 +1,520 @@
+//! The fluid network actor: flow classes, processor-sharing service
+//! accounting, and completion scheduling.
+//!
+//! [`FluidNetwork`] owns a capacitated fluid link graph and a set of
+//! flow classes (same route, same per-flow cap). Between events nothing
+//! happens except linear service growth, so the whole tier advances on
+//! three event kinds only: a flow starts ([`StartFlow`] message), a flow
+//! finishes (completion timer), or the allocation changes as a
+//! consequence of either. Rates are recomputed with
+//! [`crate::maxmin::max_min_rates`] *only* at those points.
+//!
+//! # Per-flow completions at class granularity
+//!
+//! Within a class every active flow always has the same rate, so the
+//! cumulative per-flow service `S(t) = ∫ rate(t)/8 dt` (bytes) is shared
+//! by all of them. A flow arriving at `t₀` with `size` bytes finishes
+//! when `S(t) = S(t₀) + size`, independent of what other flows do in
+//! between. Each class therefore keeps one monotone service counter and
+//! a min-heap of finish levels; a flow event costs `O(log n)` instead of
+//! `O(n)`, which is what makes 10⁵ concurrent clients tractable
+//! (DESIGN §13 gives the argument in full).
+//!
+//! # Determinism
+//!
+//! State lives in `Vec`s ordered by creation; the heap breaks finish-level
+//! ties by flow id; completion timers are quantized by *ceiling* to whole
+//! nanoseconds so a completion never fires before its service level is
+//! reached. All arithmetic is sequential `f64`: same inputs, same bits.
+
+use crate::hybrid::{Coupling, CouplingMode};
+use crate::maxmin::{max_min_rates, ClassDemand};
+use marnet_sim::engine::{Actor, ActorId, Event, SimCtx, TimerHandle};
+use marnet_sim::link::Bandwidth;
+use marnet_sim::packet::Payload;
+use marnet_sim::region::RateUpdate;
+use marnet_sim::stats::Histogram;
+use marnet_sim::time::{SimDuration, SimTime};
+use marnet_telemetry::{component, TraceEvent};
+use std::cell::RefCell;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::rc::Rc;
+
+/// Identifies a link in one [`FluidNetwork`]'s fluid graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FluidLinkId(u32);
+
+impl FluidLinkId {
+    /// The link's index in creation order.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Identifies a flow class in one [`FluidNetwork`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ClassId(u32);
+
+impl ClassId {
+    /// The class's index in creation order.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Message: start a finite flow of `bytes` in `class`.
+///
+/// Sent to the [`FluidNetwork`] actor by workload generators. When the
+/// flow completes, a [`FlowDone`] is sent back to `notify` (if any).
+#[derive(Debug, Clone, Copy)]
+pub struct StartFlow {
+    /// The class the flow joins (fixes its route and per-flow cap).
+    pub class: ClassId,
+    /// Caller-chosen flow id, echoed in traces and [`FlowDone`].
+    pub flow: u64,
+    /// Flow size in bytes.
+    pub bytes: u64,
+    /// Actor to notify on completion.
+    pub notify: Option<ActorId>,
+}
+
+/// Message: a fluid flow finished.
+#[derive(Debug, Clone, Copy)]
+pub struct FlowDone {
+    /// The class the flow belonged to.
+    pub class: ClassId,
+    /// The id given in [`StartFlow`].
+    pub flow: u64,
+    /// Flow size in bytes.
+    pub bytes: u64,
+    /// Start-to-finish duration.
+    pub duration: SimDuration,
+}
+
+/// Aggregate statistics across all classes of a [`FluidNetwork`].
+#[derive(Debug, Default)]
+pub struct FluidStats {
+    /// Finite flows started.
+    pub started: u64,
+    /// Finite flows completed.
+    pub finished: u64,
+    /// Completed-flow durations in milliseconds.
+    pub duration_ms: Histogram,
+    /// Completed-flow mean throughputs in Mb/s.
+    pub flow_mbps: Histogram,
+    /// Max-min recomputes performed (one per flow start/finish batch).
+    pub recomputes: u64,
+}
+
+/// One pending finite flow: finishes when its class's service counter
+/// reaches `finish`. Heap order is (finish level, flow id) — the id
+/// tiebreak keeps simultaneous completions deterministic.
+#[derive(Debug)]
+struct FlowEntry {
+    finish: f64,
+    flow: u64,
+    bytes: u64,
+    started: SimTime,
+    notify: Option<ActorId>,
+}
+
+impl PartialEq for FlowEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+impl Eq for FlowEntry {}
+impl PartialOrd for FlowEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for FlowEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.finish.total_cmp(&other.finish).then(self.flow.cmp(&other.flow))
+    }
+}
+
+#[derive(Debug)]
+struct ClassState {
+    route: Vec<usize>,
+    cap_bps: f64,
+    /// Flows that are always active and never finish (the hybrid tier's
+    /// standing foreground class, or steady background pressure).
+    standing: u64,
+    heap: BinaryHeap<Reverse<FlowEntry>>,
+    /// Cumulative per-flow service in bytes (`S(t)` above).
+    service: f64,
+    /// Current per-flow rate in bits/s.
+    rate_bps: f64,
+    /// Last per-flow rate traced, quantized to whole bits/s.
+    traced_bps: u64,
+    coupling: Option<Coupling>,
+    /// Last boundary rate pushed through the coupling, in bits/s.
+    coupled_bps: u64,
+}
+
+/// The fluid tier: an actor owning a fluid link graph and its classes.
+///
+/// Build the graph with [`FluidNetwork::add_link`] /
+/// [`FluidNetwork::add_class`] before installing the actor; drive it
+/// with [`StartFlow`] messages afterwards.
+#[derive(Debug, Default)]
+pub struct FluidNetwork {
+    links: Vec<f64>,
+    classes: Vec<ClassState>,
+    last_update: SimTime,
+    pending: Option<TimerHandle>,
+    stats: Rc<RefCell<FluidStats>>,
+}
+
+impl FluidNetwork {
+    /// An empty fluid network.
+    pub fn new() -> Self {
+        FluidNetwork::default()
+    }
+
+    /// Adds a fluid link of the given capacity.
+    pub fn add_link(&mut self, capacity: Bandwidth) -> FluidLinkId {
+        let id = FluidLinkId(self.links.len() as u32);
+        self.links.push(capacity.as_bps() as f64);
+        id
+    }
+
+    /// Adds a flow class crossing `route`, optionally capped per flow
+    /// (e.g. the client's access-link rate, so per-client access links
+    /// need not exist in the fluid graph).
+    pub fn add_class(&mut self, route: &[FluidLinkId], per_flow_cap: Option<Bandwidth>) -> ClassId {
+        let id = ClassId(self.classes.len() as u32);
+        self.classes.push(ClassState {
+            route: route.iter().map(|l| l.index()).collect(),
+            cap_bps: per_flow_cap.map_or(f64::INFINITY, |b| b.as_bps() as f64),
+            standing: 0,
+            heap: BinaryHeap::new(),
+            service: 0.0,
+            rate_bps: 0.0,
+            traced_bps: 0,
+            coupling: None,
+            coupled_bps: 0,
+        });
+        id
+    }
+
+    /// Adds `n` permanently active flows to a class. Standing flows
+    /// consume bandwidth in the allocation but never finish — the hybrid
+    /// tier's foreground class and constant background pressure both use
+    /// this.
+    pub fn add_standing_flows(&mut self, class: ClassId, n: u64) {
+        self.classes[class.index()].standing += n;
+    }
+
+    /// Couples a class's aggregate allocation to a packet-level boundary
+    /// link (see [`crate::hybrid`]). The class should hold at least one
+    /// standing flow so the boundary rate never collapses to zero.
+    pub fn couple_class(&mut self, class: ClassId, coupling: Coupling) {
+        self.classes[class.index()].coupling = Some(coupling);
+    }
+
+    /// Shared handle to the aggregate statistics.
+    pub fn stats(&self) -> Rc<RefCell<FluidStats>> {
+        Rc::clone(&self.stats)
+    }
+
+    /// Advances every class's service counter to `now`.
+    fn advance(&mut self, now: SimTime) {
+        let dt = now.saturating_since(self.last_update);
+        if dt > SimDuration::ZERO {
+            let secs = dt.as_secs_f64();
+            for c in &mut self.classes {
+                if c.rate_bps > 0.0 {
+                    c.service += c.rate_bps / 8.0 * secs;
+                }
+            }
+        }
+        self.last_update = now;
+    }
+
+    /// Pops every flow whose finish level has been reached and emits its
+    /// completion effects. Called from the timer path after [`Self::advance`].
+    fn collect_completions(&mut self, ctx: &mut SimCtx) {
+        let now = ctx.now();
+        let comp = component::actor(ctx.self_id().index());
+        for ci in 0..self.classes.len() {
+            loop {
+                let c = &mut self.classes[ci];
+                // Slack: one nanosecond of service at the current rate
+                // plus the relative rounding floor of the counter itself,
+                // so a completion timer that lands a fraction of a ulp
+                // short still completes its flow (never more than ~a byte
+                // early, and deterministically so).
+                let slack = c.rate_bps / 8e9 + c.service.abs() * 1e-12 + 1e-9;
+                let due = match c.heap.peek() {
+                    Some(Reverse(top)) => top.finish <= c.service + slack,
+                    None => false,
+                };
+                if !due {
+                    break;
+                }
+                let Some(Reverse(entry)) = c.heap.pop() else { break };
+                let duration = now.saturating_since(entry.started);
+                {
+                    let mut st = self.stats.borrow_mut();
+                    st.finished += 1;
+                    st.duration_ms.record(duration.as_millis_f64());
+                    let secs = duration.as_secs_f64();
+                    if secs > 0.0 {
+                        st.flow_mbps.record(entry.bytes as f64 * 8.0 / secs / 1e6);
+                    }
+                }
+                ctx.trace_with(|| {
+                    TraceEvent::flow_finish(
+                        now.as_nanos(),
+                        comp,
+                        ci as u8,
+                        entry.flow,
+                        duration.as_nanos(),
+                    )
+                });
+                if let Some(target) = entry.notify {
+                    let done = FlowDone {
+                        class: ClassId(ci as u32),
+                        flow: entry.flow,
+                        bytes: entry.bytes,
+                        duration,
+                    };
+                    ctx.send_message(target, Payload::new(done));
+                }
+            }
+        }
+    }
+
+    /// Recomputes the max-min allocation, pushes coupled boundary rates,
+    /// and schedules the next completion timer. Service counters must be
+    /// current (call [`Self::advance`] first).
+    fn recompute(&mut self, ctx: &mut SimCtx) {
+        self.stats.borrow_mut().recomputes += 1;
+        let demands: Vec<ClassDemand<'_>> = self
+            .classes
+            .iter()
+            .map(|c| ClassDemand {
+                route: &c.route,
+                flows: c.standing + c.heap.len() as u64,
+                cap_bps: c.cap_bps,
+            })
+            .collect();
+        let rates = max_min_rates(&self.links, &demands);
+
+        let now = ctx.now();
+        let comp = component::actor(ctx.self_id().index());
+        for (ci, rate) in rates.into_iter().enumerate() {
+            let c = &mut self.classes[ci];
+            c.rate_bps = rate;
+            let active = c.standing + c.heap.len() as u64;
+            let quantized = rate.round() as u64;
+            if ctx.trace_enabled() && quantized != c.traced_bps {
+                c.traced_bps = quantized;
+                ctx.trace_with(|| {
+                    TraceEvent::flow_rate(now.as_nanos(), comp, ci as u8, active, quantized)
+                });
+            }
+            if let Some(coupling) = c.coupling {
+                // The boundary link gets the class's aggregate
+                // allocation, floored at 1 bit/s so the packet tier's
+                // queue never stalls outright.
+                let boundary = ((rate * active as f64).round() as u64).max(1);
+                if boundary != c.coupled_bps {
+                    c.coupled_bps = boundary;
+                    let update =
+                        RateUpdate { link: coupling.link, rate: Bandwidth::from_bps(boundary) };
+                    match coupling.via {
+                        CouplingMode::Direct => ctx.set_link_rate(update.link, update.rate),
+                        CouplingMode::Notify(owner) => {
+                            ctx.send_message(owner, Payload::new(update));
+                        }
+                    }
+                }
+            }
+        }
+
+        // One pending timer for the earliest completion across classes.
+        if let Some(handle) = self.pending.take() {
+            ctx.cancel_timer(handle);
+        }
+        let mut earliest: Option<SimDuration> = None;
+        for c in &self.classes {
+            if c.rate_bps <= 0.0 {
+                continue;
+            }
+            if let Some(Reverse(top)) = c.heap.peek() {
+                let residual_bytes = (top.finish - c.service).max(0.0);
+                let nanos = (residual_bytes * 8.0 / c.rate_bps * 1e9).ceil();
+                // Ceiling to whole nanoseconds guarantees the service
+                // counter has passed the finish level when the timer
+                // fires; never schedule at zero delay to keep the event
+                // loop monotone.
+                let d = SimDuration::from_nanos((nanos as u64).max(1));
+                earliest = Some(earliest.map_or(d, |e| e.min(d)));
+            }
+        }
+        if let Some(delay) = earliest {
+            self.pending = Some(ctx.schedule_timer(delay, 0));
+        }
+    }
+}
+
+impl Actor for FluidNetwork {
+    fn on_event(&mut self, ctx: &mut SimCtx, ev: Event) {
+        match ev {
+            Event::Start => {
+                self.last_update = ctx.now();
+                self.recompute(ctx);
+            }
+            Event::Message { mut msg, .. } => {
+                if let Some(start) = msg.take::<StartFlow>() {
+                    let now = ctx.now();
+                    self.advance(now);
+                    let c = &mut self.classes[start.class.index()];
+                    let finish = c.service + start.bytes as f64;
+                    c.heap.push(Reverse(FlowEntry {
+                        finish,
+                        flow: start.flow,
+                        bytes: start.bytes,
+                        started: now,
+                        notify: start.notify,
+                    }));
+                    self.stats.borrow_mut().started += 1;
+                    let comp = component::actor(ctx.self_id().index());
+                    ctx.trace_with(|| {
+                        TraceEvent::flow_start(
+                            now.as_nanos(),
+                            comp,
+                            start.class.index() as u8,
+                            start.flow,
+                            start.bytes,
+                        )
+                    });
+                    self.recompute(ctx);
+                }
+            }
+            Event::Timer { .. } => {
+                self.pending = None;
+                self.advance(ctx.now());
+                self.collect_completions(ctx);
+                self.recompute(ctx);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use marnet_sim::engine::Simulator;
+
+    /// Starts `flows` of `bytes` each at t=0 and records completions.
+    struct Driver {
+        net: ActorId,
+        class: ClassId,
+        flows: u64,
+        bytes: u64,
+        done: Rc<RefCell<Vec<(u64, SimDuration)>>>,
+    }
+
+    impl Actor for Driver {
+        fn on_event(&mut self, ctx: &mut SimCtx, ev: Event) {
+            match ev {
+                Event::Start => {
+                    for flow in 0..self.flows {
+                        let msg = StartFlow {
+                            class: self.class,
+                            flow,
+                            bytes: self.bytes,
+                            notify: Some(ctx.self_id()),
+                        };
+                        ctx.send_message(self.net, Payload::new(msg));
+                    }
+                }
+                Event::Message { mut msg, .. } => {
+                    if let Some(done) = msg.take::<FlowDone>() {
+                        self.done.borrow_mut().push((done.flow, done.duration));
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn equal_flows_finish_together_at_fair_share() {
+        let mut sim = Simulator::new(7);
+        let net_id = sim.reserve_actor();
+        let drv_id = sim.reserve_actor();
+        let mut net = FluidNetwork::new();
+        let l = net.add_link(Bandwidth::from_mbps(8.0));
+        let class = net.add_class(&[l], None);
+        let stats = net.stats();
+        sim.install_actor(net_id, net);
+        let done = Rc::new(RefCell::new(Vec::new()));
+        sim.install_actor(
+            drv_id,
+            Driver { net: net_id, class, flows: 4, bytes: 1_000_000, done: Rc::clone(&done) },
+        );
+        sim.run_to_completion();
+
+        // 4 flows × 1 MB over 8 Mb/s: processor sharing finishes all four
+        // together at 4 s.
+        let done = done.borrow();
+        assert_eq!(done.len(), 4);
+        for (_, d) in done.iter() {
+            assert!((d.as_secs_f64() - 4.0).abs() < 1e-6, "duration {d:?}");
+        }
+        assert_eq!(stats.borrow().finished, 4);
+    }
+
+    #[test]
+    fn standing_flow_halves_the_rate() {
+        let mut sim = Simulator::new(7);
+        let net_id = sim.reserve_actor();
+        let drv_id = sim.reserve_actor();
+        let mut net = FluidNetwork::new();
+        let l = net.add_link(Bandwidth::from_mbps(8.0));
+        let class = net.add_class(&[l], None);
+        net.add_standing_flows(class, 1);
+        sim.install_actor(net_id, net);
+        let done = Rc::new(RefCell::new(Vec::new()));
+        sim.install_actor(
+            drv_id,
+            Driver { net: net_id, class, flows: 1, bytes: 1_000_000, done: Rc::clone(&done) },
+        );
+        sim.run_to_completion();
+
+        // The finite flow shares with one standing flow: 4 Mb/s → 2 s.
+        let done = done.borrow();
+        assert_eq!(done.len(), 1);
+        assert!((done[0].1.as_secs_f64() - 2.0).abs() < 1e-6, "duration {:?}", done[0].1);
+    }
+
+    #[test]
+    fn completions_replay_bit_identically() {
+        let run = || {
+            let mut sim = Simulator::new(21);
+            let net_id = sim.reserve_actor();
+            let drv_id = sim.reserve_actor();
+            let mut net = FluidNetwork::new();
+            let l = net.add_link(Bandwidth::from_mbps(5.5));
+            let class = net.add_class(&[l], Some(Bandwidth::from_mbps(3.3)));
+            sim.install_actor(net_id, net);
+            let done = Rc::new(RefCell::new(Vec::new()));
+            sim.install_actor(
+                drv_id,
+                Driver { net: net_id, class, flows: 9, bytes: 777_777, done: Rc::clone(&done) },
+            );
+            sim.run_to_completion();
+            let v = done.borrow().clone();
+            v
+        };
+        assert_eq!(run(), run());
+    }
+}

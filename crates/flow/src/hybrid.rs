@@ -1,0 +1,68 @@
+//! Hybrid-fidelity boundary coupling.
+//!
+//! A hybrid scenario partitions the topology (see
+//! [`marnet_sim::region::RegionMap`]) into a packet-level *focus region*
+//! — the cell under study, unchanged engine semantics — and fluid
+//! background regions. The two tiers meet at *boundary links*: physical
+//! links whose capacity is shared between focus-region packet traffic
+//! and fluid background flows.
+//!
+//! The coupling is one-way and works through a *standing foreground
+//! class* in the [`crate::fluid::FluidNetwork`]: a class with one
+//! always-active flow, capped at the boundary link's nominal capacity,
+//! competing max-min fairly with the background classes on the fluid
+//! graph. Whatever rate the allocator grants that class is the rate the
+//! packet tier may use, so after every recompute the fluid network
+//! pushes it to the engine link — either directly
+//! ([`CouplingMode::Direct`]) or as a
+//! [`marnet_sim::region::RateUpdate`] message to the NIC owning the link
+//! ([`CouplingMode::Notify`]), which applies it with
+//! [`marnet_sim::engine::SimCtx::set_link_rate`].
+//!
+//! Because the foreground class is always active and capped, its
+//! allocation is at least `min(cap, C/n)` of the shared capacity `C` —
+//! never zero — so the packet tier keeps draining (a zero rate would
+//! park queued packets forever). The reverse direction is deliberately
+//! approximate: the packet tier's *offered* load is represented by the
+//! standing class's cap rather than its instantaneous throughput, which
+//! slightly overstates foreground pressure when the cell is idle. DESIGN
+//! §13 quantifies the error; the cross-fidelity validation test bounds
+//! it.
+
+use marnet_sim::engine::ActorId;
+use marnet_sim::link::LinkId;
+
+/// How a boundary-link rate update reaches the packet tier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CouplingMode {
+    /// The fluid network sets the engine link's rate itself, in the same
+    /// event that recomputed the allocation.
+    Direct,
+    /// The fluid network sends a [`marnet_sim::region::RateUpdate`]
+    /// message to this actor (typically the NIC owning the link), which
+    /// applies it. One message hop of sim-time latency, but keeps the
+    /// link under its owner's control.
+    Notify(ActorId),
+}
+
+/// Couples one fluid class to one packet-level boundary link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Coupling {
+    /// The packet-level link whose available rate tracks the class's
+    /// max-min allocation.
+    pub link: LinkId,
+    /// Delivery mechanism for rate updates.
+    pub via: CouplingMode,
+}
+
+impl Coupling {
+    /// Directly-applied coupling to `link`.
+    pub fn direct(link: LinkId) -> Self {
+        Coupling { link, via: CouplingMode::Direct }
+    }
+
+    /// Message-based coupling to `link`, applied by `owner`.
+    pub fn notify(link: LinkId, owner: ActorId) -> Self {
+        Coupling { link, via: CouplingMode::Notify(owner) }
+    }
+}

@@ -1,0 +1,211 @@
+//! Max-min fair rate allocation by progressive filling.
+//!
+//! The classic water-filling algorithm, lifted from individual flows to
+//! *flow classes*: a class is a set of `flows` identical flows sharing a
+//! `route` (a list of fluid-link indices) and an optional per-flow rate
+//! cap. Raising one common water level for all unfrozen classes and
+//! freezing a class when it hits its cap or a link on its route
+//! saturates yields the unique max-min fair allocation; doing it per
+//! class makes the cost `O(iterations × (links + Σ route lengths))`
+//! with `iterations ≤ classes + 1` — independent of the number of flows,
+//! which is what lets the fluid tier carry 10⁵ clients.
+//!
+//! The arithmetic is plain sequential `f64` over slices, so results are
+//! bit-identical run to run (the determinism contract, DESIGN §13).
+
+/// One class of identical flows presented to the allocator.
+#[derive(Debug, Clone)]
+pub struct ClassDemand<'a> {
+    /// Fluid-link indices the class's flows traverse. Links must not
+    /// repeat within one route.
+    pub route: &'a [usize],
+    /// Number of concurrently active flows in the class.
+    pub flows: u64,
+    /// Per-flow rate cap in bits/s; `f64::INFINITY` when uncapped. A
+    /// class with an empty route must be capped, or the demand would be
+    /// unbounded.
+    pub cap_bps: f64,
+}
+
+/// Relative slack used to decide "this link is saturated" / "this class
+/// reached its cap" despite floating-point rounding in the fill loop.
+const REL_EPS: f64 = 1e-12;
+
+/// Computes the max-min fair per-flow rate (bits/s) for every class.
+///
+/// `capacity_bps[l]` is the capacity of fluid link `l`; routes in
+/// `classes` index into it. Classes with zero flows get rate `0.0`.
+///
+/// # Panics
+///
+/// Panics if a route names a link outside `capacity_bps`, or if a class
+/// has an empty route and an infinite cap (unbounded demand).
+pub fn max_min_rates(capacity_bps: &[f64], classes: &[ClassDemand<'_>]) -> Vec<f64> {
+    for c in classes {
+        assert!(
+            !c.route.is_empty() || c.cap_bps.is_finite(),
+            "a class with no route must have a finite per-flow cap"
+        );
+        for &l in c.route {
+            assert!(l < capacity_bps.len(), "route names unknown link {l}");
+        }
+    }
+
+    let mut rate = vec![0.0f64; classes.len()];
+    let mut frozen: Vec<bool> = classes.iter().map(|c| c.flows == 0).collect();
+    let mut residual = capacity_bps.to_vec();
+    let mut level = 0.0f64;
+
+    // Every pass freezes at least one class (the guard below enforces it
+    // even under adverse rounding), so `classes + 1` passes suffice.
+    for _ in 0..=classes.len() {
+        // Unfrozen flows crossing each link.
+        let mut nflows = vec![0u64; capacity_bps.len()];
+        let mut any_unfrozen = false;
+        for (c, f) in classes.iter().zip(&frozen) {
+            if !*f {
+                any_unfrozen = true;
+                for &l in c.route {
+                    nflows[l] += c.flows;
+                }
+            }
+        }
+        if !any_unfrozen {
+            break;
+        }
+
+        // The next freezing event: some link saturates, or some class
+        // reaches its per-flow cap.
+        let mut delta = f64::INFINITY;
+        for (l, &nf) in nflows.iter().enumerate() {
+            if nf > 0 {
+                delta = delta.min((residual[l] / nf as f64).max(0.0));
+            }
+        }
+        for (c, f) in classes.iter().zip(&frozen) {
+            if !*f && c.cap_bps.is_finite() {
+                delta = delta.min((c.cap_bps - level).max(0.0));
+            }
+        }
+        debug_assert!(delta.is_finite(), "unbounded fill step");
+
+        level += delta;
+        for (l, &nf) in nflows.iter().enumerate() {
+            if nf > 0 {
+                residual[l] = (residual[l] - delta * nf as f64).max(0.0);
+            }
+        }
+
+        let mut froze_any = false;
+        // Cap-limited classes freeze exactly at their cap.
+        for (i, c) in classes.iter().enumerate() {
+            if !frozen[i] && c.cap_bps <= level * (1.0 + REL_EPS) {
+                rate[i] = c.cap_bps;
+                frozen[i] = true;
+                froze_any = true;
+            }
+        }
+        // Classes crossing a saturated link freeze at the water level.
+        for (i, c) in classes.iter().enumerate() {
+            if frozen[i] {
+                continue;
+            }
+            let bottlenecked = c.route.iter().any(|&l| residual[l] <= capacity_bps[l] * REL_EPS);
+            if bottlenecked {
+                rate[i] = level;
+                frozen[i] = true;
+                froze_any = true;
+            }
+        }
+        if !froze_any {
+            // Rounding guard: delta was chosen to saturate something but
+            // the thresholds disagreed. Freeze everything at the level —
+            // by construction no link is oversubscribed there.
+            for (i, f) in frozen.iter_mut().enumerate() {
+                if !*f {
+                    rate[i] = level;
+                    *f = true;
+                }
+            }
+            break;
+        }
+    }
+    rate
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_bottleneck_equal_share() {
+        let caps = [10e6];
+        let classes = [
+            ClassDemand { route: &[0], flows: 2, cap_bps: f64::INFINITY },
+            ClassDemand { route: &[0], flows: 3, cap_bps: f64::INFINITY },
+        ];
+        let r = max_min_rates(&caps, &classes);
+        assert!((r[0] - 2e6).abs() < 1.0, "{r:?}");
+        assert!((r[1] - 2e6).abs() < 1.0, "{r:?}");
+    }
+
+    #[test]
+    fn cap_limited_class_releases_bandwidth() {
+        let caps = [10e6];
+        let classes = [
+            ClassDemand { route: &[0], flows: 1, cap_bps: 1e6 },
+            ClassDemand { route: &[0], flows: 1, cap_bps: f64::INFINITY },
+        ];
+        let r = max_min_rates(&caps, &classes);
+        assert!((r[0] - 1e6).abs() < 1.0, "{r:?}");
+        assert!((r[1] - 9e6).abs() < 1.0, "{r:?}");
+    }
+
+    #[test]
+    fn two_link_chain_takes_the_tighter_bottleneck() {
+        let caps = [10e6, 4e6];
+        let classes = [
+            // Crosses both links; link 1 is tighter.
+            ClassDemand { route: &[0, 1], flows: 1, cap_bps: f64::INFINITY },
+            // Only link 0: gets the leftovers there.
+            ClassDemand { route: &[0], flows: 1, cap_bps: f64::INFINITY },
+        ];
+        let r = max_min_rates(&caps, &classes);
+        assert!((r[0] - 4e6).abs() < 1.0, "{r:?}");
+        assert!((r[1] - 6e6).abs() < 1.0, "{r:?}");
+    }
+
+    #[test]
+    fn empty_classes_get_zero() {
+        let caps = [10e6];
+        let classes = [
+            ClassDemand { route: &[0], flows: 0, cap_bps: f64::INFINITY },
+            ClassDemand { route: &[0], flows: 1, cap_bps: f64::INFINITY },
+        ];
+        let r = max_min_rates(&caps, &classes);
+        assert_eq!(r[0], 0.0);
+        assert!((r[1] - 10e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn class_scaling_matches_individual_flows() {
+        // 100 000 flows as one class vs the same split across classes.
+        let caps = [1e9];
+        let one = [ClassDemand { route: &[0], flows: 100_000, cap_bps: f64::INFINITY }];
+        let many: Vec<ClassDemand<'_>> = (0..10)
+            .map(|_| ClassDemand { route: &[0], flows: 10_000, cap_bps: f64::INFINITY })
+            .collect();
+        let r1 = max_min_rates(&caps, &one);
+        let r2 = max_min_rates(&caps, &many);
+        for r in r2 {
+            assert!((r - r1[0]).abs() <= 1e-6 * r1[0]);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn unbounded_class_panics() {
+        let _ =
+            max_min_rates(&[1e6], &[ClassDemand { route: &[], flows: 1, cap_bps: f64::INFINITY }]);
+    }
+}

@@ -1,0 +1,252 @@
+//! Cross-fidelity validation: the fluid tier must agree with the packet
+//! engine where their models overlap.
+//!
+//! Scenario: `N` bulk transfers of equal size share one bottleneck link,
+//! starting at staggered times. At packet level each transfer is a
+//! self-clocked windowed source (a fixed number of packets in flight,
+//! one new packet per delivery) over a large DropTail queue — no loss,
+//! no AQM — which converges to the same equal-share bandwidth split the
+//! fluid model computes in closed form. The fluid run drives the same
+//! arrival plan through a [`FluidNetwork`] with one link and one class.
+//!
+//! # Documented CI bands
+//!
+//! Packet-level completions differ from fluid ones by real effects the
+//! fluid model abstracts away: serialization quantization (the last
+//! packet must fully serialize), propagation delay, the window ramp at
+//! start, and FIFO interleaving noise while shares rebalance. On this
+//! scenario those effects are bounded by a few packet times, so the
+//! agreement bands are:
+//!
+//! * per-flow mean throughput: within **10 %** relative;
+//! * per-flow completion time: within **10 %** relative **+ 50 ms**
+//!   absolute slack (covers propagation + final-packet serialization).
+//!
+//! Both runs are deterministic, so each fidelity also pins a golden
+//! completion-time vector (nanoseconds, exact equality). A golden change
+//! means the corresponding tier's arithmetic changed — deliberate
+//! changes must update the constants alongside the explanation.
+
+use marnet_flow::fluid::{FlowDone, FluidNetwork, StartFlow};
+use marnet_sim::engine::{Actor, ActorId, Event, SimCtx, Simulator};
+use marnet_sim::link::{Bandwidth, LinkId, LinkParams};
+use marnet_sim::packet::{Packet, Payload};
+use marnet_sim::queue::QueueConfig;
+use marnet_sim::time::{SimDuration, SimTime};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Shared-bottleneck scenario parameters (both fidelities).
+const BOTTLENECK_MBPS: f64 = 10.0;
+const N_FLOWS: u64 = 4;
+const FLOW_BYTES: u64 = 1_250_000; // 10 Mb: 1 s alone at the bottleneck
+const STAGGER_MS: u64 = 500;
+const PACKET_BYTES: u32 = 1_250;
+const WINDOW: u64 = 4;
+
+/// Golden per-flow completion times in nanoseconds, flow order.
+/// Regenerate by running this test with `--nocapture` after a deliberate
+/// model change; the printed vectors are the new goldens.
+const GOLDEN_PACKET_NS: [u64; 4] = [1_829_000_000, 3_329_000_000, 3_833_000_000, 4_001_000_000];
+const GOLDEN_FLUID_NS: [u64; 4] = [1_833_333_334, 3_333_333_334, 3_833_333_334, 4_000_000_001];
+
+/// Packet-level windowed bulk source: keeps `WINDOW` packets in flight,
+/// sends one more per delivery notification from the sink.
+struct WindowedSource {
+    flow: u64,
+    link: LinkId,
+    start_at: SimTime,
+    remaining: u64,
+}
+
+impl Actor for WindowedSource {
+    fn on_event(&mut self, ctx: &mut SimCtx, ev: Event) {
+        match ev {
+            Event::Start => {
+                let wait = self.start_at.saturating_since(ctx.now());
+                ctx.schedule_timer(wait, 0);
+            }
+            Event::Timer { .. } => {
+                for _ in 0..WINDOW.min(self.remaining) {
+                    self.send_one(ctx);
+                }
+            }
+            // Ack from the sink: the self-clock releases one packet.
+            Event::Message { .. } if self.remaining > 0 => self.send_one(ctx),
+            _ => {}
+        }
+    }
+}
+
+impl WindowedSource {
+    fn send_one(&mut self, ctx: &mut SimCtx) {
+        self.remaining -= 1;
+        let id = ctx.next_packet_id();
+        let pkt = Packet::new(id, self.flow, PACKET_BYTES, ctx.now());
+        ctx.transmit(self.link, pkt);
+    }
+}
+
+/// Ack message from the sink back to a source.
+#[derive(Debug, Clone, Copy)]
+struct Delivered;
+
+/// Packet-level sink: counts per-flow bytes, acks every delivery, records
+/// completion times.
+struct BulkSink {
+    sources: Vec<ActorId>,
+    received: Vec<u64>,
+    finish: Rc<RefCell<Vec<(u64, SimTime)>>>,
+}
+
+impl Actor for BulkSink {
+    fn on_event(&mut self, ctx: &mut SimCtx, ev: Event) {
+        if let Event::Packet { packet, .. } = ev {
+            let flow = packet.flow as usize;
+            self.received[flow] += u64::from(packet.size);
+            if self.received[flow] == FLOW_BYTES {
+                self.finish.borrow_mut().push((packet.flow, ctx.now()));
+            }
+            ctx.send_message(self.sources[flow], Payload::new(Delivered));
+        }
+    }
+}
+
+/// Runs the packet-level scenario; returns per-flow completion ns.
+fn run_packet_level() -> Vec<u64> {
+    let mut sim = Simulator::new(31);
+    let hub = sim.reserve_actor();
+    let sink_id = sim.reserve_actor();
+    let link = sim.add_link(
+        hub,
+        sink_id,
+        LinkParams::new(Bandwidth::from_mbps(BOTTLENECK_MBPS), SimDuration::from_millis(1))
+            .with_queue(QueueConfig::DropTail { cap_packets: 10_000 }),
+    );
+    let mut sources = Vec::new();
+    for flow in 0..N_FLOWS {
+        let id = sim.reserve_actor();
+        sources.push(id);
+        sim.install_actor(
+            id,
+            WindowedSource {
+                flow,
+                link,
+                start_at: SimTime::from_millis(flow * STAGGER_MS),
+                remaining: FLOW_BYTES / u64::from(PACKET_BYTES),
+            },
+        );
+    }
+    let finish = Rc::new(RefCell::new(Vec::new()));
+    sim.install_actor(hub, Idle);
+    sim.install_actor(
+        sink_id,
+        BulkSink { sources, received: vec![0; N_FLOWS as usize], finish: Rc::clone(&finish) },
+    );
+    sim.run_to_completion();
+    let mut done = finish.borrow().clone();
+    done.sort_by_key(|&(flow, _)| flow);
+    assert_eq!(done.len(), N_FLOWS as usize, "not every packet-level flow completed");
+    done.into_iter().map(|(_, t)| t.as_nanos()).collect()
+}
+
+/// The link's nominal source actor; transfers are injected by the
+/// windowed sources directly onto the link.
+struct Idle;
+impl Actor for Idle {
+    fn on_event(&mut self, _ctx: &mut SimCtx, _ev: Event) {}
+}
+
+/// Fluid-side driver: starts the same staggered flows.
+struct FluidDriver {
+    net: ActorId,
+    class: marnet_flow::fluid::ClassId,
+    finish: Rc<RefCell<Vec<(u64, SimTime)>>>,
+}
+
+impl Actor for FluidDriver {
+    fn on_event(&mut self, ctx: &mut SimCtx, ev: Event) {
+        match ev {
+            Event::Start => {
+                for flow in 0..N_FLOWS {
+                    ctx.schedule_timer(SimDuration::from_millis(flow * STAGGER_MS), flow);
+                }
+            }
+            Event::Timer { tag } => {
+                let msg = StartFlow {
+                    class: self.class,
+                    flow: tag,
+                    bytes: FLOW_BYTES,
+                    notify: Some(ctx.self_id()),
+                };
+                ctx.send_message(self.net, Payload::new(msg));
+            }
+            Event::Message { mut msg, .. } => {
+                if let Some(d) = msg.take::<FlowDone>() {
+                    self.finish.borrow_mut().push((d.flow, ctx.now()));
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Runs the fluid-level scenario; returns per-flow completion ns.
+fn run_fluid_level() -> Vec<u64> {
+    let mut sim = Simulator::new(31);
+    let net_id = sim.reserve_actor();
+    let drv_id = sim.reserve_actor();
+    let mut net = FluidNetwork::new();
+    let l = net.add_link(Bandwidth::from_mbps(BOTTLENECK_MBPS));
+    let class = net.add_class(&[l], None);
+    sim.install_actor(net_id, net);
+    let finish = Rc::new(RefCell::new(Vec::new()));
+    sim.install_actor(drv_id, FluidDriver { net: net_id, class, finish: Rc::clone(&finish) });
+    sim.run_to_completion();
+    let mut done = finish.borrow().clone();
+    done.sort_by_key(|&(flow, _)| flow);
+    assert_eq!(done.len(), N_FLOWS as usize, "not every fluid flow completed");
+    done.into_iter().map(|(_, t)| t.as_nanos()).collect()
+}
+
+/// Mean throughput of flow `i` in Mb/s given its completion time.
+fn throughput_mbps(finish_ns: u64, flow: u64) -> f64 {
+    let start_ns = flow * STAGGER_MS * 1_000_000;
+    FLOW_BYTES as f64 * 8.0 / ((finish_ns - start_ns) as f64 / 1e9) / 1e6
+}
+
+#[test]
+fn fluid_matches_packet_level_within_bands() {
+    let packet = run_packet_level();
+    let fluid = run_fluid_level();
+    println!("packet-level completions (ns): {packet:?}");
+    println!("fluid-level  completions (ns): {fluid:?}");
+
+    for flow in 0..N_FLOWS as usize {
+        let p_ns = packet[flow] as f64;
+        let f_ns = fluid[flow] as f64;
+        // Completion times: 10 % relative + 50 ms absolute.
+        let band = 0.10 * p_ns + 50e6;
+        assert!(
+            (p_ns - f_ns).abs() <= band,
+            "flow {flow}: packet {p_ns} ns vs fluid {f_ns} ns exceeds band {band} ns"
+        );
+        // Mean throughput: 10 % relative.
+        let p_tp = throughput_mbps(packet[flow], flow as u64);
+        let f_tp = throughput_mbps(fluid[flow], flow as u64);
+        assert!(
+            (p_tp - f_tp).abs() <= 0.10 * p_tp,
+            "flow {flow}: packet {p_tp} Mb/s vs fluid {f_tp} Mb/s exceeds 10%"
+        );
+    }
+}
+
+#[test]
+fn packet_level_golden_artifact() {
+    assert_eq!(run_packet_level(), GOLDEN_PACKET_NS.to_vec());
+}
+
+#[test]
+fn fluid_level_golden_artifact() {
+    assert_eq!(run_fluid_level(), GOLDEN_FLUID_NS.to_vec());
+}

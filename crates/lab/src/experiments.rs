@@ -10,8 +10,9 @@ use marnet_app::compute::{ComputeModel, DbAccess, FrameWork, NetParams};
 use marnet_app::device::DeviceClass;
 use marnet_app::strategy::OffloadStrategy;
 use marnet_bench::scenarios::{
-    run_faults_instrumented, run_recovery_instrumented, run_table2_instrumented, FaultScenario,
-    RecoveryMechanism, Table2Scenario,
+    cityscale_offered_gbps, run_cityscale_instrumented, run_faults_instrumented,
+    run_recovery_instrumented, run_table2_instrumented, FaultScenario, RecoveryMechanism,
+    Table2Scenario,
 };
 use marnet_bench::{fmt, print_table};
 use marnet_sim::link::Bandwidth;
@@ -43,7 +44,8 @@ impl std::fmt::Debug for Experiment {
 }
 
 /// Names of the built-in experiments, in menu order.
-pub const NAMES: [&str; 4] = ["table2_rtt", "sweep_recovery", "sweep_offload", "sweep_faults"];
+pub const NAMES: [&str; 5] =
+    ["table2_rtt", "sweep_recovery", "sweep_offload", "sweep_faults", "sweep_cityscale"];
 
 /// Builds the named experiment, or `None` for an unknown name. The
 /// telemetry options are cloned into the trial closure: every replicate
@@ -59,6 +61,7 @@ pub fn build(
         "sweep_recovery" => Some(sweep_recovery(replicates, seed, telemetry.clone())),
         "sweep_offload" => Some(sweep_offload(replicates, seed)),
         "sweep_faults" => Some(sweep_faults(replicates, seed, telemetry.clone())),
+        "sweep_cityscale" => Some(sweep_cityscale(replicates, seed, telemetry.clone())),
         _ => None,
     }
 }
@@ -319,6 +322,92 @@ fn render_faults(points: &[PointSummary]) {
 }
 
 // ---------------------------------------------------------------------------
+// E17 city-scale hybrid-fidelity sweep (marnet-flow)
+// ---------------------------------------------------------------------------
+
+/// The MAR frame budget used for the in-budget QoE column, as in E11.
+const CITYSCALE_BUDGET_MS: f64 = 75.0;
+
+fn sweep_cityscale(replicates: u32, seed: u64, telemetry: TelemetryOptions) -> Experiment {
+    let spec = ScenarioSpec::new("sweep_cityscale", seed, replicates)
+        .with_param("backhaul_gbps", ParamValue::Float(10.0))
+        .with_param("secs", ParamValue::Int(3))
+        .with_axis(
+            "clients",
+            [25_000i64, 50_000, 100_000].into_iter().map(ParamValue::Int).collect(),
+        );
+    let trial = Box::new(move |point: &GridPoint, ctx: &TrialCtx| {
+        let clients = point.param("clients").as_int().expect("int") as u64;
+        let backhaul = point.param("backhaul_gbps").as_float().expect("float");
+        let secs = point.param("secs").as_int().expect("int") as u64;
+        let (out, events, capture) =
+            run_cityscale_instrumented(clients, backhaul, secs, ctx.seed, &telemetry);
+        let mar = out.mar.borrow();
+        let mut h = mar.latency_ms.clone();
+        // Offered MAR packets over the horizon, from the paced rate.
+        let offered = marnet_bench::scenarios::CITYSCALE_MAR_MBPS * 1e6
+            / (f64::from(marnet_bench::scenarios::CITYSCALE_MAR_PACKET_BYTES) * 8.0)
+            * secs as f64;
+        let in_budget =
+            mar.latency_ms.values().iter().filter(|&&ms| ms <= CITYSCALE_BUDGET_MS).count();
+        let bg = out.background.borrow();
+        let mut report = TrialReport::new();
+        report
+            .scalar("offered_gbps", cityscale_offered_gbps(clients))
+            .scalar("mar_p50_ms", h.median().unwrap_or(f64::NAN))
+            .scalar("mar_p95_ms", h.p95().unwrap_or(f64::NAN))
+            .scalar("mar_delivery_pct", mar.packets as f64 / offered * 100.0)
+            .scalar("mar_in_budget_pct", in_budget as f64 / offered * 100.0)
+            .scalar("bg_offered", bg.offered as f64)
+            .scalar("bg_completed", bg.completed as f64)
+            .scalar("events", events as f64)
+            .samples("mar_latency_ms", mar.latency_ms.values().to_vec());
+        drop(mar);
+        drop(bg);
+        report.capture(capture);
+        report
+    });
+    Experiment { spec, trial, render: render_cityscale }
+}
+
+fn render_cityscale(points: &[PointSummary]) {
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            let p50 = &p.scalars["mar_p50_ms"];
+            let p95 = &p.scalars["mar_p95_ms"];
+            let delivery = &p.scalars["mar_delivery_pct"];
+            let budget = &p.scalars["mar_in_budget_pct"];
+            let completed = &p.scalars["bg_completed"];
+            vec![
+                p.params["clients"].to_string(),
+                format!("{} Gb/s", fmt(p.scalars["offered_gbps"].mean, 1)),
+                format!("{} ms", pm(p50.mean, p50.ci95, 1)),
+                format!("{} ms", pm(p95.mean, p95.ci95, 1)),
+                format!("{}%", pm(delivery.mean, delivery.ci95, 1)),
+                format!("{}%", pm(budget.mean, budget.ci95, 1)),
+                fmt(completed.mean, 0),
+                format!("{}", p.replicates_ok),
+            ]
+        })
+        .collect();
+    print_table(
+        "E17 — city-scale background load vs one packet-level MAR cell (10 Gb/s backhaul), mean ± 95% CI",
+        &[
+            "Clients",
+            "Offered bg",
+            "MAR p50",
+            "MAR p95",
+            "Delivered",
+            "In budget",
+            "bg transfers done",
+            "n",
+        ],
+        &rows,
+    );
+}
+
+// ---------------------------------------------------------------------------
 // §III offload-decision sweep
 // ---------------------------------------------------------------------------
 
@@ -537,6 +626,24 @@ mod tests {
                 assert_eq!(p.scalars["recovered"].mean, 1.0, "{:?}", p.params);
             }
         }
+    }
+
+    #[test]
+    fn sweep_cityscale_load_curve_degrades_qoe() {
+        let exp = build("sweep_cityscale", 1, 42, &TelemetryOptions::disabled()).unwrap();
+        let points = exp.spec.expand_grid();
+        assert_eq!(points.len(), 3, "three offered-load points");
+        let ctx = TrialCtx { point_index: 0, replicate: 0, seed: 42 };
+        let light = (exp.trial)(&points[0], &ctx);
+        let heavy = (exp.trial)(&points[2], &ctx);
+        // 25k clients (~4.5 Gb/s offered on 10 Gb/s) leave the cell
+        // untouched; 100k (~18 Gb/s) collapse the foreground share and
+        // with it delivery and the latency budget.
+        assert!(light.scalars["mar_in_budget_pct"] > 95.0, "{:?}", light.scalars);
+        assert!(heavy.scalars["mar_in_budget_pct"] < 50.0, "{:?}", heavy.scalars);
+        assert!(heavy.scalars["mar_p95_ms"] > light.scalars["mar_p95_ms"]);
+        // The acceptance bar: ≥ 100,000 flow-level clients actually ran.
+        assert!(heavy.scalars["bg_offered"] > 50_000.0);
     }
 
     #[test]

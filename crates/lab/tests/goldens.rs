@@ -13,11 +13,12 @@ use marnet_telemetry::TelemetryOptions;
 
 /// `(name, spec_hash)` for every built-in experiment at `--replicates 8
 /// --seed 42`, the configuration the committed reference artifacts use.
-const GOLDEN_SPEC_HASHES: [(&str, u64); 4] = [
+const GOLDEN_SPEC_HASHES: [(&str, u64); 5] = [
     ("table2_rtt", 0x157f_f182_3e33_b013),
     ("sweep_recovery", 0xcc61_0c13_0853_e855),
     ("sweep_offload", 0xddde_06b2_685f_01d0),
     ("sweep_faults", 0xbd12_7632_99a1_e71f),
+    ("sweep_cityscale", 0x4512_7ec1_5412_aefc),
 ];
 
 #[test]

@@ -26,6 +26,10 @@ pub const LAYERS: &[(&str, &[&str])] = &[
     // faults drives the sim engine and traces transitions; it must stay
     // below the protocol stack so any crate can inject faults.
     ("faults", &["sim", "telemetry"]),
+    // flow is the fluid tier: it only needs the engine's event loop and
+    // the trace vocabulary, and must stay below the protocol stack so
+    // transports and scenarios can couple to it freely.
+    ("flow", &["sim", "telemetry"]),
     ("radio", &["sim", "telemetry"]),
     ("transport", &["sim", "radio", "telemetry"]),
     ("core", &["sim", "radio", "transport", "telemetry"]),
@@ -34,7 +38,18 @@ pub const LAYERS: &[(&str, &[&str])] = &[
     ("privacy", &["sim", "radio", "transport", "core", "app", "telemetry"]),
     (
         "bench",
-        &["sim", "radio", "transport", "core", "app", "edge", "privacy", "telemetry", "faults"],
+        &[
+            "sim",
+            "radio",
+            "transport",
+            "core",
+            "app",
+            "edge",
+            "privacy",
+            "telemetry",
+            "faults",
+            "flow",
+        ],
     ),
     (
         "lab",
@@ -49,6 +64,7 @@ pub const LAYERS: &[(&str, &[&str])] = &[
             "telemetry",
             "bench",
             "faults",
+            "flow",
         ],
     ),
     // The umbrella crate re-exports everything runnable; the auditor
@@ -67,6 +83,7 @@ pub const LAYERS: &[(&str, &[&str])] = &[
             "bench",
             "lab",
             "faults",
+            "flow",
         ],
     ),
 ];

@@ -26,7 +26,7 @@ use crate::rules::{scan_file, FileScope};
 /// Crates whose library code faces the simulator and must stay
 /// deterministic.
 pub const SIM_FACING: &[&str] =
-    &["sim", "core", "transport", "radio", "app", "edge", "privacy", "telemetry", "faults"];
+    &["sim", "core", "transport", "radio", "app", "edge", "privacy", "telemetry", "faults", "flow"];
 
 /// Event-core hot-path modules under the panic-safety rule (workspace-
 /// relative, forward slashes).

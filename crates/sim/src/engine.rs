@@ -89,6 +89,7 @@ struct LinkRuntime {
     src: ActorId,
     dst: ActorId,
     rate: Bandwidth,
+    capacity: Bandwidth,
     delay: SimDuration,
     jitter: Jitter,
     loss: LossModel,
@@ -416,6 +417,14 @@ impl SimCtx {
         link_rt(&self.links, link).rate
     }
 
+    /// Nominal capacity of a link: the rate it was created with. Unlike
+    /// [`SimCtx::link_rate`] this never changes, so hybrid-fidelity
+    /// couplers that modulate the live rate (see `marnet-flow`) can still
+    /// recover the physical capacity they are sharing out.
+    pub fn link_capacity(&self, link: LinkId) -> Bandwidth {
+        link_rt(&self.links, link).capacity
+    }
+
     /// Changes a link's rate. Takes effect for the next serialized packet.
     pub fn set_link_rate(&mut self, link: LinkId, rate: Bandwidth) {
         let l = link_rt_mut(&mut self.links, link);
@@ -604,6 +613,7 @@ impl Simulator {
             src,
             dst,
             rate: params.rate,
+            capacity: params.rate,
             delay: params.delay,
             jitter: params.jitter,
             loss: params.loss,

@@ -79,6 +79,7 @@ pub use marnet_telemetry as telemetry;
 pub mod link;
 pub mod packet;
 pub mod queue;
+pub mod region;
 pub mod rng;
 pub mod stats;
 pub mod time;
@@ -92,6 +93,7 @@ pub mod prelude {
     pub use crate::queue::{
         CoDelQueue, DropTailQueue, FqCoDelQueue, QueueConfig, StrictPriorityQueue,
     };
+    pub use crate::region::{Fidelity, RateUpdate, RegionId, RegionMap};
     pub use crate::rng::derive_rng;
     pub use crate::stats::{Histogram, OnlineStats, RateMeter, TimeSeries};
     pub use crate::time::{SimDuration, SimTime};

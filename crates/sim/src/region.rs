@@ -1,0 +1,188 @@
+//! Topology partitioning into fidelity regions.
+//!
+//! The hybrid-fidelity tier (crate `marnet-flow`) models a *focus region*
+//! — the cell or queue under study — at full packet level while the
+//! surrounding metro runs as a fluid flow-level model. This module holds
+//! the partition itself: named regions, each with a declared
+//! [`Fidelity`], an actor → region assignment, and the set of *boundary
+//! links* where the two tiers couple. It lives in `marnet-sim` (not in
+//! `marnet-flow`) so the engine, transports and scenario builders can
+//! talk about regions without depending on the fluid model.
+//!
+//! The map is plain data: it never touches the event loop and imposes no
+//! cost on simulations that ignore it. All internal containers are
+//! ordered (`Vec` / `BTreeMap`), so iteration order — and therefore any
+//! artifact derived from it — is deterministic.
+
+use crate::engine::ActorId;
+use crate::link::{Bandwidth, LinkId};
+use std::collections::BTreeMap;
+
+/// A boundary-link rate update crossing the fidelity boundary.
+///
+/// The fluid tier sends this as an [`crate::engine::Event::Message`]
+/// payload to the actor owning a packet-level boundary link (typically a
+/// NIC); the receiver applies it with [`crate::engine::SimCtx::set_link_rate`].
+/// It lives here — not in `marnet-flow` — so transports can apply updates
+/// without depending on the fluid model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RateUpdate {
+    /// The packet-level link whose available rate changed.
+    pub link: LinkId,
+    /// The new available rate (capacity minus fluid background load).
+    pub rate: Bandwidth,
+}
+
+/// How a region's traffic is modeled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Fidelity {
+    /// Full packet-level simulation: per-packet serialization, queueing
+    /// discipline, jitter and loss on every link (the engine default).
+    Packet,
+    /// Flow-level fluid approximation: flows receive max-min fair rates
+    /// and only rate-change / completion events are simulated.
+    Fluid,
+}
+
+/// Identifies a region within one [`RegionMap`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RegionId(u32);
+
+impl RegionId {
+    /// The region's index in creation order.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+#[derive(Debug)]
+struct RegionInfo {
+    name: String,
+    fidelity: Fidelity,
+}
+
+/// A partition of the topology into fidelity regions.
+///
+/// Actors not assigned to any region are treated as belonging to an
+/// implicit packet-level region — existing scenarios keep working
+/// unchanged when a map is introduced.
+#[derive(Debug, Default)]
+pub struct RegionMap {
+    regions: Vec<RegionInfo>,
+    assignment: BTreeMap<u32, RegionId>,
+    boundaries: Vec<LinkId>,
+}
+
+impl RegionMap {
+    /// An empty map: every actor packet-level, no boundaries.
+    pub fn new() -> Self {
+        RegionMap::default()
+    }
+
+    /// Declares a region. Names are labels for artifacts and traces; they
+    /// are not required to be unique.
+    pub fn add_region(&mut self, name: &str, fidelity: Fidelity) -> RegionId {
+        let id = RegionId(self.regions.len() as u32);
+        self.regions.push(RegionInfo { name: name.to_string(), fidelity });
+        id
+    }
+
+    /// Assigns an actor to a region (replacing any previous assignment).
+    pub fn assign(&mut self, actor: ActorId, region: RegionId) {
+        self.assignment.insert(actor.index() as u32, region);
+    }
+
+    /// The region an actor was assigned to, if any.
+    pub fn region_of(&self, actor: ActorId) -> Option<RegionId> {
+        self.assignment.get(&(actor.index() as u32)).copied()
+    }
+
+    /// A region's declared fidelity. Out-of-range ids (from another map)
+    /// fall back to [`Fidelity::Packet`], the engine default.
+    pub fn fidelity(&self, region: RegionId) -> Fidelity {
+        self.regions.get(region.index()).map_or(Fidelity::Packet, |r| r.fidelity)
+    }
+
+    /// A region's name, or `""` for an id this map never issued.
+    pub fn region_name(&self, region: RegionId) -> &str {
+        self.regions.get(region.index()).map_or("", |r| r.name.as_str())
+    }
+
+    /// The fidelity governing an actor: its region's, or
+    /// [`Fidelity::Packet`] for unassigned actors.
+    pub fn fidelity_of(&self, actor: ActorId) -> Fidelity {
+        self.region_of(actor).map_or(Fidelity::Packet, |r| self.fidelity(r))
+    }
+
+    /// Marks a link as a tier boundary: fluid background load on it is
+    /// surfaced to the packet tier as a time-varying available rate.
+    pub fn mark_boundary(&mut self, link: LinkId) {
+        if !self.boundaries.contains(&link) {
+            self.boundaries.push(link);
+        }
+    }
+
+    /// Boundary links, in the order they were marked.
+    pub fn boundaries(&self) -> &[LinkId] {
+        &self.boundaries
+    }
+
+    /// Whether `link` was marked as a tier boundary.
+    pub fn is_boundary(&self, link: LinkId) -> bool {
+        self.boundaries.contains(&link)
+    }
+
+    /// Number of declared regions.
+    pub fn len(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// `true` if no region has been declared.
+    pub fn is_empty(&self) -> bool {
+        self.regions.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Simulator;
+    use crate::link::{Bandwidth, LinkParams};
+    use crate::time::SimDuration;
+
+    #[test]
+    fn unassigned_actors_default_to_packet_fidelity() {
+        let mut sim = Simulator::new(1);
+        let a = sim.reserve_actor();
+        let map = RegionMap::new();
+        assert_eq!(map.fidelity_of(a), Fidelity::Packet);
+        assert_eq!(map.region_of(a), None);
+    }
+
+    #[test]
+    fn assignment_and_boundaries_round_trip() {
+        let mut sim = Simulator::new(1);
+        let a = sim.reserve_actor();
+        let b = sim.reserve_actor();
+        let link = sim.add_link(
+            a,
+            b,
+            LinkParams::new(Bandwidth::from_mbps(10.0), SimDuration::from_millis(1)),
+        );
+
+        let mut map = RegionMap::new();
+        let cell = map.add_region("cell", Fidelity::Packet);
+        let metro = map.add_region("metro", Fidelity::Fluid);
+        map.assign(a, cell);
+        map.assign(b, metro);
+        map.mark_boundary(link);
+        map.mark_boundary(link); // idempotent
+
+        assert_eq!(map.len(), 2);
+        assert_eq!(map.fidelity_of(a), Fidelity::Packet);
+        assert_eq!(map.fidelity_of(b), Fidelity::Fluid);
+        assert_eq!(map.region_name(metro), "metro");
+        assert_eq!(map.boundaries(), &[link]);
+        assert!(map.is_boundary(link));
+    }
+}

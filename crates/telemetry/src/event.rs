@@ -109,11 +109,21 @@ pub enum TraceKind {
     /// A recovery probe was sent during an outage. `a` = probe attempt
     /// number, `b` = current backoff delay in nanoseconds.
     RecoveryProbe = 18,
+    /// A flow entered the fluid tier. aux = flow-class index,
+    /// `a` = flow id, `b` = flow size in bytes.
+    FlowStart = 19,
+    /// A fluid flow completed. aux = flow-class index, `a` = flow id,
+    /// `b` = flow duration in nanoseconds.
+    FlowFinish = 20,
+    /// A flow class's max-min fair rate changed after a recompute.
+    /// aux = flow-class index, `a` = active flows in the class,
+    /// `b` = new per-flow rate in bits per second.
+    FlowRate = 21,
 }
 
 impl TraceKind {
     /// All kinds, in discriminant order.
-    pub const ALL: [TraceKind; 19] = [
+    pub const ALL: [TraceKind; 22] = [
         TraceKind::PacketEnqueue,
         TraceKind::PacketDrop,
         TraceKind::PacketDequeue,
@@ -133,6 +143,9 @@ impl TraceKind {
         TraceKind::EdgeRestart,
         TraceKind::SessionResync,
         TraceKind::RecoveryProbe,
+        TraceKind::FlowStart,
+        TraceKind::FlowFinish,
+        TraceKind::FlowRate,
     ];
 
     /// Decodes a discriminant byte.
@@ -162,6 +175,9 @@ impl TraceKind {
             TraceKind::EdgeRestart => "edge-restart",
             TraceKind::SessionResync => "session-resync",
             TraceKind::RecoveryProbe => "recovery-probe",
+            TraceKind::FlowStart => "flow-start",
+            TraceKind::FlowFinish => "flow-finish",
+            TraceKind::FlowRate => "flow-rate",
         }
     }
 
@@ -395,6 +411,21 @@ impl TraceEvent {
         TraceEvent { t, comp, kind: TraceKind::RecoveryProbe, aux: 0, a: attempt, b: backoff_nanos }
     }
 
+    /// A flow-start event in the fluid tier.
+    pub fn flow_start(t: u64, comp: u32, class: u8, flow: u64, bytes: u64) -> Self {
+        TraceEvent { t, comp, kind: TraceKind::FlowStart, aux: class, a: flow, b: bytes }
+    }
+
+    /// A flow-finish event in the fluid tier.
+    pub fn flow_finish(t: u64, comp: u32, class: u8, flow: u64, duration_nanos: u64) -> Self {
+        TraceEvent { t, comp, kind: TraceKind::FlowFinish, aux: class, a: flow, b: duration_nanos }
+    }
+
+    /// A flow-class rate-change event after a max-min recompute.
+    pub fn flow_rate(t: u64, comp: u32, class: u8, active: u64, rate_bps: u64) -> Self {
+        TraceEvent { t, comp, kind: TraceKind::FlowRate, aux: class, a: active, b: rate_bps }
+    }
+
     /// The packet flow id, for kinds whose `b` packs flow and size.
     pub fn flow(&self) -> u64 {
         self.b >> 32
@@ -547,6 +578,25 @@ impl fmt::Display for TraceEvent {
             TraceKind::RecoveryProbe => write!(
                 f,
                 "{t_ms:>12.6} ms  {comp:<10} recovery-probe attempt {} backoff {:.6} ms",
+                self.a,
+                self.b as f64 / 1e6
+            ),
+            TraceKind::FlowStart => write!(
+                f,
+                "{t_ms:>12.6} ms  {comp:<10} flow-start   class {} flow {} bytes {}",
+                self.aux, self.a, self.b
+            ),
+            TraceKind::FlowFinish => write!(
+                f,
+                "{t_ms:>12.6} ms  {comp:<10} flow-finish  class {} flow {} after {:.6} ms",
+                self.aux,
+                self.a,
+                self.b as f64 / 1e6
+            ),
+            TraceKind::FlowRate => write!(
+                f,
+                "{t_ms:>12.6} ms  {comp:<10} flow-rate    class {} active {} rate {:.3} Mbps",
+                self.aux,
                 self.a,
                 self.b as f64 / 1e6
             ),

@@ -10,6 +10,7 @@ use marnet_sim::engine::{Actor, ActorId, Event, SimCtx};
 use marnet_sim::hash::FxHashMap;
 use marnet_sim::link::LinkId;
 use marnet_sim::packet::{Packet, Payload};
+use marnet_sim::region::RateUpdate;
 use marnet_telemetry::{ClassUsage, MetricsRegistry};
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -118,6 +119,10 @@ impl Actor for Nic {
                 if let Some(NicForward(pkt)) = msg.take::<NicForward>() {
                     self.usage.borrow_mut().record_sent(usize::from(pkt.prio), u64::from(pkt.size));
                     ctx.transmit(self.wan, pkt);
+                } else if let Some(update) = msg.take::<RateUpdate>() {
+                    // Hybrid-fidelity coupling: the fluid tier reports how
+                    // much of a boundary link the packet tier may use.
+                    ctx.set_link_rate(update.link, update.rate);
                 }
             }
             Event::Packet { packet, .. } => {

@@ -10,6 +10,7 @@ pub use marnet_app as app;
 pub use marnet_core as arcore;
 pub use marnet_edge as edge;
 pub use marnet_faults as faults;
+pub use marnet_flow as flow;
 pub use marnet_lab as lab;
 pub use marnet_privacy as privacy;
 pub use marnet_radio as radio;

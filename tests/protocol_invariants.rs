@@ -143,10 +143,10 @@ fn fig3_effect_holds_with_the_paper_buffer_sizes() {
 fn aqm_rescues_what_bufferbloat_destroys() {
     // §VI-H end to end: same MAR stream + same bulk upload; only the queue
     // discipline changes.
-    let bloat = run_queueing(2.0, QueueConfig::bloated_uplink(), 0, 20, 5);
-    let codel = run_queueing(2.0, QueueConfig::codel_default(), 0, 20, 5);
-    let bloat_p95 = bloat.mar.borrow().latency_ms.clone().p95().unwrap();
-    let codel_p95 = codel.mar.borrow().latency_ms.clone().p95().unwrap();
+    let bloat = run_queueing(2.0, QueueConfig::bloated_uplink(), 0, 1, 1, 20, 5);
+    let codel = run_queueing(2.0, QueueConfig::codel_default(), 0, 1, 1, 20, 5);
+    let bloat_p95 = bloat.mar[0].borrow().latency_ms.clone().p95().unwrap();
+    let codel_p95 = codel.mar[0].borrow().latency_ms.clone().p95().unwrap();
     assert!(
         codel_p95 < bloat_p95 / 5.0,
         "CoDel must cut MAR p95 latency: {bloat_p95} → {codel_p95} ms"
