@@ -203,8 +203,8 @@ impl Actor for MarClient {
                     self.qoe.borrow_mut().frame_delivered(created, ctx.now());
                 }
             }
-            Event::Message { mut msg, .. } => {
-                if let Some(sig) = msg.take::<QosSignal>() {
+            Event::Message { msg, .. } => {
+                if let Some(sig) = msg.map_ref(|s: &QosSignal| *s) {
                     match sig {
                         QosSignal::Degrade { severity, .. } => {
                             let q = self.video.quality();
@@ -219,7 +219,7 @@ impl Actor for MarClient {
                             }
                         }
                     }
-                } else if let Some(d) = msg.take::<Delivered>() {
+                } else if let Some(d) = msg.map_ref(|d: &Delivered| *d) {
                     // A result came back from the server.
                     if d.kind == StreamKind::Result {
                         self.qoe
@@ -292,8 +292,8 @@ impl MarServer {
 impl Actor for MarServer {
     fn on_event(&mut self, ctx: &mut SimCtx, ev: Event) {
         match ev {
-            Event::Message { mut msg, .. } => {
-                if let Some(d) = msg.take::<Delivered>() {
+            Event::Message { msg, .. } => {
+                if let Some(d) = msg.map_ref(|d: &Delivered| *d) {
                     // Only vision payloads trigger computation + a result.
                     if matches!(d.kind, StreamKind::VideoReference | StreamKind::VideoInter) {
                         // Serialized single-worker service discipline.

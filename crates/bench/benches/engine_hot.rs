@@ -12,8 +12,11 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use marnet_bench::scenarios::{run_recovery_counted, RecoveryMechanism};
+use marnet_core::fec::{xor_into, xor_into_scalar};
 use marnet_sim::engine::Simulator;
 use marnet_sim::time::{SimDuration, SimTime};
+use marnet_telemetry::event::{TraceEvent, TraceKind};
+use marnet_telemetry::recorder::TraceSink;
 
 /// Virtual seconds of AR traffic per iteration. Short enough for a sane
 /// Criterion batch, long enough to dwarf scenario setup.
@@ -86,10 +89,84 @@ fn bench_timer_cancel_churn(c: &mut Criterion) {
     g.finish();
 }
 
+/// XOR parity accumulation over one FEC group of reference frames:
+/// the unrolled u64-lane `xor_into` against the byte-at-a-time scalar
+/// reference it must match bit-for-bit. The 6 001-byte block keeps a
+/// ragged 1-byte tail in play so the lane path's remainder handling is
+/// part of the measured loop.
+fn bench_fec_parity_throughput(c: &mut Criterion) {
+    const K: usize = 8;
+    const BLOCK: usize = 6_001;
+
+    let blocks: Vec<Vec<u8>> =
+        (0..K).map(|i| (0..BLOCK).map(|j| (i * 31 + j) as u8).collect()).collect();
+    let mut g = c.benchmark_group("fec_parity_throughput");
+    g.throughput(Throughput::Bytes((K * BLOCK) as u64));
+    g.bench_function("xor_into/unrolled", |b| {
+        let mut parity = Vec::with_capacity(BLOCK);
+        b.iter(|| {
+            parity.clear();
+            for block in &blocks {
+                xor_into(&mut parity, black_box(block));
+            }
+            black_box(parity.len())
+        })
+    });
+    g.bench_function("xor_into/scalar", |b| {
+        let mut parity = Vec::with_capacity(BLOCK);
+        b.iter(|| {
+            parity.clear();
+            for block in &blocks {
+                xor_into_scalar(&mut parity, black_box(block));
+            }
+            black_box(parity.len())
+        })
+    });
+    g.finish();
+}
+
+/// The recorder's per-event cost in each [`TraceSink`] mode: `off` is the
+/// one-load-one-branch floor every untraced run pays, `ring` the plain
+/// ring-buffer reference path, `chunked` the double-buffered sink the
+/// engine enables for live tracing. Capacity exceeds the batch so the
+/// bench measures recording, not wrap-around rotation.
+fn bench_recorder_record_hot(c: &mut Criterion) {
+    const BATCH: u64 = 4_096;
+    const CAPACITY: usize = 1 << 13;
+
+    let mut g = c.benchmark_group("recorder_record_hot");
+    g.throughput(Throughput::Elements(BATCH));
+    for (label, make) in [
+        ("off", TraceSink::default as fn() -> TraceSink),
+        ("ring", || TraceSink::ring(CAPACITY)),
+        ("chunked", || TraceSink::chunked(CAPACITY)),
+    ] {
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let mut sink = make();
+                for i in 0..BATCH {
+                    sink.emit_with(|| TraceEvent {
+                        t: i,
+                        comp: 1,
+                        kind: TraceKind::PacketEnqueue,
+                        aux: 0,
+                        a: i,
+                        b: i << 32 | 1_500,
+                    });
+                }
+                black_box(sink.is_enabled())
+            })
+        });
+    }
+    g.finish();
+}
+
 criterion_group!(
     engine_hot,
     bench_engine_events_per_sec,
     bench_multipath_duplication,
     bench_timer_cancel_churn,
+    bench_fec_parity_throughput,
+    bench_recorder_record_hot,
 );
 criterion_main!(engine_hot);

@@ -45,11 +45,11 @@ impl Actor for OverloadApp {
                 ctx.send_message(self.sender, Payload::new(Submit(meta)));
                 ctx.schedule_timer(SimDuration::from_millis(33), 0);
             }
-            Event::Message { mut msg, .. } => {
+            Event::Message { msg, .. } => {
                 if !self.adaptive {
                     return;
                 }
-                if let Some(sig) = msg.take::<QosSignal>() {
+                if let Some(sig) = msg.map_ref(|s: &QosSignal| *s) {
                     match sig {
                         QosSignal::Degrade { .. } => {
                             self.inter_bytes = (self.inter_bytes * 7 / 10).max(1_000);

@@ -65,8 +65,8 @@ impl Actor for Fig4App {
                 send(id + 2, StreamKind::Metadata, 100, false);
                 ctx.schedule_timer(SimDuration::from_millis(33), 0);
             }
-            Event::Message { mut msg, .. } => {
-                if let Some(sig) = msg.take::<QosSignal>() {
+            Event::Message { msg, .. } => {
+                if let Some(sig) = msg.map_ref(|s: &QosSignal| *s) {
                     match sig {
                         QosSignal::Degrade { severity, .. } => {
                             self.degrades += 1;

@@ -1,22 +1,29 @@
 //! Event-core performance report: `results/BENCH_sim.json`.
 //!
-//! Runs the E11 recovery scenario (the `engine_events_per_sec` Criterion
-//! workload) under a counting allocator and records, per mechanism:
+//! Runs a five-scenario matrix — the E11 recovery pair, the Table II
+//! offload loop, a 1000-flow dense cell, and the E17 city-scale hybrid —
+//! under a counting allocator and records, per scenario:
 //!
-//! * **events/sec** — best of `REPS` wall-clock rounds (best-of filters
+//! * **events/sec** — best of `reps` wall-clock rounds (best-of filters
 //!   scheduler noise; the mean is reported alongside),
-//! * **allocs/event** — allocator calls per simulator event, and
-//! * **peak heap proxy** — the high-water mark of live allocated bytes.
+//! * **allocs/event** — allocator calls per simulator event,
+//! * **peak heap proxy** — the high-water mark of live allocated bytes, and
+//! * **trace overhead** — the same workload with the flight recorder on,
+//!   as a percentage slowdown (a ratio of two rates measured in the same
+//!   process, so runner speed cancels out).
 //!
 //! A small scenario (`--smoke`) runs in CI to catch panics and gross
-//! regressions without burning minutes on a shared runner.
+//! regressions without burning minutes on a shared runner. Smoke-scale
+//! absolute numbers are warm-up-dominated (each rep builds a fresh
+//! simulator, actors and pools for a couple of virtual seconds) and are
+//! not comparable to the full run.
 //!
-//! The report also measures the flight-recorder tax: the same workload with
-//! the recorder ring enabled, against the default disabled path (whose cost
-//! vs. hook-free code is one predictable branch per hook — the 2%
-//! acceptance bound on `events_per_sec_best` vs. the committed baseline
-//! polices that). `--max-trace-overhead-pct <p>` turns the recording
-//! overhead into a hard failure, for CI.
+//! `--ratchet <path>` turns the matrix into a regression gate: every row
+//! is compared against the per-mode entry in the ratchet file
+//! (`results/PERF_RATCHET.json`), the run fails on a regression beyond
+//! the documented slack, and any improvement tightens the stored bar so
+//! the gate only ever ratchets forward. `--max-trace-overhead-pct <p>`
+//! additionally bounds the headline (arq+fec-k8) recording overhead.
 //!
 //! The committed `results/BENCH_sim.json` also carries the pre-overhaul
 //! baseline (BinaryHeap + tombstone set, deep-cloned payloads) measured on
@@ -34,27 +41,149 @@ use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::time::Instant;
 
 use marnet_bench::scenarios::{
-    run_cityscale_counted, run_recovery_counted, run_recovery_instrumented, RecoveryMechanism,
+    run_cityscale_counted, run_cityscale_instrumented, run_queueing_counted,
+    run_queueing_instrumented, run_recovery_counted, run_recovery_instrumented, run_table2_counted,
+    run_table2_instrumented, RecoveryMechanism, Table2Scenario,
 };
+use marnet_sim::queue::QueueConfig;
 use marnet_telemetry::{TelemetryOptions, DEFAULT_TRACE_CAPACITY};
+use serde::Value;
+
+/// Builds a JSON object with declaration-ordered fields — the vendored
+/// `serde` has no `json!` macro, so the report assembles [`Value`] trees
+/// by hand.
+fn obj(pairs: &[(&str, Value)]) -> Value {
+    Value::Object(pairs.iter().map(|(k, v)| (k.to_string(), v.clone())).collect())
+}
+
+/// A float rounded to three decimals (allocs/event, ratios).
+fn f3(v: f64) -> Value {
+    Value::Float((v * 1000.0).round() / 1000.0)
+}
+
+/// A float rounded to one decimal (percentages).
+fn f1(v: f64) -> Value {
+    Value::Float((v * 10.0).round() / 10.0)
+}
+
+/// A whole-number rate as an integer JSON value.
+fn rate(v: f64) -> Value {
+    Value::UInt(v.round().max(0.0) as u64)
+}
 
 /// Allocator wrapper counting calls and tracking live bytes.
+///
+/// Multi-MiB blocks (the 32 MiB flight-recorder ring, the city-scale event
+/// heap) additionally recycle through a small free-list instead of going
+/// straight back to `System`: glibc serves blocks that size via
+/// `mmap`/`munmap`, so without recycling every rep re-faults thousands of
+/// fresh pages to first-touch its buffers and the trace-tax ratio
+/// degenerates into a page-fault benchmark (measured ~16 % "overhead" of
+/// which ~¾ was first-touch cost, not recording). Keeping the pages warm
+/// across reps makes the matrix measure steady-state cost — which is what
+/// a long-lived traced process pays. The counters are maintained
+/// identically either way: a cache hit still counts as an allocation and
+/// as live bytes.
 struct Counting;
 
 static ALLOCS: AtomicU64 = AtomicU64::new(0);
 static LIVE: AtomicI64 = AtomicI64::new(0);
 static PEAK: AtomicI64 = AtomicI64::new(0);
 
+/// Only blocks at least this large recycle (smaller ones stay in glibc's
+/// arenas, which already reuse warm memory).
+const CACHE_MIN_BYTES: usize = 1 << 20;
+/// Retired blocks kept warm: `(ptr, size, align)`, empty slots are zero.
+const CACHE_SLOTS: usize = 8;
+
+/// Spin-locked free-list of retired large blocks. A mutex would allocate
+/// on contention paths in some std versions; inside a `GlobalAlloc` the
+/// critical section must be allocation-free.
+struct BlockCache {
+    lock: std::sync::atomic::AtomicBool,
+    slots: std::cell::UnsafeCell<[(usize, usize, usize); CACHE_SLOTS]>,
+}
+
+// Safety: `slots` is only touched while `lock` is held (see `with`).
+unsafe impl Sync for BlockCache {}
+
+static CACHE: BlockCache = BlockCache {
+    lock: std::sync::atomic::AtomicBool::new(false),
+    slots: std::cell::UnsafeCell::new([(0, 0, 0); CACHE_SLOTS]),
+};
+
+/// Round-robin eviction cursor for a full cache.
+static CACHE_CLOCK: AtomicU64 = AtomicU64::new(0);
+
+impl BlockCache {
+    /// Runs `f` on the slot array under the spin lock.
+    fn with<R>(&self, f: impl FnOnce(&mut [(usize, usize, usize); CACHE_SLOTS]) -> R) -> R {
+        while self.lock.swap(true, Ordering::Acquire) {
+            std::hint::spin_loop();
+        }
+        // Safety: the lock above gives exclusive access to the array.
+        let r = f(unsafe { &mut *self.slots.get() });
+        self.lock.store(false, Ordering::Release);
+        r
+    }
+
+    /// Takes a cached block matching `l` exactly (size and align — a block
+    /// must be freed with the same layout it was allocated with).
+    fn take(&self, l: Layout) -> Option<*mut u8> {
+        self.with(|slots| {
+            for s in slots.iter_mut() {
+                if s.0 != 0 && s.1 == l.size() && s.2 == l.align() {
+                    let p = s.0 as *mut u8;
+                    *s = (0, 0, 0);
+                    return Some(p);
+                }
+            }
+            None
+        })
+    }
+
+    /// Stashes a retired block. When the cache is full the oldest slot is
+    /// evicted (round-robin) and returned for the caller to free — slots
+    /// must not clog with sizes that stopped recurring.
+    fn put(&self, p: *mut u8, l: Layout) -> Option<(*mut u8, Layout)> {
+        self.with(|slots| {
+            for s in slots.iter_mut() {
+                if s.0 == 0 {
+                    *s = (p as usize, l.size(), l.align());
+                    return None;
+                }
+            }
+            let i = CACHE_CLOCK.fetch_add(1, Ordering::Relaxed) as usize % CACHE_SLOTS;
+            let (ep, es, ea) = slots[i];
+            slots[i] = (p as usize, l.size(), l.align());
+            // Safety: the evicted entry was stored from a real allocation
+            // with exactly this layout.
+            Some((ep as *mut u8, unsafe { Layout::from_size_align_unchecked(es, ea) }))
+        })
+    }
+}
+
 unsafe impl GlobalAlloc for Counting {
     unsafe fn alloc(&self, l: Layout) -> *mut u8 {
         ALLOCS.fetch_add(1, Ordering::Relaxed);
         let live = LIVE.fetch_add(l.size() as i64, Ordering::Relaxed) + l.size() as i64;
         PEAK.fetch_max(live, Ordering::Relaxed);
+        if l.size() >= CACHE_MIN_BYTES {
+            if let Some(p) = CACHE.take(l) {
+                return p;
+            }
+        }
         System.alloc(l)
     }
 
     unsafe fn dealloc(&self, p: *mut u8, l: Layout) {
         LIVE.fetch_sub(l.size() as i64, Ordering::Relaxed);
+        if l.size() >= CACHE_MIN_BYTES {
+            if let Some((ep, el)) = CACHE.put(p, l) {
+                System.dealloc(ep, el);
+            }
+            return;
+        }
         System.dealloc(p, l)
     }
 }
@@ -62,20 +191,44 @@ unsafe impl GlobalAlloc for Counting {
 #[global_allocator]
 static ALLOCATOR: Counting = Counting;
 
+/// One matrix row: how to run a scenario with the recorder off and on.
+struct Workload {
+    label: &'static str,
+    scenario: String,
+    /// Untimed warm-up round: fault in code paths and allocator arenas.
+    warm: Box<dyn Fn()>,
+    /// One timed round, recorder off; returns the event count.
+    run: Box<dyn Fn() -> u64>,
+    /// One timed tax-scale round, recorder off. The recording tax is a
+    /// ratio of two rates, so it needs runs long enough for wall-clock
+    /// noise to cancel; small scenarios use a stretched virtual duration
+    /// here while keeping `run` at its baseline-comparable scale.
+    tax_off: Box<dyn Fn() -> u64>,
+    /// One timed tax-scale round with the flight recorder on; returns the
+    /// event count and asserts the trace actually captured something.
+    tax_on: Box<dyn Fn() -> u64>,
+}
+
 /// One measured workload.
 struct Measurement {
     label: &'static str,
+    scenario: String,
     events: u64,
     best_events_per_sec: f64,
     mean_events_per_sec: f64,
     allocs_per_event: f64,
     peak_heap_bytes: i64,
+    /// Best event rate with the recorder on, and the resulting tax.
+    traced_events_per_sec: f64,
+    trace_overhead_pct: f64,
 }
 
 /// Pre-overhaul numbers (BinaryHeap + tombstone set, deep-cloned payloads)
-/// for the full 30 s x 5 reps workload, measured on the same machine via an
-/// interleaved pre/post run of the identical measurement loop. Event counts
-/// matched the current core exactly, so the ratio is per-event.
+/// for the full workload, measured on the same machine via an interleaved
+/// pre/post run of the identical measurement loop. Event counts matched
+/// the current core exactly, so the ratio is per-event. The
+/// cityscale-hybrid row's baseline is the pre-pooling full run committed
+/// with the flow tier (PR 7).
 struct Baseline {
     label: &'static str,
     best_events_per_sec: f64,
@@ -83,7 +236,7 @@ struct Baseline {
     peak_heap_bytes: i64,
 }
 
-const BASELINES: [Baseline; 2] = [
+const BASELINES: [Baseline; 3] = [
     Baseline {
         label: "arq+fec-k8",
         best_events_per_sec: 3.28e6,
@@ -96,12 +249,24 @@ const BASELINES: [Baseline; 2] = [
         allocs_per_event: 1.418,
         peak_heap_bytes: 374_784,
     },
+    Baseline {
+        label: "cityscale-hybrid",
+        best_events_per_sec: 2_150_173.0,
+        allocs_per_event: 2.656,
+        peak_heap_bytes: 24_676_585,
+    },
 ];
 
-fn measure(mechanism: RecoveryMechanism, secs: u64, reps: usize) -> Measurement {
-    // Warm-up round: fault in code paths and allocator arenas.
-    let (_, events) = run_recovery_counted(40, 0.05, mechanism, secs.min(3), 11);
-    assert!(events > 0, "scenario must process events");
+/// Regression slack applied against the ratchet file. Allocations and heap
+/// are near-deterministic, so their slack is tight; wall-clock throughput
+/// on a shared runner is not, so its bar is deliberately loose — it
+/// catches "the engine got 2x slower", not single-digit noise.
+const ALLOC_SLACK: f64 = 0.02;
+const RATE_FLOOR_FRAC: f64 = 0.5;
+const PEAK_SLACK_FRAC: f64 = 1.25;
+
+fn measure(w: &Workload, reps: usize, traced_reps: usize) -> Measurement {
+    (w.warm)();
 
     let mut best = 0.0f64;
     let mut sum = 0.0f64;
@@ -110,203 +275,418 @@ fn measure(mechanism: RecoveryMechanism, secs: u64, reps: usize) -> Measurement 
     PEAK.store(LIVE.load(Ordering::Relaxed), Ordering::Relaxed);
     for _ in 0..reps {
         let t0 = Instant::now();
-        let (_, ev) = run_recovery_counted(40, 0.05, mechanism, secs, 11);
+        let ev = (w.run)();
         let dt = t0.elapsed().as_secs_f64();
+        assert!(ev > 0, "{}: scenario must process events", w.label);
         let rate = ev as f64 / dt;
         best = best.max(rate);
         sum += rate;
         total_events += ev;
     }
     let allocs = ALLOCS.load(Ordering::Relaxed) - a0;
-    Measurement {
-        label: mechanism.label(),
-        events: total_events / reps as u64,
-        best_events_per_sec: best,
-        mean_events_per_sec: sum / reps as f64,
-        allocs_per_event: allocs as f64 / total_events as f64,
-        peak_heap_bytes: PEAK.load(Ordering::Relaxed),
-    }
-}
+    let peak = PEAK.load(Ordering::Relaxed);
 
-/// The flow-tier workload: the E17 hybrid scenario (one packet-level MAR
-/// cell, `clients` fluid background clients on a 10 Gb/s backhaul). Its
-/// event stream is dominated by fluid flow starts/completions and
-/// recomputes, so its rate is the `flow_events_per_sec` figure.
-fn measure_cityscale(clients: u64, secs: u64, reps: usize) -> Measurement {
-    let (_, events) = run_cityscale_counted(clients, 10.0, secs.min(2), 42);
-    assert!(events > 0, "hybrid scenario must process events");
-
-    let mut best = 0.0f64;
-    let mut sum = 0.0f64;
-    let mut total_events = 0u64;
-    let a0 = ALLOCS.load(Ordering::Relaxed);
-    PEAK.store(LIVE.load(Ordering::Relaxed), Ordering::Relaxed);
-    for _ in 0..reps {
+    // Recording tax: interleaved recorder-off/recorder-on rounds at tax
+    // scale. Each pair compares two runs adjacent in time (so machine
+    // drift cancels within the pair), the order inside a pair alternates
+    // (so a monotonic slowdown across the loop biases neither side), and
+    // the reported tax is the median pair ratio (so one descheduled run
+    // does not flip the result).
+    let mut pair_pcts: Vec<f64> = Vec::with_capacity(traced_reps);
+    (w.tax_on)(); // warm the trace-path code before timing it
+    let time = |f: &dyn Fn() -> u64| {
         let t0 = Instant::now();
-        let (_, ev) = run_cityscale_counted(clients, 10.0, secs, 42);
-        let dt = t0.elapsed().as_secs_f64();
-        let rate = ev as f64 / dt;
-        best = best.max(rate);
-        sum += rate;
-        total_events += ev;
-    }
-    let allocs = ALLOCS.load(Ordering::Relaxed) - a0;
-    Measurement {
-        label: "cityscale-hybrid",
-        events: total_events / reps as u64,
-        best_events_per_sec: best,
-        mean_events_per_sec: sum / reps as f64,
-        allocs_per_event: allocs as f64 / total_events as f64,
-        peak_heap_bytes: PEAK.load(Ordering::Relaxed),
-    }
-}
-
-/// Best-of-`reps` event rate for the same workload with the flight
-/// recorder ring enabled (the recording-tax measurement).
-fn measure_traced(mechanism: RecoveryMechanism, secs: u64, reps: usize) -> f64 {
-    let opts = TelemetryOptions { trace_capacity: Some(DEFAULT_TRACE_CAPACITY), metrics: false };
-    let mut best = 0.0f64;
-    for _ in 0..reps {
-        let t0 = Instant::now();
-        let (_, ev, capture) = run_recovery_instrumented(40, 0.05, mechanism, secs, 11, &opts);
-        let dt = t0.elapsed().as_secs_f64();
-        assert!(!capture.events.is_empty(), "recorder must capture events");
-        best = best.max(ev as f64 / dt);
-    }
-    best
-}
-
-fn json_entry(m: &Measurement, smoke: bool) -> String {
-    let baseline = (!smoke).then(|| BASELINES.iter().find(|b| b.label == m.label)).flatten();
-    let baseline_block = match baseline {
-        Some(b) => format!(
-            concat!(
-                ",\n",
-                "      \"baseline_events_per_sec_best\": {:.0},\n",
-                "      \"baseline_allocs_per_event\": {:.3},\n",
-                "      \"baseline_peak_heap_bytes\": {},\n",
-                "      \"speedup_vs_baseline\": {:.2}\n"
-            ),
-            b.best_events_per_sec,
-            b.allocs_per_event,
-            b.peak_heap_bytes,
-            m.best_events_per_sec / b.best_events_per_sec,
-        ),
-        None => "\n".to_string(),
+        let ev = f();
+        ev as f64 / t0.elapsed().as_secs_f64()
     };
-    format!(
-        concat!(
-            "    {{\n",
-            "      \"mechanism\": \"{}\",\n",
-            "      \"events_per_run\": {},\n",
-            "      \"events_per_sec_best\": {:.0},\n",
-            "      \"events_per_sec_mean\": {:.0},\n",
-            "      \"allocs_per_event\": {:.3},\n",
-            "      \"peak_heap_bytes\": {}{}",
-            "    }}"
+    for _ in 0..traced_reps {
+        // Palindrome order (off, on, on, off) is symmetric under linear
+        // drift, and the per-side best-of-two discards a one-sided
+        // descheduling hiccup.
+        let off_a = time(&*w.tax_off);
+        let on_a = time(&*w.tax_on);
+        let on_b = time(&*w.tax_on);
+        let off_b = time(&*w.tax_off);
+        pair_pcts.push((off_a.max(off_b) / on_a.max(on_b) - 1.0) * 100.0);
+    }
+    pair_pcts.sort_by(|a, b| a.total_cmp(b));
+    let trace_overhead_pct = if pair_pcts.len() % 2 == 1 {
+        pair_pcts[pair_pcts.len() / 2]
+    } else {
+        let hi = pair_pcts.len() / 2;
+        (pair_pcts[hi - 1] + pair_pcts[hi]) / 2.0
+    };
+
+    Measurement {
+        label: w.label,
+        scenario: w.scenario.clone(),
+        events: total_events / reps as u64,
+        best_events_per_sec: best,
+        mean_events_per_sec: sum / reps as f64,
+        allocs_per_event: allocs as f64 / total_events as f64,
+        peak_heap_bytes: peak,
+        traced_events_per_sec: best / (1.0 + trace_overhead_pct / 100.0),
+        trace_overhead_pct,
+    }
+}
+
+/// The five-scenario matrix at the given scale.
+fn workloads(smoke: bool) -> Vec<Workload> {
+    fn trace() -> TelemetryOptions {
+        TelemetryOptions { trace_capacity: Some(DEFAULT_TRACE_CAPACITY), metrics: false }
+    }
+    let recovery_secs: u64 = if smoke { 2 } else { 30 };
+    // The full recovery/offload rounds finish in single-digit
+    // milliseconds; the tax ratio needs tens of milliseconds per round to
+    // rise above timer noise, so those rows stretch their virtual
+    // duration for the tax runs only.
+    // Sized so the stretched tax runs stay below the flight-recorder ring
+    // capacity: a wrapped ring pays an O(capacity) rotation inside the
+    // timed region, which is the lab's out-of-budget regime, not the
+    // steady state the tax quantifies.
+    let tax_secs: u64 = if smoke { 4 } else { 450 };
+    let probes: u64 = if smoke { 200 } else { 2_000 };
+    let tax_probes: u64 = if smoke { 400 } else { 20_000 };
+    let cell_secs: u64 = if smoke { 2 } else { 10 };
+    let (flow_clients, flow_secs): (u64, u64) = if smoke { (20_000, 2) } else { (100_000, 10) };
+
+    let recovery = |mechanism: RecoveryMechanism| Workload {
+        label: mechanism.label(),
+        scenario: format!(
+            "run_recovery(rtt=40ms, loss=5%, {mechanism:?}, {recovery_secs} virtual sec, seed 11)"
         ),
-        m.label,
-        m.events,
-        m.best_events_per_sec,
-        m.mean_events_per_sec,
-        m.allocs_per_event,
-        m.peak_heap_bytes,
-        baseline_block,
-    )
+        warm: Box::new(move || {
+            run_recovery_counted(40, 0.05, mechanism, recovery_secs.min(3), 11);
+        }),
+        run: Box::new(move || run_recovery_counted(40, 0.05, mechanism, recovery_secs, 11).1),
+        tax_off: Box::new(move || run_recovery_counted(40, 0.05, mechanism, tax_secs, 11).1),
+        tax_on: Box::new(move || {
+            let (_, ev, capture) =
+                run_recovery_instrumented(40, 0.05, mechanism, tax_secs, 11, &trace());
+            assert!(!capture.events.is_empty(), "recorder must capture events");
+            ev
+        }),
+    };
+
+    // The dense cell: 900 MAR streams plus 100 bulk uploads through one
+    // strict-FIFO uplink — 1000 routed flows through a single NIC pair.
+    let cell = QueueConfig::bloated_uplink();
+
+    vec![
+        recovery(RecoveryMechanism::ArqFecK8),
+        recovery(RecoveryMechanism::Duplicate),
+        Workload {
+            label: "offload-wifi",
+            scenario: format!(
+                "run_table2(CloudServerWifi, probes={probes}, 400 B up/down, seed 42)"
+            ),
+            warm: Box::new(move || {
+                run_table2_counted(Table2Scenario::CloudServerWifi, probes.min(40), 400, 400, 42);
+            }),
+            run: Box::new(move || {
+                run_table2_counted(Table2Scenario::CloudServerWifi, probes, 400, 400, 42).1
+            }),
+            tax_off: Box::new(move || {
+                run_table2_counted(Table2Scenario::CloudServerWifi, tax_probes, 400, 400, 42).1
+            }),
+            tax_on: Box::new(move || {
+                let (_, ev, capture) = run_table2_instrumented(
+                    Table2Scenario::CloudServerWifi,
+                    tax_probes,
+                    400,
+                    400,
+                    42,
+                    &trace(),
+                );
+                assert!(!capture.events.is_empty(), "recorder must capture events");
+                ev
+            }),
+        },
+        Workload {
+            label: "cell-1k",
+            scenario: format!(
+                "run_queueing(2 Gb/s uplink, drop-tail 1000, 900 MAR + 100 bulk flows, \
+                 {cell_secs} virtual sec, seed 7)"
+            ),
+            warm: Box::new({
+                let cell = cell.clone();
+                move || {
+                    run_queueing_counted(2_000.0, cell.clone(), 0, 900, 100, cell_secs.min(1), 7);
+                }
+            }),
+            run: Box::new({
+                let cell = cell.clone();
+                move || run_queueing_counted(2_000.0, cell.clone(), 0, 900, 100, cell_secs, 7).1
+            }),
+            tax_off: Box::new({
+                let cell = cell.clone();
+                move || run_queueing_counted(2_000.0, cell.clone(), 0, 900, 100, cell_secs, 7).1
+            }),
+            tax_on: Box::new(move || {
+                let (_, ev, capture) = run_queueing_instrumented(
+                    2_000.0,
+                    cell.clone(),
+                    0,
+                    900,
+                    100,
+                    cell_secs,
+                    7,
+                    &trace(),
+                );
+                assert!(!capture.events.is_empty(), "recorder must capture events");
+                ev
+            }),
+        },
+        Workload {
+            label: "cityscale-hybrid",
+            scenario: format!(
+                "run_cityscale(clients={flow_clients}, backhaul=10 Gb/s, {flow_secs} virtual \
+                 sec, seed 42)"
+            ),
+            warm: Box::new(move || {
+                run_cityscale_counted(flow_clients, 10.0, flow_secs.min(2), 42);
+            }),
+            run: Box::new(move || run_cityscale_counted(flow_clients, 10.0, flow_secs, 42).1),
+            tax_off: Box::new(move || run_cityscale_counted(flow_clients, 10.0, flow_secs, 42).1),
+            tax_on: Box::new(move || {
+                let (_, ev, capture) =
+                    run_cityscale_instrumented(flow_clients, 10.0, flow_secs, 42, &trace());
+                assert!(!capture.events.is_empty(), "recorder must capture events");
+                ev
+            }),
+        },
+    ]
+}
+
+fn json_entry(m: &Measurement, smoke: bool) -> Value {
+    let mut pairs = vec![
+        ("mechanism", Value::String(m.label.to_string())),
+        ("scenario", Value::String(m.scenario.clone())),
+        ("events_per_run", Value::UInt(m.events)),
+        ("events_per_sec_best", rate(m.best_events_per_sec)),
+        ("events_per_sec_mean", rate(m.mean_events_per_sec)),
+        ("allocs_per_event", f3(m.allocs_per_event)),
+        ("peak_heap_bytes", Value::Int(m.peak_heap_bytes)),
+        ("events_per_sec_best_recording", rate(m.traced_events_per_sec)),
+        ("trace_overhead_pct", f1(m.trace_overhead_pct)),
+    ];
+    // Pre-overhaul baselines were measured at full scale; smoke numbers
+    // are not comparable, so the speedup block only appears in full mode.
+    if !smoke {
+        if let Some(b) = BASELINES.iter().find(|b| b.label == m.label) {
+            pairs.push(("baseline_events_per_sec_best", rate(b.best_events_per_sec)));
+            pairs.push(("baseline_allocs_per_event", f3(b.allocs_per_event)));
+            pairs.push(("baseline_peak_heap_bytes", Value::Int(b.peak_heap_bytes)));
+            pairs.push((
+                "speedup_vs_baseline",
+                Value::Float(
+                    (m.best_events_per_sec / b.best_events_per_sec * 100.0).round() / 100.0,
+                ),
+            ));
+        }
+    }
+    obj(&pairs)
+}
+
+/// Applies the ratchet gate: compares each row against `path`'s entry for
+/// this mode, records failures, tightens the stored bar on improvement,
+/// and writes the file back. Returns the regression messages (empty =
+/// pass).
+fn apply_ratchet(path: &str, mode: &str, measurements: &[Measurement]) -> Vec<String> {
+    let root: Value = match std::fs::read_to_string(path) {
+        Ok(body) => serde_json::from_str(&body).expect("ratchet file must be valid JSON"),
+        Err(_) => Value::Object(vec![("schema".to_string(), Value::UInt(1))]),
+    };
+    let lookup = |label: &str| -> Option<Value> {
+        let section = root.as_object()?.iter().find(|(k, _)| k == mode)?.1.as_object()?;
+        section.iter().find(|(k, _)| k == label).map(|(_, v)| v.clone())
+    };
+    let field = |e: &Value, k: &str| -> Option<f64> {
+        e.as_object()?.iter().find(|(key, _)| key == k)?.1.as_f64()
+    };
+
+    let mut failures = Vec::new();
+    let mut section: Vec<(String, Value)> = Vec::new();
+    for m in measurements {
+        let (mut best, mut allocs, mut peak) =
+            (m.best_events_per_sec, m.allocs_per_event, m.peak_heap_bytes as f64);
+        if let Some(e) = lookup(m.label) {
+            let r_best = field(&e, "events_per_sec_best").unwrap_or(0.0);
+            let r_allocs = field(&e, "allocs_per_event").unwrap_or(f64::INFINITY);
+            let r_peak = field(&e, "peak_heap_bytes").unwrap_or(f64::INFINITY);
+            if m.allocs_per_event > r_allocs + ALLOC_SLACK {
+                failures.push(format!(
+                    "{}: allocs/event {:.3} regressed past ratchet {:.3} (+{ALLOC_SLACK} slack)",
+                    m.label, m.allocs_per_event, r_allocs
+                ));
+            }
+            // Wall-clock gates only apply at full scale: the smoke matrix
+            // runs on shared CI machines whose absolute speed is
+            // arbitrary, while allocs/event and peak-heap are
+            // deterministic on any runner.
+            if mode == "full" && m.best_events_per_sec < r_best * RATE_FLOOR_FRAC {
+                failures.push(format!(
+                    "{}: {:.2} Mev/s fell below {:.0}% of ratchet {:.2} Mev/s",
+                    m.label,
+                    m.best_events_per_sec / 1e6,
+                    RATE_FLOOR_FRAC * 100.0,
+                    r_best / 1e6
+                ));
+            }
+            if (m.peak_heap_bytes as f64) > r_peak * PEAK_SLACK_FRAC {
+                failures.push(format!(
+                    "{}: peak heap {} B exceeds {:.0}% of ratchet {:.0} B",
+                    m.label,
+                    m.peak_heap_bytes,
+                    PEAK_SLACK_FRAC * 100.0,
+                    r_peak
+                ));
+            }
+            // Each field ratchets forward independently: the stored bar
+            // only ever tightens.
+            best = best.max(r_best);
+            allocs = allocs.min(r_allocs);
+            peak = peak.min(r_peak);
+        }
+        section.push((
+            m.label.to_string(),
+            obj(&[
+                ("events_per_sec_best", rate(best)),
+                ("allocs_per_event", f3(allocs)),
+                ("peak_heap_bytes", Value::UInt(peak.round().max(0.0) as u64)),
+            ]),
+        ));
+    }
+
+    // Rebuild the root preserving the other mode's section.
+    let mut pairs: Vec<(String, Value)> = vec![("schema".to_string(), Value::UInt(1))];
+    if let Some(root_pairs) = root.as_object() {
+        for (k, v) in root_pairs {
+            if k != "schema" && k != mode {
+                pairs.push((k.clone(), v.clone()));
+            }
+        }
+    }
+    pairs.push((mode.to_string(), Value::Object(section)));
+    pairs.sort_by(|a, b| (a.0 != "schema").cmp(&(b.0 != "schema")).then(a.0.cmp(&b.0)));
+    let body =
+        serde_json::to_string_pretty(&Value::Object(pairs)).expect("serialize ratchet") + "\n";
+    std::fs::write(path, body).expect("write ratchet file");
+    println!("ratchet      {path} [{mode}] updated");
+    failures
 }
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
-    let max_trace_overhead_pct: Option<f64> = {
+    let mut max_trace_overhead_pct: Option<f64> = None;
+    let mut ratchet_path: Option<String> = None;
+    {
         let mut argv = std::env::args().skip(1);
-        let mut bound = None;
         while let Some(a) = argv.next() {
-            if a == "--max-trace-overhead-pct" {
-                let v = argv.next().expect("--max-trace-overhead-pct requires a value");
-                bound = Some(v.parse().expect("--max-trace-overhead-pct value must be a number"));
+            match a.as_str() {
+                "--max-trace-overhead-pct" => {
+                    let v = argv.next().expect("--max-trace-overhead-pct requires a value");
+                    max_trace_overhead_pct =
+                        Some(v.parse().expect("--max-trace-overhead-pct value must be a number"));
+                }
+                "--ratchet" => {
+                    ratchet_path = Some(argv.next().expect("--ratchet requires a file path"));
+                }
+                _ => {}
             }
         }
-        bound
-    };
-    let (secs, reps) = if smoke { (2, 1) } else { (30, 5) };
-    // Flow-tier workload scale: full mode runs the acceptance-bar 10⁵
-    // clients; smoke keeps CI fast while still crossing the saturation knee.
-    let (flow_clients, flow_secs) = if smoke { (20_000, 2) } else { (100_000, 10) };
+    }
+    let reps = if smoke { 1 } else { 5 };
+    // The recording-tax ratio stabilises quickly; three traced rounds are
+    // enough even in full mode.
+    // Each tax sample is a ratio of best-of-two ~100 ms runs per side,
+    // and the reported tax is the median over five such samples — the
+    // combination that filters this container's scheduling jitter down
+    // to single digits.
+    let traced_reps = if smoke { 1 } else { 5 };
 
-    let measurements = [
-        measure(RecoveryMechanism::ArqFecK8, secs, reps),
-        measure(RecoveryMechanism::Duplicate, secs, reps),
-        measure_cityscale(flow_clients, flow_secs, reps),
-    ];
+    let matrix = workloads(smoke);
+    let measurements: Vec<Measurement> =
+        matrix.iter().map(|w| measure(w, reps, traced_reps)).collect();
 
     for m in &measurements {
         println!(
-            "{:<12} {:>9} events/run  best {:>6.2} Mev/s  mean {:>6.2} Mev/s  \
-             {:.3} allocs/event  peak {} KiB",
+            "{:<16} {:>9} events/run  best {:>6.2} Mev/s  mean {:>6.2} Mev/s  \
+             {:.3} allocs/event  peak {} KiB  trace tax {:.1}%",
             m.label,
             m.events,
             m.best_events_per_sec / 1e6,
             m.mean_events_per_sec / 1e6,
             m.allocs_per_event,
             m.peak_heap_bytes / 1024,
+            m.trace_overhead_pct,
         );
     }
 
-    // Flight-recorder tax on the first workload: disabled path vs. ring on.
-    let traced_best = measure_traced(RecoveryMechanism::ArqFecK8, secs, reps);
-    let disabled_best = measurements[0].best_events_per_sec;
-    let overhead_pct = (disabled_best / traced_best - 1.0) * 100.0;
+    // Headline flight-recorder tax: the arq+fec-k8 row, as before.
+    let headline = &measurements[0];
+    let overhead_pct = headline.trace_overhead_pct;
     println!(
         "trace tax    recorder on {:>6.2} Mev/s vs off {:>6.2} Mev/s  overhead {:.1}%",
-        traced_best / 1e6,
-        disabled_best / 1e6,
+        headline.traced_events_per_sec / 1e6,
+        headline.best_events_per_sec / 1e6,
         overhead_pct,
     );
 
-    let entries: Vec<String> = measurements.iter().map(|m| json_entry(m, smoke)).collect();
-    let body = format!(
-        concat!(
-            "{{\n",
-            "  \"benchmark\": \"engine_events_per_sec (run_recovery, rtt=40ms, loss=5%, \
-             {} virtual sec x {} reps, seed 11)\",\n",
-            "  \"smoke\": {},\n",
-            "  \"measurements\": [\n{}\n  ],\n",
-            "  \"flow_tier\": {{\n",
-            "    \"scenario\": \"run_cityscale(clients={}, backhaul=10 Gb/s, {} virtual sec x \
-             {} reps, seed 42)\",\n",
-            "    \"clients\": {},\n",
-            "    \"flow_events_per_sec\": {:.0}\n",
-            "  }},\n",
-            "  \"trace_overhead\": {{\n",
-            "    \"mechanism\": \"arq+fec-k8\",\n",
-            "    \"events_per_sec_best_recording\": {:.0},\n",
-            "    \"overhead_pct\": {:.1}\n",
-            "  }}\n",
-            "}}\n"
+    let flow = measurements.last().expect("matrix is non-empty");
+    let entries: Vec<Value> = measurements.iter().map(|m| json_entry(m, smoke)).collect();
+    let report = obj(&[
+        (
+            "benchmark",
+            Value::String(format!(
+                "perf matrix: 5 scenarios x (events/s, allocs/event, peak heap, trace tax), \
+                 counting allocator, best of {reps} reps (trace tax over {traced_reps})"
+            )),
         ),
-        secs,
-        reps,
-        smoke,
-        entries.join(",\n"),
-        flow_clients,
-        flow_secs,
-        reps,
-        flow_clients,
-        measurements[2].best_events_per_sec,
-        traced_best,
-        overhead_pct,
-    );
+        ("smoke", Value::Bool(smoke)),
+        ("measurements", Value::Array(entries)),
+        (
+            "flow_tier",
+            obj(&[
+                ("scenario", Value::String(flow.scenario.clone())),
+                ("flow_events_per_sec", rate(flow.best_events_per_sec)),
+            ]),
+        ),
+        (
+            "trace_overhead",
+            obj(&[
+                ("mechanism", Value::String(headline.label.to_string())),
+                ("events_per_sec_best_recording", rate(headline.traced_events_per_sec)),
+                ("overhead_pct", f1(overhead_pct)),
+            ]),
+        ),
+    ]);
 
     std::fs::create_dir_all("results").expect("create results dir");
     let path = "results/BENCH_sim.json";
+    let body = serde_json::to_string_pretty(&report).expect("serialize report") + "\n";
     std::fs::write(path, body).expect("write BENCH_sim.json");
     println!("wrote {path}");
 
+    let mut failed = false;
+    if let Some(rp) = &ratchet_path {
+        let failures = apply_ratchet(rp, if smoke { "smoke" } else { "full" }, &measurements);
+        for f in &failures {
+            eprintln!("PERF REGRESSION: {f}");
+        }
+        failed |= !failures.is_empty();
+    }
+
     if let Some(bound) = max_trace_overhead_pct {
-        assert!(
-            overhead_pct <= bound,
-            "flight-recorder overhead {overhead_pct:.1}% exceeds the --max-trace-overhead-pct \
-             bound of {bound}%"
-        );
+        if overhead_pct > bound {
+            eprintln!(
+                "PERF REGRESSION: flight-recorder overhead {overhead_pct:.1}% exceeds the \
+                 --max-trace-overhead-pct bound of {bound}%"
+            );
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
     }
 }

@@ -37,7 +37,8 @@ fn run_one(
     flags: &marnet_bench::TelemetryFlags,
 ) -> (Row, TelemetryCapture) {
     let (platform, connection, paper_ms) = scenario.labels();
-    let (stats, capture) = run_table2_instrumented(scenario, 200, 400, 400, 42, &flags.options);
+    let (stats, _events, capture) =
+        run_table2_instrumented(scenario, 200, 400, 400, 42, &flags.options);
     let st = stats.borrow();
     let mut h = st.rtt_ms.clone();
     let median = h.median().unwrap_or(f64::NAN);

@@ -19,7 +19,7 @@ use marnet_flow::workload::{BackgroundWorkload, WorkloadConfig, WorkloadStats};
 use marnet_radio::coverage::{CoverageActor, CoverageModel};
 use marnet_sim::engine::{Actor, ActorId, Event, SimCtx, Simulator};
 use marnet_sim::link::{Bandwidth, LinkParams, LossModel};
-use marnet_sim::packet::Payload;
+use marnet_sim::packet::{Payload, PayloadPool};
 use marnet_sim::queue::QueueConfig;
 use marnet_sim::region::{Fidelity, RegionMap};
 use marnet_sim::rng::derive_rng;
@@ -136,6 +136,26 @@ pub fn run_table2(
     .0
 }
 
+/// [`run_table2`], additionally returning the number of simulator events
+/// processed — the offload row of the `perf_report` matrix.
+pub fn run_table2_counted(
+    scenario: Table2Scenario,
+    probes: u64,
+    request_bytes: u32,
+    response_bytes: u32,
+    seed: u64,
+) -> (Rc<RefCell<ProbeStats>>, u64) {
+    let (stats, events, _) = run_table2_instrumented(
+        scenario,
+        probes,
+        request_bytes,
+        response_bytes,
+        seed,
+        &TelemetryOptions::disabled(),
+    );
+    (stats, events)
+}
+
 /// [`run_table2`] with optional flight-recorder and metrics capture.
 ///
 /// With everything off (the default options) this is exactly `run_table2`:
@@ -148,7 +168,7 @@ pub fn run_table2_instrumented(
     response_bytes: u32,
     seed: u64,
     telemetry: &TelemetryOptions,
-) -> (Rc<RefCell<ProbeStats>>, TelemetryCapture) {
+) -> (Rc<RefCell<ProbeStats>>, u64, TelemetryCapture) {
     let mut sim = Simulator::new(seed);
     if let Some(cap) = telemetry.trace_capacity {
         sim.enable_flight_recorder(cap);
@@ -205,14 +225,14 @@ pub fn run_table2_instrumented(
     let stats = probe.stats();
     sim.install_actor(client, probe);
     sim.install_actor(server, ProbeServer::new(1, TxPath::Link(rev_links[0]), response_bytes));
-    sim.run_until(SimTime::from_secs(probes / 20 + 30));
+    let events = sim.run_until(SimTime::from_secs(probes / 20 + 30));
 
     let metrics = registry.map(|reg| {
         sim.publish_link_metrics(&reg);
         reg.snapshot()
     });
     let capture = TelemetryCapture { events: sim.take_trace(), metrics };
-    (stats, capture)
+    (stats, events, capture)
 }
 
 // ---------------------------------------------------------------------------
@@ -439,7 +459,66 @@ pub fn run_queueing(
     secs: u64,
     seed: u64,
 ) -> QueueingOutcome {
+    run_queueing_instrumented(
+        up_mbps,
+        queue,
+        mar_prio,
+        n_mar,
+        n_bulk,
+        secs,
+        seed,
+        &TelemetryOptions::disabled(),
+    )
+    .0
+}
+
+/// [`run_queueing`], additionally returning the number of simulator events
+/// processed — the dense-cell row of the `perf_report` matrix.
+pub fn run_queueing_counted(
+    up_mbps: f64,
+    queue: QueueConfig,
+    mar_prio: u8,
+    n_mar: usize,
+    n_bulk: usize,
+    secs: u64,
+    seed: u64,
+) -> (QueueingOutcome, u64) {
+    let (outcome, events, _) = run_queueing_instrumented(
+        up_mbps,
+        queue,
+        mar_prio,
+        n_mar,
+        n_bulk,
+        secs,
+        seed,
+        &TelemetryOptions::disabled(),
+    );
+    (outcome, events)
+}
+
+/// [`run_queueing`] with optional flight-recorder and metrics capture.
+#[allow(clippy::too_many_arguments)]
+pub fn run_queueing_instrumented(
+    up_mbps: f64,
+    queue: QueueConfig,
+    mar_prio: u8,
+    n_mar: usize,
+    n_bulk: usize,
+    secs: u64,
+    seed: u64,
+    telemetry: &TelemetryOptions,
+) -> (QueueingOutcome, u64, TelemetryCapture) {
     let mut sim = Simulator::new(seed);
+    if let Some(cap) = telemetry.trace_capacity {
+        sim.enable_flight_recorder(cap);
+    }
+    let registry = if telemetry.metrics {
+        let reg = MetricsRegistry::new();
+        sim.enable_metrics(&reg);
+        Some(reg)
+    } else {
+        None
+    };
     let cpe = sim.reserve_actor();
     let isp = sim.reserve_actor();
     let up = sim.add_link(
@@ -490,8 +569,13 @@ pub fn run_queueing(
 
     sim.install_actor(cpe, cpe_nic);
     sim.install_actor(isp, isp_nic);
-    sim.run_until(SimTime::from_secs(secs));
-    QueueingOutcome { mar, bulk }
+    let events = sim.run_until(SimTime::from_secs(secs));
+    let metrics = registry.map(|reg| {
+        sim.publish_link_metrics(&reg);
+        reg.snapshot()
+    });
+    let capture = TelemetryCapture { events: sim.take_trace(), metrics };
+    (QueueingOutcome { mar, bulk }, events, capture)
 }
 
 // ---------------------------------------------------------------------------
@@ -589,6 +673,15 @@ struct RefStream {
     next_id: u64,
     bytes: u32,
     droppable: bool,
+    /// Recycled [`Submit`] payloads — one frame per 33 ms tick, zero
+    /// steady-state allocations.
+    submit_pool: PayloadPool<Submit>,
+}
+
+impl RefStream {
+    fn new(sender: ActorId, bytes: u32, droppable: bool) -> Self {
+        RefStream { sender, next_id: 0, bytes, droppable, submit_pool: PayloadPool::new() }
+    }
 }
 
 impl Actor for RefStream {
@@ -601,7 +694,9 @@ impl Actor for RefStream {
                 m = m.with_priority(Priority::DropNotDelay(0));
             }
             self.next_id += 1;
-            ctx.send_message(self.sender, Payload::new(Submit(m)));
+            let m = &m;
+            let payload = self.submit_pool.prepare(|| Submit(m.clone()), |s| s.0 = m.clone());
+            ctx.send_message(self.sender, payload);
             ctx.schedule_timer(SimDuration::from_millis(33), 0);
         }
     }
@@ -652,6 +747,23 @@ pub fn run_recovery_instrumented(
     seed: u64,
     telemetry: &TelemetryOptions,
 ) -> (RecoveryOutcome, u64, TelemetryCapture) {
+    run_recovery_with_pooling(rtt_ms, loss, mechanism, secs, seed, telemetry, true)
+}
+
+/// [`run_recovery_instrumented`] with an explicit payload-pooling switch.
+/// `pooling: false` forces every hot-path buffer to a fresh allocation; the
+/// identity tests compare both modes byte-for-byte to prove the pools are
+/// observationally inert (see [`ArConfig::pooling`]).
+#[allow(clippy::too_many_arguments)]
+pub fn run_recovery_with_pooling(
+    rtt_ms: u64,
+    loss: f64,
+    mechanism: RecoveryMechanism,
+    secs: u64,
+    seed: u64,
+    telemetry: &TelemetryOptions,
+    pooling: bool,
+) -> (RecoveryOutcome, u64, TelemetryCapture) {
     let (recovery, fec_group, duplicate) = mechanism.knobs();
     let mut sim = Simulator::new(seed);
     if let Some(cap) = telemetry.trace_capacity {
@@ -680,8 +792,13 @@ pub fn run_recovery_instrumented(
             .with_loss(LossModel::Bernoulli { p: loss }),
     );
     let down = sim.add_link(rcv, snd, LinkParams::new(Bandwidth::from_mbps(20.0), one_way));
-    let cfg =
-        ArConfig { recovery, fec_group, duplicate_recovery: duplicate, ..ArConfig::default() };
+    let cfg = ArConfig {
+        recovery,
+        fec_group,
+        duplicate_recovery: duplicate,
+        pooling,
+        ..ArConfig::default()
+    };
     let mut paths =
         vec![SenderPathConfig { role: PathRole::Wifi, tx: TxPath::Link(up), link: Some(up) }];
     if duplicate {
@@ -694,11 +811,12 @@ pub fn run_recovery_instrumented(
     let sender = ArSender::new(1, cfg.clone(), paths);
     let sstats = sender.stats();
     sim.install_actor(snd, sender);
-    let receiver =
+    let mut receiver =
         ArReceiver::new(1, cfg.feedback_interval, vec![TxPath::Link(down), TxPath::Link(down)]);
+    receiver.set_pooling(pooling);
     let rstats = receiver.stats();
     sim.install_actor(rcv, receiver);
-    sim.add_actor(RefStream { sender: snd, next_id: 0, bytes: 6_000, droppable: false });
+    sim.add_actor(RefStream::new(snd, 6_000, false));
     let events = sim.run_until(SimTime::from_secs(secs));
 
     let offered = (secs * 30) as f64;
@@ -814,8 +932,8 @@ struct QoeMonitor {
 
 impl Actor for QoeMonitor {
     fn on_event(&mut self, ctx: &mut SimCtx, ev: Event) {
-        if let Event::Message { mut msg, .. } = ev {
-            if let Some(d) = msg.take::<Delivered>() {
+        if let Event::Message { msg, .. } = ev {
+            if let Some(d) = msg.map_ref(|d: &Delivered| *d) {
                 if !d.within_deadline {
                     return;
                 }
@@ -973,7 +1091,7 @@ pub fn run_faults_instrumented(
         fault_end,
         window: Rc::clone(&window),
     });
-    sim.add_actor(RefStream { sender: snd, next_id: 0, bytes: 15_000, droppable: true });
+    sim.add_actor(RefStream::new(snd, 15_000, true));
     let events = sim.run_until(horizon);
 
     let offered = (secs * 30) as f64;

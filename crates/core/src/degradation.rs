@@ -140,6 +140,16 @@ impl DegradationScheduler {
     /// Runs one pacing tick with `budget_bytes` of allowance, at time `now`.
     pub fn tick(&mut self, now: SimTime, budget_bytes: f64) -> TickOutcome {
         let mut out = TickOutcome::default();
+        self.tick_into(now, budget_bytes, &mut out);
+        out
+    }
+
+    /// [`DegradationScheduler::tick`] into a caller-owned outcome so the
+    /// hot pacing loop can reuse the `sent`/`dropped` buffers tick after
+    /// tick instead of allocating fresh `Vec`s. `out` is cleared first.
+    pub fn tick_into(&mut self, now: SimTime, budget_bytes: f64, out: &mut TickOutcome) {
+        out.sent.clear();
+        out.dropped.clear();
 
         // 1a. Outage retention: while the peer is unreachable, keep only
         // the freshest droppable message of each stream kind — superseded
@@ -225,7 +235,7 @@ impl DegradationScheduler {
         // one message per kind — shedding those would throw away exactly
         // the frames worth sending the instant the path returns.
         if self.outage {
-            return out;
+            return;
         }
         let max_backlog = budget_bytes * self.backlog_ticks;
         let mut droppable_backlog: f64 = self
@@ -260,8 +270,6 @@ impl DegradationScheduler {
                 }
             }
         }
-
-        out
     }
 
     /// Deepest priority level that was shed in `dropped` (for QoS severity):

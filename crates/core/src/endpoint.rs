@@ -12,7 +12,7 @@
 use crate::class::{KindMap, StreamKind, TrafficClass, ALL_STREAM_KINDS, STREAM_KIND_LABELS};
 use crate::config::ArConfig;
 use crate::congestion::{CongestionVerdict, DelayCongestionController};
-use crate::degradation::{DegradationScheduler, QosSignal};
+use crate::degradation::{DegradationScheduler, QosSignal, TickOutcome};
 use crate::fec::{FecGroupTracker, FecOutcome};
 use crate::message::ArMessage;
 use crate::multipath::{MultipathScheduler, PathRole, PathSnapshot, Picks};
@@ -21,7 +21,7 @@ use crate::wire::{feedback_size, ArFeedback, ArPacket, FecInfo, FragmentId, AR_H
 use marnet_sim::engine::{Actor, ActorId, Event, SimCtx};
 use marnet_sim::hash::{FxHashMap, FxHashSet};
 use marnet_sim::link::LinkId;
-use marnet_sim::packet::{Packet, Payload};
+use marnet_sim::packet::{Packet, PayloadPool};
 use marnet_sim::stats::{Histogram, RateMeter, TimeSeries};
 use marnet_sim::time::{SimDuration, SimTime};
 use marnet_telemetry::{component, ClassUsage, DropReason, MetricsRegistry, TraceEvent};
@@ -217,6 +217,18 @@ pub struct ArSender {
     /// outage resolved; losses reported before this instant are blamed on
     /// the fault, not on congestion.
     grace_until: Option<SimTime>,
+    /// Slab pool for data-fragment [`ArPacket`]s. Data slots only ever
+    /// hold an empty FEC coverage list, so reuse never drops a `Vec`.
+    data_pool: PayloadPool<ArPacket>,
+    /// Separate pool for parity [`ArPacket`]s, whose slots keep their
+    /// coverage `Vec` capacity across groups.
+    parity_pool: PayloadPool<ArPacket>,
+    /// Pool for [`QosSignal`]s sent to the application.
+    qos_pool: PayloadPool<QosSignal>,
+    /// Reused tick outcome so pacing ticks stop allocating `sent`/`dropped`.
+    tick_out: TickOutcome,
+    /// Reused path-snapshot buffer for multipath selection.
+    snap_scratch: Vec<PathSnapshot>,
 }
 
 impl std::fmt::Debug for ArSender {
@@ -237,6 +249,7 @@ impl ArSender {
     /// Panics if `paths` is empty.
     pub fn new(conn: u64, cfg: ArConfig, paths: Vec<SenderPathConfig>) -> Self {
         assert!(!paths.is_empty(), "need at least one path");
+        let pooling = cfg.pooling;
         let sched = DegradationScheduler::new(cfg.stale_after, cfg.backlog_ticks);
         let mp = MultipathScheduler::new(cfg.policy, cfg.duplicate_recovery);
         let paths = paths
@@ -246,7 +259,7 @@ impl ArSender {
                 ctrl: DelayCongestionController::new(cfg.congestion),
                 next_seq: 0,
                 fec_group: 0,
-                fec_accum: Vec::new(),
+                fec_accum: Vec::new(), // marnet-lint: allow(hot-path-alloc): per-path constructor, once per sender
             })
             .collect();
         ArSender {
@@ -271,7 +284,19 @@ impl ArSender {
             last_feedback_at: None,
             last_send_at: None,
             grace_until: None,
+            data_pool: PayloadPool::new().with_enabled(pooling),
+            parity_pool: PayloadPool::new().with_enabled(pooling),
+            qos_pool: PayloadPool::new().with_enabled(pooling),
+            tick_out: TickOutcome::default(),
+            snap_scratch: Vec::new(), // marnet-lint: allow(hot-path-alloc): constructor; the scratch is reused every tick
         }
+    }
+
+    /// Enables or disables payload pooling (see [`ArConfig::pooling`]).
+    pub fn set_pooling(&mut self, enabled: bool) {
+        self.data_pool.set_enabled(enabled);
+        self.parity_pool.set_enabled(enabled);
+        self.qos_pool.set_enabled(enabled);
     }
 
     /// Registers the application actor that should receive [`QosSignal`]s,
@@ -303,17 +328,21 @@ impl ArSender {
         }
     }
 
-    fn snapshots(&self, ctx: &SimCtx) -> Vec<PathSnapshot> {
-        self.paths
-            .iter()
-            .enumerate()
-            .map(|(i, p)| PathSnapshot {
-                role: p.cfg.role,
-                up: self.path_up(ctx, i),
-                srtt: p.ctrl.srtt(),
-                rate: p.ctrl.rate_bytes_per_sec(),
-            })
-            .collect()
+    /// Refreshes `snap_scratch` in place; snapshots are only needed on the
+    /// cold picks-invalidated and NACK paths, and reusing one buffer keeps
+    /// them allocation-free.
+    fn fill_snapshots(&mut self, ctx: &SimCtx) {
+        let paths = &self.paths;
+        self.snap_scratch.clear();
+        self.snap_scratch.extend(paths.iter().map(|p| PathSnapshot {
+            role: p.cfg.role,
+            up: match p.cfg.link {
+                Some(l) => ctx.link_is_up(l),
+                None => true,
+            },
+            srtt: p.ctrl.srtt(),
+            rate: p.ctrl.rate_bytes_per_sec(),
+        }));
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -341,7 +370,7 @@ impl ArSender {
         };
 
         // FEC participation: recovery-class first transmissions only.
-        let fec = if !is_retransmit
+        let fec_group = if !is_retransmit
             && msg.class == TrafficClass::BestEffortWithRecovery
             && self.cfg.fec_group.is_some()
         {
@@ -349,36 +378,44 @@ impl ArSender {
             let group = p.fec_group;
             let fid = FragmentId { seq, msg_id: msg.id, frag_index };
             p.fec_accum.push((fid, frag_size));
-            // Data packets carry only the group id; the coverage list rides
-            // on the parity packet alone (`Vec::new` does not allocate).
-            Some(FecInfo { group, covered: Vec::new(), is_parity: false })
+            Some(group)
         } else {
             None
         };
 
-        let ar = ArPacket {
-            conn: self.conn,
-            epoch: self.peer_epoch,
+        // Every header field is `Copy`, so one closure can both build a
+        // fresh packet and overwrite a recycled slot. Data packets carry
+        // only the FEC group id — the coverage list rides on the parity
+        // packet alone — so `Vec::new` never allocates and overwriting a
+        // retired slot's `fec` never drops a non-empty one.
+        let (conn, epoch, ts) = (self.conn, self.peer_epoch, ctx.now());
+        let (msg_id, msg_size, kind, class) = (msg.id, msg.size, msg.kind, msg.class);
+        let (created, origin, deadline) = (msg.created, msg.origin, msg.deadline);
+        let make = move || ArPacket {
+            conn,
+            epoch,
             path: path_idx,
             seq,
-            msg_id: msg.id,
+            msg_id,
             frag_index,
             frag_count,
-            msg_size: msg.size,
-            kind: msg.kind,
-            class: msg.class,
-            created: msg.created,
-            origin: msg.origin,
-            deadline: msg.deadline,
-            ts: ctx.now(),
-            fec,
+            msg_size,
+            kind,
+            class,
+            created,
+            origin,
+            deadline,
+            ts,
+            // marnet-lint: allow(hot-path-alloc): an empty covered list never allocates; parity refills in place
+            fec: fec_group.map(|group| FecInfo { group, covered: Vec::new(), is_parity: false }),
             is_retransmit,
         };
+        let payload = self.data_pool.prepare(make, |ar| *ar = make());
         let size = frag_size + AR_HEADER_BYTES;
         let id = ctx.next_packet_id();
         let pkt = Packet::new(id, self.conn, size, ctx.now())
             .with_prio(msg.priority.band())
-            .with_payload(ar);
+            .with_shared_payload(payload);
         {
             let t = ctx.now().as_nanos();
             let comp = component::actor(ctx.self_id().index());
@@ -433,37 +470,72 @@ impl ArSender {
         if p.fec_accum.is_empty() {
             return;
         }
-        let covered: Vec<FragmentId> = p.fec_accum.iter().map(|(f, _)| *f).collect();
         // marnet-lint: allow(panic-path): fec_accum was checked non-empty just above
         let max_size = p.fec_accum.iter().map(|(_, s)| *s).max().expect("non-empty");
         let group = p.fec_group;
         p.fec_group += 1;
-        p.fec_accum.clear();
         let seq = p.next_seq;
         p.next_seq += 1;
 
-        let ar = ArPacket {
-            conn: self.conn,
-            epoch: self.peer_epoch,
-            path: path_idx,
-            seq,
-            msg_id: 0,
-            frag_index: 0,
-            frag_count: 0,
-            msg_size: 0,
-            kind: StreamKind::VideoReference,
-            class: TrafficClass::BestEffortWithRecovery,
-            created: ctx.now(),
-            origin: None,
-            deadline: None,
-            ts: ctx.now(),
-            fec: Some(FecInfo { group, covered, is_parity: true }),
-            is_retransmit: false,
-        };
+        let (conn, epoch, now) = (self.conn, self.peer_epoch, ctx.now());
+        // Both closures borrow the accumulated coverage immutably; the
+        // parity pool is a disjoint field, so the recycled slot's `Vec`
+        // capacity is refilled straight from the accumulator.
+        let accum = &sender_path(&self.paths, path_idx).fec_accum;
+        let payload = self.parity_pool.prepare(
+            || ArPacket {
+                conn,
+                epoch,
+                path: path_idx,
+                seq,
+                msg_id: 0,
+                frag_index: 0,
+                frag_count: 0,
+                msg_size: 0,
+                kind: StreamKind::VideoReference,
+                class: TrafficClass::BestEffortWithRecovery,
+                created: now,
+                origin: None,
+                deadline: None,
+                ts: now,
+                fec: Some(FecInfo {
+                    group,
+                    covered: accum.iter().map(|(f, _)| *f).collect(),
+                    is_parity: true,
+                }),
+                is_retransmit: false,
+            },
+            |ar| {
+                ar.conn = conn;
+                ar.epoch = epoch;
+                ar.path = path_idx;
+                ar.seq = seq;
+                ar.msg_id = 0;
+                ar.frag_index = 0;
+                ar.frag_count = 0;
+                ar.msg_size = 0;
+                ar.kind = StreamKind::VideoReference;
+                ar.class = TrafficClass::BestEffortWithRecovery;
+                ar.created = now;
+                ar.origin = None;
+                ar.deadline = None;
+                ar.ts = now;
+                ar.is_retransmit = false;
+                let fec = ar
+                    .fec
+                    // marnet-lint: allow(hot-path-alloc): first parity for this pool slot only; later groups reuse
+                    .get_or_insert_with(|| FecInfo { group, covered: Vec::new(), is_parity: true });
+                fec.group = group;
+                fec.is_parity = true;
+                fec.covered.clear();
+                fec.covered.extend(accum.iter().map(|(f, _)| *f));
+            },
+        );
+        sender_path_mut(&mut self.paths, path_idx).fec_accum.clear();
         let id = ctx.next_packet_id();
         let pkt = Packet::new(id, self.conn, max_size + AR_HEADER_BYTES, ctx.now())
             .with_prio(1)
-            .with_payload(ar);
+            .with_shared_payload(payload);
         sender_path(&self.paths, path_idx).cfg.tx.send(ctx, pkt);
         self.wire_debt += f64::from(max_size + AR_HEADER_BYTES);
         self.stats.borrow_mut().parity_sent += 1;
@@ -498,22 +570,27 @@ impl ArSender {
             }
             let frag_count = front.msg.fragment_count(self.cfg.mtu);
             let frag_size = front.remaining.min(self.cfg.mtu).max(1);
-            let picks = match front.picks {
+            // Copy the fields the selection below needs so the pacer-front
+            // borrow ends before the snapshot scratch is refreshed.
+            let (msg_class, msg_prio, msg_kind) =
+                (front.msg.class, front.msg.priority, front.msg.kind);
+            let sticky = front.picks;
+            let picks = match sticky {
                 // Re-validate a sticky choice against path availability —
                 // the common steady-state case, which needs no snapshots.
                 Some(p) if p.iter().all(|i| self.path_up(ctx, i)) => p,
                 _ => {
-                    let snaps = self.snapshots(ctx);
+                    self.fill_snapshots(ctx);
                     let new_picks =
-                        self.mp.select(&snaps, front.msg.class, front.msg.priority, frag_size);
+                        self.mp.select(&self.snap_scratch, msg_class, msg_prio, frag_size);
                     // A sticky choice being replaced (a path went down) is a
                     // path switch worth tracing; the initial pick is not.
-                    let old = front.picks.and_then(|p| p.iter().next());
+                    let old = sticky.and_then(|p| p.iter().next());
                     if let (Some(old), Some(new)) = (old, new_picks.iter().next()) {
                         if old != new {
                             let t = ctx.now().as_nanos();
                             let comp = component::actor(ctx.self_id().index());
-                            let class = front.msg.kind as u8;
+                            let class = msg_kind as u8;
                             ctx.trace_with(|| {
                                 TraceEvent::path_switch(t, comp, class, old as u64, new as u64)
                             });
@@ -708,7 +785,10 @@ impl ArSender {
         let gross = self.cfg.budget_per_tick(total_rate);
         let budget = (gross - self.wire_debt).max(0.0);
         self.wire_debt = (self.wire_debt - gross).max(0.0);
-        let out = self.sched.tick(ctx.now(), budget);
+        // Tick into the reused outcome buffers; taken out of `self` so the
+        // pacing calls below can borrow the sender mutably.
+        let mut out = std::mem::take(&mut self.tick_out);
+        self.sched.tick_into(ctx.now(), budget, &mut out);
 
         // Account drops and drive QoS signalling.
         if !out.dropped.is_empty() {
@@ -728,9 +808,11 @@ impl ArSender {
             ctx.trace_with(|| TraceEvent::class_degrade(t, comp, severity, shed_msgs, shed_bytes));
         }
 
-        for msg in out.sent {
+        for msg in out.sent.drain(..) {
             self.enqueue_for_pacing(ctx, msg);
         }
+        out.dropped.clear();
+        self.tick_out = out;
 
         self.rtx.expire(ctx.now());
         self.stats.borrow_mut().rate_series.push(ctx.now(), total_rate);
@@ -744,13 +826,16 @@ impl ArSender {
                     severity: self.severity_since_signal.max(1),
                     dropped_bytes: self.dropped_since_signal,
                 };
-                ctx.send_message(target, Payload::new(sig));
+                let payload = self.qos_pool.prepare(|| sig, |s| *s = sig);
+                ctx.send_message(target, payload);
                 self.stats.borrow_mut().degrade_signals += 1;
                 self.dropped_since_signal = 0;
                 self.severity_since_signal = 0;
                 self.ticks_since_signal = 0;
             } else if self.ticks_since_signal >= 20 {
-                ctx.send_message(target, Payload::new(QosSignal::Headroom { rate: total_rate }));
+                let sig = QosSignal::Headroom { rate: total_rate };
+                let payload = self.qos_pool.prepare(|| sig, |s| *s = sig);
+                ctx.send_message(target, payload);
                 self.ticks_since_signal = 0;
             }
         }
@@ -839,8 +924,9 @@ impl ArSender {
                 let best = match best_cache {
                     Some(b) => b,
                     None => {
-                        let snaps = self.snapshots(ctx);
-                        let b = snaps
+                        self.fill_snapshots(ctx);
+                        let b = self
+                            .snap_scratch
                             .iter()
                             .enumerate()
                             .filter(|(_, s)| s.up)
@@ -892,23 +978,25 @@ impl Actor for ArSender {
                 self.pace_next(ctx);
             }
             Event::Timer { tag: TAG_PROBE } => self.on_probe_timer(ctx),
-            Event::Message { mut msg, from } => {
-                if let Some(Submit(m)) = msg.take::<Submit>() {
+            Event::Message { msg, from } => {
+                // Submissions may be pooled (shared with the app's slot), so
+                // clone the message out by reference — `ArMessage` has no
+                // heap fields, so the clone is a memcpy.
+                if let Some(m) = msg.map_ref(|s: &Submit| s.0.clone()) {
                     self.sched.submit(m);
-                } else if let Some(mut pkt) = unwrap_packet(Event::Message { msg, from }) {
-                    // Feedback arrives uniquely owned, so this is a move.
-                    if let Some(fb) = pkt.payload.take::<ArFeedback>() {
+                } else if let Some(pkt) = unwrap_packet(Event::Message { msg, from }) {
+                    if let Some(fb) = pkt.payload.downcast_ref::<ArFeedback>() {
                         if fb.conn == self.conn {
-                            self.on_feedback(ctx, &fb);
+                            self.on_feedback(ctx, fb);
                         }
                     }
                 }
             }
             other => {
-                if let Some(mut pkt) = unwrap_packet(other) {
-                    if let Some(fb) = pkt.payload.take::<ArFeedback>() {
+                if let Some(pkt) = unwrap_packet(other) {
+                    if let Some(fb) = pkt.payload.downcast_ref::<ArFeedback>() {
                         if fb.conn == self.conn {
-                            self.on_feedback(ctx, &fb);
+                            self.on_feedback(ctx, fb);
                         }
                     }
                 }
@@ -1061,11 +1149,13 @@ impl PathRx {
         })
     }
 
-    fn missing(&self) -> Vec<u64> {
+    /// Fills `out` with up to 64 missing sequences (cleared first); the
+    /// feedback loop reuses one buffer across paths and rounds.
+    fn missing_into(&self, out: &mut Vec<u64>) {
+        out.clear();
         let Some(max) = self.max_seq() else {
-            return Vec::new();
+            return;
         };
-        let mut out = Vec::new();
         for seq in self.cum_next..max {
             if !self.above.contains(&seq) {
                 out.push(seq);
@@ -1074,7 +1164,47 @@ impl PathRx {
                 }
             }
         }
-        out
+    }
+}
+
+/// `Copy` header view of an [`ArPacket`], extracted by reference in
+/// [`ArReceiver::on_packet`] so pooled (shared) payloads are never
+/// deep-cloned on receive.
+#[derive(Debug, Clone, Copy)]
+struct ArView {
+    epoch: u32,
+    path: usize,
+    seq: u64,
+    msg_id: u64,
+    frag_index: u32,
+    frag_count: u32,
+    msg_size: u32,
+    kind: StreamKind,
+    created: SimTime,
+    origin: Option<SimTime>,
+    deadline: Option<SimTime>,
+    ts: SimTime,
+    /// FEC membership as `(group, is_parity)`.
+    fec: Option<(u64, bool)>,
+}
+
+impl ArView {
+    fn of(ar: &ArPacket) -> Self {
+        ArView {
+            epoch: ar.epoch,
+            path: ar.path,
+            seq: ar.seq,
+            msg_id: ar.msg_id,
+            frag_index: ar.frag_index,
+            frag_count: ar.frag_count,
+            msg_size: ar.msg_size,
+            kind: ar.kind,
+            created: ar.created,
+            origin: ar.origin,
+            deadline: ar.deadline,
+            ts: ar.ts,
+            fec: ar.fec.as_ref().map(|f| (f.group, f.is_parity)),
+        }
     }
 }
 
@@ -1108,6 +1238,17 @@ pub struct ArReceiver {
     /// Application actor notified of completed messages, if any.
     delivery_target: Option<ActorId>,
     stats: Rc<RefCell<ArReceiverStats>>,
+    /// Slab pool for outgoing [`ArFeedback`] payloads; recycled slots keep
+    /// their NACK-list capacity.
+    fb_pool: PayloadPool<ArFeedback>,
+    /// Pool for [`Delivered`] notifications to the application.
+    delivered_pool: PayloadPool<Delivered>,
+    /// Reused missing-sequence buffer for feedback rounds.
+    nack_scratch: Vec<u64>,
+    /// Reused abandoned-hole buffer for feedback rounds.
+    abandon_scratch: Vec<u64>,
+    /// Retired reassembly bitmaps, recycled into new [`MsgAsm`] entries.
+    asm_free: Vec<Vec<bool>>,
 }
 
 impl std::fmt::Debug for ArReceiver {
@@ -1141,7 +1282,20 @@ impl ArReceiver {
             abandon_after: 8,
             delivery_target: None,
             stats: Rc::new(RefCell::new(ArReceiverStats::default())),
+            fb_pool: PayloadPool::new(),
+            delivered_pool: PayloadPool::new(),
+            nack_scratch: Vec::new(), // marnet-lint: allow(hot-path-alloc): receiver constructor, once per trial
+            abandon_scratch: Vec::new(), // marnet-lint: allow(hot-path-alloc): receiver constructor, once per trial
+            asm_free: Vec::new(), // marnet-lint: allow(hot-path-alloc): receiver constructor, once per trial
         }
+    }
+
+    /// Enables or disables payload pooling (see
+    /// [`ArConfig::pooling`](crate::config::ArConfig::pooling)); on by
+    /// default.
+    pub fn set_pooling(&mut self, enabled: bool) {
+        self.fb_pool.set_enabled(enabled);
+        self.delivered_pool.set_enabled(enabled);
     }
 
     /// Registers an application actor to receive [`Delivered`]
@@ -1202,13 +1356,13 @@ impl ArReceiver {
             self.stats.borrow_mut().duplicates += 1;
             return None;
         }
-        let entry = self.asm.entry(msg_id).or_insert_with(|| MsgAsm {
-            frag_count,
-            received: vec![false; frag_count as usize],
-            got: 0,
-            created,
-            deadline,
-            kind,
+        let entry = self.asm.entry(msg_id).or_insert_with(|| {
+            // Recycle a retired bitmap when one is available; `resize`
+            // only allocates when the fragment count outgrows it.
+            let mut received = self.asm_free.pop().unwrap_or_default();
+            received.clear();
+            received.resize(frag_count as usize, false);
+            MsgAsm { frag_count, received, got: 0, created, deadline, kind }
         });
         let idx = frag_index as usize;
         let seen = entry.received.get_mut(idx)?;
@@ -1222,7 +1376,12 @@ impl ArReceiver {
             let latency = now.saturating_since(entry.created);
             let deadline = entry.deadline;
             let kind = entry.kind;
-            self.asm.remove(&msg_id);
+            if let Some(mut done) = self.asm.remove(&msg_id) {
+                if self.asm_free.len() < 32 {
+                    done.received.clear();
+                    self.asm_free.push(done.received);
+                }
+            }
             self.completed.insert(msg_id);
             self.completed_order.push_back(msg_id);
             if self.completed_order.len() > 8192 {
@@ -1254,30 +1413,34 @@ impl ArReceiver {
         None
     }
 
-    fn on_packet(&mut self, ctx: &mut SimCtx, mut pkt: Packet) {
-        // Route by a cheap in-place peek, then move the header out of the
-        // (usually uniquely owned) payload instead of deep-cloning it.
-        let routed =
-            pkt.payload.map_ref(|ar: &ArPacket| ar.conn == self.conn && ar.path < self.rx.len());
-        if routed != Some(true) {
+    fn on_packet(&mut self, ctx: &mut SimCtx, pkt: Packet) {
+        // Route and read the header entirely by reference: pooled payloads
+        // stay shared with the sender's slot, so moving them out would
+        // deep-clone. Everything the receive path needs is `Copy` except
+        // the parity coverage list, copied out below into a recycled
+        // buffer.
+        let conn = self.conn;
+        let npaths = self.rx.len();
+        let view = pkt
+            .payload
+            .map_ref(|ar: &ArPacket| (ar.conn == conn && ar.path < npaths).then(|| ArView::of(ar)));
+        let Some(Some(view)) = view else {
             return;
-        }
-        // marnet-lint: allow(panic-path): the map_ref routing check above proved the payload type and path bound
-        let mut ar = pkt.payload.take::<ArPacket>().expect("type checked above");
+        };
         let now = ctx.now();
         {
             let mut st = self.stats.borrow_mut();
             st.received_bytes += u64::from(pkt.size);
             st.meter.record(now, u64::from(pkt.size));
         }
-        let Some(path) = self.rx.get_mut(ar.path) else {
+        let Some(path) = self.rx.get_mut(view.path) else {
             return;
         };
         path.active = true;
-        path.last_ts = Some(ar.ts);
+        path.last_ts = Some(view.ts);
         path.last_rx_at = Some(now);
         path.bytes_since_feedback += u64::from(pkt.size);
-        if ar.epoch != self.epoch {
+        if view.epoch != self.epoch {
             // A packet from a dead session incarnation, in flight across a
             // restart. The path is alive — the timestamps above keep RTT
             // echoes and feedback flowing, which advertises the current
@@ -1287,44 +1450,52 @@ impl ArReceiver {
             self.stats.borrow_mut().stale_epoch_packets += 1;
             return;
         }
-        if !path.mark(ar.seq) {
+        if !path.mark(view.seq) {
             self.stats.borrow_mut().duplicates += 1;
             return;
         }
 
-        let mut recovered: Option<(u64, FragmentId)> = None;
-        if let Some(fec) = &mut ar.fec {
-            if fec.is_parity {
-                // Move the coverage list out of the packet: the tracker
-                // takes the seqs by iterator and the stored parity keeps the
-                // FragmentId list, so the parity path allocates nothing.
-                let covered = std::mem::take(&mut fec.covered);
-                if let FecOutcome::Recovered(seq) =
-                    path.fec.on_parity(fec.group, covered.iter().map(|f| f.seq))
-                {
-                    if let Some(fid) = covered.iter().find(|f| f.seq == seq) {
-                        recovered = Some((fec.group, *fid));
+        let mut recovered: Option<FragmentId> = None;
+        if let Some((group, is_parity)) = view.fec {
+            if is_parity {
+                // Copy the coverage list out of the (possibly shared)
+                // payload. Once the parity window is full, the evicted
+                // entry's buffer is recycled as the copy target, so
+                // steady-state parity handling allocates nothing.
+                let mut covered = if path.parity_frags.len() >= 64 {
+                    match path.parity_frags.pop_front() {
+                        Some((_, mut v)) => {
+                            v.clear();
+                            v
+                        }
+                        None => Vec::new(), // marnet-lint: allow(hot-path-alloc): recycle deque empty only during warmup
                     }
+                } else {
+                    Vec::new() // marnet-lint: allow(hot-path-alloc): warmup only, until 64 parity groups accumulate
+                };
+                pkt.payload.map_ref(|ar: &ArPacket| {
+                    if let Some(fec) = &ar.fec {
+                        covered.extend_from_slice(&fec.covered);
+                    }
+                });
+                if let FecOutcome::Recovered(seq) =
+                    path.fec.on_parity(group, covered.iter().map(|f| f.seq))
+                {
+                    recovered = covered.iter().find(|f| f.seq == seq).copied();
                 }
-                path.parity_frags.push_back((fec.group, covered));
-                if path.parity_frags.len() > 64 {
-                    path.parity_frags.pop_front();
-                }
-            } else if let FecOutcome::Recovered(seq) = path.fec.on_data(fec.group, ar.seq) {
+                path.parity_frags.push_back((group, covered));
+            } else if let FecOutcome::Recovered(seq) = path.fec.on_data(group, view.seq) {
                 // Map the recovered seq through a stored parity coverage.
-                let fid = path
+                recovered = path
                     .parity_frags
                     .iter()
-                    .find(|(g, _)| *g == fec.group)
+                    .find(|(g, _)| *g == group)
                     .and_then(|(_, frags)| frags.iter().find(|f| f.seq == seq).copied());
-                if let Some(fid) = fid {
-                    recovered = Some((fec.group, fid));
-                }
             }
         }
 
-        if let Some((_, fid)) = recovered {
-            if let Some(p) = self.rx.get_mut(ar.path) {
+        if let Some(fid) = recovered {
+            if let Some(p) = self.rx.get_mut(view.path) {
                 p.mark(fid.seq);
             }
             self.stats.borrow_mut().fec_recovered += 1;
@@ -1342,12 +1513,12 @@ impl ArReceiver {
                 // Fragment counts travel with every data packet of the
                 // message; if this is the first fragment we see, assume the
                 // recovered fragment's message matches the carrier's count.
-                ar.frag_count.max(1),
-                ar.msg_size,
-                ar.kind,
-                ar.created,
-                ar.origin,
-                ar.deadline,
+                view.frag_count.max(1),
+                view.msg_size,
+                view.kind,
+                view.created,
+                view.origin,
+                view.deadline,
             );
             self.notify(ctx, done);
         }
@@ -1355,25 +1526,26 @@ impl ArReceiver {
         // Zero-fragment packets without FEC are recovery probes: they
         // advance sequence state (so feedback answers them) but carry no
         // message to assemble.
-        if ar.frag_count > 0 && ar.fec.as_ref().is_none_or(|f| !f.is_parity) {
+        if view.frag_count > 0 && view.fec.is_none_or(|(_, is_parity)| !is_parity) {
             let done = self.deliver_fragment(
                 now,
-                ar.msg_id,
-                ar.frag_index,
-                ar.frag_count,
-                ar.msg_size,
-                ar.kind,
-                ar.created,
-                ar.origin,
-                ar.deadline,
+                view.msg_id,
+                view.frag_index,
+                view.frag_count,
+                view.msg_size,
+                view.kind,
+                view.created,
+                view.origin,
+                view.deadline,
             );
             self.notify(ctx, done);
         }
     }
 
-    fn notify(&self, ctx: &mut SimCtx, delivered: Option<Delivered>) {
+    fn notify(&mut self, ctx: &mut SimCtx, delivered: Option<Delivered>) {
         if let (Some(target), Some(d)) = (self.delivery_target, delivered) {
-            ctx.send_message(target, Payload::new(d));
+            let payload = self.delivered_pool.prepare(|| d, |slot| *slot = d);
+            ctx.send_message(target, payload);
         }
     }
 
@@ -1384,9 +1556,9 @@ impl ArReceiver {
             if !path.active {
                 continue;
             }
-            let missing = path.missing();
+            path.missing_into(&mut self.nack_scratch);
             let mut new_losses = 0;
-            for &seq in &missing {
+            for &seq in &self.nack_scratch {
                 if path.reported.insert(seq) {
                     new_losses += 1;
                 }
@@ -1394,13 +1566,12 @@ impl ArReceiver {
                 *rounds += 1;
             }
             // Abandon holes that survived too many NACK rounds.
-            let abandon: Vec<u64> = path
-                .nack_rounds
-                .iter()
-                .filter(|(_, &r)| r > self.abandon_after)
-                .map(|(&s, _)| s)
-                .collect();
-            for seq in abandon {
+            let abandon_after = self.abandon_after;
+            self.abandon_scratch.clear();
+            self.abandon_scratch.extend(
+                path.nack_rounds.iter().filter(|(_, &r)| r > abandon_after).map(|(&s, _)| s),
+            );
+            for &seq in &self.abandon_scratch {
                 path.mark(seq);
                 self.stats.borrow_mut().abandoned_holes += 1;
             }
@@ -1434,20 +1605,42 @@ impl ArReceiver {
             };
             path.bytes_since_feedback = 0;
             path.last_feedback_at = Some(now);
-            let fb = ArFeedback {
-                conn: self.conn,
-                epoch: self.epoch,
-                path: i,
-                cum_seq: if path.cum_next > 0 { Some(path.cum_next - 1) } else { None },
-                nacks: missing,
-                new_losses,
-                ts_echo: path.last_ts,
-                echo_delay,
-                recv_rate,
-            };
-            let size = feedback_size(fb.nacks.len());
+            let cum_seq = if path.cum_next > 0 { Some(path.cum_next - 1) } else { None };
+            let ts_echo = path.last_ts;
+            let (conn, epoch) = (self.conn, self.epoch);
+            // Both closures borrow the NACK scratch immutably; the recycled
+            // slot's `nacks` capacity is refilled from it in place.
+            let nacks = &self.nack_scratch;
+            let payload = self.fb_pool.prepare(
+                || ArFeedback {
+                    conn,
+                    epoch,
+                    path: i,
+                    cum_seq,
+                    nacks: nacks.clone(),
+                    new_losses,
+                    ts_echo,
+                    echo_delay,
+                    recv_rate,
+                },
+                |fb| {
+                    fb.conn = conn;
+                    fb.epoch = epoch;
+                    fb.path = i;
+                    fb.cum_seq = cum_seq;
+                    fb.nacks.clear();
+                    fb.nacks.extend_from_slice(nacks);
+                    fb.new_losses = new_losses;
+                    fb.ts_echo = ts_echo;
+                    fb.echo_delay = echo_delay;
+                    fb.recv_rate = recv_rate;
+                },
+            );
+            let size = feedback_size(self.nack_scratch.len());
             let id = ctx.next_packet_id();
-            let pkt = Packet::new(id, self.conn, size, ctx.now()).with_prio(0).with_payload(fb);
+            let pkt = Packet::new(id, self.conn, size, ctx.now())
+                .with_prio(0)
+                .with_shared_payload(payload);
             reverse.send(ctx, pkt);
             self.stats.borrow_mut().feedback_sent += 1;
         }
@@ -1478,6 +1671,7 @@ mod tests {
     use crate::config::OutageConfig;
     use marnet_sim::engine::Simulator;
     use marnet_sim::link::{Bandwidth, LinkParams, LossModel};
+    use marnet_sim::packet::Payload;
     use marnet_sim::queue::QueueConfig;
 
     /// Application driving a 30 FPS MAR uplink into an ArSender.

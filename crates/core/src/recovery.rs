@@ -14,7 +14,7 @@
 
 use crate::class::{StreamKind, TrafficClass};
 use marnet_sim::time::{SimDuration, SimTime};
-use std::collections::BTreeMap;
+use std::collections::VecDeque;
 
 /// Sender-side description of an in-flight fragment, kept until it is
 /// acknowledged, recovered or expired.
@@ -151,15 +151,122 @@ impl Backoff {
 /// on the default profile — far more than any feasible recovery window.
 pub const DEFAULT_RETRANSMIT_CAP: usize = 2048;
 
+/// One path's records: a dense sequence-indexed slot ring.
+///
+/// Sequence numbers are per-path and monotone at the sender, so
+/// `ring[seq - base]` addresses a record directly — insertion moves the
+/// record into a recycled slot (no tree nodes, no per-record allocation
+/// once the deque reached its steady-state capacity). Invariant outside
+/// method bodies: when `held > 0` the front slot is occupied (the back
+/// may only end occupied because records are appended there), so the
+/// oldest sequence is always `base`.
+#[derive(Debug, Default)]
+struct PathSlots {
+    /// Sequence number of `ring[0]`.
+    base: u64,
+    ring: VecDeque<Option<FragmentRecord>>,
+    /// Occupied slots in `ring`.
+    held: usize,
+}
+
+impl PathSlots {
+    /// Pops empty slots off the front, advancing `base`, restoring the
+    /// front-occupied invariant after a removal.
+    fn trim_front(&mut self) {
+        while matches!(self.ring.front(), Some(None)) {
+            self.ring.pop_front();
+            self.base += 1;
+        }
+    }
+
+    /// Pops empty slots off the back (keeps gap-heavy rings short).
+    fn trim_back(&mut self) {
+        while matches!(self.ring.back(), Some(None)) {
+            self.ring.pop_back();
+        }
+    }
+
+    /// Places `frag` at `seq`, growing the ring with empty slots when the
+    /// sequence extends past either end.
+    fn insert(&mut self, seq: u64, frag: FragmentRecord) {
+        if self.held == 0 {
+            self.ring.clear();
+            self.base = seq;
+            self.ring.push_back(Some(frag));
+            self.held = 1;
+            return;
+        }
+        if seq < self.base {
+            for _ in 0..self.base - seq - 1 {
+                self.ring.push_front(None);
+            }
+            self.ring.push_front(Some(frag));
+            self.base = seq;
+            self.held += 1;
+            return;
+        }
+        let idx = (seq - self.base) as usize;
+        if idx >= self.ring.len() {
+            for _ in self.ring.len()..idx {
+                self.ring.push_back(None);
+            }
+            self.ring.push_back(Some(frag));
+            self.held += 1;
+        } else if self.ring[idx].replace(frag).is_none() {
+            self.held += 1;
+        }
+    }
+
+    /// Removes and returns the record at `seq`, if held.
+    fn take(&mut self, seq: u64) -> Option<FragmentRecord> {
+        let idx = usize::try_from(seq.checked_sub(self.base)?).ok()?;
+        let frag = self.ring.get_mut(idx)?.take()?;
+        self.held -= 1;
+        self.trim_front();
+        self.trim_back();
+        Some(frag)
+    }
+
+    /// Removes the oldest record (the front slot; invariant makes it
+    /// occupied whenever `held > 0`).
+    fn evict_oldest(&mut self) -> bool {
+        if self.held == 0 {
+            return false;
+        }
+        debug_assert!(matches!(self.ring.front(), Some(Some(_))));
+        self.ring.pop_front();
+        self.base += 1;
+        self.held -= 1;
+        self.trim_front();
+        true
+    }
+
+    /// Releases every record with sequence ≤ `cum_seq`; returns the count.
+    fn ack_cumulative(&mut self, cum_seq: u64) -> usize {
+        let mut released = 0;
+        while !self.ring.is_empty() && self.base <= cum_seq {
+            if self.ring.pop_front().flatten().is_some() {
+                released += 1;
+                self.held -= 1;
+            }
+            self.base += 1;
+        }
+        self.trim_front();
+        released
+    }
+}
+
 /// Sender-side store of unacknowledged fragments, keyed by `(path, seq)`.
 ///
 /// Holds at most `cap` records: inserting at capacity evicts the oldest
 /// (lowest-sequence) record from the fullest path, so a link that stays
-/// down longer than the RTO cannot blow the buffer up.
+/// down longer than the RTO cannot blow the buffer up. Storage is a
+/// per-path slot ring whose capacity is recycled across the connection's
+/// lifetime — steady-state insert/ack/take traffic allocates nothing.
 #[derive(Debug)]
 pub struct RetransmitBuffer {
-    /// Per path: seq → record.
-    by_path: BTreeMap<usize, BTreeMap<u64, FragmentRecord>>,
+    /// Indexed by path id (path ids are small, dense sender-side indexes).
+    paths: Vec<PathSlots>,
     /// Earliest deadline among held *expirable* records (non-critical with a
     /// deadline). [`RetransmitBuffer::expire`] is called every pacing tick;
     /// the watermark lets it skip the full walk while nothing can have
@@ -175,7 +282,7 @@ pub struct RetransmitBuffer {
 impl Default for RetransmitBuffer {
     fn default() -> Self {
         RetransmitBuffer {
-            by_path: BTreeMap::new(),
+            paths: Vec::new(),
             earliest_deadline: None,
             cap: DEFAULT_RETRANSMIT_CAP,
             evictions: 0,
@@ -201,10 +308,15 @@ impl RetransmitBuffer {
 
     /// Drops every record (session re-establishment after an edge restart:
     /// the peer's receive state is gone, so held fragments are
-    /// unrecoverable). Returns how many records were dropped.
+    /// unrecoverable). Returns how many records were dropped. Slot-ring
+    /// capacity is retained for the next session.
     pub fn clear(&mut self) -> usize {
         let n = self.len();
-        self.by_path.clear();
+        for p in &mut self.paths {
+            p.ring.clear();
+            p.base = 0;
+            p.held = 0;
+        }
         self.earliest_deadline = None;
         n
     }
@@ -216,7 +328,10 @@ impl RetransmitBuffer {
                 self.earliest_deadline = Some(self.earliest_deadline.map_or(d, |cur| cur.min(d)));
             }
         }
-        self.by_path.entry(path).or_default().insert(seq, frag);
+        if path >= self.paths.len() {
+            self.paths.resize_with(path + 1, PathSlots::default);
+        }
+        self.paths[path].insert(seq, frag);
         if self.len() > self.cap {
             self.evict_oldest();
         }
@@ -225,18 +340,14 @@ impl RetransmitBuffer {
     /// Evicts the lowest-sequence record from the fullest path (ties go to
     /// the lowest path id). Called only when the cap is exceeded.
     fn evict_oldest(&mut self) {
-        let Some(victim_path) = self
-            .by_path
-            .iter()
-            .filter(|(_, m)| !m.is_empty())
-            .max_by_key(|&(p, m)| (m.len(), usize::MAX - *p))
-            .map(|(p, _)| *p)
-        else {
-            return;
-        };
-        if let Some(m) = self.by_path.get_mut(&victim_path) {
-            if let Some(e) = m.first_entry() {
-                e.remove();
+        let mut victim: Option<(usize, usize)> = None;
+        for (p, slots) in self.paths.iter().enumerate() {
+            if slots.held > 0 && victim.is_none_or(|(_, held)| slots.held > held) {
+                victim = Some((p, slots.held));
+            }
+        }
+        if let Some((p, _)) = victim {
+            if self.paths[p].evict_oldest() {
                 self.evictions += 1;
             }
         }
@@ -244,26 +355,16 @@ impl RetransmitBuffer {
 
     /// Removes and returns the record for a NACKed `(path, seq)`, if held.
     pub fn take(&mut self, path: usize, seq: u64) -> Option<FragmentRecord> {
-        self.by_path.get_mut(&path)?.remove(&seq)
+        self.paths.get_mut(path)?.take(seq)
     }
 
     /// Acknowledges everything on `path` up to and including `cum_seq`.
     /// Returns how many records were released.
     pub fn ack_cumulative(&mut self, path: usize, cum_seq: u64) -> usize {
-        let Some(m) = self.by_path.get_mut(&path) else {
-            return 0;
-        };
-        // Pop acknowledged records off the front instead of `split_off`,
-        // which would allocate a fresh tree on every feedback packet.
-        let mut released = 0;
-        while let Some(entry) = m.first_entry() {
-            if *entry.key() > cum_seq {
-                break;
-            }
-            entry.remove();
-            released += 1;
+        match self.paths.get_mut(path) {
+            Some(slots) => slots.ack_cumulative(cum_seq),
+            None => 0,
         }
-        released
     }
 
     /// Drops records whose deadline passed (no point retransmitting).
@@ -279,19 +380,25 @@ impl RetransmitBuffer {
         }
         let mut expired = 0;
         let mut next_deadline: Option<SimTime> = None;
-        for m in self.by_path.values_mut() {
-            let before = m.len();
-            m.retain(|_, f| {
+        for slots in &mut self.paths {
+            for slot in &mut slots.ring {
+                let Some(f) = slot else { continue };
                 let keep =
                     f.class.recovery_is_unconditional() || f.deadline.is_none_or(|d| now <= d);
-                if keep && !f.class.recovery_is_unconditional() {
-                    if let Some(d) = f.deadline {
-                        next_deadline = Some(next_deadline.map_or(d, |cur| cur.min(d)));
+                if keep {
+                    if !f.class.recovery_is_unconditional() {
+                        if let Some(d) = f.deadline {
+                            next_deadline = Some(next_deadline.map_or(d, |cur| cur.min(d)));
+                        }
                     }
+                } else {
+                    *slot = None;
+                    slots.held -= 1;
+                    expired += 1;
                 }
-                keep
-            });
-            expired += before - m.len();
+            }
+            slots.trim_front();
+            slots.trim_back();
         }
         self.earliest_deadline = next_deadline;
         expired
@@ -299,7 +406,7 @@ impl RetransmitBuffer {
 
     /// Records currently held.
     pub fn len(&self) -> usize {
-        self.by_path.values().map(|m| m.len()).sum()
+        self.paths.iter().map(|p| p.held).sum()
     }
 
     /// `true` if no records are held.

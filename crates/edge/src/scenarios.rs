@@ -170,8 +170,8 @@ struct ExecutorProbe {
 
 impl Actor for ExecutorProbe {
     fn on_event(&mut self, ctx: &mut SimCtx, ev: Event) {
-        if let Event::Message { mut msg, .. } = ev {
-            if let Some(d) = msg.take::<Delivered>() {
+        if let Event::Message { msg, .. } = ev {
+            if let Some(d) = msg.map_ref(|d: &Delivered| *d) {
                 let transport = ctx.now().saturating_since(d.created);
                 match d.kind {
                     StreamKind::VideoReference | StreamKind::VideoInter => {

@@ -28,10 +28,10 @@
 //! reached. All arithmetic is sequential `f64`: same inputs, same bits.
 
 use crate::hybrid::{Coupling, CouplingMode};
-use crate::maxmin::{max_min_rates, ClassDemand};
+use crate::maxmin::{max_min_rates_into, MaxMinClass, MaxMinScratch};
 use marnet_sim::engine::{Actor, ActorId, Event, SimCtx, TimerHandle};
 use marnet_sim::link::Bandwidth;
-use marnet_sim::packet::Payload;
+use marnet_sim::packet::PayloadPool;
 use marnet_sim::region::RateUpdate;
 use marnet_sim::stats::Histogram;
 use marnet_sim::time::{SimDuration, SimTime};
@@ -155,6 +155,18 @@ struct ClassState {
     coupled_bps: u64,
 }
 
+impl MaxMinClass for ClassState {
+    fn route(&self) -> &[usize] {
+        &self.route
+    }
+    fn flows(&self) -> u64 {
+        self.standing + self.heap.len() as u64
+    }
+    fn cap_bps(&self) -> f64 {
+        self.cap_bps
+    }
+}
+
 /// The fluid tier: an actor owning a fluid link graph and its classes.
 ///
 /// Build the graph with [`FluidNetwork::add_link`] /
@@ -167,6 +179,14 @@ pub struct FluidNetwork {
     last_update: SimTime,
     pending: Option<TimerHandle>,
     stats: Rc<RefCell<FluidStats>>,
+    /// Reusable fill-loop buffers — the recompute path allocates nothing
+    /// once these are warm.
+    scratch: MaxMinScratch,
+    rates: Vec<f64>,
+    /// Recycled [`FlowDone`] payloads for completion notifications.
+    done_pool: PayloadPool<FlowDone>,
+    /// Recycled [`RateUpdate`] payloads for hybrid-coupling notifications.
+    rate_pool: PayloadPool<RateUpdate>,
 }
 
 impl FluidNetwork {
@@ -219,6 +239,14 @@ impl FluidNetwork {
     /// Shared handle to the aggregate statistics.
     pub fn stats(&self) -> Rc<RefCell<FluidStats>> {
         Rc::clone(&self.stats)
+    }
+
+    /// Enables or disables payload pooling for completion notifications.
+    /// On by default; the forced-fresh path exists so the pooling-identity
+    /// tests can prove artifacts do not depend on it.
+    pub fn set_pooling(&mut self, enabled: bool) {
+        self.done_pool.set_enabled(enabled);
+        self.rate_pool.set_enabled(enabled);
     }
 
     /// Advances every class's service counter to `now`.
@@ -283,7 +311,8 @@ impl FluidNetwork {
                         bytes: entry.bytes,
                         duration,
                     };
-                    ctx.send_message(target, Payload::new(done));
+                    let payload = self.done_pool.prepare(|| done, |d| *d = done);
+                    ctx.send_message(target, payload);
                 }
             }
         }
@@ -294,20 +323,15 @@ impl FluidNetwork {
     /// current (call [`Self::advance`] first).
     fn recompute(&mut self, ctx: &mut SimCtx) {
         self.stats.borrow_mut().recomputes += 1;
-        let demands: Vec<ClassDemand<'_>> = self
-            .classes
-            .iter()
-            .map(|c| ClassDemand {
-                route: &c.route,
-                flows: c.standing + c.heap.len() as u64,
-                cap_bps: c.cap_bps,
-            })
-            .collect();
-        let rates = max_min_rates(&self.links, &demands);
+        // The classes implement `MaxMinClass` directly, so no per-call
+        // demand staging vector exists; scratch and output buffers are
+        // fields and this call allocates nothing once they are warm.
+        max_min_rates_into(&self.links, &self.classes, &mut self.scratch, &mut self.rates);
 
         let now = ctx.now();
         let comp = component::actor(ctx.self_id().index());
-        for (ci, rate) in rates.into_iter().enumerate() {
+        for ci in 0..self.classes.len() {
+            let rate = self.rates[ci];
             let c = &mut self.classes[ci];
             c.rate_bps = rate;
             let active = c.standing + c.heap.len() as u64;
@@ -330,7 +354,8 @@ impl FluidNetwork {
                     match coupling.via {
                         CouplingMode::Direct => ctx.set_link_rate(update.link, update.rate),
                         CouplingMode::Notify(owner) => {
-                            ctx.send_message(owner, Payload::new(update));
+                            let payload = self.rate_pool.prepare(|| update, |u| *u = update);
+                            ctx.send_message(owner, payload);
                         }
                     }
                 }
@@ -370,8 +395,11 @@ impl Actor for FluidNetwork {
                 self.last_update = ctx.now();
                 self.recompute(ctx);
             }
-            Event::Message { mut msg, .. } => {
-                if let Some(start) = msg.take::<StartFlow>() {
+            Event::Message { msg, .. } => {
+                // Copy out by reference: `StartFlow` is `Copy` and the
+                // payload may be pooled (shared), where `take` would
+                // deep-clone through a fresh box.
+                if let Some(start) = msg.map_ref(|s: &StartFlow| *s) {
                     let now = ctx.now();
                     self.advance(now);
                     let c = &mut self.classes[start.class.index()];
@@ -412,6 +440,7 @@ impl Actor for FluidNetwork {
 mod tests {
     use super::*;
     use marnet_sim::engine::Simulator;
+    use marnet_sim::packet::Payload;
 
     /// Starts `flows` of `bytes` each at t=0 and records completions.
     struct Driver {

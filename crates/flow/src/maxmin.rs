@@ -31,6 +31,48 @@ pub struct ClassDemand<'a> {
 /// reached its cap" despite floating-point rounding in the fill loop.
 const REL_EPS: f64 = 1e-12;
 
+/// What the allocator needs to know about one flow class — implemented by
+/// [`ClassDemand`] and by the fluid tier's internal class state, so the
+/// per-recompute `ClassDemand` staging vector disappears from the hot
+/// path.
+pub trait MaxMinClass {
+    /// Fluid-link indices the class's flows traverse.
+    fn route(&self) -> &[usize];
+    /// Number of concurrently active flows in the class.
+    fn flows(&self) -> u64;
+    /// Per-flow rate cap in bits/s; `f64::INFINITY` when uncapped.
+    fn cap_bps(&self) -> f64;
+}
+
+impl MaxMinClass for ClassDemand<'_> {
+    fn route(&self) -> &[usize] {
+        self.route
+    }
+    fn flows(&self) -> u64 {
+        self.flows
+    }
+    fn cap_bps(&self) -> f64 {
+        self.cap_bps
+    }
+}
+
+/// Reusable working storage for [`max_min_rates_into`]. Holding one of
+/// these across recomputes makes the fill loop allocation-free (the
+/// previous implementation allocated a per-link flow count *per pass*).
+#[derive(Debug, Default)]
+pub struct MaxMinScratch {
+    frozen: Vec<bool>,
+    residual: Vec<f64>,
+    nflows: Vec<u64>,
+}
+
+impl MaxMinScratch {
+    /// Empty scratch; buffers grow on first use and are then reused.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// Computes the max-min fair per-flow rate (bits/s) for every class.
 ///
 /// `capacity_bps[l]` is the capacity of fluid link `l`; routes in
@@ -41,32 +83,52 @@ const REL_EPS: f64 = 1e-12;
 /// Panics if a route names a link outside `capacity_bps`, or if a class
 /// has an empty route and an infinite cap (unbounded demand).
 pub fn max_min_rates(capacity_bps: &[f64], classes: &[ClassDemand<'_>]) -> Vec<f64> {
+    let mut rate = Vec::new();
+    max_min_rates_into(capacity_bps, classes, &mut MaxMinScratch::new(), &mut rate);
+    rate
+}
+
+/// [`max_min_rates`] with caller-owned scratch and output buffers — the
+/// allocation-free form the fluid tier calls on every recompute.
+///
+/// `rate` is cleared and refilled with one per-flow rate per class.
+pub fn max_min_rates_into<C: MaxMinClass>(
+    capacity_bps: &[f64],
+    classes: &[C],
+    scratch: &mut MaxMinScratch,
+    rate: &mut Vec<f64>,
+) {
     for c in classes {
         assert!(
-            !c.route.is_empty() || c.cap_bps.is_finite(),
+            !c.route().is_empty() || c.cap_bps().is_finite(),
             "a class with no route must have a finite per-flow cap"
         );
-        for &l in c.route {
+        for &l in c.route() {
             assert!(l < capacity_bps.len(), "route names unknown link {l}");
         }
     }
 
-    let mut rate = vec![0.0f64; classes.len()];
-    let mut frozen: Vec<bool> = classes.iter().map(|c| c.flows == 0).collect();
-    let mut residual = capacity_bps.to_vec();
+    rate.clear();
+    rate.resize(classes.len(), 0.0);
+    let MaxMinScratch { frozen, residual, nflows } = scratch;
+    frozen.clear();
+    frozen.extend(classes.iter().map(|c| c.flows() == 0));
+    residual.clear();
+    residual.extend_from_slice(capacity_bps);
     let mut level = 0.0f64;
 
     // Every pass freezes at least one class (the guard below enforces it
     // even under adverse rounding), so `classes + 1` passes suffice.
     for _ in 0..=classes.len() {
         // Unfrozen flows crossing each link.
-        let mut nflows = vec![0u64; capacity_bps.len()];
+        nflows.clear();
+        nflows.resize(capacity_bps.len(), 0);
         let mut any_unfrozen = false;
-        for (c, f) in classes.iter().zip(&frozen) {
+        for (c, f) in classes.iter().zip(frozen.iter()) {
             if !*f {
                 any_unfrozen = true;
-                for &l in c.route {
-                    nflows[l] += c.flows;
+                for &l in c.route() {
+                    nflows[l] += c.flows();
                 }
             }
         }
@@ -82,9 +144,9 @@ pub fn max_min_rates(capacity_bps: &[f64], classes: &[ClassDemand<'_>]) -> Vec<f
                 delta = delta.min((residual[l] / nf as f64).max(0.0));
             }
         }
-        for (c, f) in classes.iter().zip(&frozen) {
-            if !*f && c.cap_bps.is_finite() {
-                delta = delta.min((c.cap_bps - level).max(0.0));
+        for (c, f) in classes.iter().zip(frozen.iter()) {
+            if !*f && c.cap_bps().is_finite() {
+                delta = delta.min((c.cap_bps() - level).max(0.0));
             }
         }
         debug_assert!(delta.is_finite(), "unbounded fill step");
@@ -99,8 +161,8 @@ pub fn max_min_rates(capacity_bps: &[f64], classes: &[ClassDemand<'_>]) -> Vec<f
         let mut froze_any = false;
         // Cap-limited classes freeze exactly at their cap.
         for (i, c) in classes.iter().enumerate() {
-            if !frozen[i] && c.cap_bps <= level * (1.0 + REL_EPS) {
-                rate[i] = c.cap_bps;
+            if !frozen[i] && c.cap_bps() <= level * (1.0 + REL_EPS) {
+                rate[i] = c.cap_bps();
                 frozen[i] = true;
                 froze_any = true;
             }
@@ -110,7 +172,7 @@ pub fn max_min_rates(capacity_bps: &[f64], classes: &[ClassDemand<'_>]) -> Vec<f
             if frozen[i] {
                 continue;
             }
-            let bottlenecked = c.route.iter().any(|&l| residual[l] <= capacity_bps[l] * REL_EPS);
+            let bottlenecked = c.route().iter().any(|&l| residual[l] <= capacity_bps[l] * REL_EPS);
             if bottlenecked {
                 rate[i] = level;
                 frozen[i] = true;
@@ -130,7 +192,6 @@ pub fn max_min_rates(capacity_bps: &[f64], classes: &[ClassDemand<'_>]) -> Vec<f
             break;
         }
     }
-    rate
 }
 
 #[cfg(test)]
@@ -199,6 +260,29 @@ mod tests {
         let r2 = max_min_rates(&caps, &many);
         for r in r2 {
             assert!((r - r1[0]).abs() <= 1e-6 * r1[0]);
+        }
+    }
+
+    #[test]
+    fn reused_scratch_matches_fresh_allocation() {
+        let caps = [10e6, 4e6, 25e6];
+        let problems: Vec<Vec<ClassDemand<'_>>> = vec![
+            vec![
+                ClassDemand { route: &[0, 1], flows: 3, cap_bps: f64::INFINITY },
+                ClassDemand { route: &[0], flows: 1, cap_bps: 2e6 },
+            ],
+            vec![ClassDemand { route: &[2], flows: 7, cap_bps: 1e6 }],
+            vec![
+                ClassDemand { route: &[0, 2], flows: 2, cap_bps: f64::INFINITY },
+                ClassDemand { route: &[1, 2], flows: 5, cap_bps: f64::INFINITY },
+                ClassDemand { route: &[2], flows: 0, cap_bps: f64::INFINITY },
+            ],
+        ];
+        let mut scratch = MaxMinScratch::new();
+        let mut rate = Vec::new();
+        for classes in &problems {
+            max_min_rates_into(&caps, classes, &mut scratch, &mut rate);
+            assert_eq!(rate, max_min_rates(&caps, classes), "scratch reuse must not change rates");
         }
     }
 

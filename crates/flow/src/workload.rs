@@ -14,7 +14,7 @@
 
 use crate::fluid::{ClassId, FlowDone, StartFlow};
 use marnet_sim::engine::{Actor, ActorId, Event, SimCtx};
-use marnet_sim::packet::Payload;
+use marnet_sim::packet::PayloadPool;
 use marnet_sim::rng::derive_rng;
 use marnet_sim::stats::Histogram;
 use marnet_sim::time::SimDuration;
@@ -60,6 +60,9 @@ pub struct BackgroundWorkload {
     /// construction does not need the seed threaded through.
     rng: Option<ChaCha12Rng>,
     stats: Rc<RefCell<WorkloadStats>>,
+    /// Recycled [`StartFlow`] payloads — with 10⁵ clients the transfer
+    /// hand-off is the tier's dominant message traffic.
+    start_pool: PayloadPool<StartFlow>,
 }
 
 impl BackgroundWorkload {
@@ -69,12 +72,19 @@ impl BackgroundWorkload {
             cfg,
             rng: None,
             stats: Rc::new(RefCell::new(WorkloadStats::default())),
+            start_pool: PayloadPool::new(),
         }
     }
 
     /// Shared handle to the population's statistics.
     pub fn stats(&self) -> Rc<RefCell<WorkloadStats>> {
         Rc::clone(&self.stats)
+    }
+
+    /// Enables or disables payload pooling for transfer hand-offs (on by
+    /// default; see the pooling-identity tests).
+    pub fn set_pooling(&mut self, enabled: bool) {
+        self.start_pool.set_enabled(enabled);
     }
 
     /// Exponential think-time draw, clamped away from zero.
@@ -108,10 +118,13 @@ impl Actor for BackgroundWorkload {
                     bytes: self.cfg.transfer_bytes,
                     notify: Some(ctx.self_id()),
                 };
-                ctx.send_message(self.cfg.network, Payload::new(msg));
+                let payload = self.start_pool.prepare(|| msg, |m| *m = msg);
+                ctx.send_message(self.cfg.network, payload);
             }
-            Event::Message { mut msg, .. } => {
-                if let Some(done) = msg.take::<FlowDone>() {
+            Event::Message { msg, .. } => {
+                // `FlowDone` is `Copy` and may arrive in a pooled payload:
+                // copy it out by reference instead of `take`.
+                if let Some(done) = msg.map_ref(|d: &FlowDone| *d) {
                     {
                         let mut st = self.stats.borrow_mut();
                         st.completed += 1;

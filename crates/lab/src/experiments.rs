@@ -108,7 +108,7 @@ fn table2_rtt(replicates: u32, seed: u64, telemetry: TelemetryOptions) -> Experi
         let probes = point.param("probes").as_int().expect("int") as u64;
         let request = point.param("request_bytes").as_int().expect("int") as u32;
         let response = point.param("response_bytes").as_int().expect("int") as u32;
-        let (stats, capture) =
+        let (stats, _events, capture) =
             run_table2_instrumented(scenario, probes, request, response, ctx.seed, &telemetry);
         let st = stats.borrow();
         let mut h = st.rtt_ms.clone();

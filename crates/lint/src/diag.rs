@@ -29,6 +29,10 @@ pub enum Rule {
     /// `unwrap()`/`expect()`/`panic!`-family/slice-indexing in the
     /// event-core hot-path modules.
     PanicPath,
+    /// Fresh heap allocation (`Vec::new`, `vec!`, `Box::new`, `.to_vec()`)
+    /// in the event-core hot-path modules, which recycle buffers through
+    /// pools and scratch vectors.
+    HotPathAlloc,
     /// A crate dependency that violates the workspace layering DAG.
     Layering,
     /// A crate root missing `#![forbid(unsafe_code)]`.
@@ -47,6 +51,7 @@ pub const ALL_RULES: &[Rule] = &[
     Rule::MapIter,
     Rule::UnseededRng,
     Rule::PanicPath,
+    Rule::HotPathAlloc,
     Rule::Layering,
     Rule::UnsafeHygiene,
     Rule::BadPragma,
@@ -63,6 +68,7 @@ impl Rule {
             Rule::MapIter => "map-iter",
             Rule::UnseededRng => "unseeded-rng",
             Rule::PanicPath => "panic-path",
+            Rule::HotPathAlloc => "hot-path-alloc",
             Rule::Layering => "layering",
             Rule::UnsafeHygiene => "unsafe-hygiene",
             Rule::BadPragma => "bad-pragma",
@@ -98,6 +104,11 @@ impl Rule {
             Rule::PanicPath => {
                 "the event-core hot path must degrade, not abort: a panic mid-run \
                  loses the trial and poisons parallel replication"
+            }
+            Rule::HotPathAlloc => {
+                "the event-core modules recycle payloads and scratch buffers; a \
+                 fresh allocation per event regresses allocs/event and the \
+                 perf-matrix ratchet"
             }
             Rule::Layering => {
                 "the dependency DAG keeps sim reusable and telemetry leaf-like so \

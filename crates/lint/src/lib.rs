@@ -19,6 +19,7 @@
 //! | `env-read`       | runs reproducible from the spec hash              |
 //! | `map-iter`       | no hasher-dependent order reaches an artifact     |
 //! | `panic-path`     | the event-core hot path degrades, never aborts    |
+//! | `hot-path-alloc` | pooled hot paths allocate ~zero per event         |
 //! | `layering`       | the crate DAG (`sim` reusable, `telemetry` leaf)  |
 //! | `unsafe-hygiene` | every determinism argument is a safe-Rust one     |
 //! | `bad-pragma`     | suppressions carry an auditable reason            |
@@ -48,4 +49,4 @@ pub mod workspace;
 
 pub use diag::{render_json, render_text, Diagnostic, Rule, ALL_RULES};
 pub use rules::{scan_file, FileScope};
-pub use workspace::{find_workspace_root, lint_workspace, Report, HOT_PATH, SIM_FACING};
+pub use workspace::{find_workspace_root, lint_workspace, Report, HOT_ALLOC, HOT_PATH, SIM_FACING};

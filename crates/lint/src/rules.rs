@@ -28,6 +28,8 @@ pub struct FileScope {
     pub determinism: bool,
     /// Panic-safety rules: one of the event-core hot-path modules.
     pub panic_path: bool,
+    /// Allocation-discipline rule: one of the pooled hot-path modules.
+    pub hot_alloc: bool,
     /// Hygiene rule (`#![forbid(unsafe_code)]`): a crate root.
     pub hygiene: bool,
 }
@@ -70,18 +72,26 @@ pub fn scan_file(src: &str, scope: &FileScope) -> Vec<Diagnostic> {
     if scope.panic_path {
         scan_panic_path(toks, &in_test, &mut push);
     }
+    if scope.hot_alloc {
+        scan_hot_alloc(toks, &in_test, &mut push);
+    }
     if scope.hygiene && !has_forbid_unsafe(toks) {
         push(Rule::UnsafeHygiene, 1, "crate root is missing `#![forbid(unsafe_code)]`".into());
     }
 
-    // Pragma suppression: same line or the line directly above.
+    // Pragma suppression: same line or the line directly above. The
+    // same-line pragma is preferred, so consecutive pragma'd lines each
+    // consume their own pragma instead of the first one claiming both.
     let mut used = vec![false; pragmas.len()];
     let mut findings: Vec<Diagnostic> = Vec::new();
     'raw: for d in raw {
-        for (i, p) in pragmas.iter().enumerate() {
-            if p.rule == d.rule && (p.line == d.line || p.line + 1 == d.line) {
-                used[i] = true;
-                continue 'raw;
+        for same_line in [true, false] {
+            for (i, p) in pragmas.iter().enumerate() {
+                let hit = if same_line { p.line == d.line } else { p.line + 1 == d.line };
+                if p.rule == d.rule && hit {
+                    used[i] = true;
+                    continue 'raw;
+                }
             }
         }
         findings.push(d);
@@ -107,6 +117,7 @@ pub fn scan_file(src: &str, scope: &FileScope) -> Vec<Diagnostic> {
             | Rule::MapIter
             | Rule::UnseededRng => scope.determinism,
             Rule::PanicPath => scope.panic_path,
+            Rule::HotPathAlloc => scope.hot_alloc,
             Rule::UnsafeHygiene => scope.hygiene,
             _ => false,
         };
@@ -496,12 +507,71 @@ fn scan_panic_path(
     }
 }
 
+/// The allocation-discipline family for pooled hot-path modules: fresh
+/// heap allocations that should instead recycle through `PayloadPool`
+/// slots or retained scratch buffers. `Vec::new()` itself is lazy, but a
+/// vector born on the hot path grows on the hot path — cold-path births
+/// (constructors, drains) carry a reasoned pragma instead.
+fn scan_hot_alloc(
+    toks: &[Token],
+    in_test: &dyn Fn(usize) -> bool,
+    push: &mut dyn FnMut(Rule, usize, String),
+) {
+    for i in 0..toks.len() {
+        let line = toks[i].line;
+        if in_test(line) {
+            continue;
+        }
+        let ctor = (word_at(toks, i, "Vec") || word_at(toks, i, "Box"))
+            && punct_at(toks, i + 1, "::")
+            && word_at(toks, i + 2, "new");
+        if ctor {
+            push(
+                Rule::HotPathAlloc,
+                line,
+                format!(
+                    "`{}::new` in a pooled hot-path module; recycle through a pool or \
+                     scratch buffer (or pragma a cold path)",
+                    toks[i].text
+                ),
+            );
+        }
+        if word_at(toks, i, "vec") && punct_at(toks, i + 1, "!") {
+            push(
+                Rule::HotPathAlloc,
+                line,
+                "`vec!` allocates per call in a pooled hot-path module; recycle through \
+                 a pool or scratch buffer (or pragma a cold path)"
+                    .into(),
+            );
+        }
+        if punct_at(toks, i, ".") && word_at(toks, i + 1, "to_vec") && punct_at(toks, i + 2, "(") {
+            push(
+                Rule::HotPathAlloc,
+                toks[i + 1].line,
+                "`.to_vec()` deep-copies in a pooled hot-path module; recycle through \
+                 a pool or scratch buffer (or pragma a cold path)"
+                    .into(),
+            );
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn scan(src: &str, determinism: bool, panic_path: bool, hygiene: bool) -> Vec<Diagnostic> {
-        scan_file(src, &FileScope { rel_path: "x.rs".into(), determinism, panic_path, hygiene })
+        scan_file(
+            src,
+            &FileScope {
+                rel_path: "x.rs".into(),
+                determinism,
+                panic_path,
+                hot_alloc: panic_path,
+                hygiene,
+            },
+        )
     }
 
     #[test]
@@ -605,6 +675,26 @@ mod tests {
         let d = scan(src, false, true, false);
         let rules: Vec<Rule> = d.iter().map(|d| d.rule).collect();
         assert_eq!(rules, vec![Rule::PanicPath; 3], "{d:?}");
+    }
+
+    #[test]
+    fn hot_path_allocs_are_flagged_and_pragma_suppresses() {
+        let src = "
+            fn hot(xs: &[u8]) -> Vec<u8> {
+                let a: Vec<u8> = Vec::new();
+                let b = vec![0u8; 4];
+                let c = Box::new(4u32);
+                drop((a, b, c));
+                xs.to_vec()
+            }
+            // marnet-lint: allow(hot-path-alloc): constructor runs once per sim, not per event
+            fn cold() -> Vec<u8> { Vec::new() }
+        ";
+        let d = scan(src, false, true, false);
+        assert_eq!(d.len(), 4, "{d:?}");
+        assert!(d.iter().all(|d| d.rule == Rule::HotPathAlloc));
+        // Without hot-path scope the family stays silent.
+        assert!(scan(src, true, false, false).is_empty());
     }
 
     #[test]

@@ -9,7 +9,8 @@
 //!   entry points that legitimately read `std::env::args`.
 //! * **Hot-path modules** (the PR 2 event-core set: `sim::engine`,
 //!   `core::endpoint`, `transport::nic`) additionally get the
-//!   panic-safety family.
+//!   panic-safety family, and the pooled set (those three plus
+//!   `core::fec` and `flow::fluid`) the allocation-discipline rule.
 //! * **Every crate root** (`src/lib.rs`) gets the hygiene rule, and
 //!   every crate manifest the layering rule.
 //! * `tests/`, `benches/`, `examples/`, and `#[cfg(test)]` items are
@@ -32,6 +33,19 @@ pub const SIM_FACING: &[&str] =
 /// relative, forward slashes).
 pub const HOT_PATH: &[&str] =
     &["crates/sim/src/engine.rs", "crates/core/src/endpoint.rs", "crates/transport/src/nic.rs"];
+
+/// Pooled hot-path modules under the allocation-discipline rule: the
+/// modules whose per-event work the perf matrix holds to near-zero
+/// allocs/event. Fresh `Vec::new`/`vec!`/`Box::new`/`.to_vec()` here must
+/// either recycle through a pool/scratch buffer or carry a reasoned
+/// pragma naming the cold path.
+pub const HOT_ALLOC: &[&str] = &[
+    "crates/sim/src/engine.rs",
+    "crates/core/src/endpoint.rs",
+    "crates/core/src/fec.rs",
+    "crates/transport/src/nic.rs",
+    "crates/flow/src/fluid.rs",
+];
 
 /// The result of a whole-workspace pass.
 #[derive(Debug, Default)]
@@ -98,6 +112,7 @@ fn scan_crate(root: &Path, dir: &Path, name: &str, report: &mut Report) -> io::R
         let scope = FileScope {
             determinism: determinism && !in_bin,
             panic_path: HOT_PATH.contains(&rel_path.as_str()),
+            hot_alloc: HOT_ALLOC.contains(&rel_path.as_str()),
             hygiene: file == src.join("lib.rs"),
             rel_path,
         };

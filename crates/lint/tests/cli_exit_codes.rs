@@ -43,6 +43,7 @@ fn allowing_every_fixture_rule_exits_zero() {
         "map-iter",
         "unseeded-rng",
         "panic-path",
+        "hot-path-alloc",
         "layering",
         "unsafe-hygiene",
         "bad-pragma",

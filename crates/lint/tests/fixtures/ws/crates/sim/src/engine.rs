@@ -1,6 +1,11 @@
 //! Fixture hot-path module (`crates/sim/src/engine.rs` is in the
-//! panic-safety set): one seeded `.unwrap()` violation.
+//! panic-safety and allocation-discipline sets): one seeded `.unwrap()`
+//! violation and one seeded `Vec::new` violation.
 
 pub fn pop(v: &mut Vec<u64>) -> u64 {
     v.pop().unwrap()
+}
+
+pub fn fresh() -> Vec<u64> {
+    Vec::new()
 }

@@ -33,7 +33,8 @@ fn json_report_matches_golden_byte_for_byte() {
         "  \"schema_version\": 1,\n",
         "  \"findings\": [\n",
         "    {\"rule\": \"layering\", \"file\": \"crates/sim/Cargo.toml\", \"line\": 10, \"message\": \"`sim` must not depend on `marnet-bench`; allowed: [telemetry]\"},\n",
-        "    {\"rule\": \"panic-path\", \"file\": \"crates/sim/src/engine.rs\", \"line\": 5, \"message\": \"`.unwrap()` in an event-core hot-path module can abort a trial mid-run\"},\n",
+        "    {\"rule\": \"panic-path\", \"file\": \"crates/sim/src/engine.rs\", \"line\": 6, \"message\": \"`.unwrap()` in an event-core hot-path module can abort a trial mid-run\"},\n",
+        "    {\"rule\": \"hot-path-alloc\", \"file\": \"crates/sim/src/engine.rs\", \"line\": 10, \"message\": \"`Vec::new` in a pooled hot-path module; recycle through a pool or scratch buffer (or pragma a cold path)\"},\n",
         "    {\"rule\": \"unsafe-hygiene\", \"file\": \"crates/sim/src/lib.rs\", \"line\": 1, \"message\": \"crate root is missing `#![forbid(unsafe_code)]`\"},\n",
         "    {\"rule\": \"wall-clock\", \"file\": \"crates/sim/src/lib.rs\", \"line\": 6, \"message\": \"`Instant::now()` reads the wall clock\"},\n",
         "    {\"rule\": \"thread-id\", \"file\": \"crates/sim/src/lib.rs\", \"line\": 11, \"message\": \"`thread::current()` leaks the host schedule into sim state\"},\n",
@@ -43,7 +44,7 @@ fn json_report_matches_golden_byte_for_byte() {
         "    {\"rule\": \"unused-pragma\", \"file\": \"crates/sim/src/lib.rs\", \"line\": 28, \"message\": \"pragma `allow(env-read)` suppresses nothing here; remove it\"},\n",
         "    {\"rule\": \"unseeded-rng\", \"file\": \"crates/sim/src/lib.rs\", \"line\": 34, \"message\": \"`thread_rng` draws OS entropy; use derive_rng(seed, label) so the trial replays byte-identically\"}\n",
         "  ],\n",
-        "  \"total\": 10\n",
+        "  \"total\": 11\n",
         "}\n",
     );
     assert_eq!(render_json(&report.findings), expected);
@@ -54,7 +55,8 @@ fn text_report_anchors_every_finding() {
     let report = lint_workspace(&fixture_root()).expect("fixture scan");
     let text = render_text(&report.findings);
     assert!(text.contains("crates/sim/Cargo.toml:10: [layering]"), "{text}");
-    assert!(text.contains("crates/sim/src/engine.rs:5: [panic-path]"), "{text}");
+    assert!(text.contains("crates/sim/src/engine.rs:6: [panic-path]"), "{text}");
+    assert!(text.contains("crates/sim/src/engine.rs:10: [hot-path-alloc]"), "{text}");
     assert!(text.contains("crates/sim/src/lib.rs:1: [unsafe-hygiene]"), "{text}");
-    assert!(text.ends_with("10 finding(s)\n"), "{text}");
+    assert!(text.ends_with("11 finding(s)\n"), "{text}");
 }

@@ -30,6 +30,7 @@ fn determinism_scope() -> FileScope {
         rel_path: "crates/sim/src/fake.rs".into(),
         determinism: true,
         panic_path: true,
+        hot_alloc: true,
         hygiene: false,
     }
 }

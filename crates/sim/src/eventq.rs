@@ -157,6 +157,28 @@ impl<T> EventQueue<T> {
         Some((entry.time, entry.seq, item))
     }
 
+    /// Removes the earliest entry if its time is `<= end` *and* `pred`
+    /// accepts it. The run loop uses this to coalesce back-to-back
+    /// deliveries on one link: the root is inspected in place, so a
+    /// declined peek costs a comparison and no heap movement.
+    pub(crate) fn pop_at_most_if(
+        &mut self,
+        end: SimTime,
+        pred: impl FnOnce(SimTime, &T) -> bool,
+    ) -> Option<(SimTime, u64, T)> {
+        let first = self.heap.first()?;
+        if first.time > end {
+            return None;
+        }
+        let time = first.time;
+        let root = self.slots[first.slab()].item.as_ref()?;
+        if !pred(time, root) {
+            return None;
+        }
+        let (entry, item) = self.remove_at(0);
+        Some((entry.time, entry.seq, item))
+    }
+
     /// Removes the entry behind `token` if it is still pending. Returns
     /// `true` if an entry was removed.
     pub(crate) fn cancel(&mut self, token: CancelToken) -> bool {
@@ -317,6 +339,27 @@ mod tests {
         assert!(q.is_empty());
         assert_eq!(q.cancellable_len(), 0);
         assert!(q.slots.len() <= 2, "cancelled slots must be reused, got {}", q.slots.len());
+    }
+
+    #[test]
+    fn pop_if_inspects_the_root_without_disturbing_it() {
+        let mut q = EventQueue::new();
+        q.push(t(10), 0, "a");
+        q.push(t(20), 1, "b");
+        // Declined predicate: nothing removed, order intact.
+        assert!(q.pop_at_most_if(t(50), |_, v| *v == "z").is_none());
+        assert_eq!(q.len(), 2);
+        // Past the horizon: predicate never runs.
+        assert!(q.pop_at_most_if(t(5), |_, _| true).is_none());
+        // Accepted: pops exactly the root.
+        let (time, _, v) = q
+            .pop_at_most_if(t(50), |time, v| {
+                assert_eq!(time, t(10));
+                *v == "a"
+            })
+            .unwrap();
+        assert_eq!((time, v), (t(10), "a"));
+        assert_eq!(q.pop().map(|(_, _, v)| v), Some("b"));
     }
 
     #[test]

@@ -26,6 +26,9 @@ pub trait PayloadData: Any + fmt::Debug {
     fn clone_box(&self) -> Box<dyn PayloadData>;
     /// Upcasts to [`Any`] for downcasting by reference.
     fn as_any(&self) -> &dyn Any;
+    /// Upcasts to [`Any`] for downcasting by mutable reference (the
+    /// in-place reuse path of [`Payload::try_mut`]).
+    fn as_any_mut(&mut self) -> &mut dyn Any;
     /// Upcasts to [`Any`] for downcasting by value.
     fn into_any(self: Box<Self>) -> Box<dyn Any>;
     /// Upcasts the shared pointer to [`Any`] for downcasting by value
@@ -38,6 +41,9 @@ impl<T: Any + Clone + fmt::Debug> PayloadData for T {
         Box::new(self.clone())
     }
     fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
         self
     }
     fn into_any(self: Box<Self>) -> Box<dyn Any> {
@@ -87,6 +93,22 @@ impl Payload {
     /// while [`Payload::take`] would have to deep-clone.
     pub fn is_shared(&self) -> bool {
         self.0.as_ref().is_some_and(|rc| Rc::strong_count(rc) > 1)
+    }
+
+    /// Returns `true` when this is the only live reference to a non-empty
+    /// payload — exactly when [`Payload::try_mut`] can succeed.
+    pub fn is_unique(&self) -> bool {
+        self.0.as_ref().is_some_and(|rc| Rc::strong_count(rc) == 1)
+    }
+
+    /// Mutably borrows the payload as `T` **without copying**, or returns
+    /// `None` if the payload is empty, of another type, or still shared
+    /// (other clones alive). This is the zero-allocation reuse path of
+    /// [`PayloadPool`]: a retired payload value is overwritten in place
+    /// instead of being reallocated.
+    pub fn try_mut<T: Any>(&mut self) -> Option<&mut T> {
+        let rc = self.0.as_mut()?;
+        Rc::get_mut(rc)?.as_any_mut().downcast_mut()
     }
 
     /// Borrows the payload as `T`, or `None` if empty or of another type.
@@ -150,6 +172,137 @@ impl fmt::Debug for Payload {
     }
 }
 
+/// Default cap on the number of payload slots one [`PayloadPool`] retains.
+///
+/// A slot is only reusable once every clone of its payload has been
+/// dropped, so the pool needs roughly as many slots as payloads of the
+/// type are simultaneously in flight. The protocol hot paths keep a few
+/// packets per path in the event queue at once; 64 covers them with
+/// margin while bounding worst-case retained memory.
+pub const DEFAULT_POOL_SLOTS: usize = 64;
+
+/// A slab of reusable [`Payload`] values of one type.
+///
+/// The pool owns one `Payload` clone per slot. While a payload is in
+/// flight (event queue, receiver, duplicate paths) its refcount is ≥ 2
+/// and the slot is skipped; once every other clone is dropped the slot
+/// becomes unique again and [`PayloadPool::prepare`] overwrites the value
+/// in place — no `Rc` allocation, no boxed-value allocation. Steady-state
+/// message traffic therefore allocates nothing.
+///
+/// **Receiver contract:** a pooled payload is *always* shared (the pool
+/// holds one reference). Receivers must read it with
+/// [`Payload::map_ref`]/[`Payload::downcast_ref`]; calling
+/// [`Payload::take`] would deep-clone and defeat the pool.
+///
+/// Determinism: the pool changes where a value lives, never what it
+/// contains — artifacts are byte-identical with pooling on or off (see
+/// `set_enabled`, which exists so tests can prove exactly that).
+pub struct PayloadPool<T> {
+    slots: Vec<Payload>,
+    cursor: usize,
+    max_slots: usize,
+    enabled: bool,
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Any + Clone + fmt::Debug> PayloadPool<T> {
+    /// An empty pool with the default slot cap.
+    pub fn new() -> Self {
+        Self::with_max_slots(DEFAULT_POOL_SLOTS)
+    }
+
+    /// An empty pool retaining at most `max_slots` payload slots; demand
+    /// beyond the cap falls back to fresh allocation.
+    pub fn with_max_slots(max_slots: usize) -> Self {
+        PayloadPool {
+            slots: Vec::new(),
+            cursor: 0,
+            max_slots: max_slots.max(1),
+            enabled: true,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Sets the enabled flag, builder style.
+    #[must_use]
+    pub fn with_enabled(mut self, enabled: bool) -> Self {
+        self.set_enabled(enabled);
+        self
+    }
+
+    /// Enables or disables reuse. A disabled pool always allocates fresh
+    /// and retains nothing — the forced-fresh reference path used by the
+    /// pooling-identity tests.
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+        if !enabled {
+            self.slots.clear();
+            self.cursor = 0;
+        }
+    }
+
+    /// Returns `true` while reuse is enabled.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Number of payload slots currently retained.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Returns `true` when no slots are retained.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Produces a payload containing a value built by `init` and then
+    /// shaped by `update`.
+    ///
+    /// When an idle slot exists, `update` mutates the retired value in
+    /// place and the returned payload is a refcount bump of that slot —
+    /// zero allocations. Otherwise (or with reuse disabled) the value is
+    /// freshly allocated; an enabled pool below its slot cap retains a
+    /// clone so later calls can reuse it.
+    pub fn prepare(&mut self, init: impl FnOnce() -> T, update: impl FnOnce(&mut T)) -> Payload {
+        if self.enabled {
+            let n = self.slots.len();
+            for step in 0..n {
+                let i = (self.cursor + step) % n;
+                if let Some(value) = self.slots[i].try_mut::<T>() {
+                    update(value);
+                    self.cursor = (i + 1) % n;
+                    return self.slots[i].clone();
+                }
+            }
+        }
+        let mut value = init();
+        update(&mut value);
+        let payload = Payload::new(value);
+        if self.enabled && self.slots.len() < self.max_slots {
+            self.slots.push(payload.clone());
+        }
+        payload
+    }
+}
+
+impl<T: Any + Clone + fmt::Debug> Default for PayloadPool<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> fmt::Debug for PayloadPool<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PayloadPool")
+            .field("slots", &self.slots.len())
+            .field("max_slots", &self.max_slots)
+            .field("enabled", &self.enabled)
+            .finish()
+    }
+}
+
 /// A simulated network packet.
 ///
 /// `size` is the wire size in bytes and is what links serialize; the attached
@@ -182,6 +335,15 @@ impl Packet {
     #[must_use]
     pub fn with_payload<T: PayloadData>(mut self, value: T) -> Self {
         self.payload = Payload::new(value);
+        self
+    }
+
+    /// Attaches an already-built payload — typically one leased from a
+    /// [`PayloadPool`], which stays shared with the pool's slot — without
+    /// re-wrapping it.
+    #[must_use]
+    pub fn with_shared_payload(mut self, payload: Payload) -> Self {
+        self.payload = payload;
         self
     }
 
@@ -262,6 +424,89 @@ mod tests {
         assert_eq!(p.map_ref(|h: &Header| h.seq), Some(3));
         assert_eq!(p.map_ref(|s: &String| s.len()), None);
         assert_eq!(Payload::empty().map_ref(|h: &Header| h.seq), None);
+    }
+
+    #[test]
+    fn try_mut_requires_unique_ownership() {
+        let mut p = Payload::new(Header { seq: 1, tag: "a".into() });
+        assert!(p.is_unique());
+        p.try_mut::<Header>().unwrap().seq = 9;
+        assert_eq!(p.downcast_ref::<Header>().unwrap().seq, 9);
+        // Wrong type: untouched.
+        assert!(p.try_mut::<u32>().is_none());
+        // Shared: refused.
+        let q = p.clone();
+        assert!(!p.is_unique());
+        assert!(p.try_mut::<Header>().is_none());
+        drop(q);
+        assert!(p.try_mut::<Header>().is_some());
+        assert!(Payload::empty().try_mut::<Header>().is_none());
+    }
+
+    #[test]
+    fn pool_reuses_slot_once_consumers_drop() {
+        let mut pool: PayloadPool<Header> = PayloadPool::new();
+        let first = pool.prepare(|| Header { seq: 0, tag: String::new() }, |h| h.seq = 1);
+        assert_eq!(pool.len(), 1);
+        assert_eq!(first.downcast_ref::<Header>().unwrap().seq, 1);
+        drop(first);
+        // The slot is idle again: reused in place, no second slot.
+        let second = pool.prepare(|| Header { seq: 0, tag: String::new() }, |h| h.seq = 2);
+        assert_eq!(pool.len(), 1);
+        assert_eq!(second.downcast_ref::<Header>().unwrap().seq, 2);
+    }
+
+    #[test]
+    fn pool_allocates_fresh_while_slots_are_in_flight() {
+        let mut pool: PayloadPool<Header> = PayloadPool::new();
+        let a = pool.prepare(|| Header { seq: 0, tag: String::new() }, |h| h.seq = 1);
+        let b = pool.prepare(|| Header { seq: 0, tag: String::new() }, |h| h.seq = 2);
+        assert_eq!(pool.len(), 2);
+        // In-flight values are unaffected by later prepares.
+        assert_eq!(a.downcast_ref::<Header>().unwrap().seq, 1);
+        assert_eq!(b.downcast_ref::<Header>().unwrap().seq, 2);
+    }
+
+    #[test]
+    fn pool_reuse_does_not_copy_the_value() {
+        use std::cell::Cell;
+        use std::rc::Rc as StdRc;
+        #[derive(Debug)]
+        struct Probe(u64, StdRc<Cell<u32>>);
+        impl Clone for Probe {
+            fn clone(&self) -> Self {
+                self.1.set(self.1.get() + 1);
+                Probe(self.0, StdRc::clone(&self.1))
+            }
+        }
+        let clones = StdRc::new(Cell::new(0));
+        let mut pool: PayloadPool<Probe> = PayloadPool::new();
+        for i in 0..100 {
+            let p = pool.prepare(|| Probe(0, StdRc::clone(&clones)), |v| v.0 = i);
+            assert_eq!(p.downcast_ref::<Probe>().unwrap().0, i);
+        }
+        assert_eq!(pool.len(), 1, "steady state keeps one slot");
+        assert_eq!(clones.get(), 0, "reuse must never clone the value");
+    }
+
+    #[test]
+    fn disabled_pool_always_allocates_fresh() {
+        let mut pool: PayloadPool<Header> = PayloadPool::new();
+        pool.set_enabled(false);
+        let a = pool.prepare(|| Header { seq: 0, tag: String::new() }, |h| h.seq = 7);
+        assert!(pool.is_empty());
+        assert!(a.is_unique(), "no pool reference retained");
+        assert_eq!(a.downcast_ref::<Header>().unwrap().seq, 7);
+    }
+
+    #[test]
+    fn pool_respects_slot_cap() {
+        let mut pool: PayloadPool<Header> = PayloadPool::with_max_slots(2);
+        let held: Vec<Payload> = (0..5)
+            .map(|i| pool.prepare(|| Header { seq: 0, tag: String::new() }, |h| h.seq = i))
+            .collect();
+        assert_eq!(pool.len(), 2);
+        drop(held);
     }
 
     #[test]

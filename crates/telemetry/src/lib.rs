@@ -40,7 +40,7 @@ pub mod usage;
 
 pub use event::{component, DropReason, TraceEvent, TraceKind};
 pub use metrics::{Counter, Gauge, MetricsRegistry, MetricsSnapshot, TimeBucket, TimeHistogram};
-pub use recorder::{FlightRecorder, NullRecorder, Recorder, TraceSink};
+pub use recorder::{ChunkedRecorder, FlightRecorder, NullRecorder, Recorder, TraceSink};
 pub use usage::ClassUsage;
 
 /// Default flight-recorder ring capacity used by CLI `--trace` flags:

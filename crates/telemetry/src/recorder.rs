@@ -55,9 +55,13 @@ pub struct FlightRecorder {
 
 impl FlightRecorder {
     /// A recorder holding at most `capacity` events (min 1).
+    ///
+    /// The full ring is reserved up front: on demand-paged systems the
+    /// reservation is address space until written, and pre-sizing keeps
+    /// doubling-growth memcpys out of recorded (timed) runs.
     pub fn new(capacity: usize) -> Self {
         let cap = capacity.max(1);
-        FlightRecorder { buf: Vec::with_capacity(cap.min(4096)), cap, next: 0, total: 0 }
+        FlightRecorder { buf: Vec::with_capacity(cap), cap, next: 0, total: 0 }
     }
 
     /// Events currently held (≤ capacity).
@@ -92,6 +96,53 @@ impl FlightRecorder {
             out
         }
     }
+
+    /// Takes the held events in chronological (recording) order, leaving
+    /// the recorder empty. Unlike [`FlightRecorder::events`] this moves
+    /// the buffer out instead of cloning it — the capture path uses it so
+    /// ending a traced run costs at most one in-place rotation, not a
+    /// ring-sized copy.
+    pub fn take_events(&mut self) -> Vec<TraceEvent> {
+        let mut out = std::mem::take(&mut self.buf);
+        if out.len() == self.cap {
+            // `next` points at the oldest surviving event once wrapped.
+            out.rotate_left(self.next);
+        }
+        self.next = 0;
+        self.total = 0;
+        out
+    }
+
+    /// Records a batch of events with bulk slice copies. The resulting
+    /// recorder state (`buf`, `next`, `total`) is *identical* to calling
+    /// [`Recorder::record`] once per event — the batch-equivalence unit
+    /// test pins this — so chunked recording cannot change artifacts.
+    pub fn record_batch(&mut self, events: &[TraceEvent]) {
+        self.total += events.len() as u64;
+        let mut src = events;
+        if self.buf.len() < self.cap {
+            // Fill phase: `next == buf.len()` here (the ring has never
+            // wrapped while the buffer is below capacity).
+            let take = src.len().min(self.cap - self.buf.len());
+            self.buf.extend_from_slice(&src[..take]);
+            self.next = (self.next + take) % self.cap;
+            src = &src[take..];
+            if src.is_empty() {
+                return;
+            }
+        }
+        // Wrap phase: the buffer is at capacity. A batch longer than the
+        // ring leaves only its last `cap` events, with `next` advanced by
+        // the full batch length modulo `cap` — exactly what per-event
+        // recording would do.
+        let skip = src.len().saturating_sub(self.cap);
+        let start = (self.next + skip) % self.cap;
+        let src = &src[skip..];
+        let first = (self.cap - start).min(src.len());
+        self.buf[start..start + first].copy_from_slice(&src[..first]);
+        self.buf[..src.len() - first].copy_from_slice(&src[first..]);
+        self.next = (start + src.len()) % self.cap;
+    }
 }
 
 impl Recorder for FlightRecorder {
@@ -110,7 +161,77 @@ impl Recorder for FlightRecorder {
     }
 }
 
-/// The engine-facing sink: off, or recording into a [`FlightRecorder`].
+/// Events per chunk of a [`ChunkedRecorder`]: 2048 × 32-byte events =
+/// 64 KiB, the top of the 4–64 KiB window that stays resident in L1/L2
+/// while amortizing the flush into the (potentially tens-of-MiB) ring.
+pub const CHUNK_EVENTS: usize = 2048;
+
+/// A double-buffered flight recorder: the record() fast path is a bump
+/// write into a small cache-hot chunk; full chunks are flushed into the
+/// backing [`FlightRecorder`] ring with bulk copies
+/// ([`FlightRecorder::record_batch`]).
+///
+/// Per event this removes the ring's total-counter update, wrap branch
+/// and cold-cache ring write; artifacts are unchanged because the flush
+/// is state-equivalent to per-event recording.
+#[derive(Debug, Clone)]
+pub struct ChunkedRecorder {
+    ring: FlightRecorder,
+    chunk: Vec<TraceEvent>,
+}
+
+impl ChunkedRecorder {
+    /// A recorder whose backing ring holds at most `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        let chunk = Vec::with_capacity(CHUNK_EVENTS.min(capacity.max(1)));
+        ChunkedRecorder { ring: FlightRecorder::new(capacity), chunk }
+    }
+
+    /// The backing ring's capacity.
+    pub fn capacity(&self) -> usize {
+        self.ring.capacity()
+    }
+
+    /// Total events ever recorded, including overwritten ones.
+    pub fn total_recorded(&self) -> u64 {
+        self.ring.total_recorded() + self.chunk.len() as u64
+    }
+
+    /// Flushes the active chunk into the backing ring.
+    pub fn flush(&mut self) {
+        self.ring.record_batch(&self.chunk);
+        self.chunk.clear();
+    }
+
+    /// The held events in chronological order (flushes first).
+    pub fn events(&mut self) -> Vec<TraceEvent> {
+        self.flush();
+        self.ring.events()
+    }
+
+    /// Takes the held events in chronological order (flushes first),
+    /// leaving the recorder empty without copying the ring.
+    pub fn take_events(&mut self) -> Vec<TraceEvent> {
+        self.flush();
+        self.ring.take_events()
+    }
+}
+
+impl Recorder for ChunkedRecorder {
+    #[inline]
+    fn record(&mut self, ev: TraceEvent) {
+        // The chunk was created with its full capacity, so the push below
+        // never reallocates: `record` is a bounds check and a bump write.
+        if self.chunk.len() == self.chunk.capacity() {
+            self.flush();
+        }
+        self.chunk.push(ev);
+    }
+}
+
+/// The engine-facing sink: off, or recording into a [`FlightRecorder`]
+/// (plain ring) or [`ChunkedRecorder`] (chunk-flushed ring, the default
+/// for live tracing).
 ///
 /// The simulator cannot be generic over a `Recorder` (its actors are trait
 /// objects), so it holds this enum instead. Every hook goes through
@@ -122,27 +243,38 @@ pub enum TraceSink {
     /// Recording disabled (the default).
     #[default]
     Off,
-    /// Recording into a ring buffer.
+    /// Recording straight into a ring buffer (kept as the un-chunked
+    /// reference path; see the `recorder_record_hot` benchmark).
     Ring(FlightRecorder),
+    /// Recording through a chunk-flushed ring.
+    Chunked(ChunkedRecorder),
 }
 
 impl TraceSink {
-    /// A sink recording into a fresh ring of `capacity` events.
+    /// A sink recording into a fresh plain ring of `capacity` events.
     pub fn ring(capacity: usize) -> Self {
         TraceSink::Ring(FlightRecorder::new(capacity))
+    }
+
+    /// A sink recording through a fresh chunk-flushed ring of `capacity`
+    /// events — what the engine enables for live tracing.
+    pub fn chunked(capacity: usize) -> Self {
+        TraceSink::Chunked(ChunkedRecorder::new(capacity))
     }
 
     /// `true` while events are being recorded.
     #[inline]
     pub fn is_enabled(&self) -> bool {
-        matches!(self, TraceSink::Ring(_))
+        !matches!(self, TraceSink::Off)
     }
 
     /// Records the event built by `f`, or does nothing when off.
     #[inline]
     pub fn emit_with(&mut self, f: impl FnOnce() -> TraceEvent) {
-        if let TraceSink::Ring(r) = self {
-            r.record(f());
+        match self {
+            TraceSink::Off => {}
+            TraceSink::Ring(r) => r.record(f()),
+            TraceSink::Chunked(r) => r.record(f()),
         }
     }
 
@@ -152,8 +284,13 @@ impl TraceSink {
         match self {
             TraceSink::Off => Vec::new(),
             TraceSink::Ring(r) => {
-                let events = r.events();
+                let events = r.take_events();
                 *r = FlightRecorder::new(r.capacity());
+                events
+            }
+            TraceSink::Chunked(r) => {
+                let events = r.take_events();
+                *r = ChunkedRecorder::new(r.capacity());
                 events
             }
         }
@@ -210,6 +347,71 @@ mod tests {
         r.record(ev(2));
         assert_eq!(r.len(), 1);
         assert_eq!(r.events()[0].t, 2);
+    }
+
+    #[test]
+    fn record_batch_state_matches_per_event_recording() {
+        // Sweep capacities and adversarial batch shapes (empty, tiny,
+        // exactly-capacity, longer-than-capacity) and require the full
+        // recorder state to match per-event recording.
+        let batches: Vec<usize> = vec![0, 1, 3, 4, 5, 7, 8, 16, 31];
+        for cap in [1usize, 3, 4, 8, 16] {
+            let mut batched = FlightRecorder::new(cap);
+            let mut reference = FlightRecorder::new(cap);
+            let mut i = 0u64;
+            for &n in &batches {
+                let chunk: Vec<TraceEvent> = (0..n as u64).map(|j| ev(i + j)).collect();
+                i += n as u64;
+                batched.record_batch(&chunk);
+                for &e in &chunk {
+                    reference.record(e);
+                }
+                assert_eq!(batched.events(), reference.events(), "cap {cap} after {i} events");
+                assert_eq!(batched.total_recorded(), reference.total_recorded());
+                assert_eq!(batched.len(), reference.len());
+                assert_eq!(batched.next, reference.next, "internal cursor must match too");
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_recorder_matches_plain_ring() {
+        for total in [0u64, 5, CHUNK_EVENTS as u64, CHUNK_EVENTS as u64 * 3 + 17] {
+            let mut chunked = ChunkedRecorder::new(64);
+            let mut plain = FlightRecorder::new(64);
+            for i in 0..total {
+                chunked.record(ev(i));
+                plain.record(ev(i));
+            }
+            assert_eq!(chunked.total_recorded(), total);
+            assert_eq!(chunked.events(), plain.events(), "after {total} events");
+        }
+    }
+
+    #[test]
+    fn take_events_matches_events_before_and_after_wrap() {
+        for n in [3u64, 4, 10] {
+            let mut a = FlightRecorder::new(4);
+            let mut b = FlightRecorder::new(4);
+            drive(&mut a, n);
+            drive(&mut b, n);
+            assert_eq!(a.take_events(), b.events(), "n={n}");
+            assert!(a.is_empty(), "take leaves the ring empty");
+        }
+    }
+
+    #[test]
+    fn chunked_sink_take_matches_ring_sink() {
+        let mut a = TraceSink::chunked(16);
+        let mut b = TraceSink::ring(16);
+        assert!(a.is_enabled());
+        for i in 0..100 {
+            a.emit_with(|| ev(i));
+            b.emit_with(|| ev(i));
+        }
+        assert_eq!(a.take_events(), b.take_events());
+        assert!(a.take_events().is_empty(), "take resets the chunked sink");
+        assert!(a.is_enabled(), "sink stays enabled after take");
     }
 
     #[test]

@@ -9,7 +9,7 @@
 use marnet_sim::engine::{Actor, ActorId, Event, SimCtx};
 use marnet_sim::hash::FxHashMap;
 use marnet_sim::link::LinkId;
-use marnet_sim::packet::{Packet, Payload};
+use marnet_sim::packet::{Packet, Payload, PayloadPool};
 use marnet_sim::region::RateUpdate;
 use marnet_telemetry::{ClassUsage, MetricsRegistry};
 use std::cell::RefCell;
@@ -62,7 +62,17 @@ pub struct NicDeliver(pub Packet);
 pub fn unwrap_packet(ev: Event) -> Option<Packet> {
     match ev {
         Event::Packet { packet, .. } => Some(packet),
-        Event::Message { mut msg, .. } => msg.take::<NicDeliver>().map(|d| d.0),
+        Event::Message { mut msg, .. } => {
+            if msg.is_unique() {
+                // Uniquely owned (unpooled) deliveries move the packet out.
+                msg.take::<NicDeliver>().map(|d| d.0)
+            } else {
+                // Pooled deliveries stay shared with the NIC's slot; clone
+                // the packet out by reference — an `Rc` bump on the payload,
+                // not a deep clone.
+                msg.map_ref(|d: &NicDeliver| d.0.clone())
+            }
+        }
         _ => None,
     }
 }
@@ -78,12 +88,26 @@ pub struct Nic {
     /// Per-priority-band accounting: bytes/packets forwarded onto the WAN
     /// link ("sent") and arrivals discarded for lack of a route ("dropped").
     usage: SharedNicUsage,
+    /// Slab pool for [`NicDeliver`] wrappers on the receive hot path.
+    deliver_pool: PayloadPool<NicDeliver>,
 }
 
 impl Nic {
     /// Creates a NIC transmitting on `wan`.
     pub fn new(wan: LinkId) -> Self {
-        Nic { wan, routes: FxHashMap::default(), usage: Rc::new(RefCell::new(ClassUsage::new())) }
+        Nic {
+            wan,
+            routes: FxHashMap::default(),
+            usage: Rc::new(RefCell::new(ClassUsage::new())),
+            deliver_pool: PayloadPool::new(),
+        }
+    }
+
+    /// Enables or disables delivery-payload pooling (on by default).
+    /// Artifacts are byte-identical either way; `false` forces a fresh
+    /// allocation per delivered packet.
+    pub fn set_pooling(&mut self, enabled: bool) {
+        self.deliver_pool.set_enabled(enabled);
     }
 
     /// Registers `endpoint` to receive packets whose flow id is `flow`,
@@ -119,15 +143,21 @@ impl Actor for Nic {
                 if let Some(NicForward(pkt)) = msg.take::<NicForward>() {
                     self.usage.borrow_mut().record_sent(usize::from(pkt.prio), u64::from(pkt.size));
                     ctx.transmit(self.wan, pkt);
-                } else if let Some(update) = msg.take::<RateUpdate>() {
+                } else if let Some(update) = msg.map_ref(|u: &RateUpdate| *u) {
                     // Hybrid-fidelity coupling: the fluid tier reports how
-                    // much of a boundary link the packet tier may use.
+                    // much of a boundary link the packet tier may use. Read
+                    // by reference — the fluid tier pools these payloads.
                     ctx.set_link_rate(update.link, update.rate);
                 }
             }
             Event::Packet { packet, .. } => {
                 if let Some(&dst) = self.routes.get(&packet.flow) {
-                    ctx.send_message(dst, Payload::new(NicDeliver(packet)));
+                    // Cloning a packet into the pooled wrapper is a header
+                    // memcpy plus an `Rc` bump of its payload.
+                    let payload = self
+                        .deliver_pool
+                        .prepare(|| NicDeliver(packet.clone()), |d| d.0 = packet.clone());
+                    ctx.send_message(dst, payload);
                 } else {
                     // Unroutable packets are dropped, like a host without a
                     // matching socket — but the discard is accounted.
