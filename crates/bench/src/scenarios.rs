@@ -368,6 +368,28 @@ pub fn run_fairness(
     secs: u64,
     seed: u64,
 ) -> FairnessOutcome {
+    let cfg = ArConfig {
+        congestion: CongestionConfig {
+            latency_threshold,
+            react_to_loss,
+            max_rate: bottleneck_mbps * 1e6,
+            ..CongestionConfig::default()
+        },
+        ..ArConfig::default()
+    };
+    run_fairness_with_config(bottleneck_mbps, n_tcp, &cfg, secs, seed)
+}
+
+/// [`run_fairness`] with the full AR protocol configuration supplied by the
+/// caller — the policy-search entry point (`marnet-lab train` compiles a
+/// candidate `PolicyParams` into the config it passes here).
+pub fn run_fairness_with_config(
+    bottleneck_mbps: f64,
+    n_tcp: usize,
+    cfg: &ArConfig,
+    secs: u64,
+    seed: u64,
+) -> FairnessOutcome {
     let mut sim = Simulator::new(seed);
     let left = sim.reserve_actor();
     let right = sim.reserve_actor();
@@ -383,15 +405,6 @@ pub fn run_fairness(
     let ar_snd = sim.reserve_actor();
     let ar_rcv = sim.reserve_actor();
     let app = sim.reserve_actor();
-    let cfg = ArConfig {
-        congestion: CongestionConfig {
-            latency_threshold,
-            react_to_loss,
-            max_rate: bottleneck_mbps * 1e6,
-            ..CongestionConfig::default()
-        },
-        ..ArConfig::default()
-    };
     let sender = ArSender::new(
         1,
         cfg.clone(),
@@ -765,6 +778,41 @@ pub fn run_recovery_with_pooling(
     pooling: bool,
 ) -> (RecoveryOutcome, u64, TelemetryCapture) {
     let (recovery, fec_group, duplicate) = mechanism.knobs();
+    let cfg = ArConfig {
+        recovery,
+        fec_group,
+        duplicate_recovery: duplicate,
+        pooling,
+        ..ArConfig::default()
+    };
+    run_recovery_config_instrumented(rtt_ms, loss, &cfg, secs, seed, telemetry)
+}
+
+/// [`run_recovery`] with the full AR protocol configuration supplied by
+/// the caller — the policy-search entry point. The second (duplication)
+/// path is installed when the config duplicates the recovery class.
+pub fn run_recovery_with_config(
+    rtt_ms: u64,
+    loss: f64,
+    cfg: &ArConfig,
+    secs: u64,
+    seed: u64,
+) -> RecoveryOutcome {
+    run_recovery_config_instrumented(rtt_ms, loss, cfg, secs, seed, &TelemetryOptions::disabled()).0
+}
+
+/// [`run_recovery_with_config`] with optional telemetry capture; the shared
+/// body behind every recovery entry point.
+pub fn run_recovery_config_instrumented(
+    rtt_ms: u64,
+    loss: f64,
+    cfg: &ArConfig,
+    secs: u64,
+    seed: u64,
+    telemetry: &TelemetryOptions,
+) -> (RecoveryOutcome, u64, TelemetryCapture) {
+    let duplicate = cfg.duplicate_recovery;
+    let pooling = cfg.pooling;
     let mut sim = Simulator::new(seed);
     if let Some(cap) = telemetry.trace_capacity {
         sim.enable_flight_recorder(cap);
@@ -792,13 +840,6 @@ pub fn run_recovery_with_pooling(
             .with_loss(LossModel::Bernoulli { p: loss }),
     );
     let down = sim.add_link(rcv, snd, LinkParams::new(Bandwidth::from_mbps(20.0), one_way));
-    let cfg = ArConfig {
-        recovery,
-        fec_group,
-        duplicate_recovery: duplicate,
-        pooling,
-        ..ArConfig::default()
-    };
     let mut paths =
         vec![SenderPathConfig { role: PathRole::Wifi, tx: TxPath::Link(up), link: Some(up) }];
     if duplicate {
@@ -1009,6 +1050,52 @@ pub fn run_faults_instrumented(
     seed: u64,
     telemetry: &TelemetryOptions,
 ) -> (FaultsOutcome, u64, TelemetryCapture) {
+    // The baseline arm is the pre-hardening stack: ARQ without the
+    // deadline gate, no watchdog, no outage-aware degradation and no
+    // session re-establishment — after a cold edge restart it keeps
+    // stamping the dead epoch, which the restarted peer discards. The
+    // hardened arm gates retransmissions on the deadline and runs the
+    // watchdog / outage degradation / probe / resync loop.
+    let (recovery, outage) = if hardened {
+        (RecoveryPolicy::default(), OutageConfig::hardened())
+    } else {
+        (RecoveryPolicy { deadline_gated: false, ..Default::default() }, OutageConfig::default())
+    };
+    let cfg = ArConfig { recovery, outage, fec_group: None, ..ArConfig::default() };
+    run_faults_config_instrumented(scenario, &cfg, fault_ms, secs, seed, telemetry)
+}
+
+/// [`run_faults`] with the full AR protocol configuration supplied by the
+/// caller — the policy-search entry point (the portfolio runs candidates
+/// with the hardened outage profile plus their searched recovery knobs).
+pub fn run_faults_with_config(
+    scenario: FaultScenario,
+    cfg: &ArConfig,
+    fault_ms: u64,
+    secs: u64,
+    seed: u64,
+) -> FaultsOutcome {
+    run_faults_config_instrumented(
+        scenario,
+        cfg,
+        fault_ms,
+        secs,
+        seed,
+        &TelemetryOptions::disabled(),
+    )
+    .0
+}
+
+/// [`run_faults_with_config`] with optional telemetry capture; the shared
+/// body behind every fault-injection entry point.
+pub fn run_faults_config_instrumented(
+    scenario: FaultScenario,
+    cfg: &ArConfig,
+    fault_ms: u64,
+    secs: u64,
+    seed: u64,
+    telemetry: &TelemetryOptions,
+) -> (FaultsOutcome, u64, TelemetryCapture) {
     let fault_at = SimTime::from_secs(2);
     let fault_end = fault_at + SimDuration::from_millis(fault_ms);
     let horizon = SimTime::from_secs(secs);
@@ -1037,18 +1124,6 @@ pub fn run_faults_instrumented(
             .with_loss(LossModel::Bernoulli { p: 0.003 }),
     );
     let down = sim.add_link(rcv, snd, LinkParams::new(Bandwidth::from_mbps(20.0), one_way));
-    // The baseline arm is the pre-hardening stack: ARQ without the
-    // deadline gate, no watchdog, no outage-aware degradation and no
-    // session re-establishment — after a cold edge restart it keeps
-    // stamping the dead epoch, which the restarted peer discards. The
-    // hardened arm gates retransmissions on the deadline and runs the
-    // watchdog / outage degradation / probe / resync loop.
-    let (recovery, outage) = if hardened {
-        (RecoveryPolicy::default(), OutageConfig::hardened())
-    } else {
-        (RecoveryPolicy { deadline_gated: false, ..Default::default() }, OutageConfig::default())
-    };
-    let cfg = ArConfig { recovery, outage, fec_group: None, ..ArConfig::default() };
     let sender = ArSender::new(
         1,
         cfg.clone(),
@@ -1143,6 +1218,13 @@ pub struct MultipathOutcome {
 /// A commuting MAR user: WiFi with urban-walk coverage + always-on LTE,
 /// running the given §VI-D policy for `secs`.
 pub fn run_multipath_commute(policy: MultipathPolicy, secs: u64, seed: u64) -> MultipathOutcome {
+    let cfg = ArConfig { policy, ..ArConfig::default() };
+    run_multipath_commute_with_config(&cfg, secs, seed)
+}
+
+/// [`run_multipath_commute`] with the full AR protocol configuration
+/// supplied by the caller — the policy-search entry point.
+pub fn run_multipath_commute_with_config(cfg: &ArConfig, secs: u64, seed: u64) -> MultipathOutcome {
     let mut sim = Simulator::new(seed);
     let snd = sim.reserve_actor();
     let rcv = sim.reserve_actor();
@@ -1179,7 +1261,6 @@ pub fn run_multipath_commute(policy: MultipathPolicy, secs: u64, seed: u64) -> M
     let lte_trace = CoverageModel::cellular().generate(SimTime::from_secs(secs), &mut rng);
     sim.add_actor(CoverageActor::new(lte_trace, vec![lte_up, lte_down]));
 
-    let cfg = ArConfig { policy, ..ArConfig::default() };
     let sender = ArSender::new(
         1,
         cfg.clone(),

@@ -48,7 +48,11 @@ impl OutageConfig {
 }
 
 /// Configuration of an [`crate::endpoint::ArSender`].
-#[derive(Debug, Clone)]
+///
+/// The tunable controller subset of these fields is mirrored by
+/// [`crate::policy::PolicyParams`]; `PolicyParams::default().to_config()`
+/// reproduces [`ArConfig::default`] exactly.
+#[derive(Debug, Clone, PartialEq)]
 pub struct ArConfig {
     /// Maximum fragment payload per packet.
     pub mtu: u32,

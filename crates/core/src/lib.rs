@@ -41,6 +41,7 @@ pub mod endpoint;
 pub mod fec;
 pub mod message;
 pub mod multipath;
+pub mod policy;
 pub mod recovery;
 pub mod wire;
 
@@ -48,3 +49,4 @@ pub use class::{Priority, StreamKind, TrafficClass};
 pub use config::{ArConfig, OutageConfig};
 pub use endpoint::{ArReceiver, ArSender, Delivered, Submit};
 pub use message::ArMessage;
+pub use policy::{ArqMode, PolicyParams};

@@ -37,8 +37,10 @@ pub mod artifact;
 pub mod experiments;
 pub mod runner;
 pub mod spec;
+pub mod train;
 
 pub use agg::{aggregate_run, MetricSummary, PointSummary, SampleSummary};
 pub use artifact::{Artifact, MetricDrift, SCHEMA_VERSION};
 pub use runner::{run_experiment, ExperimentRun, TrialCtx, TrialFailure, TrialReport};
 pub use spec::{GridAxis, GridPoint, ParamValue, ScenarioSpec};
+pub use train::{run_training, train_hash, TrainOptions};

@@ -23,7 +23,9 @@
 use marnet_lab::artifact::Artifact;
 use marnet_lab::experiments;
 use marnet_lab::runner::run_experiment;
+use marnet_lab::train;
 use marnet_telemetry::{file as trace_file, TelemetryOptions, DEFAULT_TRACE_CAPACITY};
+use marnet_trainer::Engine;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -43,6 +45,7 @@ fn usage() -> String {
         "usage: marnet-lab <experiment> [--replicates N] [--threads N] [--seed S]\n\
          \u{20}                        [--out PATH] [--baseline PATH]\n\
          \u{20}                        [--trace PATH] [--metrics]\n\
+         \u{20}      marnet-lab train [--smoke] [...]   (see `marnet-lab train --help`)\n\
          \u{20}      marnet-lab --list\n\
          experiments: {}",
         experiments::NAMES.join(", ")
@@ -103,7 +106,152 @@ fn parse_args() -> Result<Args, String> {
     Ok(Args { experiment, replicates, threads, seed, out, baseline, trace, metrics })
 }
 
+fn train_usage() -> String {
+    "usage: marnet-lab train [--engine cem|es] [--generations N] [--population N]\n\
+     \u{20}                       [--elites N] [--replicates N] [--threads N] [--seed S]\n\
+     \u{20}                       [--out PATH] [--baseline PATH] [--smoke]"
+        .to_string()
+}
+
+/// Parses and runs `marnet-lab train`. Exit codes follow the workspace
+/// convention: 0 ok, 1 findings (baseline drift), 2 usage or I/O error.
+fn train_main(args: &[String]) -> ExitCode {
+    let mut engine = Engine::Cem;
+    let mut generations = None;
+    let mut population = None;
+    let mut elites = None;
+    let mut replicates = None;
+    let mut threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut seed = 42u64;
+    let mut out = None;
+    let mut baseline = None;
+    let mut smoke = false;
+
+    let parsed = (|| -> Result<(), String> {
+        let mut argv = args.iter();
+        while let Some(arg) = argv.next() {
+            let mut value = |flag: &str| {
+                argv.next().ok_or_else(|| format!("{flag} needs a value\n{}", train_usage()))
+            };
+            match arg.as_str() {
+                "--help" | "-h" => {
+                    println!("{}", train_usage());
+                    std::process::exit(0);
+                }
+                "--engine" => {
+                    let label = value("--engine")?;
+                    engine = Engine::from_label(label)
+                        .ok_or_else(|| format!("unknown engine {label:?} (cem or es)"))?;
+                }
+                "--generations" => {
+                    generations = Some(
+                        value("--generations")?
+                            .parse::<u32>()
+                            .map_err(|e| format!("--generations: {e}"))?,
+                    );
+                }
+                "--population" => {
+                    population = Some(
+                        value("--population")?
+                            .parse::<u32>()
+                            .map_err(|e| format!("--population: {e}"))?,
+                    );
+                }
+                "--elites" => {
+                    elites = Some(
+                        value("--elites")?.parse::<u32>().map_err(|e| format!("--elites: {e}"))?,
+                    );
+                }
+                "--replicates" => {
+                    replicates = Some(
+                        value("--replicates")?
+                            .parse::<u32>()
+                            .map_err(|e| format!("--replicates: {e}"))?,
+                    );
+                }
+                "--threads" => {
+                    threads = value("--threads")?.parse().map_err(|e| format!("--threads: {e}"))?;
+                }
+                "--seed" => {
+                    seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?;
+                }
+                "--out" => out = Some(PathBuf::from(value("--out")?)),
+                "--baseline" => baseline = Some(PathBuf::from(value("--baseline")?)),
+                "--smoke" => smoke = true,
+                other => return Err(format!("unknown argument {other}\n{}", train_usage())),
+            }
+        }
+        Ok(())
+    })();
+    if let Err(msg) = parsed {
+        eprintln!("{msg}");
+        return ExitCode::from(2);
+    }
+
+    let defaults =
+        if smoke { train::TrainOptions::smoke() } else { train::TrainOptions::default() };
+    let opts = train::TrainOptions {
+        engine,
+        seed,
+        generations: generations.unwrap_or(defaults.generations),
+        population: population.unwrap_or(defaults.population),
+        elites: elites.unwrap_or(defaults.elites),
+        replicates: replicates.unwrap_or(defaults.replicates),
+        threads,
+        smoke,
+    };
+    if opts.generations == 0 || opts.population == 0 || opts.replicates == 0 || opts.threads == 0 {
+        eprintln!("--generations, --population, --replicates and --threads must be at least 1");
+        return ExitCode::from(2);
+    }
+    if opts.elites == 0 || opts.elites > opts.population {
+        eprintln!("--elites must be in 1..=population");
+        return ExitCode::from(2);
+    }
+
+    println!(
+        "[train] {} search: {} generations × {} candidates × {} members × {} replicates \
+         = {} sims on {} threads (seed {}{})",
+        opts.engine.label(),
+        opts.generations,
+        opts.population,
+        train::MEMBERS.len(),
+        opts.replicates,
+        opts.generations as usize
+            * opts.population as usize
+            * train::MEMBERS.len()
+            * opts.replicates as usize,
+        opts.threads,
+        opts.seed,
+        if opts.smoke { ", smoke tier" } else { "" },
+    );
+    let (_result, artifact) = train::run_training(&opts);
+    train::render(&artifact);
+
+    let out = out.unwrap_or_else(|| {
+        PathBuf::from("results").join(if opts.smoke {
+            "lab_train_smoke.json"
+        } else {
+            "lab_train.json"
+        })
+    });
+    match train::finish(&artifact, &out, baseline.as_deref()) {
+        Ok(false) => ExitCode::SUCCESS,
+        Ok(true) => ExitCode::FAILURE,
+        Err(msg) => {
+            eprintln!("[train] {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
 fn main() -> ExitCode {
+    // The `train` subcommand has its own flag set; peek before the
+    // experiment-runner parser claims argv.
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("train") {
+        return train_main(&argv[1..]);
+    }
     let args = match parse_args() {
         Ok(args) => args,
         Err(msg) => {

@@ -51,6 +51,79 @@ fn doctored_baseline_drift_exits_one() {
     assert_eq!(st.code(), Some(1));
 }
 
+/// The cheapest real `train` invocation: one generation of two
+/// candidates, one replicate each, smoke-tier horizons.
+fn run_train(out: &PathBuf, extra: &[&str]) -> std::process::ExitStatus {
+    lab_bin()
+        .args([
+            "train",
+            "--smoke",
+            "--generations",
+            "1",
+            "--population",
+            "2",
+            "--elites",
+            "1",
+            "--replicates",
+            "1",
+            "--threads",
+            "1",
+        ])
+        .arg("--out")
+        .arg(out)
+        .args(extra)
+        .status()
+        .expect("run marnet-lab train")
+}
+
+#[test]
+fn train_clean_run_and_matching_baseline_exit_zero() {
+    let base = tmp("train_ec_base.json");
+    assert_eq!(run_train(&base, &[]).code(), Some(0));
+    let rerun = tmp("train_ec_rerun.json");
+    let st = run_train(&rerun, &["--baseline", base.to_str().unwrap()]);
+    assert_eq!(st.code(), Some(0), "identical options must reproduce the artifact byte-for-byte");
+}
+
+#[test]
+fn train_doctored_baseline_drift_exits_one() {
+    let base = tmp("train_ec_drift_base.json");
+    assert_eq!(run_train(&base, &[]).code(), Some(0));
+    // Inflate every candidate's scalarized fitness; the spec hash stays
+    // intact so the comparison reaches the byte-level check.
+    let text = std::fs::read_to_string(&base).expect("read artifact");
+    let doctored = text.replace("\"scalar\": ", "\"scalar\": 9");
+    assert_ne!(text, doctored, "artifact schema changed; update the doctoring");
+    let doctored_path = tmp("train_ec_drift_doctored.json");
+    std::fs::write(&doctored_path, doctored).expect("write doctored baseline");
+    let rerun = tmp("train_ec_drift_rerun.json");
+    let st = run_train(&rerun, &["--baseline", doctored_path.to_str().unwrap()]);
+    assert_eq!(st.code(), Some(1));
+}
+
+#[test]
+fn train_usage_and_io_errors_exit_two() {
+    // Unknown flag.
+    assert_eq!(lab_bin().args(["train", "--frob"]).status().expect("run").code(), Some(2));
+    // Dangling flag value.
+    assert_eq!(lab_bin().args(["train", "--seed"]).status().expect("run").code(), Some(2));
+    // Unknown engine.
+    assert_eq!(lab_bin().args(["train", "--engine", "sgd"]).status().expect("run").code(), Some(2));
+    // Elites above the population size.
+    assert_eq!(
+        lab_bin()
+            .args(["train", "--population", "2", "--elites", "3"])
+            .status()
+            .expect("run")
+            .code(),
+        Some(2)
+    );
+    // Unreadable baseline: I/O error (after the cheapest possible run).
+    let out = tmp("train_ec_io.json");
+    let st = run_train(&out, &["--baseline", "/nonexistent/baseline.json"]);
+    assert_eq!(st.code(), Some(2));
+}
+
 #[test]
 fn usage_and_io_errors_exit_two() {
     // No experiment named.

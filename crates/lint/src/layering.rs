@@ -36,6 +36,12 @@ pub const LAYERS: &[(&str, &[&str])] = &[
     ("app", &["sim", "radio", "transport", "core", "telemetry"]),
     ("edge", &["sim", "radio", "transport", "core", "app", "telemetry", "faults"]),
     ("privacy", &["sim", "radio", "transport", "core", "app", "telemetry"]),
+    // trainer owns the policy search (space, engines, Pareto artifacts)
+    // and is generic over the evaluation closure: it may see the policy
+    // vocabulary (core) and the seeded-substream rule (sim), never the
+    // scenarios or the runner — the lab implements the inner loop and
+    // depends on trainer, not the other way around.
+    ("trainer", &["sim", "core"]),
     (
         "bench",
         &[
@@ -65,6 +71,7 @@ pub const LAYERS: &[(&str, &[&str])] = &[
             "bench",
             "faults",
             "flow",
+            "trainer",
         ],
     ),
     // The umbrella crate re-exports everything runnable; the auditor
@@ -84,6 +91,7 @@ pub const LAYERS: &[(&str, &[&str])] = &[
             "lab",
             "faults",
             "flow",
+            "trainer",
         ],
     ),
 ];

@@ -4,9 +4,10 @@
 //! Scope decisions, all path-based (no type information exists):
 //!
 //! * **Sim-facing crates** (`sim`, `core`, `transport`, `radio`, `app`,
-//!   `edge`, `privacy`, `telemetry`, `faults`) get the determinism family
-//!   over their library sources. `src/bin/` is exempt: binaries are CLI
-//!   entry points that legitimately read `std::env::args`.
+//!   `edge`, `privacy`, `telemetry`, `faults`, `flow`, `trainer`) get the
+//!   determinism family over their library sources. `src/bin/` is exempt:
+//!   binaries are CLI entry points that legitimately read
+//!   `std::env::args`.
 //! * **Hot-path modules** (the PR 2 event-core set: `sim::engine`,
 //!   `core::endpoint`, `transport::nic`) additionally get the
 //!   panic-safety family, and the pooled set (those three plus
@@ -25,9 +26,22 @@ use crate::layering;
 use crate::rules::{scan_file, FileScope};
 
 /// Crates whose library code faces the simulator and must stay
-/// deterministic.
-pub const SIM_FACING: &[&str] =
-    &["sim", "core", "transport", "radio", "app", "edge", "privacy", "telemetry", "faults", "flow"];
+/// deterministic. `trainer` is here because its sampling loop feeds the
+/// byte-identical artifact contract: an unseeded RNG or wall-clock read
+/// in the search would silently break reproducibility.
+pub const SIM_FACING: &[&str] = &[
+    "sim",
+    "core",
+    "transport",
+    "radio",
+    "app",
+    "edge",
+    "privacy",
+    "telemetry",
+    "faults",
+    "flow",
+    "trainer",
+];
 
 /// Event-core hot-path modules under the panic-safety rule (workspace-
 /// relative, forward slashes).

@@ -15,4 +15,5 @@ pub use marnet_lab as lab;
 pub use marnet_privacy as privacy;
 pub use marnet_radio as radio;
 pub use marnet_sim as sim;
+pub use marnet_trainer as trainer;
 pub use marnet_transport as transport;
