@@ -390,7 +390,39 @@ pub fn run_fairness_with_config(
     secs: u64,
     seed: u64,
 ) -> FairnessOutcome {
+    run_fairness_config_instrumented(
+        bottleneck_mbps,
+        n_tcp,
+        cfg,
+        secs,
+        seed,
+        &TelemetryOptions::disabled(),
+    )
+    .0
+}
+
+/// [`run_fairness_with_config`] with optional telemetry capture; the
+/// shared body behind every fairness entry point (`marnet-lab racecheck`
+/// uses the captured trace to localize tie-order divergences).
+pub fn run_fairness_config_instrumented(
+    bottleneck_mbps: f64,
+    n_tcp: usize,
+    cfg: &ArConfig,
+    secs: u64,
+    seed: u64,
+    telemetry: &TelemetryOptions,
+) -> (FairnessOutcome, u64, TelemetryCapture) {
     let mut sim = Simulator::new(seed);
+    if let Some(cap) = telemetry.trace_capacity {
+        sim.enable_flight_recorder(cap);
+    }
+    let registry = if telemetry.metrics {
+        let reg = MetricsRegistry::new();
+        sim.enable_metrics(&reg);
+        Some(reg)
+    } else {
+        None
+    };
     let left = sim.reserve_actor();
     let right = sim.reserve_actor();
     let params =
@@ -419,18 +451,22 @@ pub fn run_fairness_with_config(
     left_nic.add_route(1, ar_snd);
     right_nic.add_route(1, ar_rcv);
 
-    // TCP competitors.
+    // TCP competitors. Each flow starts at a distinct prime-microsecond
+    // offset: independent hosts never transmit in the same nanosecond, and
+    // a shared t = 0 burst would make the bottleneck's queue order — and
+    // with it each flow's ack-clock phase — an artifact of the event
+    // queue's tie-break instead of the model (`marnet-lab racecheck`
+    // perturbs exactly that order and flagged the phase-locked variant).
     let mut tcp = Vec::new();
     for i in 0..n_tcp {
         let conn = 10 + i as u64;
         let s_id = sim.reserve_actor();
         let r_id = sim.reserve_actor();
-        let s = TcpSender::new(
-            conn,
-            TxPath::Nic(left),
-            TcpConfig::default(),
-            Box::new(Reno::new(1460)),
-        );
+        let cfg_tcp = TcpConfig {
+            start_at: SimTime::from_micros(137 * (i as u64 + 1)),
+            ..TcpConfig::default()
+        };
+        let s = TcpSender::new(conn, TxPath::Nic(left), cfg_tcp, Box::new(Reno::new(1460)));
         sim.install_actor(s_id, s);
         let r = TcpReceiver::new(conn, TxPath::Nic(right));
         tcp.push(r.stats());
@@ -441,8 +477,13 @@ pub fn run_fairness_with_config(
 
     sim.install_actor(left, left_nic);
     sim.install_actor(right, right_nic);
-    sim.run_until(SimTime::from_secs(secs));
-    FairnessOutcome { ar, ar_sender, tcp }
+    let events = sim.run_until(SimTime::from_secs(secs));
+    let metrics = registry.map(|reg| {
+        sim.publish_link_metrics(&reg);
+        reg.snapshot()
+    });
+    let capture = TelemetryCapture { events: sim.take_trace(), metrics };
+    (FairnessOutcome { ar, ar_sender, tcp }, events, capture)
 }
 
 // ---------------------------------------------------------------------------
@@ -1225,7 +1266,29 @@ pub fn run_multipath_commute(policy: MultipathPolicy, secs: u64, seed: u64) -> M
 /// [`run_multipath_commute`] with the full AR protocol configuration
 /// supplied by the caller — the policy-search entry point.
 pub fn run_multipath_commute_with_config(cfg: &ArConfig, secs: u64, seed: u64) -> MultipathOutcome {
+    run_multipath_commute_config_instrumented(cfg, secs, seed, &TelemetryOptions::disabled()).0
+}
+
+/// [`run_multipath_commute_with_config`] with optional telemetry capture;
+/// the shared body behind every commute entry point (`marnet-lab
+/// racecheck` uses the captured trace to localize tie-order divergences).
+pub fn run_multipath_commute_config_instrumented(
+    cfg: &ArConfig,
+    secs: u64,
+    seed: u64,
+    telemetry: &TelemetryOptions,
+) -> (MultipathOutcome, u64, TelemetryCapture) {
     let mut sim = Simulator::new(seed);
+    if let Some(cap) = telemetry.trace_capacity {
+        sim.enable_flight_recorder(cap);
+    }
+    let registry = if telemetry.metrics {
+        let reg = MetricsRegistry::new();
+        sim.enable_metrics(&reg);
+        Some(reg)
+    } else {
+        None
+    };
     let snd = sim.reserve_actor();
     let rcv = sim.reserve_actor();
     let app = sim.reserve_actor();
@@ -1288,8 +1351,13 @@ pub fn run_multipath_commute_with_config(cfg: &ArConfig, secs: u64, seed: u64) -
     sim.install_actor(rcv, receiver);
     sim.install_actor(app, GreedyArApp { sender: snd, next_id: 0 });
 
-    sim.run_until(SimTime::from_secs(secs));
-    MultipathOutcome { receiver: receiver_stats, sender: sender_stats }
+    let events = sim.run_until(SimTime::from_secs(secs));
+    let metrics = registry.map(|reg| {
+        sim.publish_link_metrics(&reg);
+        reg.snapshot()
+    });
+    let capture = TelemetryCapture { events: sim.take_trace(), metrics };
+    (MultipathOutcome { receiver: receiver_stats, sender: sender_stats }, events, capture)
 }
 
 // ---------------------------------------------------------------------------

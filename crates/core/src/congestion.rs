@@ -171,10 +171,11 @@ impl DelayCongestionController {
         attribute_congestion: bool,
     ) -> CongestionVerdict {
         // Update estimators (EWMA 7/8, like TCP's SRTT/RTTVAR).
-        self.base_rtt = Some(match self.base_rtt {
+        let base = match self.base_rtt {
             Some(b) if b <= rtt => b,
             _ => rtt,
-        });
+        };
+        self.base_rtt = Some(base);
         let srtt = match self.srtt {
             None => rtt,
             Some(s) => s.mul_f64(0.875) + rtt.mul_f64(0.125),
@@ -186,7 +187,6 @@ impl DelayCongestionController {
         if !attribute_congestion {
             return CongestionVerdict::Clear;
         }
-        let base = self.base_rtt.expect("set above");
         if self.cfg.react_to_loss && losses > 0 {
             if self.decrease(now, recv_rate) {
                 return CongestionVerdict::LossCongestion;

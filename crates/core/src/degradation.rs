@@ -162,6 +162,7 @@ impl DegradationScheduler {
                 }
                 // Walk back-to-front: submissions are chronological, so the
                 // first droppable of a kind seen from the back is the newest.
+                // marnet-lint: allow(hot-path-alloc): outage-only branch, off the per-event path
                 let mut seen: Vec<crate::class::StreamKind> = Vec::new();
                 let mut kept = VecDeque::with_capacity(q.len());
                 let mut removed = 0u64;
@@ -253,7 +254,7 @@ impl DegradationScheduler {
                     let droppable_at = q.iter().position(|m| m.priority.can_drop());
                     match droppable_at {
                         Some(i) => {
-                            let m = q.remove(i).expect("position valid");
+                            let Some(m) = q.remove(i) else { break };
                             droppable_backlog -= f64::from(m.size);
                             removed_bytes += u64::from(m.size);
                             out.dropped.push(DroppedMessage {

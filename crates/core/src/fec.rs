@@ -214,20 +214,18 @@ impl FecGroupTracker {
         if self.slots.is_empty() {
             self.slots.resize(WAYS, None);
         }
+        // marnet-lint: allow(panic-path): `% WAYS` indexes a WAYS-long vec
         let slot = &mut self.slots[(id as usize) % WAYS];
-        match slot {
-            Some((gid, _)) if *gid == id => {}
-            Some((gid, g)) => {
-                // A newer group claims the slot; recycle the buffers.
-                *gid = id;
-                g.covered.clear();
-                g.received.clear();
-                g.parity_received = false;
-                g.recovered = false;
-            }
-            None => *slot = Some((id, GroupState::default())),
+        let (gid, g) = slot.get_or_insert_with(|| (id, GroupState::default()));
+        if *gid != id {
+            // A newer group claims the slot; recycle the buffers.
+            *gid = id;
+            g.covered.clear();
+            g.received.clear();
+            g.parity_received = false;
+            g.recovered = false;
         }
-        &mut slot.as_mut().expect("just filled").1
+        g
     }
 
     fn check(g: &mut GroupState) -> FecOutcome {

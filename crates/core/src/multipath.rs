@@ -138,6 +138,7 @@ pub struct MultipathScheduler {
 impl MultipathScheduler {
     /// Creates a scheduler with the given policy.
     pub fn new(policy: MultipathPolicy, duplicate_recovery: bool) -> Self {
+        // marnet-lint: allow(hot-path-alloc): construction-time; `Vec::new` does not allocate
         MultipathScheduler { policy, duplicate_recovery, deficits: Vec::new() }
     }
 
@@ -165,6 +166,7 @@ impl MultipathScheduler {
 
     fn weighted_pick(&mut self, snaps: &[PathSnapshot], size: u32) -> Option<usize> {
         if self.deficits.len() != snaps.len() {
+            // marnet-lint: allow(hot-path-alloc): reallocated only when the path set changes size
             self.deficits = vec![0.0; snaps.len()];
         }
         // Deficit round robin weighted by rate: add rate-proportional
@@ -175,6 +177,7 @@ impl MultipathScheduler {
         }
         for (i, s) in snaps.iter().enumerate() {
             if s.up {
+                // marnet-lint: allow(panic-path): `deficits` resized to `snaps.len()` above
                 self.deficits[i] += s.rate.max(1.0) / total_rate * f64::from(size);
             }
         }
@@ -182,10 +185,10 @@ impl MultipathScheduler {
             .iter()
             .enumerate()
             .filter(|(_, s)| s.up)
-            .max_by(|(i, _), (j, _)| {
-                self.deficits[*i].partial_cmp(&self.deficits[*j]).expect("finite")
-            })
+            // marnet-lint: allow(panic-path): `deficits` resized to `snaps.len()` above
+            .max_by(|(i, _), (j, _)| self.deficits[*i].total_cmp(&self.deficits[*j]))
             .map(|(i, _)| i)?;
+        // marnet-lint: allow(panic-path): `best` enumerated from `snaps`
         self.deficits[best] -= f64::from(size);
         Some(best)
     }
@@ -207,6 +210,7 @@ impl MultipathScheduler {
         }
         let wifi = Self::wifi(snaps);
         let cell = Self::cellular(snaps);
+        // marnet-lint: allow(panic-path): `wifi` is a position into `snaps`
         let wifi_up = wifi.is_some_and(|i| snaps[i].up);
 
         let primary = match self.policy {
@@ -214,6 +218,7 @@ impl MultipathScheduler {
                 if wifi_up {
                     wifi
                 } else if class == TrafficClass::Critical || priority == Priority::Highest {
+                    // marnet-lint: allow(panic-path): `cell` is a position into `snaps`
                     cell.filter(|&i| snaps[i].up)
                 } else {
                     None
@@ -223,6 +228,7 @@ impl MultipathScheduler {
                 if wifi_up {
                     wifi
                 } else {
+                    // marnet-lint: allow(panic-path): `cell` is a position into `snaps`
                     cell.filter(|&i| snaps[i].up).or_else(|| Self::lowest_rtt_up(snaps))
                 }
             }

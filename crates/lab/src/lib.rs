@@ -35,12 +35,14 @@
 pub mod agg;
 pub mod artifact;
 pub mod experiments;
+pub mod racecheck;
 pub mod runner;
 pub mod spec;
 pub mod train;
 
 pub use agg::{aggregate_run, MetricSummary, PointSummary, SampleSummary};
 pub use artifact::{Artifact, MetricDrift, SCHEMA_VERSION};
+pub use racecheck::{run_racecheck, RacecheckOptions};
 pub use runner::{run_experiment, ExperimentRun, TrialCtx, TrialFailure, TrialReport};
 pub use spec::{GridAxis, GridPoint, ParamValue, ScenarioSpec};
 pub use train::{run_training, train_hash, TrainOptions};

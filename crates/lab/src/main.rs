@@ -46,6 +46,7 @@ fn usage() -> String {
          \u{20}                        [--out PATH] [--baseline PATH]\n\
          \u{20}                        [--trace PATH] [--metrics]\n\
          \u{20}      marnet-lab train [--smoke] [...]   (see `marnet-lab train --help`)\n\
+         \u{20}      marnet-lab racecheck [--quick] [...] (see `marnet-lab racecheck --help`)\n\
          \u{20}      marnet-lab --list\n\
          experiments: {}",
         experiments::NAMES.join(", ")
@@ -104,6 +105,64 @@ fn parse_args() -> Result<Args, String> {
         return Err("--threads must be at least 1".into());
     }
     Ok(Args { experiment, replicates, threads, seed, out, baseline, trace, metrics })
+}
+
+fn racecheck_usage() -> String {
+    "usage: marnet-lab racecheck [--seed S] [--replicates N] [--threads N]\n\
+     \u{20}                           [--quick] [--demo] [--no-trace]"
+        .to_string()
+}
+
+/// Parses and runs `marnet-lab racecheck`. Exit codes follow the workspace
+/// convention: 0 ok (schedule-stable), 1 findings (a tie-break policy
+/// changed an artifact), 2 usage error.
+fn racecheck_main(args: &[String]) -> ExitCode {
+    let mut opts = marnet_lab::RacecheckOptions::default();
+
+    let parsed = (|| -> Result<(), String> {
+        let mut argv = args.iter();
+        while let Some(arg) = argv.next() {
+            let mut value = |flag: &str| {
+                argv.next().ok_or_else(|| format!("{flag} needs a value\n{}", racecheck_usage()))
+            };
+            match arg.as_str() {
+                "--help" | "-h" => {
+                    println!("{}", racecheck_usage());
+                    std::process::exit(0);
+                }
+                "--seed" => {
+                    opts.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?;
+                }
+                "--replicates" => {
+                    opts.replicates =
+                        value("--replicates")?.parse().map_err(|e| format!("--replicates: {e}"))?;
+                }
+                "--threads" => {
+                    opts.threads =
+                        value("--threads")?.parse().map_err(|e| format!("--threads: {e}"))?;
+                }
+                "--quick" => opts.quick = true,
+                "--demo" => opts.demo = true,
+                "--no-trace" => opts.trace = false,
+                other => return Err(format!("unknown argument {other}\n{}", racecheck_usage())),
+            }
+        }
+        Ok(())
+    })();
+    if let Err(msg) = parsed {
+        eprintln!("{msg}");
+        return ExitCode::from(2);
+    }
+    if opts.replicates == 0 || opts.threads == 0 {
+        eprintln!("--replicates and --threads must be at least 1");
+        return ExitCode::from(2);
+    }
+
+    if marnet_lab::run_racecheck(&opts) {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }
 
 fn train_usage() -> String {
@@ -251,6 +310,9 @@ fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     if argv.first().map(String::as_str) == Some("train") {
         return train_main(&argv[1..]);
+    }
+    if argv.first().map(String::as_str) == Some("racecheck") {
+        return racecheck_main(&argv[1..]);
     }
     let args = match parse_args() {
         Ok(args) => args,

@@ -1,0 +1,433 @@
+//! `marnet-lab racecheck` — the schedule-perturbation race detector.
+//!
+//! Every headline claim in this repro rests on the engine's determinism
+//! invariant, and the most insidious way to break it silently is code
+//! whose *results* depend on the FIFO tie-break of equal-timestamp events.
+//! That dependence is invisible to normal determinism tests (rerunning the
+//! same binary replays the same tie order), so this module perturbs the
+//! order instead: it replays the four-member policy portfolio
+//! (recovery / offload / faults / fairness) plus the E17 city-scale
+//! canary under every [`TieBreak`] policy — `Fifo` (the reference),
+//! `Lifo`, and two seeded deterministic shuffles — and compares the
+//! resulting lab artifacts **byte for byte**.
+//!
+//! The perturbation mechanism is the ambient tie-break scope
+//! ([`with_ambient_tie_break`]): scenario runners construct their
+//! simulators internally via `Simulator::new(seed)`, so each trial body
+//! runs inside a scope that routes the policy to every simulator it
+//! builds. The [`ScenarioSpec`] is *identical* across policies (the
+//! policy is injected by closure capture, never written into the spec),
+//! so the spec hash — and, for tie-order-independent code, every artifact
+//! byte — matches the reference exactly.
+//!
+//! On a mismatch the detector localizes the fault: each trial also
+//! captures its flight-recorder trace, and the first divergent trial's
+//! traces go through [`marnet_telemetry::first_divergence`] — the same
+//! comparison `marnet-trace diff` uses — so the failure report names the
+//! exact first event where the schedules' behavior (not just their
+//! equal-time ordering) split. Exit codes follow the workspace
+//! convention: 0 tie-order independent, 1 divergence, 2 usage error.
+//!
+//! What a clean run proves — and doesn't: tie-order independence is
+//! checked for the *portfolio workloads under the default policy
+//! parameters*, for the specific tie populations those schedules produce.
+//! It is evidence, not a proof over all schedules; see DESIGN §15.
+
+use std::collections::BTreeMap;
+
+use crate::artifact::Artifact;
+use crate::runner::run_experiment;
+use crate::spec::{ParamValue, ScenarioSpec};
+use crate::train;
+use marnet_core::policy::PolicyParams;
+use marnet_sim::config::{with_ambient_tie_break, TieBreak};
+use marnet_sim::prelude::*;
+use marnet_sim::rng::derive_rng;
+use marnet_telemetry::{
+    first_divergence, TelemetryCapture, TelemetryOptions, TraceEvent, DEFAULT_TRACE_CAPACITY,
+};
+use rand::Rng;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// The replayed portfolio: the four train members plus the E17 canary.
+pub const PORTFOLIO: [&str; 5] = ["recovery", "offload", "faults", "fairness", "canary"];
+
+/// Resolved options of one racecheck run.
+#[derive(Debug, Clone)]
+pub struct RacecheckOptions {
+    /// Base seed: trial seeds and the two `Seeded` shuffle keys derive
+    /// from it.
+    pub seed: u64,
+    /// Replicates per portfolio member (each replicate is a distinct
+    /// simulation seed, i.e. a distinct tie population).
+    pub replicates: u32,
+    /// Worker threads for the trial fan-out; the verdict and every line
+    /// of the report are independent of this.
+    pub threads: usize,
+    /// Use the reduced horizons/population of the quick tier (tests).
+    pub quick: bool,
+    /// Run the intentionally tie-order-dependent demo scenario instead of
+    /// the portfolio — a self-test that must exit 1.
+    pub demo: bool,
+    /// Capture flight-recorder traces for divergence localization.
+    pub trace: bool,
+}
+
+impl Default for RacecheckOptions {
+    fn default() -> Self {
+        RacecheckOptions {
+            seed: 42,
+            replicates: 1,
+            threads: 1,
+            quick: false,
+            demo: false,
+            trace: true,
+        }
+    }
+}
+
+/// Quick-tier horizons for tests: the shortest schedules that still
+/// exercise every member's machinery (faults needs > 2 s so the outage at
+/// t = 2 s actually fires) with a small canary population.
+const QUICK_TIER: train::Tier = train::Tier {
+    recovery_secs: 2,
+    offload_secs: 2,
+    faults_secs: 3,
+    fairness_secs: 2,
+    canary_secs: 1,
+};
+/// Quick-tier canary population.
+const QUICK_CANARY_CLIENTS: u64 = 2_000;
+/// Smoke-tier canary population (the train canary's).
+const SMOKE_CANARY_CLIENTS: u64 = 25_000;
+/// Canary backhaul, as in the train canary.
+const CANARY_BACKHAUL_GBPS: f64 = 10.0;
+
+/// The four policies a racecheck run compares, reference first. The two
+/// shuffle keys derive from the base seed, so the whole run is a pure
+/// function of the options.
+pub fn policies(seed: u64) -> Vec<TieBreak> {
+    let mut out = vec![TieBreak::Fifo, TieBreak::Lifo];
+    for i in 0..2u32 {
+        out.push(TieBreak::Seeded(derive_rng(seed, &format!("racecheck/seeded/{i}")).gen()));
+    }
+    out
+}
+
+/// Everything one policy's portfolio replay produced: the artifact bytes
+/// (the comparison gate) plus per-trial traces and failures (the
+/// diagnostics).
+pub struct PolicyOutcome {
+    /// The policy the portfolio ran under.
+    pub policy: TieBreak,
+    /// The lab artifact, serialized — byte-compared against the reference.
+    pub artifact_json: String,
+    /// One record per trial, in spec order.
+    pub trials: Vec<TrialRecord>,
+    /// Panicked trials (`point/replicate: message`).
+    pub failures: Vec<String>,
+}
+
+/// One trial's diagnostics: its scalar results (semantic divergence is
+/// detected here) and its flight-recorder trace (the divergence is then
+/// localized here).
+#[derive(Clone)]
+pub struct TrialRecord {
+    /// Portfolio member name.
+    pub member: String,
+    /// Replicate index.
+    pub replicate: u32,
+    /// The trial's scalar metrics.
+    pub scalars: BTreeMap<String, f64>,
+    /// The trial's captured trace (empty when tracing is off).
+    pub trace: Vec<TraceEvent>,
+}
+
+impl std::fmt::Debug for TrialRecord {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TrialRecord")
+            .field("member", &self.member)
+            .field("replicate", &self.replicate)
+            .field("scalars", &self.scalars)
+            .field("trace_events", &self.trace.len())
+            .finish()
+    }
+}
+
+impl std::fmt::Debug for PolicyOutcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PolicyOutcome")
+            .field("policy", &self.policy)
+            .field("artifact_bytes", &self.artifact_json.len())
+            .field("trials", &self.trials.len())
+            .field("failures", &self.failures)
+            .finish()
+    }
+}
+
+/// Replays the portfolio (or the demo) under one tie-break policy.
+/// The spec never mentions the policy, so every policy runs the same
+/// trial seeds; the policy reaches the simulators through the ambient
+/// scope wrapped around each trial body.
+pub fn run_portfolio(policy: TieBreak, opts: &RacecheckOptions) -> PolicyOutcome {
+    let tier = if opts.quick { QUICK_TIER } else { train::SMOKE_TIER };
+    let canary_clients = if opts.quick { QUICK_CANARY_CLIENTS } else { SMOKE_CANARY_CLIENTS };
+    let members: Vec<&str> = if opts.demo { vec!["demo"] } else { PORTFOLIO.to_vec() };
+    let cfgs = train::member_configs(&PolicyParams::default());
+    let telemetry = if opts.trace {
+        TelemetryOptions { trace_capacity: Some(DEFAULT_TRACE_CAPACITY), metrics: false }
+    } else {
+        TelemetryOptions::disabled()
+    };
+
+    let spec = ScenarioSpec::new("racecheck", opts.seed, opts.replicates)
+        .with_axis("member", members.iter().map(|m| ParamValue::Str((*m).to_string())).collect());
+    let run = run_experiment(&spec, opts.threads, |point, ctx| {
+        let member = point.param("member").as_str().expect("str");
+        // The whole trial body runs inside the ambient scope: every
+        // Simulator::new the scenario constructs sees `policy`.
+        with_ambient_tie_break(policy, || {
+            let (scalars, events) = match member {
+                "demo" => demo_scalars(ctx.seed, &telemetry),
+                "canary" => train::canary_scalars(
+                    canary_clients,
+                    CANARY_BACKHAUL_GBPS,
+                    tier.canary_secs,
+                    ctx.seed,
+                    &telemetry,
+                ),
+                _ => {
+                    train::run_member(member, &cfgs, tier.member_secs(member), ctx.seed, &telemetry)
+                }
+            };
+            let mut report = crate::runner::TrialReport::new();
+            for (key, value) in scalars {
+                report.scalar(key, value);
+            }
+            report.capture(TelemetryCapture { events, metrics: None });
+            report
+        })
+    });
+
+    let mut trials = Vec::new();
+    for (pi, member) in members.iter().enumerate() {
+        for (ri, report) in run.reports[pi].iter().enumerate() {
+            trials.push(TrialRecord {
+                member: (*member).to_string(),
+                replicate: ri as u32,
+                scalars: report.as_ref().map(|r| r.scalars.clone()).unwrap_or_default(),
+                trace: report.as_ref().map(|r| r.events.clone()).unwrap_or_default(),
+            });
+        }
+    }
+    let failures = run
+        .failures
+        .iter()
+        .map(|f| format!("point {} replicate {}: {}", f.point_index, f.replicate, f.message))
+        .collect();
+    PolicyOutcome { policy, artifact_json: Artifact::from_run(&run).to_json(), trials, failures }
+}
+
+/// The demo member: a deliberately tie-order-dependent scenario proving
+/// the detector detects. Two equal-size packets leave on two identical
+/// parallel links at t = 0 and arrive in the same instant; the recorded
+/// scalar is the id of whichever arrives first — a pure function of the
+/// tie-break policy, so the artifacts *must* diverge and racecheck must
+/// exit 1.
+fn demo_scalars(
+    seed: u64,
+    telemetry: &TelemetryOptions,
+) -> (BTreeMap<String, f64>, Vec<TraceEvent>) {
+    struct Src {
+        a: LinkId,
+        b: LinkId,
+    }
+    impl Actor for Src {
+        fn on_event(&mut self, ctx: &mut SimCtx, ev: Event) {
+            if matches!(ev, Event::Start) {
+                let now = ctx.now();
+                let first = Packet::new(ctx.next_packet_id(), 1, 600, now);
+                let second = Packet::new(ctx.next_packet_id(), 1, 600, now);
+                ctx.transmit(self.a, first);
+                ctx.transmit(self.b, second);
+            }
+        }
+    }
+    struct Dst {
+        order: Rc<RefCell<Vec<u64>>>,
+    }
+    impl Actor for Dst {
+        fn on_event(&mut self, _ctx: &mut SimCtx, ev: Event) {
+            if let Event::Packet { packet, .. } = ev {
+                self.order.borrow_mut().push(packet.id);
+            }
+        }
+    }
+
+    let mut sim = Simulator::new(seed);
+    if let Some(cap) = telemetry.trace_capacity {
+        sim.enable_flight_recorder(cap);
+    }
+    let src = sim.reserve_actor();
+    let dst = sim.reserve_actor();
+    let params = LinkParams::new(Bandwidth::from_mbps(10.0), SimDuration::from_millis(5));
+    let a = sim.add_link(src, dst, params.clone());
+    let b = sim.add_link(src, dst, params);
+    let order = Rc::new(RefCell::new(Vec::new()));
+    sim.install_actor(src, Src { a, b });
+    sim.install_actor(dst, Dst { order: Rc::clone(&order) });
+    sim.run_until(SimTime::from_millis(20));
+
+    let first = order.borrow().first().copied().unwrap_or(u64::MAX) as f64;
+    let scalars = BTreeMap::from([("first_arrival".to_string(), first)]);
+    (scalars, sim.take_trace())
+}
+
+/// One policy's verdict against the reference.
+#[derive(Debug)]
+pub struct PolicyVerdict {
+    /// The perturbed policy.
+    pub policy: TieBreak,
+    /// `true` when the artifact matched the reference byte-for-byte and
+    /// no trial failed.
+    pub clean: bool,
+    /// The human-readable divergence report (empty when clean).
+    pub report: String,
+}
+
+/// Compares one perturbed policy's outcome against the FIFO reference and
+/// renders the divergence report: the first trial whose trace diverges
+/// (localized event-by-event), or the first differing artifact line when
+/// the traces cannot localize it.
+pub fn compare(reference: &PolicyOutcome, candidate: &PolicyOutcome) -> PolicyVerdict {
+    let mut report = String::new();
+    if !candidate.failures.is_empty() {
+        report.push_str(&format!(
+            "{} trial(s) failed under {} (the reference completed cleanly):\n",
+            candidate.failures.len(),
+            candidate.policy.label()
+        ));
+        for f in &candidate.failures {
+            report.push_str(&format!("  {f}\n"));
+        }
+        return PolicyVerdict { policy: candidate.policy, clean: false, report };
+    }
+    if candidate.artifact_json == reference.artifact_json {
+        return PolicyVerdict { policy: candidate.policy, clean: true, report };
+    }
+
+    report.push_str(&format!(
+        "artifact differs from the {} reference under {}\n",
+        reference.policy.label(),
+        candidate.policy.label()
+    ));
+    // Which result moved: the first differing artifact line.
+    let a_lines: Vec<&str> = reference.artifact_json.lines().collect();
+    let b_lines: Vec<&str> = candidate.artifact_json.lines().collect();
+    let i = a_lines
+        .iter()
+        .zip(&b_lines)
+        .position(|(x, y)| x != y)
+        .unwrap_or(a_lines.len().min(b_lines.len()));
+    report.push_str(&format!("first differing artifact line ({}):\n", i + 1));
+    report.push_str(&format!(
+        "  {}: {}\n",
+        reference.policy.label(),
+        a_lines.get(i).map(|l| l.trim_start()).unwrap_or("<eof>")
+    ));
+    report.push_str(&format!(
+        "  {}: {}\n",
+        candidate.policy.label(),
+        b_lines.get(i).map(|l| l.trim_start()).unwrap_or("<eof>")
+    ));
+    // Which trial's *results* moved. Trace order alone is not evidence:
+    // the perturbation legitimately reorders equal-time events (and with
+    // them packet-id allocation), so most trials' traces differ even when
+    // every scalar matches. Scalars are the semantic gate.
+    let divergent =
+        reference.trials.iter().zip(&candidate.trials).find(|(r, c)| r.scalars != c.scalars);
+    let localize = if let Some((r, c)) = divergent {
+        report
+            .push_str(&format!("first divergent trial: {} replicate {}\n", r.member, r.replicate));
+        for (key, rv) in &r.scalars {
+            let cv = c.scalars.get(key);
+            if cv != Some(rv) {
+                report.push_str(&format!(
+                    "  scalar {key}: {} -> {}\n",
+                    rv,
+                    cv.map_or("<missing>".to_string(), |v| v.to_string())
+                ));
+            }
+        }
+        Some((r, c))
+    } else {
+        // Artifact bytes moved without a scalar change (e.g. sample
+        // streams): point at the first trial whose trace diverges.
+        reference
+            .trials
+            .iter()
+            .zip(&candidate.trials)
+            .find(|(r, c)| !first_divergence(&r.trace, &c.trace).is_identical())
+    };
+    if let Some((r, c)) = localize {
+        let diff = first_divergence(&r.trace, &c.trace);
+        if !diff.is_identical() {
+            report.push_str(&diff.render(&reference.policy.label(), &candidate.policy.label()));
+        }
+    }
+    PolicyVerdict { policy: candidate.policy, clean: false, report }
+}
+
+/// Runs the full race check: the portfolio under every policy, each
+/// perturbed run byte-compared against the FIFO reference. Returns `true`
+/// when every policy reproduced the reference artifact exactly. Output
+/// and verdict are pure functions of `opts` (thread count excluded).
+pub fn run_racecheck(opts: &RacecheckOptions) -> bool {
+    let policies = policies(opts.seed);
+    println!(
+        "[racecheck] {} under {} policies ({}), {} member(s) x {} replicate(s), seed {}{}",
+        if opts.demo { "tie-order demo" } else { "portfolio" },
+        policies.len(),
+        policies.iter().map(|p| p.label()).collect::<Vec<_>>().join(", "),
+        if opts.demo { 1 } else { PORTFOLIO.len() },
+        opts.replicates,
+        opts.seed,
+        if opts.quick { ", quick tier" } else { "" },
+    );
+
+    let reference = run_portfolio(policies[0], opts);
+    if !reference.failures.is_empty() {
+        println!("[racecheck] reference ({}) run failed:", reference.policy.label());
+        for f in &reference.failures {
+            println!("  {f}");
+        }
+        return false;
+    }
+    println!(
+        "[racecheck] reference {}: artifact {} bytes, {} trace events",
+        reference.policy.label(),
+        reference.artifact_json.len(),
+        reference.trials.iter().map(|t| t.trace.len()).sum::<usize>(),
+    );
+
+    let mut clean = true;
+    for &policy in &policies[1..] {
+        let outcome = run_portfolio(policy, opts);
+        let verdict = compare(&reference, &outcome);
+        if verdict.clean {
+            println!("[racecheck] {}: artifact byte-identical", policy.label());
+        } else {
+            clean = false;
+            println!("[racecheck] {}: DIVERGENCE", policy.label());
+            for line in verdict.report.lines() {
+                println!("  {line}");
+            }
+        }
+    }
+    println!(
+        "[racecheck] verdict: {}",
+        if clean { "tie-order independent (all artifacts byte-identical)" } else { "DIVERGENT" }
+    );
+    clean
+}

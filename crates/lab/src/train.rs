@@ -31,16 +31,16 @@
 use crate::runner::run_experiment;
 use crate::spec::{ParamValue, ScenarioSpec};
 use marnet_bench::scenarios::{
-    run_cityscale_instrumented, run_fairness_with_config, run_faults_with_config,
-    run_multipath_commute_with_config, run_recovery_with_config, FaultScenario, CITYSCALE_MAR_MBPS,
-    CITYSCALE_MAR_PACKET_BYTES,
+    run_cityscale_instrumented, run_fairness_config_instrumented, run_faults_config_instrumented,
+    run_multipath_commute_config_instrumented, run_recovery_config_instrumented, FaultScenario,
+    CITYSCALE_MAR_MBPS, CITYSCALE_MAR_PACKET_BYTES,
 };
 use marnet_bench::{fmt, print_table};
 use marnet_core::config::{ArConfig, OutageConfig};
 use marnet_core::policy::PolicyParams;
 use marnet_sim::rng::derive_rng;
 use marnet_sim::stats::jain_index;
-use marnet_telemetry::TelemetryOptions;
+use marnet_telemetry::{TelemetryOptions, TraceEvent};
 use marnet_trainer::artifact::fnv1a;
 use marnet_trainer::{
     run_search, select_tuned, ComparisonRow, Engine, Evaluated, Evaluation, FrontArtifact,
@@ -76,21 +76,35 @@ pub const FAIRNESS_BAND: f64 = 0.02;
 
 /// Per-member simulated horizons of one fidelity tier.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize)]
-struct Tier {
-    recovery_secs: u64,
-    offload_secs: u64,
-    faults_secs: u64,
-    fairness_secs: u64,
-    canary_secs: u64,
+pub(crate) struct Tier {
+    pub(crate) recovery_secs: u64,
+    pub(crate) offload_secs: u64,
+    pub(crate) faults_secs: u64,
+    pub(crate) fairness_secs: u64,
+    pub(crate) canary_secs: u64,
+}
+
+impl Tier {
+    /// The horizon of one named portfolio member.
+    pub(crate) fn member_secs(&self, member: &str) -> u64 {
+        match member {
+            "recovery" => self.recovery_secs,
+            "offload" => self.offload_secs,
+            "faults" => self.faults_secs,
+            "fairness" => self.fairness_secs,
+            "canary" => self.canary_secs,
+            other => panic!("unknown portfolio member {other:?}"),
+        }
+    }
 }
 
 /// The default tier: long enough for stable means.
-const FULL_TIER: Tier =
+pub(crate) const FULL_TIER: Tier =
     Tier { recovery_secs: 10, offload_secs: 20, faults_secs: 6, fairness_secs: 10, canary_secs: 2 };
 
 /// The `--smoke` tier: the shortest horizons whose metrics still rank
 /// policies, for CI.
-const SMOKE_TIER: Tier =
+pub(crate) const SMOKE_TIER: Tier =
     Tier { recovery_secs: 4, offload_secs: 8, faults_secs: 4, fairness_secs: 5, canary_secs: 1 };
 
 /// Resolved options of one training run.
@@ -212,7 +226,7 @@ fn crn_seed(base: u64, member: &str, replicate: u32) -> u64 {
 /// The three configs a candidate is evaluated under: its compiled config
 /// as-is, the fault arm (hardened outage handling on top of the searched
 /// recovery knobs), and the fairness arm (bottleneck-capped rate).
-fn member_configs(params: &PolicyParams) -> (ArConfig, ArConfig, ArConfig) {
+pub(crate) fn member_configs(params: &PolicyParams) -> (ArConfig, ArConfig, ArConfig) {
     let base = params.to_config();
     let faults = ArConfig { outage: OutageConfig::hardened(), ..base.clone() };
     let mut fairness = base.clone();
@@ -220,29 +234,38 @@ fn member_configs(params: &PolicyParams) -> (ArConfig, ArConfig, ArConfig) {
     (base, faults, fairness)
 }
 
-/// Runs one portfolio member under one candidate's configs and returns
-/// its scalar contributions.
-fn run_member(
+/// Runs one portfolio member under one candidate's configs for `secs`
+/// simulated seconds and returns its scalar contributions plus the
+/// captured trace (empty when `telemetry` disables the recorder).
+///
+/// Shared by the trainer (telemetry off) and by `marnet-lab racecheck`,
+/// which replays the same members under perturbed event-queue tie-break
+/// policies and needs the trace for its first-divergence report.
+pub(crate) fn run_member(
     member: &str,
     cfgs: &(ArConfig, ArConfig, ArConfig),
-    tier: &Tier,
+    secs: u64,
     seed: u64,
-) -> BTreeMap<String, f64> {
+    telemetry: &TelemetryOptions,
+) -> (BTreeMap<String, f64>, Vec<TraceEvent>) {
     let mut scalars = BTreeMap::new();
-    match member {
+    let events = match member {
         "recovery" => {
-            let out = run_recovery_with_config(
+            let (out, _, capture) = run_recovery_config_instrumented(
                 RECOVERY_RTT_MS,
                 RECOVERY_LOSS,
                 &cfgs.0,
-                tier.recovery_secs,
+                secs,
                 seed,
+                telemetry,
             );
             scalars.insert("qoe".to_string(), out.delivered_in_budget_pct);
             scalars.insert("overhead".to_string(), out.overhead_pct);
+            capture.events
         }
         "offload" => {
-            let out = run_multipath_commute_with_config(&cfgs.0, tier.offload_secs, seed);
+            let (out, _, capture) =
+                run_multipath_commute_config_instrumented(&cfgs.0, secs, seed, telemetry);
             let hit_pct = out.receiver.borrow().deadline_hit_ratio() * 100.0;
             let s = out.sender.borrow();
             let total = s.total_sent_bytes();
@@ -250,26 +273,30 @@ fn run_member(
                 if total == 0 { 0.0 } else { s.cellular_bytes as f64 / total as f64 * 100.0 };
             scalars.insert("qoe".to_string(), hit_pct);
             scalars.insert("overhead".to_string(), cellular_pct);
+            capture.events
         }
         "faults" => {
-            let out = run_faults_with_config(
+            let (out, _, capture) = run_faults_config_instrumented(
                 FaultScenario::LinkOutage,
                 &cfgs.1,
                 FAULT_MS,
-                tier.faults_secs,
+                secs,
                 seed,
+                telemetry,
             );
             scalars.insert("qoe".to_string(), out.qoe_under_fault_pct);
+            capture.events
         }
         "fairness" => {
-            let out = run_fairness_with_config(
+            let (out, _, capture) = run_fairness_config_instrumented(
                 FAIR_BOTTLENECK_MBPS,
                 FAIR_N_TCP,
                 &cfgs.2,
-                tier.fairness_secs,
+                secs,
                 seed,
+                telemetry,
             );
-            let secs = tier.fairness_secs as f64;
+            let secs = secs as f64;
             let ar_mbps = out.ar.borrow().received_bytes as f64 * 8.0 / secs / 1e6;
             let mut alloc: Vec<f64> = out
                 .tcp
@@ -278,10 +305,11 @@ fn run_member(
                 .collect();
             alloc.push(ar_mbps);
             scalars.insert("fairness".to_string(), jain_index(&alloc));
+            capture.events
         }
         other => panic!("unknown portfolio member {other:?}"),
-    }
-    scalars
+    };
+    (scalars, events)
 }
 
 /// Evaluates one generation's population: candidate × member grid,
@@ -304,7 +332,14 @@ fn evaluate_population(
         let member = point.param("member").as_str().expect("str");
         let seed = crn_seed(base_seed, member, ctx.replicate);
         let mut report = crate::runner::TrialReport::new();
-        for (key, value) in run_member(member, &configs[cand], tier, seed) {
+        let (scalars, _) = run_member(
+            member,
+            &configs[cand],
+            tier.member_secs(member),
+            seed,
+            &TelemetryOptions::disabled(),
+        );
+        for (key, value) in scalars {
             report.scalar(key, value);
         }
         report
@@ -351,26 +386,43 @@ fn evaluate_population(
         .collect()
 }
 
+/// Runs the E17 city-scale hybrid as an engine-stack canary and returns
+/// its scalars plus the captured trace. Shared by the trainer (full
+/// client population, telemetry off) and `marnet-lab racecheck` (which
+/// perturbs the tie-break policy and compares the scalars byte-for-byte).
+pub(crate) fn canary_scalars(
+    clients: u64,
+    backhaul_gbps: f64,
+    secs: u64,
+    seed: u64,
+    telemetry: &TelemetryOptions,
+) -> (BTreeMap<String, f64>, Vec<TraceEvent>) {
+    let (out, events, capture) =
+        run_cityscale_instrumented(clients, backhaul_gbps, secs, seed, telemetry);
+    let mar = out.mar.borrow();
+    let offered =
+        CITYSCALE_MAR_MBPS * 1e6 / (f64::from(CITYSCALE_MAR_PACKET_BYTES) * 8.0) * secs as f64;
+    let in_budget = mar.latency_ms.values().iter().filter(|&&ms| ms <= FRAME_BUDGET_MS).count();
+    let scalars = BTreeMap::from([
+        ("cityscale/events".to_string(), events as f64),
+        ("cityscale/mar_delivery_pct".to_string(), mar.packets as f64 / offered * 100.0),
+        ("cityscale/mar_in_budget_pct".to_string(), in_budget as f64 / offered * 100.0),
+    ]);
+    (scalars, capture.events)
+}
+
 /// Runs the city-scale hybrid smoke once as a policy-independent
 /// engine-stack canary and returns its scalars for the artifact.
 fn run_canary(seed: u64, tier: &Tier) -> BTreeMap<String, f64> {
     let canary_seed: u64 = derive_rng(seed, "train/canary").gen();
-    let (out, events, _) = run_cityscale_instrumented(
+    canary_scalars(
         CANARY_CLIENTS,
         CANARY_BACKHAUL_GBPS,
         tier.canary_secs,
         canary_seed,
         &TelemetryOptions::disabled(),
-    );
-    let mar = out.mar.borrow();
-    let offered = CITYSCALE_MAR_MBPS * 1e6 / (f64::from(CITYSCALE_MAR_PACKET_BYTES) * 8.0)
-        * tier.canary_secs as f64;
-    let in_budget = mar.latency_ms.values().iter().filter(|&&ms| ms <= FRAME_BUDGET_MS).count();
-    BTreeMap::from([
-        ("cityscale/events".to_string(), events as f64),
-        ("cityscale/mar_delivery_pct".to_string(), mar.packets as f64 / offered * 100.0),
-        ("cityscale/mar_in_budget_pct".to_string(), in_budget as f64 / offered * 100.0),
-    ])
+    )
+    .0
 }
 
 /// One archive entry rendered into its artifact form.

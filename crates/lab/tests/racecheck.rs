@@ -1,0 +1,61 @@
+//! `marnet-lab racecheck`: the race detector must itself be
+//! deterministic — same report bytes at any `--threads` and across
+//! reruns — and its exit codes must follow the workspace convention
+//! (0 schedule-stable, 1 divergence found, 2 usage error).
+
+use std::process::{Command, Output};
+
+fn lab_bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_marnet-lab"))
+}
+
+fn run_racecheck(args: &[&str]) -> Output {
+    lab_bin().arg("racecheck").args(args).output().expect("run marnet-lab racecheck")
+}
+
+#[test]
+fn report_is_byte_identical_across_threads_and_reruns() {
+    let one = run_racecheck(&["--quick", "--threads", "1"]);
+    let eight = run_racecheck(&["--quick", "--threads", "8"]);
+    let again = run_racecheck(&["--quick", "--threads", "8"]);
+    assert!(one.status.success(), "{}", String::from_utf8_lossy(&one.stderr));
+    assert_eq!(
+        String::from_utf8_lossy(&one.stdout),
+        String::from_utf8_lossy(&eight.stdout),
+        "racecheck report must not depend on --threads"
+    );
+    assert_eq!(
+        String::from_utf8_lossy(&eight.stdout),
+        String::from_utf8_lossy(&again.stdout),
+        "racecheck report must be stable across reruns"
+    );
+}
+
+#[test]
+fn clean_portfolio_exits_zero() {
+    let out = run_racecheck(&["--quick"]);
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stdout));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("tie-order independent"), "{text}");
+}
+
+#[test]
+fn demo_divergence_exits_one_with_a_first_divergence_trace() {
+    let out = run_racecheck(&["--quick", "--demo"]);
+    assert_eq!(out.status.code(), Some(1), "{}", String::from_utf8_lossy(&out.stdout));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("divergence"), "{text}");
+}
+
+#[test]
+fn usage_errors_exit_two() {
+    // Unknown flag.
+    assert_eq!(run_racecheck(&["--frob"]).status.code(), Some(2));
+    // Dangling flag value.
+    assert_eq!(run_racecheck(&["--seed"]).status.code(), Some(2));
+    // Non-numeric value.
+    assert_eq!(run_racecheck(&["--threads", "many"]).status.code(), Some(2));
+    // Zero threads / replicates.
+    assert_eq!(run_racecheck(&["--threads", "0"]).status.code(), Some(2));
+    assert_eq!(run_racecheck(&["--replicates", "0"]).status.code(), Some(2));
+}

@@ -6,8 +6,10 @@
 
 use std::fmt;
 
-/// JSON schema version emitted by [`render_json`].
-pub const SCHEMA_VERSION: u32 = 1;
+/// JSON schema version emitted by [`render_json`]. v2 added the
+/// `float-order` rule and call-graph-propagated findings (which carry a
+/// "reachable from" witness in their message).
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// Every rule the pass knows, with its kebab-case wire name.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -26,6 +28,11 @@ pub enum Rule {
     /// `rand::random`) in sim-facing crates; all randomness must flow
     /// from `derive_rng(seed, label)` substreams.
     UnseededRng,
+    /// Order-sensitive float operations in sim-facing crates: a sort /
+    /// min / max comparator built on `partial_cmp` (NaN makes the order
+    /// undefined), or float accumulation over default-hasher map
+    /// iteration (the sum depends on visitation order).
+    FloatOrder,
     /// `unwrap()`/`expect()`/`panic!`-family/slice-indexing in the
     /// event-core hot-path modules.
     PanicPath,
@@ -50,6 +57,7 @@ pub const ALL_RULES: &[Rule] = &[
     Rule::EnvRead,
     Rule::MapIter,
     Rule::UnseededRng,
+    Rule::FloatOrder,
     Rule::PanicPath,
     Rule::HotPathAlloc,
     Rule::Layering,
@@ -67,6 +75,7 @@ impl Rule {
             Rule::EnvRead => "env-read",
             Rule::MapIter => "map-iter",
             Rule::UnseededRng => "unseeded-rng",
+            Rule::FloatOrder => "float-order",
             Rule::PanicPath => "panic-path",
             Rule::HotPathAlloc => "hot-path-alloc",
             Rule::Layering => "layering",
@@ -100,6 +109,11 @@ impl Rule {
             Rule::UnseededRng => {
                 "fault schedules and every other stochastic input must come from \
                  derive_rng substreams; OS entropy makes trials unreplayable"
+            }
+            Rule::FloatOrder => {
+                "float comparisons via partial_cmp and float sums over hashed maps \
+                 make artifact bytes depend on NaN handling and visitation order; \
+                 use total_cmp and ordered containers"
             }
             Rule::PanicPath => {
                 "the event-core hot path must degrade, not abort: a panic mid-run \
@@ -144,10 +158,12 @@ pub struct Diagnostic {
 }
 
 impl Diagnostic {
-    /// Sort key: file, then line, then rule — a deterministic report
-    /// order independent of scan order.
-    fn key(&self) -> (&str, usize, Rule) {
-        (&self.file, self.line, self.rule)
+    /// Sort key: file path *bytes*, then line, then rule — a
+    /// deterministic report order independent of scan order, locale, and
+    /// platform collation (paths are already normalized to forward
+    /// slashes, so byte order is identical on every host).
+    fn key(&self) -> (&[u8], usize, Rule) {
+        (self.file.as_bytes(), self.line, self.rule)
     }
 }
 
@@ -237,7 +253,7 @@ mod tests {
         ];
         sort(&mut d);
         let json = render_json(&d);
-        assert!(json.starts_with("{\n  \"schema_version\": 1"));
+        assert!(json.starts_with("{\n  \"schema_version\": 2"));
         assert!(json.contains("\\\"hi\\\"\\n"));
         let a = json.find("a.rs").unwrap();
         let b = json.find("b.rs").unwrap();

@@ -20,6 +20,7 @@
 //! | `map-iter`       | no hasher-dependent order reaches an artifact     |
 //! | `panic-path`     | the event-core hot path degrades, never aborts    |
 //! | `hot-path-alloc` | pooled hot paths allocate ~zero per event         |
+//! | `float-order`    | no NaN-undefined or hasher-ordered float result   |
 //! | `layering`       | the crate DAG (`sim` reusable, `telemetry` leaf)  |
 //! | `unsafe-hygiene` | every determinism argument is a safe-Rust one     |
 //! | `bad-pragma`     | suppressions carry an auditable reason            |
@@ -32,6 +33,13 @@
 //! let t0 = Instant::now();
 //! ```
 //!
+//! The pass is call-graph aware: a conservative intra-workspace call
+//! graph (see [`callgraph`]) lets the entry-point-scoped families
+//! (`panic-path`, `hot-path-alloc`, `unseeded-rng`) follow calls out of
+//! their file lists and audit the helpers those entry points lean on.
+//! `marnet-lint --call-graph PATH` exports the graph as a stable JSON
+//! artifact that CI diffs against the committed baseline.
+//!
 //! Run it with `cargo run -p marnet-lint -- --deny-all` (exit codes:
 //! 0 clean, 1 findings, 2 usage error); `tests/workspace_clean.rs` runs
 //! the same pass in `cargo test`, so CI fails on any undocumented
@@ -40,6 +48,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod callgraph;
 pub mod diag;
 pub mod layering;
 pub mod pragma;
@@ -47,6 +56,7 @@ pub mod rules;
 pub mod tokens;
 pub mod workspace;
 
+pub use callgraph::{CallGraph, EdgeKind};
 pub use diag::{render_json, render_text, Diagnostic, Rule, ALL_RULES};
 pub use rules::{scan_file, FileScope};
 pub use workspace::{find_workspace_root, lint_workspace, Report, HOT_ALLOC, HOT_PATH, SIM_FACING};

@@ -3,6 +3,7 @@
 //! ```text
 //! marnet-lint [--root PATH] [--format text|json] [--deny-all]
 //!             [--deny RULE] [--allow RULE] [--list-rules]
+//!             [--call-graph PATH]
 //! ```
 //!
 //! All rules are denied by default (strict by default); `--allow RULE`
@@ -22,6 +23,10 @@ use marnet_lint::{find_workspace_root, lint_workspace, render_json, render_text,
 
 const USAGE: &str = "usage: marnet-lint [--root PATH] [--format text|json] [--deny-all]
                    [--deny RULE] [--allow RULE] [--list-rules]
+                   [--call-graph PATH]
+
+--call-graph PATH writes the workspace call graph as JSON (`-` for
+stdout); CI diffs it against the committed baseline.
 
 exit codes: 0 ok, 1 findings, 2 usage error";
 
@@ -44,6 +49,7 @@ fn run() -> Result<ExitCode, String> {
     let mut root: Option<PathBuf> = None;
     let mut format = Format::Text;
     let mut denied: BTreeSet<Rule> = ALL_RULES.iter().copied().collect();
+    let mut call_graph_out: Option<String> = None;
 
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
@@ -59,6 +65,7 @@ fn run() -> Result<ExitCode, String> {
                 }
             }
             "--deny-all" => denied = ALL_RULES.iter().copied().collect(),
+            "--call-graph" => call_graph_out = Some(value("--call-graph")?),
             "--deny" => {
                 denied.insert(parse_rule(&value("--deny")?)?);
             }
@@ -92,6 +99,19 @@ fn run() -> Result<ExitCode, String> {
     }
 
     let report = lint_workspace(&root).map_err(|e| format!("scanning {}: {e}", root.display()))?;
+    if let Some(path) = call_graph_out {
+        let json = report.call_graph.render_json();
+        if path == "-" {
+            print!("{json}");
+        } else {
+            std::fs::write(&path, json).map_err(|e| format!("writing {path}: {e}"))?;
+            eprintln!(
+                "call graph: {} fns, {} call edges -> {path}",
+                report.call_graph.fns.len(),
+                report.call_graph.edges.len()
+            );
+        }
+    }
     match format {
         Format::Text => {
             print!("{}", render_text(&report.findings));

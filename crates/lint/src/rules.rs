@@ -15,8 +15,8 @@
 //!   cannot linger.
 
 use crate::diag::{Diagnostic, Rule};
-use crate::pragma;
-use crate::tokens::{tokenize, Token, TokenKind};
+use crate::pragma::{self, Pragma};
+use crate::tokens::{tokenize, Token, TokenKind, TokenStream};
 
 /// Which rule families apply to the file being scanned.
 #[derive(Debug, Clone, Default)]
@@ -55,7 +55,12 @@ const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"]
 
 /// Scans one file, returning its (pragma-filtered) diagnostics.
 pub fn scan_file(src: &str, scope: &FileScope) -> Vec<Diagnostic> {
-    let stream = tokenize(src);
+    scan_stream(&tokenize(src), scope)
+}
+
+/// Scans an already-tokenized file (the workspace walker tokenizes once
+/// and shares the stream with the call-graph builder).
+pub fn scan_stream(stream: &TokenStream, scope: &FileScope) -> Vec<Diagnostic> {
     let toks = &stream.tokens;
     let (pragmas, pragma_errors) = pragma::collect(&stream.comments);
     let test_ranges = test_line_ranges(toks);
@@ -79,23 +84,8 @@ pub fn scan_file(src: &str, scope: &FileScope) -> Vec<Diagnostic> {
         push(Rule::UnsafeHygiene, 1, "crate root is missing `#![forbid(unsafe_code)]`".into());
     }
 
-    // Pragma suppression: same line or the line directly above. The
-    // same-line pragma is preferred, so consecutive pragma'd lines each
-    // consume their own pragma instead of the first one claiming both.
     let mut used = vec![false; pragmas.len()];
-    let mut findings: Vec<Diagnostic> = Vec::new();
-    'raw: for d in raw {
-        for same_line in [true, false] {
-            for (i, p) in pragmas.iter().enumerate() {
-                let hit = if same_line { p.line == d.line } else { p.line + 1 == d.line };
-                if p.rule == d.rule && hit {
-                    used[i] = true;
-                    continue 'raw;
-                }
-            }
-        }
-        findings.push(d);
-    }
+    let mut findings = suppress(raw, &pragmas, &mut used);
 
     for e in pragma_errors {
         if !in_test(e.line) {
@@ -109,12 +99,16 @@ pub fn scan_file(src: &str, scope: &FileScope) -> Vec<Diagnostic> {
     }
     for (p, used) in pragmas.iter().zip(used) {
         // Only audit pragmas for rules this file is actually subject to —
-        // and leave test code alone.
+        // and leave test code alone. (Pragmas suppressing call-graph-
+        // propagated findings in out-of-scope files are honored by the
+        // workspace walker but not audited here: the walker cannot know
+        // locally whether a reachability path still exists.)
         let enabled = match p.rule {
             Rule::WallClock
             | Rule::ThreadId
             | Rule::EnvRead
             | Rule::MapIter
+            | Rule::FloatOrder
             | Rule::UnseededRng => scope.determinism,
             Rule::PanicPath => scope.panic_path,
             Rule::HotPathAlloc => scope.hot_alloc,
@@ -129,6 +123,32 @@ pub fn scan_file(src: &str, scope: &FileScope) -> Vec<Diagnostic> {
                 message: format!("pragma `allow({})` suppresses nothing here; remove it", p.rule),
             });
         }
+    }
+    findings
+}
+
+/// Applies pragma suppression to raw findings: a pragma silences
+/// findings of its rule on its own line or the line directly below. The
+/// same-line pragma is preferred, so consecutive pragma'd lines each
+/// consume their own pragma instead of the first one claiming both.
+/// Marks consumed pragmas in `used` (for the stale-pragma audit).
+pub(crate) fn suppress(
+    raw: Vec<Diagnostic>,
+    pragmas: &[Pragma],
+    used: &mut [bool],
+) -> Vec<Diagnostic> {
+    let mut findings: Vec<Diagnostic> = Vec::new();
+    'raw: for d in raw {
+        for same_line in [true, false] {
+            for (i, p) in pragmas.iter().enumerate() {
+                let hit = if same_line { p.line == d.line } else { p.line + 1 == d.line };
+                if p.rule == d.rule && hit {
+                    used[i] = true;
+                    continue 'raw;
+                }
+            }
+        }
+        findings.push(d);
     }
     findings
 }
@@ -151,8 +171,9 @@ fn punct_at(toks: &[Token], i: usize, text: &str) -> bool {
 }
 
 /// Line ranges covered by `#[test]` / `#[cfg(test)]` items: from the
-/// attribute to the closing brace of the item it decorates.
-fn test_line_ranges(toks: &[Token]) -> Vec<std::ops::RangeInclusive<usize>> {
+/// attribute to the closing brace of the item it decorates. Shared with
+/// the call-graph builder, which excludes test definitions from roots.
+pub(crate) fn test_line_ranges(toks: &[Token]) -> Vec<std::ops::RangeInclusive<usize>> {
     let mut ranges = Vec::new();
     let mut i = 0usize;
     while i + 1 < toks.len() {
@@ -279,8 +300,26 @@ fn scan_determinism(
                 "`std::env` read in a sim-facing crate; runs must be a function of the spec".into(),
             );
         }
-        // Unseeded randomness: OS-entropy constructors and the convenience
-        // global. `derive_rng(seed, label)` is the only legal source.
+    }
+    scan_unseeded_rng(toks, in_test, push);
+    scan_map_iteration(toks, in_test, push);
+    scan_float_order(toks, in_test, push);
+}
+
+/// Unseeded randomness: OS-entropy constructors and the convenience
+/// global. `derive_rng(seed, label)` is the only legal source. Separate
+/// from the rest of the determinism family so the workspace walker can
+/// propagate it alone through the call graph.
+pub(crate) fn scan_unseeded_rng(
+    toks: &[Token],
+    in_test: &dyn Fn(usize) -> bool,
+    push: &mut dyn FnMut(Rule, usize, String),
+) {
+    for i in 0..toks.len() {
+        let line = toks[i].line;
+        if in_test(line) {
+            continue;
+        }
         if toks[i].kind == TokenKind::Word
             && ["thread_rng", "from_entropy", "from_os_rng", "OsRng"]
                 .contains(&toks[i].text.as_str())
@@ -306,17 +345,114 @@ fn scan_determinism(
             );
         }
     }
-    scan_map_iteration(toks, in_test, push);
 }
 
-/// Default-hasher map iteration: track identifiers declared or assigned
-/// as `HashMap`/`HashSet` (with the default hasher), then flag iteration
-/// over them.
-fn scan_map_iteration(
+/// Sort / min / max adapters whose comparator decides an order the
+/// caller observes.
+const ORDER_METHODS: &[&str] = &[
+    "sort_by",
+    "sort_unstable_by",
+    "sort_by_key",
+    "sort_unstable_by_key",
+    "min_by",
+    "max_by",
+    "binary_search_by",
+];
+
+/// Float-order hazards: comparators built on `partial_cmp` (NaN makes
+/// the produced order undefined and input-order dependent) and float
+/// accumulation over default-hasher map iteration (the sum's rounding
+/// depends on visitation order). `total_cmp` is the fix for the former,
+/// an ordered container for the latter.
+fn scan_float_order(
     toks: &[Token],
     in_test: &dyn Fn(usize) -> bool,
     push: &mut dyn FnMut(Rule, usize, String),
 ) {
+    let map_vars = collect_map_vars(toks);
+    for i in 0..toks.len() {
+        let line = toks[i].line;
+        if in_test(line) {
+            continue;
+        }
+        // `.sort_by(|a, b| a.partial_cmp(b) …)` and friends: scan the
+        // comparator's argument list for a `partial_cmp` call.
+        if punct_at(toks, i, ".")
+            && toks.get(i + 1).is_some_and(|m| {
+                m.kind == TokenKind::Word && ORDER_METHODS.contains(&m.text.as_str())
+            })
+            && punct_at(toks, i + 2, "(")
+        {
+            let mut depth = 1usize;
+            let mut j = i + 3;
+            while j < toks.len() && depth > 0 && j - i < 120 {
+                match toks[j].text.as_str() {
+                    "(" => depth += 1,
+                    ")" => depth -= 1,
+                    "partial_cmp" if toks[j].kind == TokenKind::Word => {
+                        push(
+                            Rule::FloatOrder,
+                            toks[i + 1].line,
+                            format!(
+                                "`{}` comparator uses `partial_cmp`; NaN yields None and \
+                                 the produced order becomes input-order dependent — use \
+                                 `total_cmp`",
+                                toks[i + 1].text
+                            ),
+                        );
+                        break;
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+        }
+        // `map.values().sum::<f64>()` — float reduction over an
+        // unordered visitation.
+        if toks[i].kind == TokenKind::Word
+            && map_vars.contains(&toks[i].text.as_str())
+            && punct_at(toks, i + 1, ".")
+            && toks.get(i + 2).is_some_and(|m| ITER_METHODS.contains(&m.text.as_str()))
+            && punct_at(toks, i + 3, "(")
+            && punct_at(toks, i + 4, ")")
+            && punct_at(toks, i + 5, ".")
+            && toks.get(i + 6).is_some_and(|m| {
+                // `sum::<f64>()` / `product::<f32>()`, or `fold(0.0, …)`
+                // (the tokenizer splits the float literal into `0 . 0`).
+                match m.text.as_str() {
+                    "sum" | "product" => toks[i + 6..toks.len().min(i + 12)]
+                        .iter()
+                        .any(|t| t.text == "f64" || t.text == "f32"),
+                    "fold" => {
+                        punct_at(toks, i + 7, "(")
+                            && toks
+                                .get(i + 8)
+                                .is_some_and(|t| t.text.chars().all(|c| c.is_ascii_digit()))
+                            && punct_at(toks, i + 9, ".")
+                    }
+                    _ => false,
+                }
+            })
+        {
+            push(
+                Rule::FloatOrder,
+                line,
+                format!(
+                    "float `{}` over default-hasher map `{}`; accumulation order — and \
+                     therefore rounding — follows hasher state, so the result is not \
+                     reproducible — use an ordered container or sort first",
+                    toks[i + 6].text,
+                    toks[i].text
+                ),
+            );
+        }
+    }
+}
+
+/// Identifiers declared or assigned as default-hasher
+/// `HashMap`/`HashSet` in this file (shared by the map-iter and
+/// float-order rules).
+fn collect_map_vars(toks: &[Token]) -> Vec<&str> {
     let mut map_vars: Vec<&str> = Vec::new();
     for i in 0..toks.len() {
         let t = &toks[i];
@@ -345,6 +481,17 @@ fn scan_map_iteration(
             }
         }
     }
+    map_vars
+}
+
+/// Default-hasher map iteration: flag iteration over any identifier
+/// tracked by [`collect_map_vars`].
+fn scan_map_iteration(
+    toks: &[Token],
+    in_test: &dyn Fn(usize) -> bool,
+    push: &mut dyn FnMut(Rule, usize, String),
+) {
+    let map_vars = collect_map_vars(toks);
     if map_vars.is_empty() {
         return;
     }
@@ -446,8 +593,9 @@ fn default_hasher(toks: &[Token], open: usize, is_map: bool) -> bool {
 }
 
 /// The panic-safety family for hot-path modules: `.unwrap()`,
-/// `.expect()`, aborting macros, and slice indexing.
-fn scan_panic_path(
+/// `.expect()`, aborting macros, and slice indexing. Also run, via the
+/// call graph, over helpers reachable from hot-path entry points.
+pub(crate) fn scan_panic_path(
     toks: &[Token],
     in_test: &dyn Fn(usize) -> bool,
     push: &mut dyn FnMut(Rule, usize, String),
@@ -512,7 +660,7 @@ fn scan_panic_path(
 /// slots or retained scratch buffers. `Vec::new()` itself is lazy, but a
 /// vector born on the hot path grows on the hot path — cold-path births
 /// (constructors, drains) carry a reasoned pragma instead.
-fn scan_hot_alloc(
+pub(crate) fn scan_hot_alloc(
     toks: &[Token],
     in_test: &dyn Fn(usize) -> bool,
     push: &mut dyn FnMut(Rule, usize, String),
@@ -661,6 +809,47 @@ mod tests {
         let d = scan(src, true, false, false);
         assert_eq!(d.len(), 1, "{d:?}");
         assert_eq!(d[0].rule, Rule::MapIter);
+    }
+
+    #[test]
+    fn float_order_flags_partial_cmp_comparators() {
+        let src = "
+            fn f(xs: &mut Vec<f64>) {
+                xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                xs.sort_unstable_by(|a, b| a.partial_cmp(b).expect(\"finite\"));
+                let _ = xs.iter().max_by(|a, b| a.partial_cmp(b).unwrap());
+            }
+            fn ok(xs: &mut Vec<f64>) {
+                xs.sort_by(|a, b| a.total_cmp(b));
+                xs.sort_unstable();
+            }
+        ";
+        let d = scan(src, true, false, false);
+        assert_eq!(d.len(), 3, "{d:?}");
+        assert!(d.iter().all(|d| d.rule == Rule::FloatOrder));
+        assert!(scan(src, false, false, false).is_empty());
+    }
+
+    #[test]
+    fn float_order_flags_float_sums_over_hashed_maps() {
+        let src = "
+            use std::collections::HashMap;
+            fn f(m: &HashMap<u32, f64>) -> f64 {
+                let shares: HashMap<u32, f64> = HashMap::new();
+                let a: f64 = shares.values().sum::<f64>();
+                let b = shares.values().fold(0.0, |acc, v| acc + v);
+                a + b
+            }
+            fn ok(m: &HashMap<u32, u64>) -> u64 {
+                let counts: HashMap<u32, u64> = HashMap::new();
+                counts.values().sum::<u64>()
+            }
+        ";
+        let d = scan(src, true, false, false);
+        let float_order = d.iter().filter(|d| d.rule == Rule::FloatOrder).count();
+        assert_eq!(float_order, 2, "{d:?}");
+        // The map-iter rule fires on the same lines independently.
+        assert!(d.iter().any(|d| d.rule == Rule::MapIter));
     }
 
     #[test]

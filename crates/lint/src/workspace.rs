@@ -16,14 +16,29 @@
 //!   every crate manifest the layering rule.
 //! * `tests/`, `benches/`, `examples/`, and `#[cfg(test)]` items are
 //!   never scanned: invariants protect the simulation, not its harness.
+//!
+//! The pass is two-phase. Phase one scans each file under its direct
+//! scope, exactly as above. Phase two builds the workspace call graph
+//! ([`crate::callgraph`]) and *propagates* the entry-point-scoped
+//! families along it: a helper outside the hot-path file list that a
+//! hot-path function calls (directly, via a path, or via an unambiguous
+//! same-crate method name) is audited with the same panic-safety /
+//! allocation / seeded-randomness rules, and its findings carry a
+//! "reachable from"
+//! witness. Pragmas in the helper's file suppress propagated findings
+//! the same way they suppress direct ones.
 
+use std::collections::BTreeSet;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
-use crate::diag::{self, Diagnostic};
+use crate::callgraph::{CallGraph, FileInput};
+use crate::diag::{self, Diagnostic, Rule};
 use crate::layering;
-use crate::rules::{scan_file, FileScope};
+use crate::pragma;
+use crate::rules::{self, scan_stream, FileScope};
+use crate::tokens::{tokenize, TokenStream};
 
 /// Crates whose library code faces the simulator and must stay
 /// deterministic. `trainer` is here because its sampling loop feeds the
@@ -70,6 +85,16 @@ pub struct Report {
     pub files_scanned: usize,
     /// Crate manifests checked for layering.
     pub crates_checked: usize,
+    /// The workspace call graph (also exported via `--call-graph`).
+    pub call_graph: CallGraph,
+}
+
+/// One scanned source file, kept for the call-graph phase.
+struct ScannedFile {
+    crate_name: String,
+    rel_path: String,
+    scope: FileScope,
+    stream: TokenStream,
 }
 
 /// Runs every rule over the workspace rooted at `root` (the directory
@@ -89,22 +114,121 @@ pub fn lint_workspace(root: &Path) -> io::Result<Report> {
     // Deterministic scan order regardless of directory enumeration.
     crate_dirs.sort();
 
+    let mut scanned: Vec<ScannedFile> = Vec::new();
     for dir in &crate_dirs {
         let name = dir.file_name().and_then(|n| n.to_str()).unwrap_or_default().to_string();
-        scan_crate(root, dir, &name, &mut report)?;
+        scan_crate(root, dir, &name, &mut report, &mut scanned)?;
     }
 
     // The umbrella crate at the root, when present: layering + hygiene.
     if root.join("Cargo.toml").is_file() && root.join("src").is_dir() {
-        scan_crate(root, root, "marnet", &mut report)?;
+        scan_crate(root, root, "marnet", &mut report, &mut scanned)?;
     }
+
+    // Phase two: the call graph and reachability propagation.
+    let inputs: Vec<FileInput<'_>> = scanned
+        .iter()
+        .map(|f| FileInput { crate_name: &f.crate_name, rel_path: &f.rel_path, stream: &f.stream })
+        .collect();
+    let graph = CallGraph::build(&inputs);
+    propagate(&graph, &scanned, &mut report.findings);
+    report.call_graph = graph;
 
     diag::sort(&mut report.findings);
     Ok(report)
 }
 
+/// Scanner signature shared by the propagated rules: tokens, a span
+/// filter, and the finding sink (the scanner stamps its own [`Rule`]).
+type FamilyScan =
+    fn(&[crate::tokens::Token], &dyn Fn(usize) -> bool, &mut dyn FnMut(Rule, usize, String));
+
+/// One propagated rule family: which scope flag covers a file directly,
+/// and which scanner audits a reached helper.
+struct Family {
+    covered: fn(&FileScope) -> bool,
+    scan: FamilyScan,
+}
+
+/// Phase two: for each entry-point-scoped family, walk the call graph
+/// from every function defined in a directly-covered file and audit the
+/// helpers it reaches in files the family does not directly cover.
+fn propagate(graph: &CallGraph, scanned: &[ScannedFile], findings: &mut Vec<Diagnostic>) {
+    let families: &[Family] = &[
+        Family { covered: |s| s.panic_path, scan: rules::scan_panic_path },
+        Family { covered: |s| s.hot_alloc, scan: rules::scan_hot_alloc },
+        Family { covered: |s| s.determinism, scan: rules::scan_unseeded_rng },
+    ];
+    for family in families {
+        let roots: Vec<usize> = (0..graph.fns.len())
+            .filter(|&i| (family.covered)(&scanned[graph.fns[i].file_idx].scope))
+            .collect();
+        let reached = graph.reachable(&roots, |e| graph.follows_for_propagation(e));
+        // Deterministic order: visit reached fns by (file, line).
+        let mut targets: Vec<(usize, usize)> = reached
+            .into_iter()
+            .filter(|&(def, _)| !(family.covered)(&scanned[graph.fns[def].file_idx].scope))
+            .collect();
+        targets.sort_by_key(|&(def, _)| (graph.fns[def].file_idx, graph.fns[def].line));
+
+        // Group by file so pragmas are collected once per file.
+        let mut by_file: Vec<(usize, Vec<(usize, usize)>)> = Vec::new();
+        for (def, root) in targets {
+            let fi = graph.fns[def].file_idx;
+            match by_file.last_mut() {
+                Some((last, list)) if *last == fi => list.push((def, root)),
+                _ => by_file.push((fi, vec![(def, root)])),
+            }
+        }
+        for (fi, defs) in by_file {
+            let file = &scanned[fi];
+            let (pragmas, _) = pragma::collect(&file.stream.comments);
+            let test_ranges = rules::test_line_ranges(&file.stream.tokens);
+            let in_test = |line: usize| test_ranges.iter().any(|r| r.contains(&line));
+            let mut used = vec![false; pragmas.len()];
+            let mut seen: BTreeSet<(usize, Rule)> = BTreeSet::new();
+            for (def, root) in defs {
+                let d = &graph.fns[def];
+                let (s, e) = d.tok_span;
+                if s >= e {
+                    continue;
+                }
+                let mut raw: Vec<Diagnostic> = Vec::new();
+                let witness = &graph.fns[root].path;
+                {
+                    let mut push = |rule: Rule, line: usize, message: String| {
+                        raw.push(Diagnostic {
+                            rule,
+                            file: file.rel_path.clone(),
+                            line,
+                            message: format!(
+                                "{message} (in `{}`, reachable from `{witness}` via the call graph)",
+                                d.path
+                            ),
+                        });
+                    };
+                    (family.scan)(&file.stream.tokens[s..e], &in_test, &mut push);
+                }
+                for f in rules::suppress(raw, &pragmas, &mut used) {
+                    // Nested fns are contained in their parent's span;
+                    // dedup so a finding is not reported per enclosure.
+                    if seen.insert((f.line, f.rule)) {
+                        findings.push(f);
+                    }
+                }
+            }
+        }
+    }
+}
+
 /// Scans one crate: manifest layering plus every file under `src/`.
-fn scan_crate(root: &Path, dir: &Path, name: &str, report: &mut Report) -> io::Result<()> {
+fn scan_crate(
+    root: &Path,
+    dir: &Path,
+    name: &str,
+    report: &mut Report,
+    scanned: &mut Vec<ScannedFile>,
+) -> io::Result<()> {
     let manifest_path = dir.join("Cargo.toml");
     let manifest = fs::read_to_string(&manifest_path)?;
     report.findings.extend(layering::check_crate(name, &manifest, &rel(root, &manifest_path)));
@@ -131,8 +255,15 @@ fn scan_crate(root: &Path, dir: &Path, name: &str, report: &mut Report) -> io::R
             rel_path,
         };
         let source = fs::read_to_string(&file)?;
-        report.findings.extend(scan_file(&source, &scope));
+        let stream = tokenize(&source);
+        report.findings.extend(scan_stream(&stream, &scope));
         report.files_scanned += 1;
+        scanned.push(ScannedFile {
+            crate_name: name.to_string(),
+            rel_path: scope.rel_path.clone(),
+            scope,
+            stream,
+        });
     }
     Ok(())
 }

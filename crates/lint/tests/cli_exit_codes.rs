@@ -42,6 +42,7 @@ fn allowing_every_fixture_rule_exits_zero() {
         "env-read",
         "map-iter",
         "unseeded-rng",
+        "float-order",
         "panic-path",
         "hot-path-alloc",
         "layering",

@@ -34,3 +34,7 @@ pub fn unseeded() -> u64 {
     let mut rng = rand::thread_rng();
     rng.gen()
 }
+
+pub fn float_sort(xs: &mut Vec<f64>) {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}

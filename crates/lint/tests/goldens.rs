@@ -30,7 +30,7 @@ fn json_report_matches_golden_byte_for_byte() {
     let report = lint_workspace(&fixture_root()).expect("fixture scan");
     let expected = concat!(
         "{\n",
-        "  \"schema_version\": 1,\n",
+        "  \"schema_version\": 2,\n",
         "  \"findings\": [\n",
         "    {\"rule\": \"layering\", \"file\": \"crates/sim/Cargo.toml\", \"line\": 10, \"message\": \"`sim` must not depend on `marnet-bench`; allowed: [telemetry]\"},\n",
         "    {\"rule\": \"panic-path\", \"file\": \"crates/sim/src/engine.rs\", \"line\": 6, \"message\": \"`.unwrap()` in an event-core hot-path module can abort a trial mid-run\"},\n",
@@ -42,9 +42,10 @@ fn json_report_matches_golden_byte_for_byte() {
         "    {\"rule\": \"map-iter\", \"file\": \"crates/sim/src/lib.rs\", \"line\": 20, \"message\": \"iteration over default-hasher map `counts` (`.values()`); order depends on hasher state — use BTreeMap/FxHashMap or sort the drain\"},\n",
         "    {\"rule\": \"bad-pragma\", \"file\": \"crates/sim/src/lib.rs\", \"line\": 24, \"message\": \"pragma requires a reason: `allow(<rule>): <reason>`\"},\n",
         "    {\"rule\": \"unused-pragma\", \"file\": \"crates/sim/src/lib.rs\", \"line\": 28, \"message\": \"pragma `allow(env-read)` suppresses nothing here; remove it\"},\n",
-        "    {\"rule\": \"unseeded-rng\", \"file\": \"crates/sim/src/lib.rs\", \"line\": 34, \"message\": \"`thread_rng` draws OS entropy; use derive_rng(seed, label) so the trial replays byte-identically\"}\n",
+        "    {\"rule\": \"unseeded-rng\", \"file\": \"crates/sim/src/lib.rs\", \"line\": 34, \"message\": \"`thread_rng` draws OS entropy; use derive_rng(seed, label) so the trial replays byte-identically\"},\n",
+        "    {\"rule\": \"float-order\", \"file\": \"crates/sim/src/lib.rs\", \"line\": 39, \"message\": \"`sort_by` comparator uses `partial_cmp`; NaN yields None and the produced order becomes input-order dependent — use `total_cmp`\"}\n",
         "  ],\n",
-        "  \"total\": 11\n",
+        "  \"total\": 12\n",
         "}\n",
     );
     assert_eq!(render_json(&report.findings), expected);
@@ -58,5 +59,6 @@ fn text_report_anchors_every_finding() {
     assert!(text.contains("crates/sim/src/engine.rs:6: [panic-path]"), "{text}");
     assert!(text.contains("crates/sim/src/engine.rs:10: [hot-path-alloc]"), "{text}");
     assert!(text.contains("crates/sim/src/lib.rs:1: [unsafe-hygiene]"), "{text}");
-    assert!(text.ends_with("11 finding(s)\n"), "{text}");
+    assert!(text.contains("crates/sim/src/lib.rs:39: [float-order]"), "{text}");
+    assert!(text.ends_with("12 finding(s)\n"), "{text}");
 }

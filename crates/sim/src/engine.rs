@@ -11,7 +11,7 @@
 //! randomness comes from per-link RNG streams derived from the simulation
 //! seed (see [`crate::rng::derive_rng`]).
 
-use crate::eventq::{CancelToken, EventQueue};
+use crate::eventq::{CancelToken, EventQueue, Phase};
 use crate::link::{Bandwidth, Jitter, LinkId, LinkParams, LinkStats, LossModel};
 use crate::packet::{Packet, Payload};
 use crate::time::{SimDuration, SimTime};
@@ -137,6 +137,16 @@ struct LinkGauges {
     queue_delay_ms: TimeHistogram,
 }
 
+/// Tie-break source key of events scheduled outside any handler (setup
+/// code, `deliver_starts`). See [`SimCtx::src`].
+const SRC_SETUP: u64 = u64::MAX;
+
+/// Tie-break source key of events scheduled by link `index`'s internal
+/// machinery (bit 63 keeps links disjoint from actor indices).
+const fn link_src_key(index: usize) -> u64 {
+    (1u64 << 63) | index as u64
+}
+
 /// The engine state visible to actors while they handle an event.
 pub struct SimCtx {
     now: SimTime,
@@ -146,6 +156,11 @@ pub struct SimCtx {
     next_packet_id: u64,
     links: Vec<LinkRuntime>,
     current_actor: ActorId,
+    /// Tie-break source key of the component whose handler is executing:
+    /// the scheduling source stamped on every event it pushes (see
+    /// [`crate::config::TieBreak`]). Actors use their index, link-internal
+    /// events use [`link_src_key`], setup code uses [`SRC_SETUP`].
+    src: u64,
     stopped: bool,
     events_processed: u64,
     trace: TraceSink,
@@ -210,9 +225,28 @@ impl SimCtx {
     }
 
     fn push(&mut self, time: SimTime, dest: Dest) {
+        // Departures drain a transmit queue (freeing a slot), so a slot
+        // freed at `t` is visible to every arrival at `t` under any
+        // equal-timestamp order — without it, a departure/arrival tie at a
+        // full drop-tail queue decides admit-vs-drop by schedule accident.
+        // Everything else splits by causal age: work committed to a future
+        // instant (`Carry`) outranks work spawned within that instant
+        // (`Spawn`), so e.g. a periodic timer colliding with a same-instant
+        // message never decides this-tick-vs-next-tick by schedule
+        // accident. Phases outrank the tie-break policy; see `eventq`.
+        let phase = match dest {
+            Dest::LinkDeparture { .. } => Phase::Drain,
+            Dest::Actor { .. } | Dest::LinkArrival { .. } => {
+                if time > self.now {
+                    Phase::Carry
+                } else {
+                    Phase::Spawn
+                }
+            }
+        };
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.queue.push(time, seq, dest);
+        self.queue.push(time, seq, self.src, phase, dest);
     }
 
     /// Schedules a [`Event::Timer`] for the current actor after `delay`.
@@ -231,9 +265,14 @@ impl SimCtx {
         let t = self.now.saturating_add(delay);
         let seq = self.next_seq;
         self.next_seq += 1;
+        // A timer for a future instant is that instant's `Carry` work; a
+        // zero-delay timer fires within the current instant, i.e. `Spawn`.
+        let phase = if t > self.now { Phase::Carry } else { Phase::Spawn };
         let token = self.queue.push_cancellable(
             t,
             seq,
+            self.src,
+            phase,
             Dest::Actor { id: target, event: Event::Timer { tag } },
         );
         TimerHandle(token)
@@ -356,6 +395,11 @@ impl SimCtx {
     }
 
     fn handle_departure(&mut self, link: LinkId) {
+        // Arrivals and follow-on departures scheduled here are the link's
+        // own doing, not the current actor's: stamp them with the link's
+        // source key so tie-break perturbation treats the link as an
+        // independently scheduled component.
+        self.src = link_src_key(link.index());
         let now = self.now;
         let l = link_rt_mut(&mut self.links, link);
         // marnet-lint: allow(panic-path): departure events are only scheduled by start_tx after setting in_flight
@@ -548,17 +592,29 @@ impl fmt::Debug for Simulator {
 }
 
 impl Simulator {
-    /// Creates an empty simulator with the given experiment seed.
+    /// Creates an empty simulator with the given experiment seed and the
+    /// *ambient* tie-break policy (FIFO unless the caller is inside a
+    /// [`crate::config::with_ambient_tie_break`] scope — which is how
+    /// `marnet-lab racecheck` perturbs scenario runners that construct
+    /// their own simulator internally).
     pub fn new(seed: u64) -> Self {
+        Self::with_config(
+            &crate::config::SimConfig::new(seed).tie_break(crate::config::ambient_tie_break()),
+        )
+    }
+
+    /// Creates an empty simulator from an explicit [`crate::config::SimConfig`].
+    pub fn with_config(config: &crate::config::SimConfig) -> Self {
         Simulator {
             ctx: SimCtx {
                 now: SimTime::ZERO,
-                seed,
-                queue: EventQueue::new(),
+                seed: config.seed,
+                queue: EventQueue::with_tie_break(config.tie_break),
                 next_seq: 0,
                 next_packet_id: 0,
                 links: Vec::new(), // marnet-lint: allow(hot-path-alloc): Simulator construction, once per trial
                 current_actor: ActorId(u32::MAX),
+                src: SRC_SETUP,
                 stopped: false,
                 events_processed: 0,
                 trace: TraceSink::Off,
@@ -641,6 +697,7 @@ impl Simulator {
     }
 
     fn deliver_starts(&mut self) {
+        self.ctx.src = SRC_SETUP;
         for (i, (started, actor)) in self.started.iter_mut().zip(&self.actors).enumerate() {
             if !*started && actor.is_some() {
                 *started = true;
@@ -658,8 +715,10 @@ impl Simulator {
             // marnet-lint: allow(panic-path): delivering to a removed actor violates the documented take_actor contract
             .unwrap_or_else(|| panic!("event for uninstalled {id}"));
         self.ctx.current_actor = id;
+        self.ctx.src = u64::from(id.0);
         actor.on_event(&mut self.ctx, event);
         self.ctx.current_actor = ActorId(u32::MAX);
+        self.ctx.src = SRC_SETUP;
     }
 
     /// Runs the event loop until virtual time `end`, the event budget is
@@ -1092,6 +1151,67 @@ mod tests {
         sim.install_actor(r, Receiver { got: Rc::clone(&got) });
         sim.run_until(SimTime::from_millis(1));
         assert_eq!(*got.borrow(), vec![1, 2]);
+    }
+
+    #[test]
+    fn lifo_tie_break_reverses_sources_but_keeps_program_order() {
+        // Two independent senders emit same-instant messages to one
+        // receiver. Perturbation is source-granular: LIFO reverses the
+        // interleaving *across* the senders but must keep each sender's
+        // own messages in program order (a same-source same-time pair is
+        // a causal chain no real schedule could reorder).
+        struct Sender {
+            peer: ActorId,
+            msgs: &'static [u32],
+        }
+        impl Actor for Sender {
+            fn on_event(&mut self, ctx: &mut SimCtx, ev: Event) {
+                if matches!(ev, Event::Start) {
+                    for &m in self.msgs {
+                        ctx.send_message(self.peer, Payload::new(m));
+                    }
+                }
+            }
+        }
+        struct Receiver {
+            got: Rc<RefCell<Vec<u32>>>,
+        }
+        impl Actor for Receiver {
+            fn on_event(&mut self, _ctx: &mut SimCtx, ev: Event) {
+                if let Event::Message { mut msg, .. } = ev {
+                    self.got.borrow_mut().push(msg.take::<u32>().unwrap());
+                }
+            }
+        }
+        let build = |sim: &mut Simulator| {
+            let got = Rc::new(RefCell::new(Vec::new()));
+            let r = sim.reserve_actor();
+            sim.install_actor(r, Receiver { got: Rc::clone(&got) });
+            sim.add_actor(Sender { peer: r, msgs: &[1] });
+            sim.add_actor(Sender { peer: r, msgs: &[2, 3] });
+            got
+        };
+        let run = |cfg: crate::config::SimConfig| {
+            let mut sim = Simulator::with_config(&cfg);
+            let got = build(&mut sim);
+            sim.run_until(SimTime::from_millis(1));
+            let out = got.borrow().clone();
+            out
+        };
+        use crate::config::{with_ambient_tie_break, SimConfig, TieBreak};
+        assert_eq!(run(SimConfig::new(1)), vec![1, 2, 3]);
+        // LIFO: the higher-indexed sender's burst runs first, internally
+        // still in program order.
+        assert_eq!(run(SimConfig::new(1).tie_break(TieBreak::Lifo)), vec![2, 3, 1]);
+        // The ambient scope routes the same policy through Simulator::new.
+        let ambient = with_ambient_tie_break(TieBreak::Lifo, || {
+            let mut sim = Simulator::new(1);
+            let got = build(&mut sim);
+            sim.run_until(SimTime::from_millis(1));
+            let out = got.borrow().clone();
+            out
+        });
+        assert_eq!(ambient, vec![2, 3, 1]);
     }
 
     #[test]

@@ -1,25 +1,55 @@
 //! The engine's event queue: an indexed 4-ary min-heap with true removal.
 //!
-//! The run loop pops the earliest `(time, seq)` entry; cancellation (timers
+//! The run loop pops the earliest `(time, phase, ord, seq)` entry; cancellation (timers
 //! only) removes the entry from the heap immediately in O(log n) instead of
 //! leaving a tombstone behind. This keeps cancel-heavy runs flat in memory —
 //! a retransmission timer that is armed and disarmed per packet never
 //! outlives its cancellation — and removes the per-pop tombstone lookup the
 //! previous `BinaryHeap + HashSet` scheme paid on *every* event.
 //!
-//! The heap itself orders only 24-byte `(time, seq, slot)` keys; event
+//! The heap itself orders only 32-byte `(time, ord, seq, slot)` keys; event
 //! payloads are parked in a pooled slot slab and never move during sifts.
 //! With payloads the size of a `Packet` plus its `Event` wrapper, sifting
 //! keys instead of nodes is the difference between one cache line per level
 //! and several. Slab slots are recycled through a free list, so steady-state
-//! scheduling allocates nothing. Ordering is by `(time, seq)` exactly like
-//! the old heap, so the pop order — and therefore every simulation
-//! artifact — is bit-for-bit identical.
+//! scheduling allocates nothing.
+//!
+//! Ordering is by `(time, phase, ord, seq)`. The [`Phase`] is intra-instant
+//! *semantics*, not a tie — it encodes two orderings every schedule must
+//! agree on, both found by `marnet-lab racecheck` as genuine races in the
+//! fairness portfolio member:
+//!
+//! 1. `Drain` before everything: link departures free transmit-queue
+//!    capacity, so capacity freed at time `t` is visible to every arrival
+//!    at `t`. Without it, a departure/arrival tie at a full drop-tail queue
+//!    decides admit-vs-drop by schedule accident.
+//! 2. `Carry` before `Spawn`: entries committed to instant `t` from an
+//!    earlier instant (timers armed in the past, packets already in
+//!    flight) run before entries *spawned within* instant `t` by handlers
+//!    running at `t`. An instant's carries are its causal roots; its
+//!    spawns are their downstream effects, and no schedule may run an
+//!    effect ahead of the roots. Without it, a periodic timer colliding
+//!    with a same-instant message (e.g. a 33 ms frame grid meeting a 5 ms
+//!    pacing grid at their 165 ms common multiple) decides
+//!    this-tick-vs-next-tick admission by schedule accident.
+//!
+//! Below the phase, `ord` is computed at insertion by the queue's
+//! [`TieBreak`] policy from the entry's *scheduling source* (the component
+//! whose handler pushed it — see `crate::config`): under the default FIFO
+//! policy `ord == 0` for every entry, so the pop order degenerates to the
+//! classic `(time, phase, seq)` order — and because every carry was pushed
+//! before the instant's first spawn, the phase split is seq-consistent and
+//! FIFO pop order is byte-identical to the pre-phase queue. Non-default
+//! policies (`Lifo`, `Seeded`) permute only the order of equal-
+//! `(time, phase)` entries from *different* sources; same-source ties keep
+//! program order through the trailing raw `seq`, which also keeps the
+//! order total.
 //!
 //! Every entry owns a slab slot; cancellable entries additionally hand out a
 //! [`CancelToken`] carrying `(slot, seq)`. The globally unique `seq` guards
 //! against slot reuse, so cancelling an already-fired timer is a cheap no-op.
 
+use crate::config::TieBreak;
 use crate::time::SimTime;
 
 /// Branching factor. A 4-ary heap halves the depth of a binary heap, which
@@ -46,18 +76,43 @@ pub(crate) struct CancelToken {
     seq: u64,
 }
 
+/// Intra-instant ordering phase: which half of a timestamp an entry runs
+/// in. Phases outrank the [`TieBreak`]-computed `ord`, so they are engine
+/// semantics every policy agrees on — the race detector perturbs only the
+/// order *within* a phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub(crate) enum Phase {
+    /// Resource-freeing work: link departures, which dequeue the next
+    /// packet and so free a transmit-queue slot. Runs first so capacity
+    /// freed at `t` is visible to every arrival at `t`.
+    Drain = 0,
+    /// Work committed to this instant from an *earlier* instant: timers
+    /// armed in the past, packets already in flight. These are the
+    /// instant's causal roots and run before anything spawned at it.
+    Carry = 1,
+    /// Work spawned *within* this instant by a handler running at it:
+    /// same-instant messages, zero-delay timers, start events. Runs last;
+    /// policies still permute cross-source order inside the phase.
+    Spawn = 2,
+}
+
 /// A heap element: the ordering key plus the slab slot of its payload.
+/// `ord` is the policy-computed tie-break component (zero under FIFO),
+/// fixed at insertion so sifts never re-derive it. The `phase` rides in
+/// what was padding, so the entry stays 32 bytes.
 #[derive(Clone, Copy)]
 struct Entry {
     time: SimTime,
+    ord: u64,
     seq: u64,
     slot: u32,
+    phase: Phase,
 }
 
 impl Entry {
     #[inline]
-    fn key(&self) -> (SimTime, u64) {
-        (self.time, self.seq)
+    fn key(&self) -> (SimTime, Phase, u64, u64) {
+        (self.time, self.phase, self.ord, self.seq)
     }
 
     /// Slab index, with the cancellable tag stripped.
@@ -77,17 +132,33 @@ struct Slot<T> {
     seq: u64,
 }
 
-/// An indexed 4-ary min-heap over `(time, seq)`.
+/// An indexed 4-ary min-heap over `(time, phase, ord, seq)`.
 pub(crate) struct EventQueue<T> {
     heap: Vec<Entry>,
     slots: Vec<Slot<T>>,
     free_head: u32,
     n_cancellable: usize,
+    tie_break: TieBreak,
 }
 
 impl<T> EventQueue<T> {
+    /// A default-policy (FIFO) queue; production callers go through
+    /// [`EventQueue::with_tie_break`] via `Simulator::with_config`.
+    #[cfg(test)]
     pub(crate) fn new() -> Self {
-        EventQueue { heap: Vec::new(), slots: Vec::new(), free_head: NO_SLOT, n_cancellable: 0 }
+        Self::with_tie_break(TieBreak::Fifo)
+    }
+
+    pub(crate) fn with_tie_break(tie_break: TieBreak) -> Self {
+        EventQueue {
+            // marnet-lint: allow(hot-path-alloc): construction-time; `Vec::new` does not allocate
+            heap: Vec::new(),
+            // marnet-lint: allow(hot-path-alloc): construction-time; `Vec::new` does not allocate
+            slots: Vec::new(),
+            free_head: NO_SLOT,
+            n_cancellable: 0,
+            tie_break,
+        }
     }
 
     pub(crate) fn len(&self) -> usize {
@@ -104,20 +175,38 @@ impl<T> EventQueue<T> {
         self.n_cancellable
     }
 
-    /// Inserts a non-cancellable entry.
+    /// Inserts a non-cancellable entry scheduled by source `src`, in the
+    /// given intra-instant [`Phase`].
     #[inline]
-    pub(crate) fn push(&mut self, time: SimTime, seq: u64, item: T) {
-        self.insert(time, seq, item, false);
+    pub(crate) fn push(&mut self, time: SimTime, seq: u64, src: u64, phase: Phase, item: T) {
+        self.insert(time, seq, src, phase, item, false);
     }
 
-    /// Inserts a cancellable entry and returns its token.
-    pub(crate) fn push_cancellable(&mut self, time: SimTime, seq: u64, item: T) -> CancelToken {
-        let slot = self.insert(time, seq, item, true);
+    /// Inserts a cancellable entry and returns its token. Cancellable
+    /// entries are timers; the caller supplies the phase ([`Phase::Carry`]
+    /// for a future instant, [`Phase::Spawn`] for a zero-delay timer).
+    pub(crate) fn push_cancellable(
+        &mut self,
+        time: SimTime,
+        seq: u64,
+        src: u64,
+        phase: Phase,
+        item: T,
+    ) -> CancelToken {
+        let slot = self.insert(time, seq, src, phase, item, true);
         self.n_cancellable += 1;
         CancelToken { slot, seq }
     }
 
-    fn insert(&mut self, time: SimTime, seq: u64, item: T, cancellable: bool) -> u32 {
+    fn insert(
+        &mut self,
+        time: SimTime,
+        seq: u64,
+        src: u64,
+        phase: Phase,
+        item: T,
+        cancellable: bool,
+    ) -> u32 {
         let pos = self.heap.len() as u32;
         let slot = match self.free_head {
             NO_SLOT => {
@@ -132,7 +221,8 @@ impl<T> EventQueue<T> {
             }
         };
         let tag = if cancellable { CANCEL_BIT } else { 0 };
-        self.heap.push(Entry { time, seq, slot: slot | tag });
+        let ord = self.tie_break.ord_of(src);
+        self.heap.push(Entry { time, ord, seq, slot: slot | tag, phase });
         self.sift_up(pos as usize);
         slot
     }
@@ -171,6 +261,7 @@ impl<T> EventQueue<T> {
             return None;
         }
         let time = first.time;
+        // marnet-lint: allow(panic-path): a heap entry's slab index is live by the insert/remove invariant
         let root = self.slots[first.slab()].item.as_ref()?;
         if !pred(time, root) {
             return None;
@@ -189,6 +280,7 @@ impl<T> EventQueue<T> {
             return false; // already fired, already cancelled, or slot reused
         }
         let pos = slot.pos as usize;
+        // marnet-lint: allow(panic-path): debug-only check; `pos` is maintained by update_pos
         debug_assert_eq!(self.heap[pos].seq, token.seq);
         self.remove_at(pos);
         true
@@ -199,7 +291,9 @@ impl<T> EventQueue<T> {
     fn remove_at(&mut self, pos: usize) -> (Entry, T) {
         let entry = self.heap.swap_remove(pos);
         let slab = entry.slab();
+        // marnet-lint: allow(panic-path): a heap entry's slab index is live by the insert/remove invariant
         let slot = &mut self.slots[slab];
+        // marnet-lint: allow(panic-path): a slab slot is occupied while its entry is in the heap
         let item = slot.item.take().expect("occupied slot");
         if entry.slot & CANCEL_BIT != 0 {
             self.n_cancellable -= 1;
@@ -222,8 +316,10 @@ impl<T> EventQueue<T> {
     /// a plain entry).
     #[inline]
     fn update_pos(&mut self, i: usize) {
+        // marnet-lint: allow(panic-path): callers pass heap positions < len
         let slot = self.heap[i].slot;
         if slot & CANCEL_BIT != 0 {
+            // marnet-lint: allow(panic-path): a heap entry's slab index is live by the insert/remove invariant
             self.slots[(slot & !CANCEL_BIT) as usize].pos = i as u32;
         }
     }
@@ -232,14 +328,17 @@ impl<T> EventQueue<T> {
     /// Hole-based: displaced entries shift one level, the moving entry is
     /// written once at its final position.
     fn sift_up(&mut self, mut i: usize) -> bool {
+        // marnet-lint: allow(panic-path): callers pass heap positions < len
         let entry = self.heap[i];
         let key = entry.key();
         let start = i;
         while i > 0 {
             let parent = (i - 1) / D;
+            // marnet-lint: allow(panic-path): parent of an in-bounds position is in bounds
             if key >= self.heap[parent].key() {
                 break;
             }
+            // marnet-lint: allow(panic-path): both positions proved in bounds above
             self.heap[i] = self.heap[parent];
             self.update_pos(i);
             i = parent;
@@ -247,6 +346,7 @@ impl<T> EventQueue<T> {
         if i == start {
             return false;
         }
+        // marnet-lint: allow(panic-path): `i` only ever moved to in-bounds parents
         self.heap[i] = entry;
         self.update_pos(i);
         true
@@ -256,6 +356,7 @@ impl<T> EventQueue<T> {
     /// [`EventQueue::sift_up`]).
     fn sift_down(&mut self, mut i: usize) {
         let len = self.heap.len();
+        // marnet-lint: allow(panic-path): callers pass heap positions < len
         let entry = self.heap[i];
         let key = entry.key();
         loop {
@@ -266,17 +367,21 @@ impl<T> EventQueue<T> {
             let mut best = first_child;
             let last_child = (first_child + D).min(len);
             for c in first_child + 1..last_child {
+                // marnet-lint: allow(panic-path): `c` and `best` bounded by `last_child <= len`
                 if self.heap[c].key() < self.heap[best].key() {
                     best = c;
                 }
             }
+            // marnet-lint: allow(panic-path): `best` bounded by `last_child <= len`
             if self.heap[best].key() >= key {
                 break;
             }
+            // marnet-lint: allow(panic-path): both positions proved in bounds above
             self.heap[i] = self.heap[best];
             self.update_pos(i);
             i = best;
         }
+        // marnet-lint: allow(panic-path): `i` only ever moved to in-bounds children
         self.heap[i] = entry;
         self.update_pos(i);
     }
@@ -293,20 +398,104 @@ mod tests {
     #[test]
     fn pops_in_time_then_seq_order() {
         let mut q = EventQueue::new();
-        q.push(t(30), 0, "a");
-        q.push(t(10), 1, "b");
-        q.push(t(10), 2, "c");
-        q.push(t(20), 3, "d");
+        q.push(t(30), 0, 0, Phase::Spawn, "a");
+        q.push(t(10), 1, 1, Phase::Spawn, "b");
+        q.push(t(10), 2, 2, Phase::Spawn, "c");
+        q.push(t(20), 3, 3, Phase::Spawn, "d");
         let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, _, v)| v)).collect();
         assert_eq!(order, ["b", "c", "d", "a"]);
     }
 
     #[test]
+    fn lifo_reverses_ties_only() {
+        let mut q = EventQueue::with_tie_break(TieBreak::Lifo);
+        q.push(t(30), 0, 0, Phase::Spawn, "a");
+        q.push(t(10), 1, 1, Phase::Spawn, "b");
+        q.push(t(10), 2, 2, Phase::Spawn, "c");
+        q.push(t(20), 3, 3, Phase::Spawn, "d");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, _, v)| v)).collect();
+        // Time order is untouched; the t=10 tie runs last-inserted first.
+        assert_eq!(order, ["c", "b", "d", "a"]);
+    }
+
+    #[test]
+    fn drain_phase_outranks_every_tie_break_policy() {
+        // The phase split is engine semantics, not a perturbable tie: a
+        // later-inserted drain entry from a "later" source must still run
+        // before every spawn entry at the same instant, under every policy.
+        for policy in [TieBreak::Fifo, TieBreak::Lifo, TieBreak::Seeded(0xbeef)] {
+            let mut q = EventQueue::with_tie_break(policy);
+            q.push(t(10), 0, 0, Phase::Spawn, "spawn-a");
+            q.push(t(10), 1, 1, Phase::Spawn, "spawn-b");
+            q.push(t(10), 2, 2, Phase::Spawn, "spawn-c");
+            q.push(t(10), 3, 3, Phase::Drain, "drain");
+            q.push(t(5), 4, 4, Phase::Spawn, "earlier");
+            let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, _, v)| v)).collect();
+            assert_eq!(order[0], "earlier", "time still dominates under {policy:?}");
+            assert_eq!(order[1], "drain", "drain phase must lead its instant under {policy:?}");
+        }
+    }
+
+    #[test]
+    fn carry_phase_outranks_spawn_under_every_tie_break_policy() {
+        // An instant's carries (timers armed in the past, packets in
+        // flight) are its causal roots: even a policy that inverts or
+        // shuffles cross-source order must run them before anything the
+        // instant's own handlers spawned.
+        for policy in [TieBreak::Fifo, TieBreak::Lifo, TieBreak::Seeded(0xbeef)] {
+            let mut q = EventQueue::with_tie_break(policy);
+            q.push(t(10), 0, 7, Phase::Carry, "timer");
+            q.push(t(10), 1, 1, Phase::Spawn, "msg-a");
+            q.push(t(10), 2, 9, Phase::Spawn, "msg-b");
+            let tok = q.push_cancellable(t(10), 3, 3, Phase::Carry, "arrival");
+            q.push(t(10), 4, 4, Phase::Drain, "drain");
+            let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, _, v)| v)).collect();
+            assert_eq!(order[0], "drain", "drain leads under {policy:?}");
+            let mut carries = order[1..3].to_vec();
+            carries.sort_unstable();
+            assert_eq!(
+                carries,
+                ["arrival", "timer"],
+                "carries precede spawns under {policy:?} (cross-source order within \
+                 the phase stays policy-chosen)"
+            );
+            assert!(!q.cancel(tok), "popped timer's token must be dead");
+        }
+    }
+
+    #[test]
+    fn seeded_permutes_ties_deterministically() {
+        let run = |seed: u64| -> Vec<u64> {
+            let mut q = EventQueue::with_tie_break(TieBreak::Seeded(seed));
+            for seq in 0..32u64 {
+                q.push(t(5), seq, seq, Phase::Spawn, seq);
+            }
+            q.push(t(1), 32, 32, Phase::Spawn, 1000);
+            q.push(t(9), 33, 33, Phase::Spawn, 2000);
+            std::iter::from_fn(|| q.pop().map(|(_, _, v)| v)).collect()
+        };
+        let a = run(0xfeed);
+        let b = run(0xfeed);
+        assert_eq!(a, b, "same seed, same shuffle");
+        // Time order still dominates the shuffled ties.
+        assert_eq!(a.first(), Some(&1000));
+        assert_eq!(a.last(), Some(&2000));
+        // The tie block is a permutation of the inserted values...
+        let mut ties: Vec<u64> = a[1..33].to_vec();
+        ties.sort_unstable();
+        assert_eq!(ties, (0..32).collect::<Vec<_>>());
+        // ...and a different seed yields a different permutation.
+        assert_ne!(a, run(0xbeef));
+        // FIFO would leave the block in insertion order; the shuffle must not.
+        assert_ne!(a[1..33], *(0..32).collect::<Vec<_>>());
+    }
+
+    #[test]
     fn cancel_removes_immediately() {
         let mut q = EventQueue::new();
-        q.push(t(1), 0, 0u32);
-        let tok = q.push_cancellable(t(2), 1, 1u32);
-        q.push(t(3), 2, 2u32);
+        q.push(t(1), 0, 0, Phase::Spawn, 0u32);
+        let tok = q.push_cancellable(t(2), 1, 1, Phase::Carry, 1u32);
+        q.push(t(3), 2, 2, Phase::Spawn, 2u32);
         assert_eq!(q.len(), 3);
         assert_eq!(q.cancellable_len(), 1);
         assert!(q.cancel(tok));
@@ -320,10 +509,10 @@ mod tests {
     #[test]
     fn cancel_after_fire_is_noop_even_with_slot_reuse() {
         let mut q = EventQueue::new();
-        let tok = q.push_cancellable(t(1), 0, "x");
+        let tok = q.push_cancellable(t(1), 0, 0, Phase::Carry, "x");
         assert_eq!(q.pop().map(|(_, _, v)| v), Some("x"));
         // The slot is free again; a new registration reuses it.
-        let tok2 = q.push_cancellable(t(2), 1, "y");
+        let tok2 = q.push_cancellable(t(2), 1, 1, Phase::Carry, "y");
         assert!(!q.cancel(tok), "stale token must not cancel the new entry");
         assert!(q.cancel(tok2));
         assert!(q.is_empty());
@@ -333,7 +522,7 @@ mod tests {
     fn slots_are_recycled_not_leaked() {
         let mut q = EventQueue::new();
         for round in 0..1000u64 {
-            let tok = q.push_cancellable(t(round + 1), round, round);
+            let tok = q.push_cancellable(t(round + 1), round, round, Phase::Carry, round);
             assert!(q.cancel(tok));
         }
         assert!(q.is_empty());
@@ -344,8 +533,8 @@ mod tests {
     #[test]
     fn pop_if_inspects_the_root_without_disturbing_it() {
         let mut q = EventQueue::new();
-        q.push(t(10), 0, "a");
-        q.push(t(20), 1, "b");
+        q.push(t(10), 0, 0, Phase::Spawn, "a");
+        q.push(t(20), 1, 1, Phase::Spawn, "b");
         // Declined predicate: nothing removed, order intact.
         assert!(q.pop_at_most_if(t(50), |_, v| *v == "z").is_none());
         assert_eq!(q.len(), 2);
@@ -379,9 +568,11 @@ mod tests {
         for seq in 0..500u64 {
             let time = t(rnd() % 50);
             if seq % 3 == 0 {
-                tokens.push((q.push_cancellable(time, seq, seq), time, seq));
+                // Same phase as the plain entries: this test models plain
+                // `(time, seq)` order, and phases would outrank it.
+                tokens.push((q.push_cancellable(time, seq, seq, Phase::Spawn, seq), time, seq));
             } else {
-                q.push(time, seq, seq);
+                q.push(time, seq, seq, Phase::Spawn, seq);
                 model.push((time, seq));
             }
         }

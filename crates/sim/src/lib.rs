@@ -72,6 +72,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod config;
 pub mod engine;
 mod eventq;
 pub mod hash;
@@ -87,6 +88,7 @@ pub mod topology;
 
 /// Convenience re-exports of the types needed by almost every simulation.
 pub mod prelude {
+    pub use crate::config::{SimConfig, TieBreak};
     pub use crate::engine::{Actor, ActorId, Event, SimCtx, Simulator, TimerHandle};
     pub use crate::link::{Bandwidth, Jitter, LinkId, LinkParams, LossModel};
     pub use crate::packet::{Packet, Payload};

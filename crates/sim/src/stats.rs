@@ -141,7 +141,7 @@ impl Histogram {
             return None;
         }
         if !self.sorted {
-            self.values.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+            self.values.sort_by(|a, b| a.total_cmp(b));
             self.sorted = true;
         }
         let pos = q * (self.values.len() - 1) as f64;
@@ -270,6 +270,7 @@ impl RateMeter {
     /// Panics if `bucket` is zero.
     pub fn new(bucket: SimDuration) -> Self {
         assert!(bucket > SimDuration::ZERO, "bucket width must be positive");
+        // marnet-lint: allow(hot-path-alloc): construction-time; `Vec::new` does not allocate
         RateMeter { bucket, buckets: Vec::new() }
     }
 

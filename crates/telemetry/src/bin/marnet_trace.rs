@@ -311,42 +311,19 @@ fn cmd_diff(args: &[String]) -> Result<ExitCode, String> {
     let a = load(&path_a)?;
     let b = load(&path_b)?;
 
-    let divergence = a.iter().zip(&b).position(|(x, y)| x != y);
-    match divergence {
-        None if a.len() == b.len() => {
-            println!("identical: {} events", a.len());
-            Ok(ExitCode::SUCCESS)
+    // The comparison and report live in `marnet_telemetry::diff` so that
+    // `marnet-lab racecheck` localizes divergences with the same logic.
+    let diff = marnet_telemetry::first_divergence(&a, &b);
+    let (a_name, b_name) = match &diff {
+        // The divergence report labels the two columns tersely; the length
+        // report names the longer file inline, so pass the paths through.
+        marnet_telemetry::TraceDiff::LengthMismatch { .. } => {
+            (path_a.display().to_string(), path_b.display().to_string())
         }
-        None => {
-            let (longer, shorter, name) = if a.len() > b.len() {
-                (&a, b.len(), path_a.display())
-            } else {
-                (&b, a.len(), path_b.display())
-            };
-            println!(
-                "common prefix of {} events matches; {} has {} extra, first extra:",
-                shorter,
-                name,
-                longer.len() - shorter
-            );
-            println!("  {}", longer[shorter]);
-            Ok(ExitCode::FAILURE)
-        }
-        Some(i) => {
-            println!("first divergence at event {i} (of {} / {}):", a.len(), b.len());
-            println!("  a: {}", a[i]);
-            println!("  b: {}", b[i]);
-            // A few events of shared context make the divergence legible.
-            let start = i.saturating_sub(3);
-            if start < i {
-                println!("context (shared prefix):");
-                for ev in &a[start..i] {
-                    println!("  {ev}");
-                }
-            }
-            Ok(ExitCode::FAILURE)
-        }
-    }
+        _ => ("a".to_owned(), "b".to_owned()),
+    };
+    print!("{}", diff.render(&a_name, &b_name));
+    Ok(if diff.is_identical() { ExitCode::SUCCESS } else { ExitCode::FAILURE })
 }
 
 #[cfg(test)]

@@ -1,0 +1,178 @@
+//! First-divergence comparison of two event traces.
+//!
+//! On a deterministic simulator the first divergent event *is* the bug's
+//! location, so localizing it precisely is the whole game. This module is
+//! the shared implementation behind `marnet-trace diff` (comparing trace
+//! files) and `marnet-lab racecheck` (comparing in-memory traces captured
+//! under different event-queue tie-break policies): compute the position of
+//! the first mismatching event, carry a few events of shared prefix as
+//! context, and render the result as the stable text both CLIs print.
+
+use std::fmt;
+
+use crate::event::TraceEvent;
+
+/// How many shared-prefix events [`TraceDiff::Divergence`] carries as
+/// context around the first mismatch.
+pub const CONTEXT_EVENTS: usize = 3;
+
+/// The outcome of comparing two traces event-by-event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceDiff {
+    /// Same length, every event equal.
+    Identical {
+        /// Total number of (identical) events in either trace.
+        events: usize,
+    },
+    /// One trace is a strict prefix of the other.
+    LengthMismatch {
+        /// Length of the shared (matching) prefix — the shorter trace.
+        common: usize,
+        /// Length of trace `a`.
+        a_len: usize,
+        /// Length of trace `b`.
+        b_len: usize,
+        /// The longer trace's first event past the shared prefix.
+        first_extra: TraceEvent,
+    },
+    /// The traces disagree at `index`.
+    Divergence {
+        /// Position of the first mismatching event.
+        index: usize,
+        /// Length of trace `a`.
+        a_len: usize,
+        /// Length of trace `b`.
+        b_len: usize,
+        /// Trace `a`'s event at `index`.
+        a: TraceEvent,
+        /// Trace `b`'s event at `index`.
+        b: TraceEvent,
+        /// Up to [`CONTEXT_EVENTS`] shared-prefix events before `index`.
+        context: Vec<TraceEvent>,
+    },
+}
+
+impl TraceDiff {
+    /// `true` when the traces matched byte-for-byte.
+    pub fn is_identical(&self) -> bool {
+        matches!(self, TraceDiff::Identical { .. })
+    }
+
+    /// Renders the diff as the stable multi-line report both CLIs print.
+    /// `a_name`/`b_name` label the two traces (file paths for
+    /// `marnet-trace diff`, policy labels for `marnet-lab racecheck`).
+    pub fn render(&self, a_name: &str, b_name: &str) -> String {
+        use fmt::Write as _;
+        let mut out = String::new();
+        match self {
+            TraceDiff::Identical { events } => {
+                let _ = writeln!(out, "identical: {events} events");
+            }
+            TraceDiff::LengthMismatch { common, a_len, b_len, first_extra } => {
+                let (name, extra) =
+                    if a_len > b_len { (a_name, a_len - b_len) } else { (b_name, b_len - a_len) };
+                let _ = writeln!(
+                    out,
+                    "common prefix of {common} events matches; {name} has {extra} extra, \
+                     first extra:"
+                );
+                let _ = writeln!(out, "  {first_extra}");
+            }
+            TraceDiff::Divergence { index, a_len, b_len, a, b, context } => {
+                let _ = writeln!(out, "first divergence at event {index} (of {a_len} / {b_len}):");
+                let _ = writeln!(out, "  {a_name}: {a}");
+                let _ = writeln!(out, "  {b_name}: {b}");
+                if !context.is_empty() {
+                    let _ = writeln!(out, "context (shared prefix):");
+                    for ev in context {
+                        let _ = writeln!(out, "  {ev}");
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Compares two traces and localizes the first divergent event.
+pub fn first_divergence(a: &[TraceEvent], b: &[TraceEvent]) -> TraceDiff {
+    match a.iter().zip(b).position(|(x, y)| x != y) {
+        None if a.len() == b.len() => TraceDiff::Identical { events: a.len() },
+        None => {
+            let common = a.len().min(b.len());
+            let longer = if a.len() > b.len() { a } else { b };
+            TraceDiff::LengthMismatch {
+                common,
+                a_len: a.len(),
+                b_len: b.len(),
+                first_extra: longer[common],
+            }
+        }
+        Some(i) => TraceDiff::Divergence {
+            index: i,
+            a_len: a.len(),
+            b_len: b.len(),
+            a: a[i],
+            b: b[i],
+            context: a[i.saturating_sub(CONTEXT_EVENTS)..i].to_vec(),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(t: u64) -> TraceEvent {
+        TraceEvent::packet_enqueue(t, 1, 0, 0, 100, 0)
+    }
+
+    #[test]
+    fn identical_traces() {
+        let a = [ev(1), ev(2)];
+        let d = first_divergence(&a, &a);
+        assert!(d.is_identical());
+        assert_eq!(d, TraceDiff::Identical { events: 2 });
+        assert!(d.render("a", "b").starts_with("identical: 2 events"));
+    }
+
+    #[test]
+    fn strict_prefix_reports_first_extra() {
+        let a = [ev(1), ev(2), ev(3)];
+        let b = [ev(1), ev(2)];
+        let d = first_divergence(&a, &b);
+        assert_eq!(
+            d,
+            TraceDiff::LengthMismatch { common: 2, a_len: 3, b_len: 2, first_extra: ev(3) }
+        );
+        let text = d.render("left", "right");
+        assert!(text.contains("common prefix of 2 events matches"), "{text}");
+        assert!(text.contains("left has 1 extra"), "{text}");
+        // Symmetric: the longer side is named whichever way round.
+        let text = first_divergence(&b, &a).render("left", "right");
+        assert!(text.contains("right has 1 extra"), "{text}");
+    }
+
+    #[test]
+    fn divergence_carries_bounded_context() {
+        let a = [ev(1), ev(2), ev(3), ev(4), ev(5), ev(10)];
+        let b = [ev(1), ev(2), ev(3), ev(4), ev(5), ev(11)];
+        let d = first_divergence(&a, &b);
+        let TraceDiff::Divergence { index, context, .. } = &d else {
+            panic!("expected divergence, got {d:?}");
+        };
+        assert_eq!(*index, 5);
+        assert_eq!(context.as_slice(), &[ev(3), ev(4), ev(5)]);
+        let text = d.render("fifo", "lifo");
+        assert!(text.contains("first divergence at event 5 (of 6 / 6):"), "{text}");
+        assert!(text.contains("fifo: "), "{text}");
+    }
+
+    #[test]
+    fn divergence_at_start_has_no_context() {
+        let d = first_divergence(&[ev(1)], &[ev(2)]);
+        let TraceDiff::Divergence { context, .. } = &d else { panic!() };
+        assert!(context.is_empty());
+        assert!(!d.render("a", "b").contains("context"));
+    }
+}

@@ -32,12 +32,14 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod diff;
 pub mod event;
 pub mod file;
 pub mod metrics;
 pub mod recorder;
 pub mod usage;
 
+pub use diff::{first_divergence, TraceDiff};
 pub use event::{component, DropReason, TraceEvent, TraceKind};
 pub use metrics::{Counter, Gauge, MetricsRegistry, MetricsSnapshot, TimeBucket, TimeHistogram};
 pub use recorder::{ChunkedRecorder, FlightRecorder, NullRecorder, Recorder, TraceSink};
